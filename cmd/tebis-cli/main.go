@@ -1,0 +1,78 @@
+// Command tebis-cli is a line client for tebis-server: it forwards
+// commands typed on stdin to the server and prints replies.
+//
+// Usage:
+//
+//	tebis-cli [-addr localhost:7625] [command...]
+//
+// With arguments, a single command is sent (e.g. `tebis-cli GET mykey`);
+// without, an interactive loop reads commands from stdin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7625", "tebis-server address")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		log.Fatalf("connect: %v", err)
+	}
+	defer conn.Close()
+
+	if args := flag.Args(); len(args) > 0 {
+		if err := roundTrip(conn, strings.Join(args, " ")); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			fmt.Print("> ")
+			continue
+		}
+		if err := roundTrip(conn, line); err != nil {
+			log.Fatal(err)
+		}
+		if strings.EqualFold(line, "QUIT") {
+			return
+		}
+		fmt.Print("> ")
+	}
+}
+
+// roundTrip sends one command and prints the reply lines (SCAN replies
+// span multiple lines terminated by END).
+func roundTrip(conn net.Conn, line string) error {
+	if _, err := fmt.Fprintln(conn, line); err != nil {
+		return err
+	}
+	if strings.EqualFold(strings.Fields(line)[0], "QUIT") {
+		return nil
+	}
+	r := bufio.NewReader(conn)
+	multi := strings.EqualFold(strings.Fields(line)[0], "SCAN")
+	for {
+		reply, err := r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		fmt.Print(reply)
+		if !multi || strings.HasPrefix(reply, "END") || strings.HasPrefix(reply, "ERR") {
+			return nil
+		}
+	}
+}

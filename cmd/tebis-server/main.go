@@ -1,0 +1,231 @@
+// Command tebis-server runs a standalone single-node Tebis deployment
+// with a file-backed device and a line-oriented TCP front end — a
+// convenience binary for poking at the storage engine outside the
+// in-process benchmark harness. The full replicated data plane (RDMA
+// simulation, Send-Index) lives in the library and is exercised by
+// cmd/tebis-bench and the examples.
+//
+// Usage:
+//
+//	tebis-server [-addr :7625] [-data /tmp/tebis.img] [-segment 2097152]
+//
+// Protocol (one request per line, space-separated, values hex-escaped
+// via Go %q):
+//
+//	PUT <key> <value>   -> OK
+//	GET <key>           -> VALUE <value> | NOTFOUND
+//	DEL <key>           -> OK
+//	SCAN <start> <n>    -> KV <key> <value> (n lines) then END
+//	STATS               -> STATS <json>
+//	QUIT                -> closes the connection
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+
+	"tebis/internal/kv"
+	"tebis/internal/lsm"
+	"tebis/internal/metrics"
+	"tebis/internal/storage"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7625", "listen address")
+		data    = flag.String("data", "/tmp/tebis.img", "device file path")
+		segSize = flag.Int64("segment", 2<<20, "segment size in bytes (power of two)")
+		l0      = flag.Int("l0", lsm.DefaultL0MaxKeys, "L0 capacity in keys")
+	)
+	flag.Parse()
+
+	dev, err := storage.NewFileDevice(*data, *segSize, 0)
+	if err != nil {
+		log.Fatalf("open device: %v", err)
+	}
+	defer dev.Close()
+
+	var cycles metrics.Cycles
+	db, err := lsm.New(lsm.Options{
+		Device:    dev,
+		L0MaxKeys: *l0,
+		Cycles:    &cycles,
+	})
+	if err != nil {
+		log.Fatalf("open engine: %v", err)
+	}
+	defer db.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("tebis-server listening on %s (device %s, segment %d B)", *addr, *data, *segSize)
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			continue
+		}
+		go serve(conn, db, dev, &cycles)
+	}
+}
+
+func serve(conn net.Conn, db *lsm.DB, dev storage.Device, cycles *metrics.Cycles) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for sc.Scan() {
+		fields := splitFields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "PUT":
+			if len(fields) != 3 {
+				fmt.Fprintln(w, "ERR usage: PUT <key> <value>")
+				break
+			}
+			key, err1 := unq(fields[1])
+			val, err2 := unq(fields[2])
+			if err1 != nil || err2 != nil {
+				fmt.Fprintln(w, "ERR bad escaping")
+				break
+			}
+			if err := db.Put(key, val); err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			fmt.Fprintln(w, "OK")
+		case "GET":
+			if len(fields) != 2 {
+				fmt.Fprintln(w, "ERR usage: GET <key>")
+				break
+			}
+			key, err := unq(fields[1])
+			if err != nil {
+				fmt.Fprintln(w, "ERR bad escaping")
+				break
+			}
+			v, found, err := db.Get(key)
+			switch {
+			case err != nil:
+				fmt.Fprintf(w, "ERR %v\n", err)
+			case !found:
+				fmt.Fprintln(w, "NOTFOUND")
+			default:
+				fmt.Fprintf(w, "VALUE %q\n", v)
+			}
+		case "DEL":
+			if len(fields) != 2 {
+				fmt.Fprintln(w, "ERR usage: DEL <key>")
+				break
+			}
+			key, err := unq(fields[1])
+			if err != nil {
+				fmt.Fprintln(w, "ERR bad escaping")
+				break
+			}
+			if err := db.Delete(key); err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			fmt.Fprintln(w, "OK")
+		case "SCAN":
+			if len(fields) != 3 {
+				fmt.Fprintln(w, "ERR usage: SCAN <start> <n>")
+				break
+			}
+			start, err := unq(fields[1])
+			if err != nil {
+				fmt.Fprintln(w, "ERR bad escaping")
+				break
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 1 {
+				fmt.Fprintln(w, "ERR bad count")
+				break
+			}
+			err = db.Scan(start, func(p kv.Pair) bool {
+				fmt.Fprintf(w, "KV %q %q\n", p.Key, p.Value)
+				n--
+				return n > 0
+			})
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			fmt.Fprintln(w, "END")
+		case "STATS":
+			st := dev.Stats()
+			out, _ := json.Marshal(map[string]any{
+				"bytes_read":    st.BytesRead,
+				"bytes_written": st.BytesWritten,
+				"segments_live": st.SegmentsLive,
+				"cycles_total":  cycles.Snapshot().Total(),
+			})
+			fmt.Fprintf(w, "STATS %s\n", out)
+		case "QUIT":
+			return
+		default:
+			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// splitFields tokenizes a command line, keeping %q-quoted strings
+// (which may contain spaces) as single tokens.
+func splitFields(line string) []string {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		start := i
+		if line[i] == '"' {
+			i++
+			for i < len(line) {
+				if line[i] == '\\' {
+					i += 2
+					continue
+				}
+				if line[i] == '"' {
+					i++
+					break
+				}
+				i++
+			}
+		} else {
+			for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+				i++
+			}
+		}
+		out = append(out, line[start:i])
+	}
+	return out
+}
+
+// unq decodes a %q-escaped token.
+func unq(s string) ([]byte, error) {
+	if !strings.HasPrefix(s, "\"") {
+		return []byte(s), nil
+	}
+	out, err := strconv.Unquote(s)
+	return []byte(out), err
+}

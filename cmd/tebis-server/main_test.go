@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"tebis/internal/lsm"
+	"tebis/internal/metrics"
+	"tebis/internal/storage"
+)
+
+// startPipeServer wires the serve loop to an in-memory connection.
+func startPipeServer(t *testing.T) (net.Conn, *lsm.DB) {
+	t.Helper()
+	dev, err := storage.NewMemDevice(64<<10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cycles metrics.Cycles
+	db, err := lsm.New(lsm.Options{Device: dev, L0MaxKeys: 256, NodeSize: 512, MaxLevels: 5, Cycles: &cycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := net.Pipe()
+	go serve(server, db, dev, &cycles)
+	t.Cleanup(func() {
+		client.Close()
+		db.Close()
+		dev.Close()
+	})
+	return client, db
+}
+
+// roundTripLines sends one line and reads n reply lines.
+func roundTripLines(t *testing.T, conn net.Conn, r *bufio.Reader, line string, n int) []string {
+	t.Helper()
+	if _, err := fmt.Fprintln(conn, line); err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for i := 0; i < n; i++ {
+		reply, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read reply to %q: %v", line, err)
+		}
+		out = append(out, strings.TrimSpace(reply))
+	}
+	return out
+}
+
+func TestServeProtocol(t *testing.T) {
+	conn, _ := startPipeServer(t)
+	r := bufio.NewReader(conn)
+
+	if got := roundTripLines(t, conn, r, `PUT "alpha" "value one"`, 1)[0]; got != "OK" {
+		t.Fatalf("PUT -> %q", got)
+	}
+	if got := roundTripLines(t, conn, r, `GET "alpha"`, 1)[0]; got != `VALUE "value one"` {
+		t.Fatalf("GET -> %q", got)
+	}
+	if got := roundTripLines(t, conn, r, `GET "missing"`, 1)[0]; got != "NOTFOUND" {
+		t.Fatalf("GET missing -> %q", got)
+	}
+	if got := roundTripLines(t, conn, r, `DEL "alpha"`, 1)[0]; got != "OK" {
+		t.Fatalf("DEL -> %q", got)
+	}
+	if got := roundTripLines(t, conn, r, `GET "alpha"`, 1)[0]; got != "NOTFOUND" {
+		t.Fatalf("GET deleted -> %q", got)
+	}
+
+	// Unquoted tokens work too.
+	if got := roundTripLines(t, conn, r, "PUT plainkey plainval", 1)[0]; got != "OK" {
+		t.Fatalf("plain PUT -> %q", got)
+	}
+	if got := roundTripLines(t, conn, r, "GET plainkey", 1)[0]; got != `VALUE "plainval"` {
+		t.Fatalf("plain GET -> %q", got)
+	}
+}
+
+func TestServeScanAndStats(t *testing.T) {
+	conn, _ := startPipeServer(t)
+	r := bufio.NewReader(conn)
+	for i := 0; i < 10; i++ {
+		line := fmt.Sprintf("PUT key%02d val%02d", i, i)
+		if got := roundTripLines(t, conn, r, line, 1)[0]; got != "OK" {
+			t.Fatalf("PUT -> %q", got)
+		}
+	}
+	out := roundTripLines(t, conn, r, "SCAN key03 4", 5)
+	if out[0] != `KV "key03" "val03"` || out[3] != `KV "key06" "val06"` || out[4] != "END" {
+		t.Fatalf("SCAN -> %v", out)
+	}
+	stats := roundTripLines(t, conn, r, "STATS", 1)[0]
+	if !strings.HasPrefix(stats, "STATS {") || !strings.Contains(stats, "bytes_written") {
+		t.Fatalf("STATS -> %q", stats)
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	conn, _ := startPipeServer(t)
+	r := bufio.NewReader(conn)
+	for _, bad := range []string{
+		"PUT onlykey",
+		"GET",
+		"SCAN start notanumber",
+		"BOGUS cmd",
+	} {
+		got := roundTripLines(t, conn, r, bad, 1)[0]
+		if !strings.HasPrefix(got, "ERR") {
+			t.Fatalf("%q -> %q, want ERR", bad, got)
+		}
+	}
+	// QUIT closes the connection.
+	fmt.Fprintln(conn, "QUIT")
+	if _, err := r.ReadString('\n'); err == nil {
+		t.Fatal("connection still open after QUIT")
+	}
+}

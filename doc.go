@@ -1,0 +1,18 @@
+// Package tebis is a from-scratch Go reproduction of "Tebis: Index
+// Shipping for Efficient Replication in LSM Key-Value Stores"
+// (EuroSys '22).
+//
+// The implementation lives under internal/: the Kreon-style LSM engine
+// (internal/lsm over internal/btree, internal/vlog, internal/memtable,
+// internal/storage), the RDMA-simulated data plane (internal/rdma,
+// internal/wire), the replication protocols including Send-Index
+// (internal/replica), cluster orchestration (internal/zklite,
+// internal/master, internal/server, internal/client, internal/cluster),
+// the YCSB workload generator (internal/ycsb), and the experiment
+// harness (internal/bench).
+//
+// Entry points: cmd/tebis-bench regenerates every table and figure of
+// the paper's evaluation; the examples/ directory shows the public
+// cluster/client API; bench_test.go holds one Go benchmark per paper
+// artifact. See README.md, DESIGN.md, and EXPERIMENTS.md.
+package tebis

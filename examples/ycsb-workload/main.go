@@ -1,0 +1,54 @@
+// YCSB workload: drive the paper's benchmark phases (Load A, then
+// Run A) with Facebook's small-dominated KV size mix against a
+// replicated cluster, and print the four evaluation metrics the paper
+// reports — throughput, efficiency, I/O amplification, and network
+// amplification (§4) — plus the Figure 8 latency percentiles.
+//
+// Run with: go run ./examples/ycsb-workload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tebis/internal/bench"
+	"tebis/internal/metrics"
+	"tebis/internal/ycsb"
+)
+
+func main() {
+	scale := bench.QuickScale
+
+	fmt.Printf("YCSB over Tebis: %d records, %d run ops, SD size mix (60%% small / 20%% medium / 20%% large)\n\n",
+		scale.Records, scale.Ops)
+
+	for _, wl := range []ycsb.Workload{ycsb.LoadA, ycsb.RunA} {
+		fmt.Printf("=== %s ===\n", wl)
+		fmt.Printf("%-16s %10s %12s %8s %8s\n", "setup", "Kops/s", "Kcycles/op", "io-amp", "net-amp")
+		for _, setup := range []bench.Setup{bench.SendIndex, bench.BuildIndex, bench.NoReplication} {
+			res, err := bench.Run(bench.Params{
+				Setup:     setup,
+				Workload:  wl,
+				Mix:       ycsb.MixSD,
+				Records:   scale.Records,
+				Ops:       scale.Ops,
+				L0MaxKeys: scale.L0MaxKeys,
+				Replicas:  1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-16s %10.1f %12.1f %8.2f %8.2f\n",
+				setup, res.KOpsPerSec, res.KCyclesPerOp, res.IOAmp, res.NetAmp)
+			if wl == ycsb.LoadA && setup == bench.SendIndex {
+				fmt.Printf("  insert latency: ")
+				for _, p := range metrics.TailPercentiles {
+					fmt.Printf("p%g=%v ", p, res.Latency[ycsb.OpInsert].Percentile(p).Round(1000))
+				}
+				fmt.Println()
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("see cmd/tebis-bench for the full per-figure experiment suite")
+}

@@ -1,0 +1,3 @@
+module tebis
+
+go 1.22

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tebis/internal/metrics"
+	"tebis/internal/ycsb"
+)
+
+// tinyScale keeps unit tests fast while still producing compactions.
+var tinyScale = Scale{Records: 6000, Ops: 3000, L0MaxKeys: 256}
+
+func TestRunLoadAProducesMetrics(t *testing.T) {
+	res, err := Run(params(SendIndex, ycsb.LoadA, ycsb.MixSD, tinyScale, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != tinyScale.Records {
+		t.Fatalf("ops = %d, want %d", res.Ops, tinyScale.Records)
+	}
+	if res.KOpsPerSec <= 0 || res.KCyclesPerOp <= 0 {
+		t.Fatalf("throughput/efficiency empty: %+v", res)
+	}
+	if res.IOAmp <= 0 || res.NetAmp <= 0 {
+		t.Fatalf("amplification empty: %+v", res)
+	}
+	if res.DatasetBytes == 0 {
+		t.Fatal("dataset bytes empty")
+	}
+	if res.Latency[ycsb.OpInsert].Count() != res.Ops {
+		t.Fatalf("latency samples %d", res.Latency[ycsb.OpInsert].Count())
+	}
+	if res.Breakdown[metrics.CompSendIndex] == 0 || res.Breakdown[metrics.CompRewriteIndex] == 0 {
+		t.Fatalf("Send-Index components missing: %v", res.Breakdown)
+	}
+}
+
+func TestRunPhaseRunA(t *testing.T) {
+	res, err := Run(params(BuildIndex, ycsb.RunA, ycsb.MixS, tinyScale, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != tinyScale.Ops {
+		t.Fatalf("ops = %d, want %d", res.Ops, tinyScale.Ops)
+	}
+	if res.Latency[ycsb.OpRead].Count() == 0 || res.Latency[ycsb.OpUpdate].Count() == 0 {
+		t.Fatal("Run A latency histograms empty")
+	}
+	if res.Breakdown[metrics.CompSendIndex] != 0 || res.Breakdown[metrics.CompRewriteIndex] != 0 {
+		t.Fatalf("Build-Index charged shipping: %v", res.Breakdown)
+	}
+}
+
+func TestPaperShapeHolds(t *testing.T) {
+	// The headline comparison at tiny scale: Send-Index must beat
+	// Build-Index on efficiency and I/O amplification and lose on
+	// network amplification (Load A, SD, two-way).
+	send, err := Run(params(SendIndex, ycsb.LoadA, ycsb.MixSD, tinyScale, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	build, err := Run(params(BuildIndex, ycsb.LoadA, ycsb.MixSD, tinyScale, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noRep, err := Run(params(NoReplication, ycsb.LoadA, ycsb.MixSD, tinyScale, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if send.KCyclesPerOp >= build.KCyclesPerOp {
+		t.Errorf("efficiency: Send-Index %.1f >= Build-Index %.1f Kcycles/op", send.KCyclesPerOp, build.KCyclesPerOp)
+	}
+	if send.IOAmp >= build.IOAmp {
+		t.Errorf("I/O amp: Send-Index %.2f >= Build-Index %.2f", send.IOAmp, build.IOAmp)
+	}
+	if send.NetAmp <= build.NetAmp {
+		t.Errorf("net amp: Send-Index %.2f <= Build-Index %.2f", send.NetAmp, build.NetAmp)
+	}
+	if noRep.KCyclesPerOp >= send.KCyclesPerOp {
+		t.Errorf("No-Replication %.1f >= Send-Index %.1f Kcycles/op", noRep.KCyclesPerOp, send.KCyclesPerOp)
+	}
+	if noRep.IOAmp >= send.IOAmp {
+		t.Errorf("No-Replication IOAmp %.2f >= Send-Index %.2f", noRep.IOAmp, send.IOAmp)
+	}
+}
+
+func TestBuildIndexRLUsesSmallerL0(t *testing.T) {
+	rl, err := Run(params(BuildIndexRL, ycsb.LoadA, ycsb.MixS, tinyScale, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(params(BuildIndex, ycsb.LoadA, ycsb.MixS, tinyScale, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 3x smaller L0 means more compaction rounds: higher I/O amp
+	// (§5.5).
+	if rl.IOAmp <= full.IOAmp {
+		t.Errorf("Build-IndexRL I/O amp %.2f <= Build-Index %.2f", rl.IOAmp, full.IOAmp)
+	}
+}
+
+func TestRunExperimentTable2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment(ExpTable2, tinyScale, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, mix := range []string{"S ", "M ", "L ", "SD", "MD", "LD"} {
+		if !strings.Contains(out, mix) {
+			t.Fatalf("table 2 output missing mix %q:\n%s", mix, out)
+		}
+	}
+}
+
+func TestSetupStringsAndModes(t *testing.T) {
+	if SendIndex.String() != "Send-Index" || BuildIndexRL.String() != "Build-IndexRL" {
+		t.Fatal("setup names")
+	}
+	if NoReplication.Mode().String() != "No-Replication" {
+		t.Fatal("mode mapping")
+	}
+	if BuildIndexRL.Mode() != BuildIndex.Mode() {
+		t.Fatal("RL must share Build-Index mode")
+	}
+}

@@ -1,0 +1,274 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"tebis/internal/metrics"
+	"tebis/internal/ycsb"
+)
+
+// Scale sizes an experiment suite. The paper runs 100M-record loads on
+// three Xeon servers; the suite reproduces the comparisons at a reduced
+// scale that preserves the compaction depth (records per region per L0)
+// and every protocol path (DESIGN.md §2).
+type Scale struct {
+	Records   uint64
+	Ops       uint64
+	L0MaxKeys int
+}
+
+// Scales for quick runs (unit benches) and fuller runs (tebis-bench).
+var (
+	// QuickScale keeps `go test -bench` fast.
+	QuickScale = Scale{Records: 12000, Ops: 6000, L0MaxKeys: 512}
+	// FullScale is the tebis-bench default.
+	FullScale = Scale{Records: 60000, Ops: 30000, L0MaxKeys: 1024}
+)
+
+// Experiment identifies one paper table or figure.
+type Experiment string
+
+// The paper's evaluation artifacts.
+const (
+	ExpFig6   Experiment = "fig6"
+	ExpFig7a  Experiment = "fig7a"
+	ExpFig7b  Experiment = "fig7b"
+	ExpFig8   Experiment = "fig8"
+	ExpTable3 Experiment = "table3"
+	ExpFig9a  Experiment = "fig9a"
+	ExpFig9b  Experiment = "fig9b"
+	ExpFig10a Experiment = "fig10a"
+	ExpFig10b Experiment = "fig10b"
+	ExpSec55  Experiment = "sec55"
+	ExpTable2 Experiment = "table2"
+)
+
+// AllExperiments lists every reproducible artifact in paper order.
+var AllExperiments = []Experiment{
+	ExpTable2, ExpFig6, ExpFig7a, ExpFig7b, ExpFig8, ExpTable3,
+	ExpFig9a, ExpFig9b, ExpFig10a, ExpFig10b, ExpSec55,
+}
+
+// twoWaySetups are the Figure 6/7 configurations.
+var twoWaySetups = []Setup{BuildIndex, SendIndex, NoReplication}
+
+// threeWaySetups are the Figure 10 configurations (§5.4-5.5).
+var threeWaySetups = []Setup{BuildIndexRL, BuildIndex, SendIndex, NoReplication}
+
+// RunExperiment executes one artifact and writes the paper-shaped rows
+// to w.
+func RunExperiment(exp Experiment, sc Scale, w io.Writer) error {
+	switch exp {
+	case ExpTable2:
+		return runTable2(sc, w)
+	case ExpFig6:
+		return runFig6(sc, w)
+	case ExpFig7a:
+		return runFig7(sc, w, ycsb.LoadA)
+	case ExpFig7b:
+		return runFig7(sc, w, ycsb.RunA)
+	case ExpFig8:
+		return runFig8(sc, w)
+	case ExpTable3:
+		return runTable3(sc, w)
+	case ExpFig9a:
+		return runFig9(sc, w, ycsb.LoadA)
+	case ExpFig9b:
+		return runFig9(sc, w, ycsb.RunA)
+	case ExpFig10a:
+		return runFig10(sc, w, ycsb.LoadA)
+	case ExpFig10b:
+		return runFig10(sc, w, ycsb.RunA)
+	case ExpSec55:
+		return runSec55(sc, w)
+	}
+	return fmt.Errorf("bench: unknown experiment %q", exp)
+}
+
+func params(setup Setup, wl ycsb.Workload, mix ycsb.SizeMix, sc Scale, replicas int) Params {
+	return Params{
+		Setup:     setup,
+		Workload:  wl,
+		Mix:       mix,
+		Records:   sc.Records,
+		Ops:       sc.Ops,
+		L0MaxKeys: sc.L0MaxKeys,
+		Replicas:  replicas,
+	}
+}
+
+// runTable2 prints the KV size distributions and dataset sizes.
+func runTable2(sc Scale, w io.Writer) error {
+	fmt.Fprintf(w, "Table 2: KV size distributions (records=%d)\n", sc.Records)
+	fmt.Fprintf(w, "%-4s %-12s %12s %14s\n", "Mix", "S%-M%-L%", "#KV Pairs", "Dataset (MB)")
+	for _, mix := range ycsb.AllMixes {
+		fmt.Fprintf(w, "%-4s %3d-%d-%d %14d %14.1f\n",
+			mix.Name, mix.Small, mix.Medium, mix.Large, sc.Records,
+			float64(mix.DatasetBytes(sc.Records))/1e6)
+	}
+	return nil
+}
+
+// runFig6 reproduces Figure 6: throughput and efficiency for Load A and
+// Run A-D with the SD mix, two-way replication.
+func runFig6(sc Scale, w io.Writer) error {
+	workloads := []ycsb.Workload{ycsb.LoadA, ycsb.RunA, ycsb.RunB, ycsb.RunC, ycsb.RunD}
+	fmt.Fprintln(w, "Figure 6: Load A, Run A-D, SD mix, two-way replication")
+	header(w, "Workload")
+	for _, wl := range workloads {
+		for _, setup := range twoWaySetups {
+			res, err := Run(params(setup, wl, ycsb.MixSD, sc, 1))
+			if err != nil {
+				return err
+			}
+			row(w, wl.String(), res)
+		}
+	}
+	return nil
+}
+
+// runFig7 reproduces Figure 7: all four metrics over the six KV size
+// mixes for one workload, two-way replication.
+func runFig7(sc Scale, w io.Writer, wl ycsb.Workload) error {
+	fmt.Fprintf(w, "Figure 7 (%s): six KV size mixes, two-way replication\n", wl)
+	header(w, "Mix")
+	for _, mix := range ycsb.AllMixes {
+		for _, setup := range twoWaySetups {
+			res, err := Run(params(setup, wl, mix, sc, 1))
+			if err != nil {
+				return err
+			}
+			row(w, mix.Name, res)
+		}
+	}
+	return nil
+}
+
+// runFig8 reproduces Figure 8: tail latencies for Load A inserts and
+// Run A reads/updates under the SD mix.
+func runFig8(sc Scale, w io.Writer) error {
+	fmt.Fprintln(w, "Figure 8: tail latency (µs), SD mix, two-way replication")
+	type batch struct {
+		label string
+		wl    ycsb.Workload
+		kind  ycsb.OpKind
+	}
+	batches := []batch{
+		{"Load A Insert", ycsb.LoadA, ycsb.OpInsert},
+		{"Run A Read", ycsb.RunA, ycsb.OpRead},
+		{"Run A Update", ycsb.RunA, ycsb.OpUpdate},
+	}
+	for _, b := range batches {
+		fmt.Fprintf(w, "\n%s latency percentiles (µs)\n", b.label)
+		fmt.Fprintf(w, "%-16s", "Setup")
+		for _, p := range metrics.TailPercentiles {
+			fmt.Fprintf(w, "%10.2f%%", p)
+		}
+		fmt.Fprintln(w)
+		for _, setup := range []Setup{SendIndex, BuildIndex, NoReplication} {
+			res, err := Run(params(setup, b.wl, ycsb.MixSD, sc, 1))
+			if err != nil {
+				return err
+			}
+			h := res.Latency[b.kind]
+			fmt.Fprintf(w, "%-16s", setup)
+			for _, p := range metrics.TailPercentiles {
+				fmt.Fprintf(w, "%11.0f", float64(h.Percentile(p).Microseconds()))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// runTable3 reproduces Table 3: the per-component cycles/op breakdown
+// for Load A with the SD mix.
+func runTable3(sc Scale, w io.Writer) error {
+	fmt.Fprintln(w, "Table 3: cycles/op breakdown, Load A, SD mix, two-way replication")
+	build, err := Run(params(BuildIndex, ycsb.LoadA, ycsb.MixSD, sc, 1))
+	if err != nil {
+		return err
+	}
+	send, err := Run(params(SendIndex, ycsb.LoadA, ycsb.MixSD, sc, 1))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-24s %14s %14s %10s\n", "Component", "Build-Index", "Send-Index", "Reduction")
+	for comp := metrics.Component(0); comp < metrics.NumComponents; comp++ {
+		b, s := build.Breakdown[comp], send.Breakdown[comp]
+		red := "-"
+		if b > 0 && s <= b {
+			red = fmt.Sprintf("%.1f%%", 100*float64(b-s)/float64(b))
+		}
+		fmt.Fprintf(w, "%-24s %14d %14d %10s\n", comp, b, s, red)
+	}
+	bt, st := build.Breakdown.Total(), send.Breakdown.Total()
+	fmt.Fprintf(w, "%-24s %14d %14d %9.1f%%\n", "Total", bt, st, 100*float64(bt-st)/float64(bt))
+	return nil
+}
+
+// runFig9 reproduces Figure 9: increasing percentages of small KVs.
+func runFig9(sc Scale, w io.Writer, wl ycsb.Workload) error {
+	fmt.Fprintf(w, "Figure 9 (%s): %%small KVs sweep, two-way replication\n", wl)
+	header(w, "Small%")
+	for _, pct := range []int{40, 60, 80, 100} {
+		mix := ycsb.SmallPercentMix(pct)
+		for _, setup := range twoWaySetups {
+			res, err := Run(params(setup, wl, mix, sc, 1))
+			if err != nil {
+				return err
+			}
+			row(w, fmt.Sprintf("%d%%", pct), res)
+		}
+	}
+	return nil
+}
+
+// runFig10 reproduces Figure 10: three-way replication over the six
+// mixes, including the reduced-L0 baseline.
+func runFig10(sc Scale, w io.Writer, wl ycsb.Workload) error {
+	fmt.Fprintf(w, "Figure 10 (%s): six KV size mixes, three-way replication\n", wl)
+	header(w, "Mix")
+	for _, mix := range ycsb.AllMixes {
+		for _, setup := range threeWaySetups {
+			res, err := Run(params(setup, wl, mix, sc, 2))
+			if err != nil {
+				return err
+			}
+			row(w, mix.Name, res)
+		}
+	}
+	return nil
+}
+
+// runSec55 reproduces the §5.5 comparison: Send-Index vs Build-IndexRL
+// at an equal total L0 memory budget (SD mix, three-way).
+func runSec55(sc Scale, w io.Writer) error {
+	fmt.Fprintln(w, "§5.5: L0 memory budget — Send-Index vs Build-IndexRL, SD mix, three-way")
+	header(w, "Workload")
+	for _, wl := range []ycsb.Workload{ycsb.LoadA, ycsb.RunA} {
+		for _, setup := range []Setup{BuildIndexRL, SendIndex} {
+			res, err := Run(params(setup, wl, ycsb.MixSD, sc, 2))
+			if err != nil {
+				return err
+			}
+			row(w, wl.String(), res)
+		}
+	}
+	return nil
+}
+
+// header prints the metric column headings.
+func header(w io.Writer, first string) {
+	fmt.Fprintf(w, "%-10s %-16s %12s %14s %8s %8s\n",
+		first, "Setup", "Kops/s", "Kcycles/op", "I/O-amp", "Net-amp")
+	fmt.Fprintln(w, strings.Repeat("-", 74))
+}
+
+// row prints one result line.
+func row(w io.Writer, label string, r Result) {
+	fmt.Fprintf(w, "%-10s %-16s %12.1f %14.1f %8.2f %8.2f\n",
+		label, r.Setup, r.KOpsPerSec, r.KCyclesPerOp, r.IOAmp, r.NetAmp)
+}

@@ -1,0 +1,343 @@
+package btree
+
+import (
+	"fmt"
+
+	"tebis/internal/kv"
+	"tebis/internal/storage"
+)
+
+// SegKind distinguishes leaf segments from index segments in emitted
+// segment metadata (Figure 3 separates the two on the device).
+type SegKind uint8
+
+// Segment kinds.
+const (
+	SegLeaf SegKind = iota + 1
+	SegIndex
+)
+
+// String implements fmt.Stringer.
+func (k SegKind) String() string {
+	switch k {
+	case SegLeaf:
+		return "leaf"
+	case SegIndex:
+		return "index"
+	}
+	return "unknown"
+}
+
+// EmittedSegment is one sealed tree segment, already written to the
+// local device. The primary's Send-Index path ships Data to backups the
+// moment this is emitted.
+type EmittedSegment struct {
+	// Seg is the local device segment ID.
+	Seg storage.SegmentID
+	// Kind says whether the segment holds leaves or index nodes.
+	Kind SegKind
+	// Data is the used portion of the segment image (a multiple of the
+	// node size). Sealed-full segments carry the whole segment;
+	// partially filled ones (emitted at Finish) carry only used nodes.
+	Data []byte
+}
+
+// EmitFunc receives sealed segments during the build.
+type EmitFunc func(EmittedSegment) error
+
+// Built summarizes a finished tree.
+type Built struct {
+	// Root is the device offset of the root node (NilOffset for an
+	// empty tree).
+	Root storage.Offset
+	// Segments lists every device segment of the tree, in emit order.
+	Segments []storage.SegmentID
+	// NumKeys is the number of leaf entries.
+	NumKeys int
+}
+
+// Builder constructs a B+ tree bottom-up from a sorted key stream.
+//
+// Usage: create with NewBuilder, call Add for every (key, value-offset)
+// in strictly ascending key order, then Finish.
+type Builder struct {
+	dev      storage.Device
+	geo      storage.Geometry
+	nodeSize int
+	emit     EmitFunc
+
+	levels  []*levelBuilder // levels[0] = leaves
+	built   Built
+	lastKey []byte
+	started bool
+}
+
+// levelBuilder accumulates one tree level left to right.
+type levelBuilder struct {
+	kind byte // kindLeaf or kindIndex
+
+	// Current segment being filled.
+	seg     storage.SegmentID
+	segBuf  []byte
+	nodeIdx int // next free node slot in segBuf
+
+	// Current node under construction.
+	nodeBuf  []byte
+	count    int
+	used     int    // bytes used in nodeBuf (index nodes)
+	firstKey []byte // first key of the current node's subtree
+	hasLeft  bool   // index node: leftmost child set
+}
+
+// NewBuilder returns a builder writing to dev with the given node size.
+// emit may be nil when incremental shipping is not needed. nodeSize must
+// divide the device segment size.
+func NewBuilder(dev storage.Device, nodeSize int, emit EmitFunc) (*Builder, error) {
+	geo := dev.Geometry()
+	if nodeSize < 64 || int64(nodeSize) > geo.SegmentSize() || geo.SegmentSize()%int64(nodeSize) != 0 {
+		return nil, fmt.Errorf("btree: node size %d must divide segment size %d", nodeSize, geo.SegmentSize())
+	}
+	if emit == nil {
+		emit = func(EmittedSegment) error { return nil }
+	}
+	return &Builder{dev: dev, geo: geo, nodeSize: nodeSize, emit: emit}, nil
+}
+
+func (b *Builder) newLevel(kind byte) *levelBuilder {
+	lb := &levelBuilder{kind: kind}
+	lb.nodeBuf = make([]byte, b.nodeSize)
+	lb.used = nodeHdrSize
+	if kind == kindIndex {
+		lb.used = indexFixedSize
+	}
+	return lb
+}
+
+// ensureSegment allocates the level's current segment if needed.
+func (b *Builder) ensureSegment(lb *levelBuilder) error {
+	if lb.segBuf != nil {
+		return nil
+	}
+	seg, err := b.dev.Alloc()
+	if err != nil {
+		return err
+	}
+	lb.seg = seg
+	lb.segBuf = make([]byte, b.geo.SegmentSize())
+	lb.nodeIdx = 0
+	b.built.Segments = append(b.built.Segments, seg)
+	return nil
+}
+
+// nodeOffset returns the device offset of the next node slot of lb,
+// allocating a segment when needed.
+func (b *Builder) nodeOffset(lb *levelBuilder) (storage.Offset, error) {
+	if err := b.ensureSegment(lb); err != nil {
+		return storage.NilOffset, err
+	}
+	return b.geo.Pack(lb.seg, int64(lb.nodeIdx*b.nodeSize)), nil
+}
+
+// Add appends one leaf entry. Keys must arrive in strictly ascending
+// order.
+func (b *Builder) Add(key []byte, valueOff storage.Offset, tombstone bool) error {
+	if len(key) == 0 {
+		return fmt.Errorf("btree: empty key")
+	}
+	if b.started && kv.Compare(key, b.lastKey) <= 0 {
+		return fmt.Errorf("btree: keys out of order: %q after %q", key, b.lastKey)
+	}
+	b.started = true
+	b.lastKey = append(b.lastKey[:0], key...)
+
+	if len(b.levels) == 0 {
+		b.levels = append(b.levels, b.newLevel(kindLeaf))
+	}
+	leaf := b.levels[0]
+	if leaf.count >= leafCapacity(b.nodeSize) {
+		if err := b.sealNode(0); err != nil {
+			return err
+		}
+	}
+	if leaf.count == 0 {
+		leaf.firstKey = append(leaf.firstKey[:0], key...)
+	}
+	e := LeafEntry{Prefix: kv.MakePrefix(key), ValueOff: valueOff, Tombstone: tombstone}
+	encodeLeafEntry(leaf.nodeBuf[nodeHdrSize+leaf.count*leafEntrySize:], e)
+	leaf.count++
+	b.built.NumKeys++
+	return nil
+}
+
+// addToIndex inserts a (pivot, child) produced by sealing a node one
+// level down. It creates the level on demand.
+func (b *Builder) addToIndex(level int, firstKey []byte, child storage.Offset) error {
+	for len(b.levels) <= level {
+		b.levels = append(b.levels, b.newLevel(kindIndex))
+	}
+	lb := b.levels[level]
+	if !lb.hasLeft {
+		// First child of a fresh index node: becomes the leftmost
+		// pointer; its first key is the node's subtree first key.
+		lb.firstKey = append(lb.firstKey[:0], firstKey...)
+		putU64(lb.nodeBuf[nodeHdrSize:], uint64(child))
+		lb.hasLeft = true
+		return nil
+	}
+	need := indexEntrySize(firstKey)
+	if indexFixedSize+need > b.nodeSize {
+		return fmt.Errorf("%w: %d bytes", ErrKeyTooLarge, len(firstKey))
+	}
+	if lb.used+need > b.nodeSize {
+		if err := b.sealNode(level); err != nil {
+			return err
+		}
+		// Recurse: the sealed node propagated up; this child starts
+		// the next node as its leftmost.
+		return b.addToIndex(level, firstKey, child)
+	}
+	buf := lb.nodeBuf[lb.used:]
+	putU16(buf, uint16(len(firstKey)))
+	copy(buf[2:], firstKey)
+	putU64(buf[2+len(firstKey):], uint64(child))
+	lb.used += need
+	lb.count++
+	return nil
+}
+
+// sealNode finalizes the current node of the given level, places it in
+// the level's segment (emitting the segment if it fills), and propagates
+// the node's first key + offset to the parent level.
+func (b *Builder) sealNode(level int) error {
+	lb := b.levels[level]
+	if lb.kind == kindLeaf && lb.count == 0 {
+		return nil
+	}
+	if lb.kind == kindIndex && !lb.hasLeft {
+		return nil
+	}
+	setNodeHeader(lb.nodeBuf, lb.kind, lb.count)
+
+	off, err := b.nodeOffset(lb)
+	if err != nil {
+		return err
+	}
+	copy(lb.segBuf[lb.nodeIdx*b.nodeSize:], lb.nodeBuf)
+	lb.nodeIdx++
+	if int64(lb.nodeIdx*b.nodeSize) == b.geo.SegmentSize() {
+		if err := b.flushSegment(lb, true); err != nil {
+			return err
+		}
+	}
+
+	firstKey := append([]byte(nil), lb.firstKey...)
+
+	// Reset the node.
+	for i := range lb.nodeBuf {
+		lb.nodeBuf[i] = 0
+	}
+	lb.count = 0
+	lb.hasLeft = false
+	lb.used = nodeHdrSize
+	if lb.kind == kindIndex {
+		lb.used = indexFixedSize
+	}
+	lb.firstKey = lb.firstKey[:0]
+
+	return b.addToIndex(level+1, firstKey, off)
+}
+
+// flushSegment writes the used portion of lb's segment to the device and
+// emits it. full marks a sealed-full segment.
+func (b *Builder) flushSegment(lb *levelBuilder, full bool) error {
+	used := lb.nodeIdx * b.nodeSize
+	if used == 0 {
+		// Unused segment: release it.
+		if err := b.dev.Free(lb.seg); err != nil {
+			return err
+		}
+		b.dropSegment(lb.seg)
+		lb.segBuf = nil
+		return nil
+	}
+	data := lb.segBuf[:used]
+	if err := b.dev.WriteAt(b.geo.Pack(lb.seg, 0), data); err != nil {
+		return err
+	}
+	kind := SegLeaf
+	if lb.kind == kindIndex {
+		kind = SegIndex
+	}
+	es := EmittedSegment{Seg: lb.seg, Kind: kind, Data: append([]byte(nil), data...)}
+	lb.segBuf = nil
+	return b.emit(es)
+}
+
+// dropSegment removes seg from the built segment list.
+func (b *Builder) dropSegment(seg storage.SegmentID) {
+	for i, s := range b.built.Segments {
+		if s == seg {
+			b.built.Segments = append(b.built.Segments[:i], b.built.Segments[i+1:]...)
+			return
+		}
+	}
+}
+
+// Finish seals all partial nodes and segments bottom-up and returns the
+// built tree. An empty build yields Root == NilOffset.
+func (b *Builder) Finish() (Built, error) {
+	if b.built.NumKeys == 0 {
+		return b.built, nil
+	}
+	// Seal bottom-up. Sealing level i may append a pivot to level i+1,
+	// so iterate by index (len may grow).
+	for level := 0; level < len(b.levels); level++ {
+		lb := b.levels[level]
+		top := level == len(b.levels)-1
+		if top && b.rootReady(lb) {
+			// The whole level is a single node: it becomes the root.
+			setNodeHeader(lb.nodeBuf, lb.kind, lb.count)
+			off, err := b.nodeOffset(lb)
+			if err != nil {
+				return Built{}, err
+			}
+			copy(lb.segBuf[lb.nodeIdx*b.nodeSize:], lb.nodeBuf)
+			lb.nodeIdx++
+			if err := b.flushSegment(lb, false); err != nil {
+				return Built{}, err
+			}
+			b.built.Root = off
+			return b.built, nil
+		}
+		if err := b.sealNode(level); err != nil {
+			return Built{}, err
+		}
+		if lb.segBuf != nil {
+			if err := b.flushSegment(lb, false); err != nil {
+				return Built{}, err
+			}
+		}
+	}
+	return Built{}, fmt.Errorf("btree: build did not converge to a root")
+}
+
+// rootReady reports whether lb's current node is the only node of its
+// level, i.e. nothing of this level was sealed before.
+func (b *Builder) rootReady(lb *levelBuilder) bool {
+	nothingSealed := lb.segBuf == nil && lb.nodeIdx == 0
+	if lb.kind == kindLeaf {
+		return nothingSealed && lb.count > 0
+	}
+	return nothingSealed && lb.hasLeft
+}
+
+func putU16(b []byte, v uint16) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

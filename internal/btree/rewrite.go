@@ -1,0 +1,107 @@
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tebis/internal/kv"
+	"tebis/internal/storage"
+)
+
+// SegmentMapper translates a primary segment number to the local
+// (backup) segment number. Implementations allocate lazily so forward
+// references — a parent segment shipped before the child segment it
+// points into — resolve correctly (§3.3).
+type SegmentMapper func(storage.SegmentID) (storage.SegmentID, error)
+
+// RewriteSegment rewrites, in place, every device offset inside a raw
+// index/leaf segment image received from a primary:
+//
+//   - child pointers in index nodes (leftmost + one per pivot) are
+//     rebased through mapIndex (the index segment map), and
+//   - value-log offsets in leaf entries are rebased through mapLog (the
+//     log segment map).
+//
+// The rewrite replaces only the high-order segment bits of each offset,
+// keeping the in-segment offset — the O(1)-per-pointer translation the
+// paper describes. It returns the number of pointers rewritten, which
+// feeds the cycles/op cost model (Table 3, "Rewrite index").
+//
+// data must be a whole number of node blocks (as emitted by Builder).
+func RewriteSegment(data []byte, nodeSize int, geo storage.Geometry, mapIndex, mapLog SegmentMapper) (pointers int, err error) {
+	if len(data) == 0 || len(data)%nodeSize != 0 {
+		return 0, fmt.Errorf("%w: segment image of %d bytes is not node-aligned", ErrCorruptNode, len(data))
+	}
+	for base := 0; base < len(data); base += nodeSize {
+		block := data[base : base+nodeSize]
+		switch block[0] {
+		case kindFree:
+			// Builders fill node slots sequentially, so a free slot
+			// marks the end of the segment's used portion (full-image
+			// shipping during backup state transfer hits this).
+			return pointers, nil
+		case kindLeaf:
+			n, err := rewriteLeaf(block, geo, mapLog)
+			if err != nil {
+				return pointers, err
+			}
+			pointers += n
+		case kindIndex:
+			n, err := rewriteIndex(block, geo, mapIndex)
+			if err != nil {
+				return pointers, err
+			}
+			pointers += n
+		default:
+			return pointers, fmt.Errorf("%w: node kind %d at block %d", ErrCorruptNode, block[0], base/nodeSize)
+		}
+	}
+	return pointers, nil
+}
+
+func rewriteLeaf(block []byte, geo storage.Geometry, mapLog SegmentMapper) (int, error) {
+	count := leafCount(block)
+	for i := 0; i < count; i++ {
+		pos := nodeHdrSize + i*leafEntrySize + kv.PrefixSize
+		if err := rebase(block[pos:pos+8], geo, mapLog); err != nil {
+			return i, fmt.Errorf("leaf entry %d: %w", i, err)
+		}
+	}
+	return count, nil
+}
+
+func rewriteIndex(block []byte, geo storage.Geometry, mapIndex SegmentMapper) (int, error) {
+	count := int(binary.LittleEndian.Uint16(block[1:3]))
+	if err := rebase(block[nodeHdrSize:nodeHdrSize+8], geo, mapIndex); err != nil {
+		return 0, fmt.Errorf("leftmost child: %w", err)
+	}
+	rewritten := 1
+	pos := indexFixedSize
+	for i := 0; i < count; i++ {
+		if pos+2 > len(block) {
+			return rewritten, fmt.Errorf("%w: pivot %d past block end", ErrCorruptNode, i)
+		}
+		plen := int(binary.LittleEndian.Uint16(block[pos:]))
+		pos += 2 + plen
+		if pos+8 > len(block) {
+			return rewritten, fmt.Errorf("%w: child %d past block end", ErrCorruptNode, i)
+		}
+		if err := rebase(block[pos:pos+8], geo, mapIndex); err != nil {
+			return rewritten, fmt.Errorf("child %d: %w", i, err)
+		}
+		rewritten++
+		pos += 8
+	}
+	return rewritten, nil
+}
+
+// rebase rewrites one little-endian offset in place through m.
+func rebase(field []byte, geo storage.Geometry, m SegmentMapper) error {
+	off := storage.Offset(binary.LittleEndian.Uint64(field))
+	local, err := m(geo.Segment(off))
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(field, uint64(geo.Rebase(off, local)))
+	return nil
+}

@@ -1,0 +1,217 @@
+package btree
+
+import (
+	"fmt"
+	"testing"
+
+	"tebis/internal/kv"
+	"tebis/internal/storage"
+)
+
+// lazyMap mimics the backup's segment maps: it allocates a local segment
+// on first reference to a primary segment, so forward references work.
+type lazyMap struct {
+	dev *storage.MemDevice
+	m   map[storage.SegmentID]storage.SegmentID
+	// forward counts resolutions that happened before the segment data
+	// arrived (diagnostic only).
+	resolved []storage.SegmentID
+}
+
+func newLazyMap(dev *storage.MemDevice) *lazyMap {
+	return &lazyMap{dev: dev, m: map[storage.SegmentID]storage.SegmentID{}}
+}
+
+func (lm *lazyMap) mapper() SegmentMapper {
+	return func(primary storage.SegmentID) (storage.SegmentID, error) {
+		if local, ok := lm.m[primary]; ok {
+			return local, nil
+		}
+		local, err := lm.dev.Alloc()
+		if err != nil {
+			return storage.NilSegment, err
+		}
+		lm.m[primary] = local
+		lm.resolved = append(lm.resolved, primary)
+		return local, nil
+	}
+}
+
+// shiftMap renumbers value-log segments by a fixed delta (stands in for
+// the backup's log segment map, which is maintained by log replication).
+type shiftMap struct {
+	delta storage.SegmentID
+	seen  map[storage.SegmentID]bool
+}
+
+func (sm *shiftMap) mapper() SegmentMapper {
+	return func(primary storage.SegmentID) (storage.SegmentID, error) {
+		if sm.seen != nil {
+			sm.seen[primary] = true
+		}
+		return primary + sm.delta, nil
+	}
+}
+
+// TestRewriteRoundTrip is the core Send-Index invariant: ship every
+// emitted segment to a second device, rewrite its pointers through the
+// index and log maps, and verify the rewritten tree answers every lookup
+// with the correctly rebased value offset.
+func TestRewriteRoundTrip(t *testing.T) {
+	const nodeSize = 512
+	primary := newDev(t, 2048)
+	backup := newDev(t, 2048)
+
+	keys := sortedKeys(3000, "user%08d")
+	fl := newFakeLog(primary.Geometry())
+
+	im := newLazyMap(backup)
+	logDelta := storage.SegmentID(5000)
+	lm := &shiftMap{delta: logDelta, seen: map[storage.SegmentID]bool{}}
+
+	var shipped int
+	emit := func(es EmittedSegment) error {
+		// Backup side: copy the image, rewrite, store at the mapped
+		// local segment.
+		data := append([]byte(nil), es.Data...)
+		n, err := RewriteSegment(data, nodeSize, backup.Geometry(), im.mapper(), lm.mapper())
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return fmt.Errorf("segment %d: no pointers rewritten", es.Seg)
+		}
+		local, err := im.mapper()(es.Seg)
+		if err != nil {
+			return err
+		}
+		if err := backup.WriteAt(backup.Geometry().Pack(local, 0), data); err != nil {
+			return err
+		}
+		shipped++
+		return nil
+	}
+
+	b, err := NewBuilder(primary, nodeSize, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if err := b.Add(k, fl.add(k), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	built, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shipped != len(built.Segments) {
+		t.Fatalf("shipped %d segments, want %d", shipped, len(built.Segments))
+	}
+
+	// Translate the root through the index map (what the primary's
+	// "compaction done" message triggers at the backup).
+	geo := backup.Geometry()
+	rootSeg, err := im.mapper()(geo.Segment(built.Root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backupRoot := geo.Rebase(built.Root, rootSeg)
+
+	// The backup resolves full keys through its *own* log offsets.
+	backupReader := func(off storage.Offset) ([]byte, error) {
+		primOff := geo.Rebase(off, geo.Segment(off)-logDelta)
+		return fl.reader()(primOff)
+	}
+
+	btree := NewTree(backup, nodeSize, backupRoot)
+	for _, k := range keys {
+		off, _, found, err := btree.Get(k, backupReader)
+		if err != nil {
+			t.Fatalf("backup Get(%q): %v", k, err)
+		}
+		if !found {
+			t.Fatalf("backup Get(%q) not found", k)
+		}
+		full, err := backupReader(off)
+		if err != nil || kv.Compare(full, k) != 0 {
+			t.Fatalf("backup Get(%q) resolved to %q (%v)", k, full, err)
+		}
+	}
+
+	// Every primary log segment referenced must have gone through the
+	// log map.
+	if len(lm.seen) == 0 {
+		t.Fatal("log map never consulted")
+	}
+
+	// Iteration over the rewritten tree must return all keys in order.
+	i := 0
+	for it := btree.Iter(); it.Valid(); it.Next() {
+		full, err := backupReader(it.Entry().ValueOff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kv.Compare(full, keys[i]) != 0 {
+			t.Fatalf("backup iter[%d] = %q, want %q", i, full, keys[i])
+		}
+		i++
+	}
+	if i != len(keys) {
+		t.Fatalf("backup iterated %d keys, want %d", i, len(keys))
+	}
+}
+
+func TestRewriteRejectsUnalignedData(t *testing.T) {
+	geo, _ := storage.NewGeometry(2048)
+	if _, err := RewriteSegment(make([]byte, 100), 512, geo, nil, nil); err == nil {
+		t.Fatal("unaligned data should fail")
+	}
+	if _, err := RewriteSegment(nil, 512, geo, nil, nil); err == nil {
+		t.Fatal("empty data should fail")
+	}
+}
+
+func TestRewriteRejectsCorruptKind(t *testing.T) {
+	geo, _ := storage.NewGeometry(2048)
+	data := make([]byte, 512)
+	data[0] = 99
+	if _, err := RewriteSegment(data, 512, geo, nil, nil); err == nil {
+		t.Fatal("corrupt node kind should fail")
+	}
+}
+
+func TestRewritePointerCountMatchesStructure(t *testing.T) {
+	// A single leaf with n entries must rewrite exactly n pointers; an
+	// index node with k pivots rewrites k+1.
+	dev := newDev(t, 2048)
+	fl := newFakeLog(dev.Geometry())
+	var emitted []EmittedSegment
+	b, _ := NewBuilder(dev, 512, func(es EmittedSegment) error {
+		emitted = append(emitted, es)
+		return nil
+	})
+	keys := sortedKeys(10, "key-%02d")
+	for _, k := range keys {
+		if err := b.Add(k, fl.add(k), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	identity := func(s storage.SegmentID) (storage.SegmentID, error) { return s, nil }
+	total := 0
+	for _, es := range emitted {
+		n, err := RewriteSegment(append([]byte(nil), es.Data...), 512, dev.Geometry(), identity, identity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	// 10 leaf entries; with 512-byte nodes a leaf holds 24 entries, so a
+	// single leaf = root: exactly 10 pointers.
+	if total != 10 {
+		t.Fatalf("rewrote %d pointers, want 10", total)
+	}
+}

@@ -1,0 +1,257 @@
+package btree
+
+import (
+	"fmt"
+
+	"tebis/internal/kv"
+	"tebis/internal/storage"
+)
+
+// FullKeyReader resolves a value-log device offset to the full key of
+// the record stored there. Lookups need it only on prefix ties.
+type FullKeyReader func(storage.Offset) ([]byte, error)
+
+// Tree provides read access to a built B+ tree.
+type Tree struct {
+	dev      storage.Device
+	geo      storage.Geometry
+	nodeSize int
+	root     storage.Offset
+}
+
+// NewTree opens a tree rooted at root on dev. A NilOffset root denotes
+// an empty tree.
+func NewTree(dev storage.Device, nodeSize int, root storage.Offset) *Tree {
+	return &Tree{dev: dev, geo: dev.Geometry(), nodeSize: nodeSize, root: root}
+}
+
+// Root returns the root device offset.
+func (t *Tree) Root() storage.Offset { return t.root }
+
+// readNode fetches the node block at off from the device.
+func (t *Tree) readNode(off storage.Offset) ([]byte, error) {
+	block := make([]byte, t.nodeSize)
+	if err := t.dev.ReadAt(off, block); err != nil {
+		return nil, err
+	}
+	if block[0] != kindLeaf && block[0] != kindIndex {
+		return nil, fmt.Errorf("%w: kind %d at %#x", ErrCorruptNode, block[0], off)
+	}
+	return block, nil
+}
+
+// findLeaf descends from the root to the leaf covering key.
+func (t *Tree) findLeaf(key []byte) ([]byte, error) {
+	off := t.root
+	for {
+		block, err := t.readNode(off)
+		if err != nil {
+			return nil, err
+		}
+		if block[0] == kindLeaf {
+			return block, nil
+		}
+		n, err := decodeIndexNode(block)
+		if err != nil {
+			return nil, err
+		}
+		off = n.children[n.route(key)]
+	}
+}
+
+// Get looks up key. found reports whether the key is present (a
+// tombstone counts as present, with tombstone=true); valueOff is the
+// value-log location of the record. fullKey resolves prefix ties.
+func (t *Tree) Get(key []byte, fullKey FullKeyReader) (valueOff storage.Offset, tombstone, found bool, err error) {
+	if t.root == storage.NilOffset {
+		return storage.NilOffset, false, false, nil
+	}
+	block, err := t.findLeaf(key)
+	if err != nil {
+		return storage.NilOffset, false, false, err
+	}
+	count := leafCount(block)
+	prefix := kv.MakePrefix(key)
+
+	// Binary search for the first entry with prefix >= search prefix.
+	lo, hi := 0, count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if decodeLeafEntry(block, mid).Prefix.Compare(prefix) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Scan the run of equal prefixes, resolving ties via the log.
+	for i := lo; i < count; i++ {
+		e := decodeLeafEntry(block, i)
+		if e.Prefix.Compare(prefix) != 0 {
+			break
+		}
+		full, err := fullKey(e.ValueOff)
+		if err != nil {
+			return storage.NilOffset, false, false, err
+		}
+		switch kv.Compare(full, key) {
+		case 0:
+			return e.ValueOff, e.Tombstone, true, nil
+		case 1:
+			// Entries are sorted by full key: passed the target.
+			return storage.NilOffset, false, false, nil
+		}
+	}
+	return storage.NilOffset, false, false, nil
+}
+
+// Iterator walks a tree's leaf entries in ascending key order, keeping a
+// descent stack instead of leaf chaining so rewritten backup trees need
+// no extra linkage.
+type Iterator struct {
+	t         *Tree
+	stack     []iterFrame
+	leaf      []byte
+	pos       int
+	count     int
+	err       error
+	nodesRead int
+}
+
+// NodesRead returns how many node blocks this iterator fetched from the
+// device, used by the compaction cost model to attribute read-I/O CPU.
+func (it *Iterator) NodesRead() int { return it.nodesRead }
+
+type iterFrame struct {
+	node indexNode
+	next int // next child index to visit
+}
+
+// Iter returns an iterator over the whole tree, positioned at the first
+// entry (invalid for an empty tree).
+func (t *Tree) Iter() *Iterator {
+	it := &Iterator{t: t}
+	if t.root == storage.NilOffset {
+		return it
+	}
+	it.descend(t.root)
+	return it
+}
+
+// SeekGE returns an iterator positioned at the first entry whose full
+// key is >= key. fullKey resolves prefix ties.
+func (t *Tree) SeekGE(key []byte, fullKey FullKeyReader) (*Iterator, error) {
+	it := &Iterator{t: t}
+	if t.root == storage.NilOffset {
+		return it, nil
+	}
+	off := t.root
+	for {
+		block, err := it.t.readNode(off)
+		it.nodesRead++
+		if err != nil {
+			it.err = err
+			return it, err
+		}
+		if block[0] == kindLeaf {
+			it.leaf = block
+			it.count = leafCount(block)
+			it.pos = 0
+			break
+		}
+		n, err := decodeIndexNode(block)
+		if err != nil {
+			it.err = err
+			return it, err
+		}
+		child := n.route(key)
+		it.stack = append(it.stack, iterFrame{node: n, next: child + 1})
+		off = n.children[child]
+	}
+	// Advance within the leaf to the first entry >= key.
+	prefix := kv.MakePrefix(key)
+	for it.pos < it.count {
+		e := decodeLeafEntry(it.leaf, it.pos)
+		c := e.Prefix.Compare(prefix)
+		if c > 0 {
+			return it, nil
+		}
+		if c == 0 {
+			full, err := fullKey(e.ValueOff)
+			if err != nil {
+				it.err = err
+				return it, err
+			}
+			if kv.Compare(full, key) >= 0 {
+				return it, nil
+			}
+		}
+		it.pos++
+	}
+	// Leaf exhausted: step to the next leaf.
+	it.advanceLeaf()
+	return it, it.err
+}
+
+// descend pushes the leftmost path from off onto the stack and loads the
+// first leaf.
+func (it *Iterator) descend(off storage.Offset) {
+	for {
+		block, err := it.t.readNode(off)
+		it.nodesRead++
+		if err != nil {
+			it.err = err
+			return
+		}
+		if block[0] == kindLeaf {
+			it.leaf = block
+			it.count = leafCount(block)
+			it.pos = 0
+			return
+		}
+		n, err := decodeIndexNode(block)
+		if err != nil {
+			it.err = err
+			return
+		}
+		it.stack = append(it.stack, iterFrame{node: n, next: 1})
+		off = n.children[0]
+	}
+}
+
+// advanceLeaf moves to the first entry of the next leaf, popping
+// exhausted index frames.
+func (it *Iterator) advanceLeaf() {
+	it.leaf = nil
+	for len(it.stack) > 0 {
+		top := &it.stack[len(it.stack)-1]
+		if top.next >= len(top.node.children) {
+			it.stack = it.stack[:len(it.stack)-1]
+			continue
+		}
+		child := top.node.children[top.next]
+		top.next++
+		it.descend(child)
+		return
+	}
+}
+
+// Valid reports whether the iterator points at an entry.
+func (it *Iterator) Valid() bool {
+	return it.err == nil && it.leaf != nil && it.pos < it.count
+}
+
+// Err returns the first error the iterator hit, if any.
+func (it *Iterator) Err() error { return it.err }
+
+// Entry returns the current leaf entry. The iterator must be valid.
+func (it *Iterator) Entry() LeafEntry {
+	return decodeLeafEntry(it.leaf, it.pos)
+}
+
+// Next advances to the following entry.
+func (it *Iterator) Next() {
+	it.pos++
+	if it.pos >= it.count {
+		it.advanceLeaf()
+	}
+}

@@ -1,0 +1,93 @@
+package client
+
+import "sync"
+
+// The paper's clients issue requests asynchronously, bounded only by
+// the space in their RDMA buffers (§4). The ring and reply allocators
+// already provide that backpressure, so async issue is a thin layer:
+// each operation runs on its own goroutine and the Async handle bounds
+// and collects them.
+
+// Async issues operations without waiting for replies; Wait collects
+// the first error. Outstanding requests are bounded by `window`
+// (and, beneath that, by RDMA buffer space).
+type Async struct {
+	c      *Client
+	sem    chan struct{}
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	first  error
+	closed bool
+}
+
+// Async creates an asynchronous issue handle with the given window of
+// outstanding requests (defaults to 32 when window <= 0).
+func (c *Client) Async(window int) *Async {
+	if window <= 0 {
+		window = 32
+	}
+	return &Async{c: c, sem: make(chan struct{}, window)}
+}
+
+func (a *Async) record(err error) {
+	if err == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.first == nil {
+		a.first = err
+	}
+	a.mu.Unlock()
+}
+
+// launch runs fn under the window.
+func (a *Async) launch(fn func() error) {
+	a.sem <- struct{}{}
+	a.wg.Add(1)
+	go func() {
+		defer func() {
+			<-a.sem
+			a.wg.Done()
+		}()
+		a.record(fn())
+	}()
+}
+
+// Put issues an asynchronous put. Key and value are copied, so the
+// caller may reuse its buffers immediately.
+func (a *Async) Put(key, value []byte) {
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	a.launch(func() error { return a.c.Put(k, v) })
+}
+
+// Delete issues an asynchronous delete.
+func (a *Async) Delete(key []byte) {
+	k := append([]byte(nil), key...)
+	a.launch(func() error { return a.c.Delete(k) })
+}
+
+// Get issues an asynchronous get; fn receives the result when the reply
+// arrives (fn runs on the request's goroutine).
+func (a *Async) Get(key []byte, fn func(value []byte, found bool)) {
+	k := append([]byte(nil), key...)
+	a.launch(func() error {
+		v, found, err := a.c.Get(k)
+		if err != nil {
+			return err
+		}
+		if fn != nil {
+			fn(v, found)
+		}
+		return nil
+	})
+}
+
+// Wait blocks until every issued operation completed and returns the
+// first error observed (nil if none).
+func (a *Async) Wait() error {
+	a.wg.Wait()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.first
+}

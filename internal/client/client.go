@@ -1,0 +1,456 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tebis/internal/kv"
+	"tebis/internal/rdma"
+	"tebis/internal/region"
+	"tebis/internal/server"
+	"tebis/internal/wire"
+)
+
+// ServerHandle is the connection surface a region server exposes to
+// clients (satisfied by *server.Server).
+type ServerHandle interface {
+	Name() string
+	Endpoint() *rdma.Endpoint
+	Connect(clientEP *rdma.Endpoint, replyRKey uint32) (server.ConnInfo, error)
+}
+
+// Config configures a client.
+type Config struct {
+	// Name identifies the client (its NIC name).
+	Name string
+	// Servers maps server names to handles.
+	Servers map[string]ServerHandle
+	// Map is the initial region map (clients read and cache it at
+	// initialization, §3.1).
+	Map *region.Map
+	// Refresh re-reads the region map after a FlagWrongRegion reply; it
+	// may be nil when the topology is static.
+	Refresh func() (*region.Map, error)
+	// ReplySlot is the default reply slot size for get/scan
+	// (grows after partial replies). Defaults to 1 KiB.
+	ReplySlot int
+}
+
+// Errors reported by the client.
+var (
+	ErrNoServer = errors.New("client: no handle for server")
+	ErrServer   = errors.New("client: server error")
+	ErrClosed   = errors.New("client: closed")
+)
+
+// Client is a Tebis client: it routes operations by cached region map
+// and multiplexes them over per-server RDMA connections.
+type Client struct {
+	cfg Config
+	ep  *rdma.Endpoint
+
+	mu        sync.Mutex
+	rmap      *region.Map
+	conns     map[string]*serverConn
+	replySlot atomic.Int64
+	reqID     atomic.Uint64
+	closed    bool
+}
+
+// serverConn is one client↔server connection pair of buffers.
+type serverConn struct {
+	c        *Client
+	name     string
+	reqQP    *rdma.QP // client → server one-sided writes
+	reqRKey  uint32
+	reqRing  *ring
+	replyBuf *rdma.MemoryRegion
+	replyFL  *freeList
+}
+
+// New creates a client and connects it to every server.
+func New(cfg Config) (*Client, error) {
+	if cfg.Map == nil {
+		return nil, fmt.Errorf("client: Config.Map is required")
+	}
+	if cfg.ReplySlot == 0 {
+		cfg.ReplySlot = 1024
+	}
+	c := &Client{
+		cfg:   cfg,
+		ep:    rdma.NewEndpoint(cfg.Name),
+		rmap:  cfg.Map.Clone(),
+		conns: map[string]*serverConn{},
+	}
+	c.replySlot.Store(int64(cfg.ReplySlot))
+	for name, h := range cfg.Servers {
+		conn, err := c.dial(name, h)
+		if err != nil {
+			return nil, err
+		}
+		c.conns[name] = conn
+	}
+	return c, nil
+}
+
+func (c *Client) dial(name string, h ServerHandle) (*serverConn, error) {
+	replyBuf, err := c.ep.Register(server.DefaultBufferSize)
+	if err != nil {
+		return nil, err
+	}
+	info, err := h.Connect(c.ep, replyBuf.RKey())
+	if err != nil {
+		return nil, err
+	}
+	return &serverConn{
+		c:        c,
+		name:     name,
+		reqQP:    rdma.Connect(c.ep, h.Endpoint(), 1024),
+		reqRKey:  info.ReqRKey,
+		reqRing:  newRing(info.BufSize),
+		replyBuf: replyBuf,
+		replyFL:  newFreeList(replyBuf.Size()),
+	}, nil
+}
+
+// Map returns the client's cached region map.
+func (c *Client) Map() *region.Map {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rmap
+}
+
+// route returns the connection for the primary of key's region.
+func (c *Client) route(key []byte) (*serverConn, region.ID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, 0, ErrClosed
+	}
+	r, err := c.rmap.Lookup(key)
+	if err != nil {
+		return nil, 0, err
+	}
+	conn, ok := c.conns[r.Primary]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNoServer, r.Primary)
+	}
+	return conn, r.ID, nil
+}
+
+// refreshMap re-reads the region map after a wrong-region reply.
+func (c *Client) refreshMap() error {
+	if c.cfg.Refresh == nil {
+		return fmt.Errorf("client: stale region map and no refresh source")
+	}
+	m, err := c.cfg.Refresh()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.rmap = m.Clone()
+	c.mu.Unlock()
+	return nil
+}
+
+// sendNoop transmits NOOP messages filling the pre-reserved wrap extent
+// and waits for their replies before freeing it (§3.4.2 case b).
+func (sc *serverConn) sendNoop(e *extent) error {
+	residual := e.size
+	if residual < wire.HeaderSize || residual%wire.HeaderSize != 0 {
+		// Impossible: every message is a header multiple, so the
+		// residual always is too.
+		return fmt.Errorf("client: residual %d not a header multiple", residual)
+	}
+	// Fill the residual exactly. The minimum-payload rule makes the
+	// smallest payload-bearing message 3 header slots, so a residual of
+	// exactly 2 slots takes two header-only NOOPs.
+	var sizes []int
+	switch {
+	case residual == wire.HeaderSize:
+		sizes = []int{wire.HeaderSize}
+	case residual == 2*wire.HeaderSize:
+		sizes = []int{wire.HeaderSize, wire.HeaderSize}
+	default:
+		sizes = []int{residual}
+	}
+	off := e.off
+	for _, sz := range sizes {
+		payloadLen := 0
+		if sz > wire.HeaderSize {
+			payloadLen = sz - wire.HeaderSize - 4 // pads back to exactly sz
+			if wire.MessageSize(payloadLen) != sz {
+				return fmt.Errorf("client: cannot size noop chunk %d", sz)
+			}
+		}
+		replySize := wire.MessageSize(1)
+		replyOff := sc.replyFL.alloc(replySize)
+		hdr := wire.Header{
+			Opcode:      wire.OpNoop,
+			RequestID:   sc.c.reqID.Add(1),
+			ReplyOffset: uint32(replyOff),
+			ReplySize:   uint32(replySize),
+		}
+		msg := make([]byte, sz)
+		if _, err := wire.EncodeMessage(msg, hdr, make([]byte, payloadLen)); err != nil {
+			sc.replyFL.free(replyOff, replySize)
+			return err
+		}
+		if err := sc.reqQP.Write(sc.reqRKey, off, msg, hdr.RequestID); err != nil {
+			sc.replyFL.free(replyOff, replySize)
+			return err
+		}
+		if _, err := sc.reqQP.WaitCompletion(); err != nil {
+			sc.replyFL.free(replyOff, replySize)
+			return err
+		}
+		_, _, err := sc.awaitReply(replyOff, hdr.RequestID)
+		sc.replyFL.free(replyOff, replySize)
+		if err != nil {
+			return err
+		}
+		off += sz
+	}
+	sc.reqRing.free(e)
+	return nil
+}
+
+// call performs one synchronous request-reply round trip.
+func (sc *serverConn) call(op wire.Op, regionID region.ID, payload []byte, replySize int) (wire.Header, []byte, error) {
+	total := wire.MessageSize(len(payload))
+	// Allocate the reply slot before the request extent: the server
+	// consumes requests in ring order, so a request written to the ring
+	// must never wait on resources freed by later replies.
+	replyOff := sc.replyFL.alloc(replySize)
+	e, noopE, err := sc.reqRing.alloc(total)
+	if err != nil {
+		sc.replyFL.free(replyOff, replySize)
+		return wire.Header{}, nil, err
+	}
+	if noopE != nil {
+		if err := sc.sendNoop(noopE); err != nil {
+			sc.replyFL.free(replyOff, replySize)
+			return wire.Header{}, nil, err
+		}
+	}
+	hdr := wire.Header{
+		Opcode:      op,
+		RegionID:    uint16(regionID),
+		RequestID:   sc.c.reqID.Add(1),
+		ReplyOffset: uint32(replyOff),
+		ReplySize:   uint32(replySize),
+	}
+	msg := make([]byte, total)
+	if _, err := wire.EncodeMessage(msg, hdr, payload); err != nil {
+		sc.replyFL.free(replyOff, replySize)
+		sc.reqRing.free(e)
+		return wire.Header{}, nil, err
+	}
+	if err := sc.reqQP.Write(sc.reqRKey, e.off, msg, hdr.RequestID); err != nil {
+		sc.replyFL.free(replyOff, replySize)
+		sc.reqRing.free(e)
+		return wire.Header{}, nil, err
+	}
+	if _, err := sc.reqQP.WaitCompletion(); err != nil {
+		sc.replyFL.free(replyOff, replySize)
+		sc.reqRing.free(e)
+		return wire.Header{}, nil, err
+	}
+	h, body, err := sc.awaitReply(replyOff, hdr.RequestID)
+	sc.reqRing.free(e)
+	sc.replyFL.free(replyOff, replySize)
+	return h, body, err
+}
+
+// awaitReply polls the reply slot until the complete reply lands, then
+// copies it out and zeroes the slot. A long silence (the server died
+// mid-request) surfaces as errReplyTimeout.
+func (sc *serverConn) awaitReply(off int, reqID uint64) (wire.Header, []byte, error) {
+	hdr := make([]byte, wire.HeaderSize)
+	spins := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if spins%4096 == 4095 && time.Now().After(deadline) {
+			return wire.Header{}, nil, errReplyTimeout
+		}
+		if err := sc.replyBuf.ReadAt(off, hdr); err != nil {
+			return wire.Header{}, nil, err
+		}
+		if wire.HeaderArrived(hdr) {
+			h, err := wire.DecodeHeader(hdr)
+			if err == nil && h.RequestID == reqID {
+				padded := wire.PaddedPayloadSize(int(h.PayloadSize))
+				full := make([]byte, wire.HeaderSize+padded)
+				if err := sc.replyBuf.ReadAt(off, full); err != nil {
+					return wire.Header{}, nil, err
+				}
+				if wire.PayloadArrived(full, int(h.PayloadSize)) {
+					_, body, err := wire.DecodeMessage(full)
+					if err != nil {
+						return wire.Header{}, nil, err
+					}
+					bodyCopy := append([]byte(nil), body...)
+					// Zero the slot so stale magic never re-triggers.
+					zero := make([]byte, len(full))
+					if err := sc.replyBuf.WriteLocal(off, zero); err != nil {
+						return wire.Header{}, nil, err
+					}
+					return h, bodyCopy, nil
+				}
+			}
+		}
+		spins++
+		if spins < 256 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+}
+
+// do routes and executes an op. Stale-map replies (FlagWrongRegion) and
+// broken connections (the target crashed) both trigger a region-map
+// refresh and a retry against the new primary (§3.1, §3.5).
+func (c *Client) do(key []byte, op wire.Op, payload []byte, replySize int) (wire.Header, []byte, error) {
+	const maxAttempts = 6
+	for attempt := 0; ; attempt++ {
+		conn, rid, err := c.route(key)
+		if err != nil {
+			return wire.Header{}, nil, err
+		}
+		h, body, err := conn.call(op, rid, payload, replySize)
+		if err != nil {
+			if isTransportErr(err) && attempt < maxAttempts {
+				time.Sleep(2 * time.Millisecond)
+				if rerr := c.refreshMap(); rerr != nil {
+					return wire.Header{}, nil, rerr
+				}
+				continue
+			}
+			return wire.Header{}, nil, err
+		}
+		if h.Flags&wire.FlagWrongRegion != 0 && attempt < maxAttempts {
+			if err := c.refreshMap(); err != nil {
+				return wire.Header{}, nil, err
+			}
+			continue
+		}
+		if h.Flags&wire.FlagError != 0 {
+			return h, nil, fmt.Errorf("%w: %s", ErrServer, body)
+		}
+		return h, body, nil
+	}
+}
+
+// isTransportErr classifies connection-loss errors worth a failover
+// retry.
+func isTransportErr(err error) bool {
+	return errors.Is(err, rdma.ErrBadRKey) || errors.Is(err, rdma.ErrDisconnected) || errors.Is(err, errReplyTimeout)
+}
+
+// errReplyTimeout marks a reply that never arrived (server died with the
+// request in flight).
+var errReplyTimeout = errors.New("client: reply timed out")
+
+// Put stores a key-value pair.
+func (c *Client) Put(key, value []byte) error {
+	payload := wire.PutReq{Key: key, Value: value}.Encode(nil)
+	// Put replies are fixed size: allocate exactly (§3.4.1).
+	_, _, err := c.do(key, wire.OpPut, payload, wire.MessageSize(1))
+	return err
+}
+
+// Delete removes a key.
+func (c *Client) Delete(key []byte) error {
+	payload := wire.PutReq{Key: key}.Encode(nil)
+	_, _, err := c.do(key, wire.OpDelete, payload, wire.MessageSize(1))
+	return err
+}
+
+// Get fetches the value for a key. Values exceeding the reply slot are
+// completed with follow-up OpGetRest round trips, and the slot estimate
+// grows so later gets avoid the extra trip (§3.4.1).
+func (c *Client) Get(key []byte) ([]byte, bool, error) {
+	slot := int(c.replySlot.Load())
+	h, body, err := c.do(key, wire.OpGet, wire.GetReq{Key: key}.Encode(nil), slot)
+	if err != nil {
+		return nil, false, err
+	}
+	rep, err := wire.DecodeGetReply(body)
+	if err != nil {
+		return nil, false, err
+	}
+	if !rep.Found {
+		return nil, false, nil
+	}
+	val := append([]byte(nil), rep.Value...)
+	if h.Flags&wire.FlagPartial != 0 {
+		// Grow the slot estimate for subsequent requests.
+		want := wire.MessageSize(int(rep.TotalSize) + 64)
+		for {
+			cur := c.replySlot.Load()
+			if int64(want) <= cur || c.replySlot.CompareAndSwap(cur, int64(want)) {
+				break
+			}
+		}
+		for uint32(len(val)) < rep.TotalSize {
+			payload := wire.GetRestReq{Key: key, Offset: uint32(len(val))}.Encode(nil)
+			h2, body2, err := c.do(key, wire.OpGetRest, payload, want)
+			if err != nil {
+				return nil, false, err
+			}
+			rep2, err := wire.DecodeGetReply(body2)
+			if err != nil {
+				return nil, false, err
+			}
+			if !rep2.Found || len(rep2.Value) == 0 {
+				return nil, false, fmt.Errorf("%w: value vanished mid-fetch", ErrServer)
+			}
+			val = append(val, rep2.Value...)
+			if h2.Flags&wire.FlagPartial == 0 {
+				break
+			}
+		}
+	}
+	return val, true, nil
+}
+
+// Scan returns up to count pairs with keys >= start. Scans are served by
+// the region covering start; a scan never crosses region boundaries in
+// one call (callers continue from the last key).
+func (c *Client) Scan(start []byte, count int) ([]kv.Pair, error) {
+	slot := int(c.replySlot.Load())
+	if slot < 4096 {
+		slot = 4096
+	}
+	payload := wire.ScanReq{Start: start, Count: uint32(count)}.Encode(nil)
+	_, body, err := c.do(start, wire.OpScan, payload, slot)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := wire.DecodeScanReply(body)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rep.Pairs {
+		rep.Pairs[i] = rep.Pairs[i].Clone()
+	}
+	return rep.Pairs, nil
+}
+
+// Close tears down the client's connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, conn := range c.conns {
+		conn.reqQP.Close()
+	}
+}

@@ -1,0 +1,83 @@
+// Package kv defines the basic key-value types and comparison helpers
+// shared by every layer of Tebis: the value log, the B+-tree indexes, the
+// LSM engine, and the replication protocols.
+//
+// Tebis uses KV separation: full key-value pairs live in the value log,
+// while indexes store only a fixed-size key prefix plus the device offset
+// of the record in the log. Prefix comparison resolves most lookups; only
+// prefix ties require fetching the full key from the log.
+package kv
+
+import "bytes"
+
+// PrefixSize is the number of leading key bytes stored in B+-tree leaves.
+// Kreon uses 12-byte prefixes; we keep the same default.
+const PrefixSize = 12
+
+// Prefix is the fixed-size key prefix stored in index leaves.
+type Prefix [PrefixSize]byte
+
+// MakePrefix extracts the prefix of key, zero-padding short keys.
+// Zero padding preserves ordering because a shorter key compares less
+// than any extension of it, and 0x00 is the minimum byte.
+func MakePrefix(key []byte) Prefix {
+	var p Prefix
+	copy(p[:], key)
+	return p
+}
+
+// Compare orders two prefixes lexicographically.
+func (p Prefix) Compare(q Prefix) int {
+	return bytes.Compare(p[:], q[:])
+}
+
+// IsPrefixDecisive reports whether comparing the prefixes of two keys is
+// sufficient to order the full keys: it is unless the prefixes are equal
+// and at least one key is longer than the prefix.
+func IsPrefixDecisive(a, b Prefix) bool {
+	return a.Compare(b) != 0
+}
+
+// Compare orders two full keys lexicographically. It is the single key
+// ordering used across the system.
+func Compare(a, b []byte) int {
+	return bytes.Compare(a, b)
+}
+
+// Pair is a full key-value record as stored in the value log.
+type Pair struct {
+	Key   []byte
+	Value []byte
+}
+
+// Size returns the user-data size of the pair (key bytes + value bytes),
+// the unit in which the paper expresses dataset size for amplification.
+func (p Pair) Size() int {
+	return len(p.Key) + len(p.Value)
+}
+
+// Clone deep-copies the pair so callers may retain it past the lifetime
+// of the buffers it was decoded from.
+func (p Pair) Clone() Pair {
+	return Pair{
+		Key:   append([]byte(nil), p.Key...),
+		Value: append([]byte(nil), p.Value...),
+	}
+}
+
+// Op is the kind of mutation recorded for a key.
+type Op uint8
+
+const (
+	// OpPut inserts or overwrites a key.
+	OpPut Op = iota
+	// OpDelete tombstones a key.
+	OpDelete
+)
+
+// Update is a keyed mutation flowing through the LSM tree: the key's
+// prefix plus the value-log location of the full record, or a tombstone.
+type Update struct {
+	Key       []byte
+	Tombstone bool
+}

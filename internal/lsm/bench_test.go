@@ -1,0 +1,113 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+
+	"tebis/internal/storage"
+)
+
+func benchDB(b *testing.B, l0 int) *DB {
+	b.Helper()
+	dev, err := storage.NewMemDevice(256<<10, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := New(Options{
+		Device:       dev,
+		NodeSize:     4096,
+		GrowthFactor: 4,
+		L0MaxKeys:    l0,
+		MaxLevels:    7,
+		Seed:         1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		db.Close()
+		dev.Close()
+	})
+	return db
+}
+
+// BenchmarkEnginePut measures the primary write path (log append + L0
+// insert + background compactions).
+func BenchmarkEnginePut(b *testing.B) {
+	for _, valSize := range []int{9, 99, 999} { // the S/M/L value sizes
+		b.Run(fmt.Sprintf("val%d", valSize), func(b *testing.B) {
+			db := benchDB(b, 8192)
+			val := make([]byte, valSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("user%012d", i)), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineGet measures point lookups against a compacted store.
+func BenchmarkEngineGet(b *testing.B) {
+	db := benchDB(b, 4096)
+	const n = 60000
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("user%012d", i)), []byte("benchmark-value")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, found, err := db.Get([]byte(fmt.Sprintf("user%012d", i%n)))
+		if err != nil || !found {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineScan measures 16-entry range scans.
+func BenchmarkEngineScan(b *testing.B) {
+	db := benchDB(b, 4096)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("user%012d", i)), []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.ScanN([]byte(fmt.Sprintf("user%012d", (i*977)%n)), 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompaction isolates one L0→L1 merge of 8K keys.
+func BenchmarkCompaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db := func() *DB {
+			dev, _ := storage.NewMemDevice(256<<10, 0)
+			db, _ := New(Options{Device: dev, NodeSize: 4096, GrowthFactor: 4, L0MaxKeys: 1 << 20, MaxLevels: 4, Seed: 1})
+			return db
+		}()
+		for j := 0; j < 8192; j++ {
+			if err := db.Put([]byte(fmt.Sprintf("user%012d", j)), []byte("compaction-bench")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := db.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		db.Close()
+	}
+}

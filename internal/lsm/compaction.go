@@ -1,0 +1,365 @@
+package lsm
+
+import (
+	"fmt"
+
+	"tebis/internal/btree"
+	"tebis/internal/kv"
+	"tebis/internal/memtable"
+	"tebis/internal/metrics"
+	"tebis/internal/storage"
+)
+
+// compactor is the single background compaction goroutine. It drains
+// the frozen L0 first, then cascades any over-capacity levels, and
+// exits when the engine is idle.
+func (db *DB) compactor() {
+	for {
+		db.mu.Lock()
+		if db.closed || db.bgErr != nil {
+			db.compacting = false
+			db.cond.Broadcast()
+			db.mu.Unlock()
+			return
+		}
+		if db.frozen != nil {
+			frozen := db.frozen
+			mark := db.frozenMark
+			db.mu.Unlock()
+			if err := db.compactL0(frozen, mark); err != nil {
+				db.fail(err)
+				return
+			}
+			continue
+		}
+		src := -1
+		for i := 1; i < len(db.levels)-1; i++ {
+			if db.levels[i].numKeys() > db.capacity(i) {
+				src = i
+				break
+			}
+		}
+		if src < 0 {
+			db.compacting = false
+			db.cond.Broadcast()
+			db.mu.Unlock()
+			return
+		}
+		db.mu.Unlock()
+		if err := db.compactLevels(src); err != nil {
+			db.fail(err)
+			return
+		}
+	}
+}
+
+// CompactAll forces every populated level down into the next one until
+// only the deepest populated level holds data. Garbage collection uses
+// it to eliminate every stale index entry pointing into the log's head
+// segments before they are trimmed.
+func (db *DB) CompactAll() error {
+	if err := db.Flush(); err != nil {
+		return err
+	}
+	// Take the compactor role so no background compactor races us.
+	db.mu.Lock()
+	for db.compacting && db.bgErr == nil {
+		db.cond.Wait()
+	}
+	if db.bgErr != nil {
+		err := db.bgErr
+		db.mu.Unlock()
+		return err
+	}
+	db.compacting = true
+	db.mu.Unlock()
+
+	var err error
+	for i := 1; i < len(db.levels)-1 && err == nil; i++ {
+		db.mu.RLock()
+		populated := db.levels[i] != nil
+		db.mu.RUnlock()
+		if populated {
+			err = db.compactLevels(i)
+		}
+	}
+
+	db.mu.Lock()
+	db.compacting = false
+	db.cond.Broadcast()
+	db.mu.Unlock()
+	return err
+}
+
+// fail records a background error and wakes all waiters.
+func (db *DB) fail(err error) {
+	db.mu.Lock()
+	if db.bgErr == nil {
+		db.bgErr = fmt.Errorf("lsm: background compaction: %w", err)
+	}
+	db.compacting = false
+	db.cond.Broadcast()
+	db.mu.Unlock()
+}
+
+// compactL0 merges a frozen L0 with L1 into a new L1.
+func (db *DB) compactL0(frozen *memtable.Table, mark storage.Offset) error {
+	const dstLevel = 1
+	if l := db.getListener(); l != nil {
+		l.OnCompactionStart(0, dstLevel)
+	}
+	src := &memCursor{it: frozen.Iter()}
+	dst, oldDst := db.levelCursor(dstLevel)
+	built, err := db.merge(src, dst, dstLevel)
+	if err != nil {
+		return err
+	}
+
+	db.mu.Lock()
+	db.installLevel(dstLevel, built)
+	db.frozen = nil
+	db.watermark = mark
+	db.cond.Broadcast()
+	db.mu.Unlock()
+
+	if err := db.freeLevel(oldDst); err != nil {
+		return err
+	}
+	db.notifyDone(CompactionResult{SrcLevel: 0, DstLevel: dstLevel, Built: built, Watermark: mark})
+	return nil
+}
+
+// compactLevels merges level src into src+1.
+func (db *DB) compactLevels(srcLevel int) error {
+	dstLevel := srcLevel + 1
+	if l := db.getListener(); l != nil {
+		l.OnCompactionStart(srcLevel, dstLevel)
+	}
+	srcCur, oldSrc := db.levelCursor(srcLevel)
+	dstCur, oldDst := db.levelCursor(dstLevel)
+	built, err := db.merge(srcCur, dstCur, dstLevel)
+	if err != nil {
+		return err
+	}
+
+	db.mu.Lock()
+	db.installLevel(dstLevel, built)
+	db.levels[srcLevel] = nil
+	watermark := db.watermark
+	db.cond.Broadcast()
+	db.mu.Unlock()
+
+	if err := db.freeLevel(oldSrc); err != nil {
+		return err
+	}
+	if err := db.freeLevel(oldDst); err != nil {
+		return err
+	}
+	db.notifyDone(CompactionResult{SrcLevel: srcLevel, DstLevel: dstLevel, Built: built, Watermark: watermark})
+	return nil
+}
+
+// installLevel swaps a freshly built tree into place. Caller holds db.mu.
+func (db *DB) installLevel(i int, built btree.Built) {
+	if built.NumKeys == 0 {
+		db.levels[i] = nil
+		return
+	}
+	db.levels[i] = &level{
+		tree:  btree.NewTree(db.dev, db.opt.NodeSize, built.Root),
+		built: built,
+	}
+}
+
+// freeLevel releases the device segments of a replaced level.
+func (db *DB) freeLevel(lv *level) error {
+	if lv == nil {
+		return nil
+	}
+	for _, seg := range lv.built.Segments {
+		if err := db.dev.Free(seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) notifyDone(res CompactionResult) {
+	if l := db.getListener(); l != nil {
+		l.OnCompactionDone(res)
+	}
+}
+
+// levelCursor returns a merge cursor over level i plus the level itself
+// (for later freeing). An empty level yields an exhausted cursor.
+func (db *DB) levelCursor(i int) (cursor, *level) {
+	db.mu.RLock()
+	lv := db.levels[i]
+	db.mu.RUnlock()
+	if lv == nil {
+		return &emptyCursor{}, nil
+	}
+	return newTreeCursor(db, lv.tree.Iter()), lv
+}
+
+// merge streams src and dst (src is the newer data and wins ties) into a
+// new tree for dstLevel, charging compaction CPU along the way.
+func (db *DB) merge(src, dst cursor, dstLevel int) (btree.Built, error) {
+	dropTombstones := dstLevel == len(db.levels)-1
+	emit := func(es btree.EmittedSegment) error {
+		db.charge(metrics.CompCompaction, db.cost.WriteIO(len(es.Data)))
+		if l := db.getListener(); l != nil {
+			l.OnIndexSegment(dstLevel, es)
+		}
+		return nil
+	}
+	b, err := btree.NewBuilder(db.dev, db.opt.NodeSize, emit)
+	if err != nil {
+		return btree.Built{}, err
+	}
+
+	merged := 0
+	add := func(key []byte, off storage.Offset, tomb bool) error {
+		merged++
+		if tomb && dropTombstones {
+			return nil
+		}
+		return b.Add(key, off, tomb)
+	}
+
+	for src.valid() && dst.valid() {
+		c := kv.Compare(src.key(), dst.key())
+		switch {
+		case c < 0:
+			if err := add(src.key(), src.off(), src.tomb()); err != nil {
+				return btree.Built{}, err
+			}
+			if err := src.next(); err != nil {
+				return btree.Built{}, err
+			}
+		case c > 0:
+			if err := add(dst.key(), dst.off(), dst.tomb()); err != nil {
+				return btree.Built{}, err
+			}
+			if err := dst.next(); err != nil {
+				return btree.Built{}, err
+			}
+		default:
+			// Same key: the newer (src) version wins; the dst version
+			// is discarded (this discard is the LSM's space reclaim).
+			if err := add(src.key(), src.off(), src.tomb()); err != nil {
+				return btree.Built{}, err
+			}
+			merged++ // the dropped dst entry was still merge work
+			if err := src.next(); err != nil {
+				return btree.Built{}, err
+			}
+			if err := dst.next(); err != nil {
+				return btree.Built{}, err
+			}
+		}
+	}
+	for _, c := range []cursor{src, dst} {
+		for c.valid() {
+			if err := add(c.key(), c.off(), c.tomb()); err != nil {
+				return btree.Built{}, err
+			}
+			if err := c.next(); err != nil {
+				return btree.Built{}, err
+			}
+		}
+	}
+	// A cursor that failed mid-stream reports !valid(); surface the
+	// error instead of silently truncating the merge.
+	for _, c := range []cursor{src, dst} {
+		if tc, ok := c.(*treeCursor); ok && tc.err != nil {
+			return btree.Built{}, tc.err
+		}
+	}
+
+	db.charge(metrics.CompCompaction, uint64(merged)*db.cost.MergePerKV)
+	// Attribute the read I/O CPU of walking the source trees.
+	for _, c := range []cursor{src, dst} {
+		if tc, ok := c.(*treeCursor); ok {
+			db.charge(metrics.CompCompaction, db.cost.ReadIO(tc.it.NodesRead()*db.opt.NodeSize))
+		}
+	}
+	return b.Finish()
+}
+
+// cursor is a sorted stream of (key, value-offset, tombstone) entries.
+type cursor interface {
+	valid() bool
+	key() []byte
+	off() storage.Offset
+	tomb() bool
+	next() error
+}
+
+// emptyCursor is an exhausted cursor.
+type emptyCursor struct{}
+
+func (*emptyCursor) valid() bool         { return false }
+func (*emptyCursor) key() []byte         { return nil }
+func (*emptyCursor) off() storage.Offset { return storage.NilOffset }
+func (*emptyCursor) tomb() bool          { return false }
+func (*emptyCursor) next() error         { return nil }
+
+// memCursor streams a memtable.
+type memCursor struct {
+	it *memtable.Iterator
+}
+
+func (c *memCursor) valid() bool         { return c.it.Valid() }
+func (c *memCursor) key() []byte         { return c.it.Entry().Key }
+func (c *memCursor) off() storage.Offset { return c.it.Entry().Off }
+func (c *memCursor) tomb() bool          { return c.it.Entry().Tombstone }
+func (c *memCursor) next() error         { c.it.Next(); return nil }
+
+// treeCursor streams a B+-tree level, fetching each entry's full key
+// from the value log (the random-read cost KV separation trades for
+// lower write amplification; charged to compaction).
+type treeCursor struct {
+	db  *DB
+	it  *btree.Iterator
+	cur []byte
+	err error
+}
+
+func newTreeCursor(db *DB, it *btree.Iterator) *treeCursor {
+	c := &treeCursor{db: db, it: it}
+	c.load()
+	return c
+}
+
+func (c *treeCursor) load() {
+	if !c.it.Valid() {
+		c.cur = nil
+		if err := c.it.Err(); err != nil {
+			c.err = err
+		}
+		return
+	}
+	key, err := c.db.log.GetKey(c.it.Entry().ValueOff)
+	if err != nil {
+		c.err = err
+		c.cur = nil
+		return
+	}
+	c.db.charge(metrics.CompCompaction, c.db.cost.ReadIO(len(key)+8))
+	c.cur = key
+}
+
+func (c *treeCursor) valid() bool         { return c.err == nil && c.it.Valid() }
+func (c *treeCursor) key() []byte         { return c.cur }
+func (c *treeCursor) off() storage.Offset { return c.it.Entry().ValueOff }
+func (c *treeCursor) tomb() bool          { return c.it.Entry().Tombstone }
+
+func (c *treeCursor) next() error {
+	if c.err != nil {
+		return c.err
+	}
+	c.it.Next()
+	c.load()
+	return c.err
+}

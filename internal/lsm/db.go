@@ -1,0 +1,413 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tebis/internal/btree"
+	"tebis/internal/kv"
+	"tebis/internal/memtable"
+	"tebis/internal/metrics"
+	"tebis/internal/storage"
+	"tebis/internal/vlog"
+)
+
+// Errors reported by the engine.
+var (
+	ErrClosed = errors.New("lsm: database closed")
+)
+
+// level is one on-device level (L1..).
+type level struct {
+	tree  *btree.Tree
+	built btree.Built
+}
+
+func (lv *level) numKeys() int {
+	if lv == nil {
+		return 0
+	}
+	return lv.built.NumKeys
+}
+
+// DB is a Kreon-style LSM engine over a value log.
+//
+// Concurrency: Put/Delete/Get/Scan may be called from any goroutine.
+// A single background compactor goroutine runs at a time; writers stall
+// when L0 fills while the previous L0 is still being compacted — the
+// stall the paper's tail-latency experiment observes (§5.1).
+type DB struct {
+	opt Options
+	dev storage.Device
+	geo storage.Geometry
+	log *vlog.Log
+
+	cycles *metrics.Cycles
+	cost   metrics.CostModel
+
+	listener atomic.Value // holds listenerBox
+
+	mu         sync.RWMutex
+	cond       *sync.Cond // signaled when compaction state changes
+	l0         *memtable.Table
+	frozen     *memtable.Table
+	frozenMark storage.Offset // log position when frozen was cut
+	levels     []*level       // levels[0] unused; levels[i] = Li
+	watermark  storage.Offset
+	compacting bool
+	closed     bool
+	bgErr      error
+	seedCtr    int64
+}
+
+// New creates an empty DB.
+func New(opt Options) (*DB, error) {
+	opt.applyDefaults()
+	if opt.Device == nil {
+		return nil, fmt.Errorf("lsm: Options.Device is required")
+	}
+	log, err := vlog.New(opt.Device)
+	if err != nil {
+		return nil, err
+	}
+	return newWithLog(opt, log, nil)
+}
+
+// NewFromState creates a DB over an existing value log and level set —
+// the promotion path: a backup that already holds a replicated log and
+// rewritten (or self-built) levels becomes a primary (§3.5). The caller
+// replays the log suffix into L0 afterwards via ReplayLog.
+func NewFromState(opt Options, log *vlog.Log, levels []LevelState, watermark storage.Offset) (*DB, error) {
+	opt.applyDefaults()
+	if opt.Device == nil {
+		return nil, fmt.Errorf("lsm: Options.Device is required")
+	}
+	db, err := newWithLog(opt, log, levels)
+	if err != nil {
+		return nil, err
+	}
+	db.watermark = watermark
+	return db, nil
+}
+
+func newWithLog(opt Options, log *vlog.Log, states []LevelState) (*DB, error) {
+	db := &DB{
+		opt:    opt,
+		dev:    opt.Device,
+		geo:    opt.Device.Geometry(),
+		log:    log,
+		cycles: opt.Cycles,
+		cost:   opt.Cost,
+		levels: make([]*level, opt.MaxLevels),
+	}
+	db.cond = sync.NewCond(&db.mu)
+	if opt.Listener != nil {
+		db.SetListener(opt.Listener)
+	}
+	db.l0 = memtable.New(opt.Seed)
+	db.seedCtr = opt.Seed
+	for i, st := range states {
+		li := i + 1
+		if li >= opt.MaxLevels {
+			return nil, fmt.Errorf("lsm: %d level states exceed MaxLevels %d", len(states), opt.MaxLevels)
+		}
+		if st.Root == storage.NilOffset {
+			continue
+		}
+		db.levels[li] = &level{
+			tree: btree.NewTree(opt.Device, opt.NodeSize, st.Root),
+			built: btree.Built{
+				Root:     st.Root,
+				Segments: append([]storage.SegmentID(nil), st.Segments...),
+				NumKeys:  st.NumKeys,
+			},
+		}
+	}
+	return db, nil
+}
+
+// listenerBox wraps a Listener so atomic.Value tolerates differing
+// concrete types.
+type listenerBox struct{ l Listener }
+
+// SetListener installs (or replaces) the engine's event listener. The
+// promotion path uses it to wire a fresh primary replica to an engine
+// built from backup state.
+func (db *DB) SetListener(l Listener) {
+	db.listener.Store(listenerBox{l: l})
+}
+
+// getListener returns the current listener, or nil.
+func (db *DB) getListener() Listener {
+	if v := db.listener.Load(); v != nil {
+		return v.(listenerBox).l
+	}
+	return nil
+}
+
+// Log exposes the value log (replication and promotion need it).
+func (db *DB) Log() *vlog.Log { return db.log }
+
+// Watermark returns the current compaction watermark: the log offset
+// below which all data is in on-device levels.
+func (db *DB) Watermark() storage.Offset {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.watermark
+}
+
+// charge adds cycles if a recorder is configured.
+func (db *DB) charge(c metrics.Component, n uint64) {
+	if db.cycles != nil {
+		db.cycles.Charge(c, n)
+	}
+}
+
+// capacity returns the key capacity of level i (1-based).
+func (db *DB) capacity(i int) int {
+	c := db.opt.L0MaxKeys
+	for j := 0; j < i; j++ {
+		c *= db.opt.GrowthFactor
+	}
+	return c
+}
+
+// Put inserts or overwrites a key.
+func (db *DB) Put(key, value []byte) error {
+	return db.mutate(key, value, false)
+}
+
+// Delete tombstones a key.
+func (db *DB) Delete(key []byte) error {
+	return db.mutate(key, nil, true)
+}
+
+func (db *DB) mutate(key, value []byte, tombstone bool) error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if err := db.bgErr; err != nil {
+		db.mu.Unlock()
+		return err
+	}
+
+	// Append to the value log first; its offset is the index pointer.
+	res, err := db.log.Append(key, value, tombstone)
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	recLen := 8 + len(key) + len(value)
+	db.charge(metrics.CompInsertL0, db.cost.L0Insert(recLen))
+	if res.Sealed != nil {
+		// Persisting the sealed tail costs write-I/O CPU.
+		db.charge(metrics.CompInsertL0, db.cost.WriteIO(len(res.Sealed.Data)))
+	}
+	if l := db.getListener(); l != nil {
+		// Replication runs under the engine lock so backups observe
+		// appends in log order.
+		l.OnAppend(res)
+	}
+
+	db.l0.Insert(key, res.Off, tombstone)
+
+	if db.l0.Len() >= db.opt.L0MaxKeys {
+		db.freezeLocked()
+	}
+	db.mu.Unlock()
+	return nil
+}
+
+// PutIndexed inserts a key that already has a value-log record at off on
+// this DB's device — the Build-Index backup path: values arrive via log
+// replication, and the backup maintains its own L0 and compactions
+// (§4, "Build-Index"). recLen is the record size for cost accounting.
+func (db *DB) PutIndexed(key []byte, off storage.Offset, tombstone bool, recLen int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.bgErr; err != nil {
+		return err
+	}
+	db.charge(metrics.CompInsertL0, db.cost.L0Insert(recLen))
+	db.l0.Insert(key, off, tombstone)
+	if db.l0.Len() >= db.opt.L0MaxKeys {
+		db.freezeLocked()
+	}
+	return nil
+}
+
+// freezeLocked swaps the active L0 out for compaction. Callers hold
+// db.mu. If a frozen table is still being compacted the caller stalls —
+// the L0 write stall.
+func (db *DB) freezeLocked() {
+	for db.frozen != nil && !db.closed && db.bgErr == nil {
+		db.cond.Wait()
+	}
+	if db.closed || db.bgErr != nil {
+		return
+	}
+	db.frozen = db.l0
+	db.frozenMark = db.log.Position()
+	db.seedCtr++
+	db.l0 = memtable.New(db.seedCtr)
+	if !db.compacting {
+		db.compacting = true
+		go db.compactor()
+	}
+}
+
+// Flush forces the current L0 down to L1 (and cascades), then waits for
+// the engine to go idle. Benchmarks use it to account all compaction
+// work before reading amplification counters.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if db.l0.Len() > 0 {
+		db.freezeLocked()
+	}
+	db.mu.Unlock()
+	return db.WaitIdle()
+}
+
+// WaitIdle blocks until no compaction is running or pending.
+func (db *DB) WaitIdle() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for (db.compacting || db.frozen != nil) && db.bgErr == nil {
+		db.cond.Wait()
+	}
+	return db.bgErr
+}
+
+// Get returns the value for key. found is false for absent keys and
+// tombstones.
+func (db *DB) Get(key []byte) (value []byte, found bool, err error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, false, ErrClosed
+	}
+	levelsVisited := 1
+
+	if e, ok := db.l0.Get(key); ok {
+		return db.resolveEntry(e, levelsVisited)
+	}
+	if db.frozen != nil {
+		levelsVisited++
+		if e, ok := db.frozen.Get(key); ok {
+			return db.resolveEntry(memtable.Entry{Key: key, Off: e.Off, Tombstone: e.Tombstone}, levelsVisited)
+		}
+	}
+	for i := 1; i < len(db.levels); i++ {
+		lv := db.levels[i]
+		if lv == nil {
+			continue
+		}
+		levelsVisited++
+		off, tomb, ok, err := lv.tree.Get(key, db.readKeyCharged)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return db.resolveEntry(memtable.Entry{Key: key, Off: off, Tombstone: tomb}, levelsVisited)
+		}
+	}
+	db.charge(metrics.CompOther, uint64(levelsVisited)*db.cost.GetPerLevel)
+	return nil, false, nil
+}
+
+// resolveEntry fetches the value for a located entry and charges the
+// walk cost. Caller holds at least a read lock.
+func (db *DB) resolveEntry(e memtable.Entry, levelsVisited int) ([]byte, bool, error) {
+	db.charge(metrics.CompOther, uint64(levelsVisited)*db.cost.GetPerLevel)
+	if e.Tombstone {
+		return nil, false, nil
+	}
+	pair, tomb, err := db.log.Get(e.Off)
+	if err != nil {
+		return nil, false, err
+	}
+	if tomb {
+		return nil, false, nil
+	}
+	db.charge(metrics.CompOther, db.cost.ReadIO(pair.Size()+8))
+	return append([]byte(nil), pair.Value...), true, nil
+}
+
+// readKeyCharged resolves a full key from the log, charging read I/O.
+func (db *DB) readKeyCharged(off storage.Offset) ([]byte, error) {
+	key, err := db.log.GetKey(off)
+	if err != nil {
+		return nil, err
+	}
+	db.charge(metrics.CompOther, db.cost.ReadIO(len(key)+8))
+	return key, nil
+}
+
+// Levels returns a snapshot of the on-device level states (index 0 of
+// the result is L1).
+func (db *DB) Levels() []LevelState {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]LevelState, 0, len(db.levels)-1)
+	for i := 1; i < len(db.levels); i++ {
+		var st LevelState
+		if lv := db.levels[i]; lv != nil {
+			st = LevelState{
+				Root:     lv.built.Root,
+				Segments: append([]storage.SegmentID(nil), lv.built.Segments...),
+				NumKeys:  lv.built.NumKeys,
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// L0Len returns the number of keys in the active L0 (diagnostics).
+func (db *DB) L0Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.l0.Len()
+}
+
+// ReplayLog re-inserts all log records from a watermark into L0 without
+// re-appending them — the promoted primary's L0 reconstruction (§3.5).
+func (db *DB) ReplayLog(from storage.Offset) (int, error) {
+	n := 0
+	err := db.log.Replay(from, func(off storage.Offset, pair kv.Pair, tomb bool) bool {
+		db.mu.Lock()
+		db.charge(metrics.CompInsertL0, db.cost.L0Insert(pair.Size()+8))
+		db.l0.Insert(pair.Key, off, tomb)
+		db.mu.Unlock()
+		n++
+		return true
+	})
+	return n, err
+}
+
+// Close shuts the engine down after draining compactions.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.mu.Unlock()
+	err := db.WaitIdle()
+	db.mu.Lock()
+	db.closed = true
+	db.cond.Broadcast()
+	db.mu.Unlock()
+	return err
+}

@@ -1,0 +1,135 @@
+package lsm
+
+import (
+	"tebis/internal/metrics"
+	"tebis/internal/storage"
+	"tebis/internal/vlog"
+)
+
+// GCStats reports one garbage-collection pass.
+type GCStats struct {
+	// SegmentsScanned is how many head segments were processed.
+	SegmentsScanned int
+	// RecordsMoved is how many live records were re-appended at the
+	// tail.
+	RecordsMoved int
+	// RecordsDropped is how many stale/shadowed records were discarded.
+	RecordsDropped int
+	// SegmentsFreed is how many device segments the trim released.
+	SegmentsFreed int
+}
+
+// GCLog reclaims up to maxSegments from the head of the value log
+// (§4): live records — those an index entry still points at — are moved
+// to the tail (a re-append, which flows through the normal replication
+// path), stale records are dropped, and the scanned head segments are
+// trimmed. The primary performs the moves; backups only see the usual
+// appends plus an OnTrim notification so they trim too.
+//
+// GC must not run concurrently with client writes to the same keys; the
+// engine serializes it with the write path internally, but the caller
+// chooses a quiet moment (the paper disables GC during its experiments
+// and so do the benchmarks here).
+func (db *DB) GCLog(maxSegments int) (GCStats, error) {
+	var stats GCStats
+	segs := db.log.Segments()
+	if maxSegments > len(segs) {
+		maxSegments = len(segs)
+	}
+	if maxSegments == 0 {
+		return stats, nil
+	}
+	head := segs[:maxSegments]
+	geo := db.geo
+
+	image := make([]byte, geo.SegmentSize())
+	for _, seg := range head {
+		if err := db.readSegmentForGC(seg, image); err != nil {
+			return stats, err
+		}
+		stats.SegmentsScanned++
+		var moveErr error
+		vlog.WalkImage(image, func(pos int64, key, value []byte, tomb bool, recLen int) bool {
+			off := geo.Pack(seg, pos)
+			live, err := db.isCurrentVersion(key, off)
+			if err != nil {
+				moveErr = err
+				return false
+			}
+			if !live || tomb {
+				stats.RecordsDropped++
+				return true
+			}
+			// Re-append the live record at the tail; this replicates
+			// and re-indexes it like any other write.
+			if err := db.mutate(key, value, false); err != nil {
+				moveErr = err
+				return false
+			}
+			stats.RecordsMoved++
+			return true
+		})
+		if moveErr != nil {
+			return stats, moveErr
+		}
+		db.charge(metrics.CompOther, db.cost.ReadIO(len(image)))
+	}
+
+	// Everything live in the head segments now has a newer copy at the
+	// tail, but deeper levels still hold stale (shadowed) entries whose
+	// offsets point into the head. Compact every level down so the
+	// stale entries are dropped before their segments disappear.
+	if err := db.CompactAll(); err != nil {
+		return stats, err
+	}
+
+	// Trim past the last scanned segment.
+	keepSeg := db.log.TailSegment()
+	if maxSegments < len(segs) {
+		keepSeg = segs[maxSegments]
+	}
+	keep := geo.Pack(keepSeg, 0)
+	freed, err := db.log.Trim(keep)
+	if err != nil {
+		return stats, err
+	}
+	stats.SegmentsFreed = freed
+	if l := db.getListener(); l != nil {
+		l.OnTrim(keep)
+	}
+	return stats, nil
+}
+
+// readSegmentForGC fetches a sealed log segment image.
+func (db *DB) readSegmentForGC(seg storage.SegmentID, image []byte) error {
+	return db.log.ReadSegmentImage(seg, image)
+}
+
+// isCurrentVersion reports whether the index still points at the record
+// at off for key — i.e. the record is the key's live version.
+func (db *DB) isCurrentVersion(key []byte, off storage.Offset) (bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if e, ok := db.l0.Get(key); ok {
+		return e.Off == off && !e.Tombstone, nil
+	}
+	if db.frozen != nil {
+		if e, ok := db.frozen.Get(key); ok {
+			return e.Off == off && !e.Tombstone, nil
+		}
+	}
+	for i := 1; i < len(db.levels); i++ {
+		lv := db.levels[i]
+		if lv == nil {
+			continue
+		}
+		got, tomb, found, err := lv.tree.Get(key, db.readKeyCharged)
+		if err != nil {
+			return false, err
+		}
+		if found {
+			return got == off && !tomb, nil
+		}
+	}
+	return false, nil
+}

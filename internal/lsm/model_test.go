@@ -1,0 +1,204 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tebis/internal/kv"
+)
+
+// TestModelEquivalence drives the engine with random mixed operation
+// sequences and checks every observable behaviour — point gets, full
+// scans, and post-flush state — against an in-memory reference map.
+func TestModelEquivalence(t *testing.T) {
+	type op struct {
+		Kind  uint8 // 0..5: put, overwrite-put, delete, get, flush, scan
+		Key   uint16
+		Value uint8
+	}
+	f := func(ops []op, seed int64) bool {
+		opt, _ := testOptions(t)
+		opt.Seed = seed
+		db, err := New(opt)
+		if err != nil {
+			t.Logf("New: %v", err)
+			return false
+		}
+		defer db.Close()
+		ref := map[string]string{}
+
+		for _, o := range ops {
+			key := fmt.Sprintf("key%05d", o.Key%512)
+			val := fmt.Sprintf("value-%d", o.Value)
+			switch o.Kind % 6 {
+			case 0, 1:
+				if err := db.Put([]byte(key), []byte(val)); err != nil {
+					t.Logf("Put: %v", err)
+					return false
+				}
+				ref[key] = val
+			case 2:
+				if err := db.Delete([]byte(key)); err != nil {
+					t.Logf("Delete: %v", err)
+					return false
+				}
+				delete(ref, key)
+			case 3:
+				got, found, err := db.Get([]byte(key))
+				if err != nil {
+					t.Logf("Get: %v", err)
+					return false
+				}
+				want, ok := ref[key]
+				if found != ok || (ok && string(got) != want) {
+					t.Logf("Get(%s) = %q,%v want %q,%v", key, got, found, want, ok)
+					return false
+				}
+			case 4:
+				if err := db.Flush(); err != nil {
+					t.Logf("Flush: %v", err)
+					return false
+				}
+			case 5:
+				var gotKeys []string
+				err := db.Scan(nil, func(p kv.Pair) bool {
+					gotKeys = append(gotKeys, string(p.Key))
+					return true
+				})
+				if err != nil {
+					t.Logf("Scan: %v", err)
+					return false
+				}
+				if len(gotKeys) != len(ref) {
+					t.Logf("Scan saw %d keys, ref has %d", len(gotKeys), len(ref))
+					return false
+				}
+			}
+		}
+
+		// Final audit: every reference key readable, scans sorted and
+		// complete.
+		for k, v := range ref {
+			got, found, err := db.Get([]byte(k))
+			if err != nil || !found || string(got) != v {
+				t.Logf("final Get(%s) = %q,%v,%v want %q", k, got, found, err, v)
+				return false
+			}
+		}
+		var want []string
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		var got []string
+		if err := db.Scan(nil, func(p kv.Pair) bool {
+			got = append(got, string(p.Key))
+			return true
+		}); err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			t.Logf("final scan %d vs %d", len(got), len(want))
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 20,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := 200 + r.Intn(600)
+			ops := make([]op, n)
+			for i := range ops {
+				ops[i] = op{Kind: uint8(r.Intn(250)), Key: uint16(r.Intn(1 << 16)), Value: uint8(r.Intn(250))}
+			}
+			args[0] = reflect.ValueOf(ops)
+			args[1] = reflect.ValueOf(r.Int63())
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Scan with nil start must behave as scan-from-beginning.
+func TestScanNilStart(t *testing.T) {
+	db, _ := newTestDB(t)
+	for i := 0; i < 50; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	first := ""
+	if err := db.Scan(nil, func(p kv.Pair) bool {
+		if n == 0 {
+			first = string(p.Key)
+		}
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 || first != "k000" {
+		t.Fatalf("scan(nil) = %d keys, first %q", n, first)
+	}
+}
+
+// TestModelRandomizedScanWindows compares windowed scans to the model.
+func TestModelRandomizedScanWindows(t *testing.T) {
+	db, _ := newTestDB(t)
+	rnd := rand.New(rand.NewSource(41))
+	ref := map[string]bool{}
+	for i := 0; i < 2500; i++ {
+		k := fmt.Sprintf("key%05d", rnd.Intn(4000))
+		if rnd.Intn(10) == 0 {
+			if err := db.Delete([]byte(k)); err != nil {
+				t.Fatal(err)
+			}
+			delete(ref, k)
+		} else {
+			if err := db.Put([]byte(k), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+			ref[k] = true
+		}
+	}
+	var sorted []string
+	for k := range ref {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	for trial := 0; trial < 30; trial++ {
+		start := fmt.Sprintf("key%05d", rnd.Intn(4000))
+		limit := 1 + rnd.Intn(20)
+		pairs, err := db.ScanN([]byte(start), limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference window.
+		i := sort.SearchStrings(sorted, start)
+		wantN := len(sorted) - i
+		if wantN > limit {
+			wantN = limit
+		}
+		if len(pairs) != wantN {
+			t.Fatalf("ScanN(%s,%d) = %d pairs, want %d", start, limit, len(pairs), wantN)
+		}
+		for j, p := range pairs {
+			if !bytes.Equal(p.Key, []byte(sorted[i+j])) {
+				t.Fatalf("ScanN window mismatch at %d: %q vs %q", j, p.Key, sorted[i+j])
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package lsm implements the Kreon-style LSM key-value engine each Tebis
+// region runs: an in-memory L0 skiplist over a KV-separated value log,
+// with on-device levels organized as segment-serialized B+ trees
+// (§2, "Kreon").
+//
+// Compactions merge level Li into Li+1, building the new L'i+1 index
+// bottom-up and left-to-right. The engine reports every step of a
+// compaction to an optional Listener — log appends, emitted index
+// segments, and compaction completion — which is exactly the interface
+// the Send-Index replication protocol hangs off (§3.3).
+package lsm
+
+import (
+	"tebis/internal/btree"
+	"tebis/internal/metrics"
+	"tebis/internal/storage"
+	"tebis/internal/vlog"
+)
+
+// Default engine parameters; tests and benchmarks scale them down.
+const (
+	// DefaultGrowthFactor is the level growth factor f. The paper uses
+	// f=4, which minimizes I/O amplification.
+	DefaultGrowthFactor = 4
+	// DefaultL0MaxKeys matches the paper's 96K-key L0.
+	DefaultL0MaxKeys = 96_000
+	// DefaultMaxLevels bounds the on-device levels (L1..).
+	DefaultMaxLevels = 8
+	// DefaultNodeSize is the B+-tree node block size.
+	DefaultNodeSize = 4096
+)
+
+// CompactionResult describes a finished compaction, as delivered to the
+// Listener and to WaitIdle callers.
+type CompactionResult struct {
+	// SrcLevel is the level that was merged down (0 = the in-memory L0).
+	SrcLevel int
+	// DstLevel is the level that received the merge (SrcLevel+1).
+	DstLevel int
+	// Built is the new L'dst tree in the primary's device space.
+	Built btree.Built
+	// Watermark is the value-log offset below which all data is covered
+	// by on-device levels after this compaction (only advances for
+	// L0→L1 merges). A promoted backup replays the log from here (§3.5).
+	Watermark storage.Offset
+}
+
+// Listener observes engine events the replication layer needs. All
+// callbacks are invoked synchronously: OnAppend from the Put path (in
+// log-append order), the compaction callbacks from the compactor
+// goroutine (in emit order). A nil listener disables all callbacks.
+type Listener interface {
+	// OnAppend fires after a record lands in the value log and before
+	// it is inserted into L0 — the point where the primary RDMA-writes
+	// the record into each backup's buffer (§3.2 step 1) and, when
+	// res.Sealed is non-nil, first tells backups to flush (step 2b).
+	OnAppend(res vlog.AppendResult)
+	// OnCompactionStart fires before a compaction begins merging.
+	OnCompactionStart(srcLevel, dstLevel int)
+	// OnIndexSegment fires for every sealed index/leaf segment of the
+	// new L'dst, in build order — the Send-Index shipping hook.
+	OnIndexSegment(dstLevel int, seg btree.EmittedSegment)
+	// OnCompactionDone fires after the new level is installed, carrying
+	// the new root (primary device space) for backup root translation.
+	OnCompactionDone(res CompactionResult)
+	// OnTrim fires after a GC pass trimmed the value log up to (but
+	// excluding) keep; backups perform the same trim without moving any
+	// data (§4: "the primary informs backups for this operation and
+	// they only perform the trim").
+	OnTrim(keep storage.Offset)
+}
+
+// Options configures a DB.
+type Options struct {
+	// Device is the storage device; required.
+	Device storage.Device
+	// NodeSize is the B+-tree node size (DefaultNodeSize if zero).
+	NodeSize int
+	// GrowthFactor is f (DefaultGrowthFactor if zero).
+	GrowthFactor int
+	// L0MaxKeys caps the in-memory level (DefaultL0MaxKeys if zero).
+	L0MaxKeys int
+	// MaxLevels bounds on-device levels (DefaultMaxLevels if zero).
+	MaxLevels int
+	// Seed fixes skiplist shapes for reproducibility.
+	Seed int64
+	// Listener receives replication hooks; may be nil.
+	Listener Listener
+	// Cycles receives simulated CPU charges; may be nil.
+	Cycles *metrics.Cycles
+	// Cost is the cycle cost model (DefaultCostModel if zero).
+	Cost metrics.CostModel
+}
+
+func (o *Options) applyDefaults() {
+	if o.NodeSize == 0 {
+		o.NodeSize = DefaultNodeSize
+	}
+	if o.GrowthFactor == 0 {
+		o.GrowthFactor = DefaultGrowthFactor
+	}
+	if o.L0MaxKeys == 0 {
+		o.L0MaxKeys = DefaultL0MaxKeys
+	}
+	if o.MaxLevels == 0 {
+		o.MaxLevels = DefaultMaxLevels
+	}
+	if o.Cost == (metrics.CostModel{}) {
+		o.Cost = metrics.DefaultCostModel()
+	}
+}
+
+// MaxLevelsOrDefault returns MaxLevels with the default applied, for
+// callers that size level arrays before constructing a DB.
+func (o Options) MaxLevelsOrDefault() int {
+	if o.MaxLevels == 0 {
+		return DefaultMaxLevels
+	}
+	return o.MaxLevels
+}
+
+// LevelState is a snapshot of one on-device level, used for promotion
+// hand-off between the replication layer and a fresh DB.
+type LevelState struct {
+	// Root is the level's B+-tree root (NilOffset if empty).
+	Root storage.Offset
+	// Segments lists the device segments the level owns.
+	Segments []storage.SegmentID
+	// NumKeys counts the level's leaf entries.
+	NumKeys int
+}

@@ -1,0 +1,537 @@
+// Package master implements the Tebis master: it bootstraps the region
+// map, assigns primary/backup roles to region servers, watches server
+// liveness through the coordination service's ephemeral nodes, and
+// orchestrates recovery — backup replacement, primary promotion, and its
+// own re-election (§3.1, §3.5).
+package master
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"tebis/internal/region"
+	"tebis/internal/replica"
+	"tebis/internal/storage"
+	"tebis/internal/zklite"
+)
+
+// Zookeeper paths used by the cluster.
+const (
+	// ServersPath holds one ephemeral child per live region server.
+	ServersPath = "/tebis/servers"
+	// RegionMapPath stores the encoded region map.
+	RegionMapPath = "/tebis/regionmap"
+	// ElectionPath hosts the master election.
+	ElectionPath = "/tebis/master"
+)
+
+// Host is the command surface of a region server the master drives
+// (satisfied by *server.Server).
+type Host interface {
+	Name() string
+	OpenPrimary(r region.Region, mode replica.Mode) (*replica.Primary, error)
+	OpenBackup(r region.Region, mode replica.Mode) (*replica.Backup, error)
+	PromoteToPrimary(id region.ID) (*replica.Primary, error)
+	DemoteToBackup(id region.ID, mode replica.Mode, oldToNew map[storage.SegmentID]storage.SegmentID) (*replica.Backup, error)
+	Backup(id region.ID) (*replica.Backup, bool)
+	Primary(id region.ID) (*replica.Primary, bool)
+	DropRegion(id region.ID) error
+}
+
+// Errors reported by the master.
+var (
+	ErrNotLeader  = errors.New("master: not the elected leader")
+	ErrNoHost     = errors.New("master: unknown host")
+	ErrNoCapacity = errors.New("master: no live server can take the region")
+)
+
+// Master orchestrates one Tebis cluster.
+type Master struct {
+	name string
+	sess *zklite.Session
+	elec *zklite.Election
+	mode replica.Mode
+
+	mu       sync.Mutex
+	hosts    map[string]Host
+	live     map[string]bool
+	rmap     *region.Map
+	replicas int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Config configures a master candidate.
+type Config struct {
+	// Name identifies this candidate.
+	Name string
+	// Session is the candidate's coordination-service session.
+	Session *zklite.Session
+	// Mode is the cluster-wide replication mode.
+	Mode replica.Mode
+}
+
+// New enrolls a master candidate in the election. Call Bootstrap (on
+// the initial leader) or TakeOver (on a successor) once IsLeader.
+func New(cfg Config) (*Master, error) {
+	elec, err := zklite.NewElection(cfg.Session, ElectionPath, cfg.Name)
+	if err != nil {
+		return nil, err
+	}
+	m := &Master{
+		name:  cfg.Name,
+		sess:  cfg.Session,
+		elec:  elec,
+		mode:  cfg.Mode,
+		hosts: map[string]Host{},
+		live:  map[string]bool{},
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	return m, nil
+}
+
+// Name returns the candidate's name.
+func (m *Master) Name() string { return m.name }
+
+// IsLeader reports whether this candidate currently leads; when not, the
+// returned channel fires when leadership may have changed.
+func (m *Master) IsLeader() (bool, <-chan zklite.Event, error) {
+	return m.elec.IsLeader()
+}
+
+// RegisterHost makes a region server drivable by this master. The
+// caller also creates the server's ephemeral liveness node.
+func (m *Master) RegisterHost(h Host) {
+	m.mu.Lock()
+	m.hosts[h.Name()] = h
+	m.live[h.Name()] = true
+	m.mu.Unlock()
+}
+
+// Map returns the master's current region map.
+func (m *Master) Map() *region.Map {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rmap.Clone()
+}
+
+// publishMap stores the region map in the coordination service so
+// clients and a successor master can read it.
+func (m *Master) publishMap() error {
+	data := m.rmap.Encode()
+	if err := m.sess.CreateAll(RegionMapPath); err != nil {
+		return err
+	}
+	return m.sess.Set(RegionMapPath, data)
+}
+
+// Bootstrap opens every region of rmap on its assigned servers, attaches
+// backups to primaries, and publishes the map. Leader only.
+func (m *Master) Bootstrap(rmap *region.Map) error {
+	if lead, _, err := m.elec.IsLeader(); err != nil || !lead {
+		if err != nil {
+			return err
+		}
+		return ErrNotLeader
+	}
+	if err := rmap.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.rmap = rmap.Clone()
+	m.replicas = maxBackups(rmap)
+	m.mu.Unlock()
+
+	for _, r := range rmap.Regions {
+		if err := m.openRegion(r); err != nil {
+			return err
+		}
+	}
+	return m.publishMap()
+}
+
+// openRegion issues the open-region commands for one region: primary
+// first, then each backup, then attach.
+func (m *Master) openRegion(r region.Region) error {
+	m.mu.Lock()
+	ph, ok := m.hosts[r.Primary]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoHost, r.Primary)
+	}
+	mode := m.mode
+	if len(r.Backups) == 0 {
+		mode = replica.NoReplication
+	}
+	p, err := ph.OpenPrimary(r, mode)
+	if err != nil {
+		return err
+	}
+	for _, bname := range r.Backups {
+		m.mu.Lock()
+		bh, ok := m.hosts[bname]
+		m.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNoHost, bname)
+		}
+		b, err := bh.OpenBackup(r, mode)
+		if err != nil {
+			return err
+		}
+		replica.Attach(p, b)
+	}
+	return nil
+}
+
+// TakeOver loads the published region map (a successor master resumes
+// from coordination-service state after winning the election).
+func (m *Master) TakeOver() error {
+	if lead, _, err := m.elec.IsLeader(); err != nil || !lead {
+		if err != nil {
+			return err
+		}
+		return ErrNotLeader
+	}
+	data, err := m.sess.Get(RegionMapPath)
+	if err != nil {
+		return err
+	}
+	rmap, err := region.Decode(data)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.rmap = rmap
+	m.replicas = maxBackups(rmap)
+	m.mu.Unlock()
+	return nil
+}
+
+// maxBackups infers the cluster replication factor from a region map.
+func maxBackups(rmap *region.Map) int {
+	want := 0
+	for _, r := range rmap.Regions {
+		if len(r.Backups) > want {
+			want = len(r.Backups)
+		}
+	}
+	return want
+}
+
+// Run watches server liveness and handles failures until Stop. Leader
+// only; it returns when the stop channel closes or the session dies.
+func (m *Master) Run() error {
+	defer close(m.done)
+	for {
+		kids, watch, err := m.sess.Children(ServersPath, true)
+		if err != nil {
+			return err
+		}
+		if err := m.reconcile(kids); err != nil {
+			return err
+		}
+		select {
+		case <-m.stop:
+			return nil
+		case <-watch:
+		}
+	}
+}
+
+// Stop terminates Run.
+func (m *Master) Stop() {
+	close(m.stop)
+	<-m.done
+}
+
+// reconcile compares the live server set against the expectation and
+// handles every disappeared server.
+func (m *Master) reconcile(liveNow []string) error {
+	nowSet := map[string]bool{}
+	for _, s := range liveNow {
+		nowSet[s] = true
+	}
+	m.mu.Lock()
+	var failed []string
+	for s, wasLive := range m.live {
+		if wasLive && !nowSet[s] {
+			failed = append(failed, s)
+		}
+	}
+	sort.Strings(failed)
+	for _, s := range failed {
+		m.live[s] = false
+	}
+	m.mu.Unlock()
+	for _, s := range failed {
+		if err := m.HandleServerFailure(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SwitchPrimary gracefully moves a region's primary role to one of its
+// backups — the master's load-balancing operation (§3.1). Unlike a
+// failure promotion, the old primary survives and becomes a backup of
+// the new primary; no state transfer is needed because every replica
+// already holds the full log and index. Client traffic on the region
+// should be quiesced for the switch (clients that race it retry on
+// wrong-region replies).
+func (m *Master) SwitchPrimary(id region.ID, to string) error {
+	m.mu.Lock()
+	r, err := m.rmap.ByID(id)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	isBackup := false
+	for _, b := range r.Backups {
+		if b == to {
+			isBackup = true
+		}
+	}
+	oldHost := m.hosts[r.Primary]
+	newHost := m.hosts[to]
+	m.mu.Unlock()
+	if !isBackup {
+		return fmt.Errorf("master: %s is not a backup of region %d", to, id)
+	}
+	if oldHost == nil || newHost == nil {
+		return fmt.Errorf("%w: %s or %s", ErrNoHost, r.Primary, to)
+	}
+	p, ok := oldHost.Primary(id)
+	if !ok {
+		return fmt.Errorf("master: %s does not host primary of region %d", r.Primary, id)
+	}
+
+	// Quiesce: drain compactions, seal and flush the log tail so every
+	// replica's buffer is empty and its log map complete.
+	if err := p.DB().WaitIdle(); err != nil {
+		return err
+	}
+	if err := p.SealTail(); err != nil {
+		return err
+	}
+
+	// Snapshot the target's log map before promotion: the other
+	// replicas (including the demoted old primary) re-key through it.
+	nb, ok := newHost.Backup(id)
+	if !ok {
+		return fmt.Errorf("master: %s does not host backup of region %d", to, id)
+	}
+	oldToNew := nb.LogMap().Snapshot()
+
+	p.DetachAll()
+	newP, err := newHost.PromoteToPrimary(id)
+	if err != nil {
+		return err
+	}
+
+	// Remaining backups follow the new primary.
+	m.mu.Lock()
+	var others []Host
+	for _, b := range r.Backups {
+		if b != to && m.live[b] {
+			others = append(others, m.hosts[b])
+		}
+	}
+	mode := m.mode
+	m.mu.Unlock()
+	for _, bh := range others {
+		ob, ok := bh.Backup(id)
+		if !ok {
+			return fmt.Errorf("master: %s lost backup of region %d", bh.Name(), id)
+		}
+		if err := ob.LogMap().Retarget(oldToNew); err != nil {
+			return err
+		}
+		replica.Attach(newP, ob)
+	}
+
+	// The old primary becomes a backup of the new one.
+	oldB, err := oldHost.DemoteToBackup(id, mode, oldToNew)
+	if err != nil {
+		return err
+	}
+	replica.Attach(newP, oldB)
+
+	m.mu.Lock()
+	if err := m.rmap.SetPrimary(id, to); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	if err := m.rmap.AddBackup(id, r.Primary); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	m.mu.Unlock()
+	return m.publishMap()
+}
+
+// HandleServerFailure recovers every region the failed server
+// participated in: primary regions are failed over to a backup, backup
+// slots are refilled from live servers with a full state transfer
+// (§3.5). A single node failure affects many regions; each is handled
+// in turn.
+func (m *Master) HandleServerFailure(name string) error {
+	m.mu.Lock()
+	m.live[name] = false
+	rmap := m.rmap.Clone()
+	m.mu.Unlock()
+
+	for _, r := range rmap.Regions {
+		if r.Primary == name {
+			if err := m.failPrimary(r); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, b := range r.Backups {
+			if b == name {
+				if err := m.failBackup(r, name); err != nil {
+					return err
+				}
+				break
+			}
+		}
+	}
+	return m.publishMap()
+}
+
+// failPrimary promotes the first live backup of r to primary, rewires
+// the remaining backups to it, retargets their log maps, and refills the
+// vacated backup slot.
+func (m *Master) failPrimary(r region.Region) error {
+	m.mu.Lock()
+	var promoteTo string
+	for _, b := range r.Backups {
+		if m.live[b] {
+			promoteTo = b
+			break
+		}
+	}
+	host := m.hosts[promoteTo]
+	m.mu.Unlock()
+	if promoteTo == "" {
+		return fmt.Errorf("%w: region %d lost its primary and has no live backup", ErrNoCapacity, r.ID)
+	}
+
+	// Snapshot the new primary's log map before promotion: the other
+	// backups retarget through it (§3.2).
+	nb, ok := host.Backup(r.ID)
+	if !ok {
+		return fmt.Errorf("master: %s does not host backup of region %d", promoteTo, r.ID)
+	}
+	newPrimaryLogMap := nb.LogMap().Snapshot()
+
+	p, err := host.PromoteToPrimary(r.ID)
+	if err != nil {
+		return err
+	}
+
+	// Rewire the remaining live backups to the new primary.
+	m.mu.Lock()
+	var remaining []string
+	for _, b := range r.Backups {
+		if b != promoteTo && m.live[b] {
+			remaining = append(remaining, b)
+		}
+	}
+	hosts := make([]Host, 0, len(remaining))
+	for _, b := range remaining {
+		hosts = append(hosts, m.hosts[b])
+	}
+	m.mu.Unlock()
+	for _, bh := range hosts {
+		ob, ok := bh.Backup(r.ID)
+		if !ok {
+			return fmt.Errorf("master: %s lost backup state of region %d", bh.Name(), r.ID)
+		}
+		if err := ob.LogMap().Retarget(newPrimaryLogMap); err != nil {
+			return err
+		}
+		replica.Attach(p, ob)
+	}
+
+	// Update the map: new primary, old primary no longer a backup.
+	m.mu.Lock()
+	if err := m.rmap.SetPrimary(r.ID, promoteTo); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	updated, _ := m.rmap.ByID(r.ID)
+	m.mu.Unlock()
+
+	// The failed server also vacated a replica slot: refill it.
+	return m.refillBackup(updated)
+}
+
+// failBackup replaces a failed backup of r with a live server not
+// already in the region and transfers the region data to it.
+func (m *Master) failBackup(r region.Region, failed string) error {
+	m.mu.Lock()
+	if err := m.rmap.RemoveBackup(r.ID, failed); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	updated, _ := m.rmap.ByID(r.ID)
+	m.mu.Unlock()
+	return m.refillBackup(updated)
+}
+
+// refillBackup tops the region's replica set back up to the cluster's
+// replication factor using live servers outside the region.
+func (m *Master) refillBackup(r region.Region) error {
+	if m.mode == replica.NoReplication {
+		return nil
+	}
+	m.mu.Lock()
+	want := m.replicas
+	in := map[string]bool{r.Primary: true}
+	for _, b := range r.Backups {
+		in[b] = true
+	}
+	var candidates []string
+	for name, alive := range m.live {
+		if alive && !in[name] {
+			candidates = append(candidates, name)
+		}
+	}
+	sort.Strings(candidates)
+	ph := m.hosts[r.Primary]
+	m.mu.Unlock()
+
+	for len(r.Backups) < want && len(candidates) > 0 {
+		cand := candidates[0]
+		candidates = candidates[1:]
+		m.mu.Lock()
+		bh := m.hosts[cand]
+		m.mu.Unlock()
+		b, err := bh.OpenBackup(r, m.mode)
+		if err != nil {
+			return err
+		}
+		p, ok := ph.Primary(r.ID)
+		if !ok {
+			return fmt.Errorf("master: %s lost primary of region %d", r.Primary, r.ID)
+		}
+		replica.Attach(p, b)
+		if err := p.Sync(b); err != nil {
+			return err
+		}
+		m.mu.Lock()
+		if err := m.rmap.AddBackup(r.ID, cand); err != nil {
+			m.mu.Unlock()
+			return err
+		}
+		updated, _ := m.rmap.ByID(r.ID)
+		m.mu.Unlock()
+		r = updated
+	}
+	return nil
+}

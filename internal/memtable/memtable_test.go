@@ -1,0 +1,172 @@
+package memtable
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tebis/internal/kv"
+	"tebis/internal/storage"
+)
+
+func TestInsertGet(t *testing.T) {
+	tbl := New(1)
+	if !tbl.Insert([]byte("b"), 10, false) {
+		t.Fatal("first insert should be new")
+	}
+	if tbl.Insert([]byte("b"), 20, false) {
+		t.Fatal("overwrite should not be new")
+	}
+	e, ok := tbl.Get([]byte("b"))
+	if !ok || e.Off != 20 {
+		t.Fatalf("Get = %+v, %v", e, ok)
+	}
+	if _, ok := tbl.Get([]byte("a")); ok {
+		t.Fatal("Get of absent key succeeded")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestTombstoneOverwrite(t *testing.T) {
+	tbl := New(1)
+	tbl.Insert([]byte("k"), 5, false)
+	tbl.Insert([]byte("k"), 6, true)
+	e, ok := tbl.Get([]byte("k"))
+	if !ok || !e.Tombstone {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestIterationSorted(t *testing.T) {
+	tbl := New(42)
+	rnd := rand.New(rand.NewSource(7))
+	keys := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%05d", rnd.Intn(500))
+		tbl.Insert([]byte(k), storage.Offset(i), false)
+		keys[k] = true
+	}
+	if tbl.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tbl.Len(), len(keys))
+	}
+	var got []string
+	for it := tbl.Iter(); it.Valid(); it.Next() {
+		got = append(got, string(it.Entry().Key))
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatal("iteration not sorted")
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("iterated %d keys, want %d", len(got), len(keys))
+	}
+}
+
+func TestSeekGE(t *testing.T) {
+	tbl := New(3)
+	for _, k := range []string{"apple", "banana", "cherry", "date"} {
+		tbl.Insert([]byte(k), 1, false)
+	}
+	it := tbl.SeekGE([]byte("b"))
+	if !it.Valid() || string(it.Entry().Key) != "banana" {
+		t.Fatalf("SeekGE(b) = %q", it.Entry().Key)
+	}
+	it = tbl.SeekGE([]byte("banana"))
+	if !it.Valid() || string(it.Entry().Key) != "banana" {
+		t.Fatalf("SeekGE(banana) = %q", it.Entry().Key)
+	}
+	it = tbl.SeekGE([]byte("zzz"))
+	if it.Valid() {
+		t.Fatal("SeekGE past end should be invalid")
+	}
+}
+
+func TestLatestWriteWins(t *testing.T) {
+	tbl := New(5)
+	for i := 0; i < 100; i++ {
+		tbl.Insert([]byte("hot"), storage.Offset(i), false)
+	}
+	e, _ := tbl.Get([]byte("hot"))
+	if e.Off != 99 {
+		t.Fatalf("Off = %d, want 99", e.Off)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestInsertDoesNotAliasCallerKey(t *testing.T) {
+	tbl := New(9)
+	k := []byte("mutable")
+	tbl.Insert(k, 1, false)
+	k[0] = 'X'
+	if _, ok := tbl.Get([]byte("mutable")); !ok {
+		t.Fatal("table aliased the caller's key buffer")
+	}
+}
+
+func TestPropertyMatchesReferenceMap(t *testing.T) {
+	type op struct {
+		Key byte
+		Off uint16
+	}
+	f := func(ops []op) bool {
+		tbl := New(11)
+		ref := map[string]storage.Offset{}
+		for _, o := range ops {
+			k := []byte{o.Key}
+			tbl.Insert(k, storage.Offset(o.Off), false)
+			ref[string(k)] = storage.Offset(o.Off)
+		}
+		if tbl.Len() != len(ref) {
+			return false
+		}
+		for k, off := range ref {
+			e, ok := tbl.Get([]byte(k))
+			if !ok || e.Off != off {
+				return false
+			}
+		}
+		// Iteration must be sorted and complete.
+		prev := []byte(nil)
+		n := 0
+		for it := tbl.Iter(); it.Valid(); it.Next() {
+			if prev != nil && kv.Compare(prev, it.Entry().Key) >= 0 {
+				return false
+			}
+			prev = append([]byte(nil), it.Entry().Key...)
+			n++
+		}
+		return n == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tbl := New(1)
+	keys := make([][]byte, b.N)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("user%012d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Insert(keys[i], storage.Offset(i), false)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tbl := New(1)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tbl.Insert([]byte(fmt.Sprintf("user%012d", i)), storage.Offset(i), false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Get([]byte(fmt.Sprintf("user%012d", i%n)))
+	}
+}

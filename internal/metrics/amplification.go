@@ -1,0 +1,27 @@
+package metrics
+
+// Amplification computes the paper's two amplification metrics (§4).
+//
+// I/O amplification  = device_traffic  / dataset_size
+// Net amplification  = network_traffic / dataset_size
+//
+// where dataset_size is the total user bytes (keys+values) of all
+// requests issued during the experiment, device_traffic is the total
+// bytes read+written on all storage devices, and network_traffic is the
+// total bytes sent+received by all servers.
+func Amplification(traffic, datasetSize uint64) float64 {
+	if datasetSize == 0 {
+		return 0
+	}
+	return float64(traffic) / float64(datasetSize)
+}
+
+// Efficiency converts total simulated cycles and an op count into the
+// paper's cycles/op metric (Equation 1 collapses to this in the
+// simulation, since we meter cycles directly instead of via mpstat).
+func Efficiency(totalCycles, ops uint64) float64 {
+	if ops == 0 {
+		return 0
+	}
+	return float64(totalCycles) / float64(ops)
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Histogram records latency samples into exponentially spaced buckets
+// and answers percentile queries. It covers 100 ns to ~100 s with ~5%
+// resolution, which is ample for the paper's 50th-99.99th percentile
+// tail-latency plots (Figure 8).
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []uint64
+	count   uint64
+	min     time.Duration
+	max     time.Duration
+}
+
+const (
+	histBase   = 100 * time.Nanosecond
+	histGrowth = 1.05
+	histSize   = 500
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make([]uint64, histSize), min: math.MaxInt64}
+}
+
+// bucketFor maps a duration to a bucket index.
+func bucketFor(d time.Duration) int {
+	if d <= histBase {
+		return 0
+	}
+	i := int(math.Log(float64(d)/float64(histBase)) / math.Log(histGrowth))
+	if i >= histSize {
+		return histSize - 1
+	}
+	return i
+}
+
+// bucketValue returns the representative duration of bucket i.
+func bucketValue(i int) time.Duration {
+	return time.Duration(float64(histBase) * math.Pow(histGrowth, float64(i)+0.5))
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	h.buckets[bucketFor(d)]++
+	h.count++
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Percentile returns the latency at percentile p (0 < p <= 100).
+// It returns 0 when the histogram is empty.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, b := range h.buckets {
+		cum += b
+		if cum >= rank {
+			v := bucketValue(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds all samples of o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	o.mu.Lock()
+	ob := append([]uint64(nil), o.buckets...)
+	oc, omin, omax := o.count, o.min, o.max
+	o.mu.Unlock()
+
+	h.mu.Lock()
+	for i, b := range ob {
+		h.buckets[i] += b
+	}
+	h.count += oc
+	if omin < h.min {
+		h.min = omin
+	}
+	if omax > h.max {
+		h.max = omax
+	}
+	h.mu.Unlock()
+}
+
+// Reset clears all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.count = 0
+	h.min = math.MaxInt64
+	h.max = 0
+	h.mu.Unlock()
+}
+
+// TailPercentiles are the request percentiles the paper reports in
+// Figure 8.
+var TailPercentiles = []float64{50, 70, 90, 99, 99.9, 99.99}

@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCyclesChargeAndSnapshot(t *testing.T) {
+	var cy Cycles
+	cy.Charge(CompInsertL0, 100)
+	cy.Charge(CompInsertL0, 50)
+	cy.Charge(CompCompaction, 200)
+	b := cy.Snapshot()
+	if b[CompInsertL0] != 150 || b[CompCompaction] != 200 {
+		t.Fatalf("snapshot = %v", b)
+	}
+	if b.Total() != 350 {
+		t.Fatalf("total = %d", b.Total())
+	}
+	cy.Reset()
+	if cy.Snapshot().Total() != 0 {
+		t.Fatal("reset did not zero counters")
+	}
+}
+
+func TestCyclesConcurrent(t *testing.T) {
+	var cy Cycles
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				cy.Charge(CompOther, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := cy.Snapshot()[CompOther]; got != 8000 {
+		t.Fatalf("concurrent total = %d, want 8000", got)
+	}
+}
+
+func TestBreakdownPerOpAndAdd(t *testing.T) {
+	b := Breakdown{100, 200, 300}
+	b.Add(Breakdown{1, 2, 3})
+	if b[0] != 101 || b[1] != 202 || b[2] != 303 {
+		t.Fatalf("Add = %v", b)
+	}
+	p := b.PerOp(101)
+	if p[0] != 1 || p[1] != 2 {
+		t.Fatalf("PerOp = %v", p)
+	}
+	if (Breakdown{}).PerOp(0).Total() != 0 {
+		t.Fatal("PerOp(0) should be zero")
+	}
+}
+
+func TestComponentStrings(t *testing.T) {
+	for c := Component(0); c < NumComponents; c++ {
+		if c.String() == "" {
+			t.Fatalf("component %d has empty name", c)
+		}
+	}
+	if Component(99).String() != "Component(99)" {
+		t.Fatal("unknown component string")
+	}
+}
+
+func TestCostModelMonotonicity(t *testing.T) {
+	m := DefaultCostModel()
+	if m.WriteIO(2048) <= m.WriteIO(1024) {
+		t.Fatal("WriteIO not monotone in bytes")
+	}
+	if m.ReadIO(0) != 0 {
+		t.Fatal("ReadIO(0) should be 0")
+	}
+	if m.RDMAWrite(0) != m.RDMAPost {
+		t.Fatal("RDMAWrite(0) should equal the post cost")
+	}
+	if m.L0Insert(100) <= m.L0InsertBase {
+		t.Fatal("L0Insert should grow with record size")
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	// 1..1000 µs uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Percentile(50)
+	if p50 < 400*time.Microsecond || p50 > 600*time.Microsecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 900*time.Microsecond || p99 > 1100*time.Microsecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if h.Percentile(100) > 1050*time.Microsecond {
+		t.Fatalf("p100 = %v exceeds max", h.Percentile(100))
+	}
+}
+
+func TestHistogramPercentileMonotone(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 5000; i++ {
+		h.Record(time.Duration(100+i*37%100000) * time.Microsecond)
+	}
+	prev := time.Duration(0)
+	for _, p := range TailPercentiles {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Fatalf("percentile %v = %v < previous %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Percentile(99) != 0 {
+		t.Fatal("empty histogram percentile should be 0")
+	}
+}
+
+func TestHistogramMergeAndReset(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Record(time.Millisecond)
+	b.Record(2 * time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 2 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Percentile(100) < 1900*time.Microsecond {
+		t.Fatalf("merged max percentile = %v", a.Percentile(100))
+	}
+	a.Reset()
+	if a.Count() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestHistogramPropertyBounds(t *testing.T) {
+	// Percentiles always lie within [min, max] of recorded samples.
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		min, max := time.Duration(math.MaxInt64), time.Duration(0)
+		for _, r := range raw {
+			d := time.Duration(r%10_000_000) * time.Microsecond
+			h.Record(d)
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		for _, p := range TailPercentiles {
+			v := h.Percentile(p)
+			if v < min || v > max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAmplification(t *testing.T) {
+	if got := Amplification(200, 100); got != 2.0 {
+		t.Fatalf("Amplification = %v", got)
+	}
+	if Amplification(10, 0) != 0 {
+		t.Fatal("zero dataset should give 0")
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	if got := Efficiency(30000, 10); got != 3000 {
+		t.Fatalf("Efficiency = %v", got)
+	}
+	if Efficiency(5, 0) != 0 {
+		t.Fatal("zero ops should give 0")
+	}
+}

@@ -1,0 +1,331 @@
+// Package rdma simulates the RDMA data plane Tebis runs on: registered
+// memory regions, reliable queue pairs, one-sided WRITE operations, and
+// work-completion events (§2 "Remote Direct Memory Access").
+//
+// The simulation enforces the two properties the paper's design depends
+// on (DESIGN.md §2):
+//
+//  1. One-sided writes never involve the target CPU. A Write memcpys
+//     into the target's registered memory and raises only a passive
+//     doorbell the target may poll; no target-side code runs.
+//  2. All traffic is byte-counted per endpoint, giving the network
+//     amplification metric.
+//
+// Two-sided Send/Recv is also provided for control messages, costing
+// CPU on both sides like real verbs send/receive.
+package rdma
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Errors reported by the package.
+var (
+	ErrBadRKey       = errors.New("rdma: unknown rkey")
+	ErrBounds        = errors.New("rdma: access outside registered region")
+	ErrDisconnected  = errors.New("rdma: queue pair disconnected")
+	ErrNoRecvBuffer  = errors.New("rdma: no posted receive buffer")
+	ErrSendTooLarge  = errors.New("rdma: send larger than posted receive buffer")
+	ErrCQOverflow    = errors.New("rdma: completion queue overflow")
+	ErrAlreadyClosed = errors.New("rdma: endpoint closed")
+)
+
+// Endpoint is one node's NIC: a registry of memory regions plus traffic
+// counters.
+type Endpoint struct {
+	name string
+
+	mu      sync.Mutex
+	regions map[uint32]*MemoryRegion
+	nextKey uint32
+	closed  bool
+
+	tx atomic.Uint64
+	rx atomic.Uint64
+
+	// doorbell wakes pollers when any region of this endpoint is
+	// written remotely. It models the memory the spinning thread polls:
+	// the writer's NIC makes bytes visible; the poller discovers them.
+	doorbell chan struct{}
+}
+
+// NewEndpoint creates a NIC for a node.
+func NewEndpoint(name string) *Endpoint {
+	return &Endpoint{
+		name:     name,
+		regions:  make(map[uint32]*MemoryRegion),
+		nextKey:  1,
+		doorbell: make(chan struct{}, 1),
+	}
+}
+
+// Name returns the endpoint's node name.
+func (ep *Endpoint) Name() string { return ep.name }
+
+// TxBytes returns total bytes written out of this endpoint.
+func (ep *Endpoint) TxBytes() uint64 { return ep.tx.Load() }
+
+// RxBytes returns total bytes received into this endpoint's memory.
+func (ep *Endpoint) RxBytes() uint64 { return ep.rx.Load() }
+
+// ResetCounters zeroes the traffic counters.
+func (ep *Endpoint) ResetCounters() {
+	ep.tx.Store(0)
+	ep.rx.Store(0)
+}
+
+// Doorbell returns a channel that receives a token whenever remote data
+// lands in any of this endpoint's regions. The server's spinning thread
+// blocks here when all rendezvous points are quiet — the sleep-wakeup
+// variant §3.4.1 mentions; detection work is still charged per message
+// by the cost model.
+func (ep *Endpoint) Doorbell() <-chan struct{} { return ep.doorbell }
+
+func (ep *Endpoint) ring() {
+	select {
+	case ep.doorbell <- struct{}{}:
+	default:
+	}
+}
+
+// MemoryRegion is registered memory remotely writable via its RKey.
+type MemoryRegion struct {
+	ep   *Endpoint
+	rkey uint32
+	mu   sync.RWMutex
+	buf  []byte
+}
+
+// Register pins size bytes of memory and returns the region.
+func (ep *Endpoint) Register(size int) (*MemoryRegion, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return nil, ErrAlreadyClosed
+	}
+	mr := &MemoryRegion{ep: ep, rkey: ep.nextKey, buf: make([]byte, size)}
+	ep.nextKey++
+	ep.regions[mr.rkey] = mr
+	return mr, nil
+}
+
+// Deregister unpins the region; subsequent remote writes fail.
+func (ep *Endpoint) Deregister(mr *MemoryRegion) {
+	ep.mu.Lock()
+	delete(ep.regions, mr.rkey)
+	ep.mu.Unlock()
+}
+
+// RKey returns the region's remote access key.
+func (mr *MemoryRegion) RKey() uint32 { return mr.rkey }
+
+// Size returns the region length.
+func (mr *MemoryRegion) Size() int { return len(mr.buf) }
+
+// Bytes gives the local owner direct access to the region's memory (the
+// spinning thread polls this; the client reads replies from it). The
+// returned slice aliases the live buffer.
+func (mr *MemoryRegion) Bytes() []byte { return mr.buf }
+
+// ReadAt copies from the region under the region lock, for
+// race-free polling of bytes a remote writer may touch.
+func (mr *MemoryRegion) ReadAt(off int, p []byte) error {
+	mr.mu.RLock()
+	defer mr.mu.RUnlock()
+	if off < 0 || off+len(p) > len(mr.buf) {
+		return fmt.Errorf("%w: read [%d,%d) of %d", ErrBounds, off, off+len(p), len(mr.buf))
+	}
+	copy(p, mr.buf[off:])
+	return nil
+}
+
+// WriteLocal lets the region's owner mutate its memory (zeroing consumed
+// message slots) under the region lock.
+func (mr *MemoryRegion) WriteLocal(off int, p []byte) error {
+	mr.mu.Lock()
+	defer mr.mu.Unlock()
+	if off < 0 || off+len(p) > len(mr.buf) {
+		return fmt.Errorf("%w: write [%d,%d) of %d", ErrBounds, off, off+len(p), len(mr.buf))
+	}
+	copy(mr.buf[off:], p)
+	return nil
+}
+
+// Completion is a work-completion event of a reliable queue pair.
+type Completion struct {
+	// WRID is the caller-chosen work-request ID.
+	WRID uint64
+	// Bytes is the payload size of the completed operation.
+	Bytes int
+}
+
+// QP is one direction of a reliable connection: operations initiated at
+// the local endpoint targeting the remote endpoint. Use a pair of QPs
+// for bidirectional traffic.
+type QP struct {
+	local  *Endpoint
+	remote *Endpoint
+
+	cq   chan Completion
+	done chan struct{}
+
+	recvMu   sync.Mutex
+	recvCond *sync.Cond
+	recvQ    [][]byte // posted receive buffers (two-sided)
+	inbox    [][]byte // arrived sends not yet received
+	closed   bool
+}
+
+// Connect creates a reliable QP from local to remote with the given
+// completion-queue depth.
+func Connect(local, remote *Endpoint, cqDepth int) *QP {
+	qp := &QP{
+		local:  local,
+		remote: remote,
+		cq:     make(chan Completion, cqDepth),
+		done:   make(chan struct{}),
+	}
+	qp.recvCond = sync.NewCond(&qp.recvMu)
+	return qp
+}
+
+// Local returns the initiating endpoint.
+func (qp *QP) Local() *Endpoint { return qp.local }
+
+// Remote returns the target endpoint.
+func (qp *QP) Remote() *Endpoint { return qp.remote }
+
+// Write performs a one-sided RDMA WRITE of data into the remote region
+// identified by rkey at offset off. The remote CPU is not involved; a
+// completion is delivered to the local CQ when the data is in remote
+// memory (reliable connection semantics, §3.2).
+func (qp *QP) Write(rkey uint32, off int, data []byte, wrID uint64) error {
+	select {
+	case <-qp.done:
+		return ErrDisconnected
+	default:
+	}
+	qp.remote.mu.Lock()
+	mr, ok := qp.remote.regions[rkey]
+	qp.remote.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d at %s", ErrBadRKey, rkey, qp.remote.name)
+	}
+	mr.mu.Lock()
+	if off < 0 || off+len(data) > len(mr.buf) {
+		mr.mu.Unlock()
+		return fmt.Errorf("%w: write [%d,%d) of %d", ErrBounds, off, off+len(data), len(mr.buf))
+	}
+	copy(mr.buf[off:], data)
+	mr.mu.Unlock()
+
+	qp.local.tx.Add(uint64(len(data)))
+	qp.remote.rx.Add(uint64(len(data)))
+	qp.remote.ring()
+
+	select {
+	case qp.cq <- Completion{WRID: wrID, Bytes: len(data)}:
+		return nil
+	default:
+	}
+	select {
+	case <-qp.done:
+		return ErrDisconnected
+	default:
+		return ErrCQOverflow
+	}
+}
+
+// PollCQ returns up to max pending completions without blocking.
+func (qp *QP) PollCQ(max int) []Completion {
+	out := make([]Completion, 0, max)
+	for len(out) < max {
+		select {
+		case c := <-qp.cq:
+			out = append(out, c)
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+// WaitCompletion blocks for the next completion (or QP teardown).
+func (qp *QP) WaitCompletion() (Completion, error) {
+	select {
+	case c := <-qp.cq:
+		return c, nil
+	case <-qp.done:
+		// Drain any completion that raced with the close.
+		select {
+		case c := <-qp.cq:
+			return c, nil
+		default:
+			return Completion{}, ErrDisconnected
+		}
+	}
+}
+
+// PostRecv posts a receive buffer for two-sided traffic.
+func (qp *QP) PostRecv(size int) {
+	qp.recvMu.Lock()
+	qp.recvQ = append(qp.recvQ, make([]byte, size))
+	qp.recvCond.Broadcast()
+	qp.recvMu.Unlock()
+}
+
+// Send performs a two-sided send: the payload lands in the remote QP's
+// posted receive queue and is retrieved by Recv. Unlike Write, this
+// costs CPU on both sides (the callers charge it). Reliable-connection
+// semantics: when the receiver has no posted buffer the sender blocks
+// until one appears (hardware RNR retry).
+func (qp *QP) Send(peer *QP, data []byte) error {
+	peer.recvMu.Lock()
+	defer peer.recvMu.Unlock()
+	for len(peer.recvQ) == 0 && !peer.closed {
+		peer.recvCond.Wait()
+	}
+	if peer.closed {
+		return ErrDisconnected
+	}
+	buf := peer.recvQ[0]
+	if len(data) > len(buf) {
+		return fmt.Errorf("%w: %d > %d", ErrSendTooLarge, len(data), len(buf))
+	}
+	peer.recvQ = peer.recvQ[1:]
+	msg := append(buf[:0], data...)
+	peer.inbox = append(peer.inbox, msg)
+	qp.local.tx.Add(uint64(len(data)))
+	qp.remote.rx.Add(uint64(len(data)))
+	peer.recvCond.Broadcast()
+	return nil
+}
+
+// Recv blocks until a sent message arrives (or the QP closes).
+func (qp *QP) Recv() ([]byte, error) {
+	qp.recvMu.Lock()
+	defer qp.recvMu.Unlock()
+	for len(qp.inbox) == 0 && !qp.closed {
+		qp.recvCond.Wait()
+	}
+	if len(qp.inbox) == 0 {
+		return nil, ErrDisconnected
+	}
+	msg := qp.inbox[0]
+	qp.inbox = qp.inbox[1:]
+	return msg, nil
+}
+
+// Close tears the QP down, waking blocked receivers and completers.
+func (qp *QP) Close() {
+	qp.recvMu.Lock()
+	if !qp.closed {
+		qp.closed = true
+		close(qp.done)
+	}
+	qp.recvCond.Broadcast()
+	qp.recvMu.Unlock()
+}

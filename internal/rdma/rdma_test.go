@@ -1,0 +1,249 @@
+package rdma
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestOneSidedWriteLandsInRemoteMemory(t *testing.T) {
+	a, b := NewEndpoint("a"), NewEndpoint("b")
+	mr, err := b.Register(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp := Connect(a, b, 16)
+	data := []byte("one-sided payload")
+	if err := qp.Write(mr.RKey(), 100, data, 7); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := mr.ReadAt(100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("remote memory = %q", got)
+	}
+	c, err := qp.WaitCompletion()
+	if err != nil || c.WRID != 7 || c.Bytes != len(data) {
+		t.Fatalf("completion = %+v, %v", c, err)
+	}
+	if a.TxBytes() != uint64(len(data)) || b.RxBytes() != uint64(len(data)) {
+		t.Fatalf("tx=%d rx=%d", a.TxBytes(), b.RxBytes())
+	}
+}
+
+func TestWriteBoundsAndRKeyChecks(t *testing.T) {
+	a, b := NewEndpoint("a"), NewEndpoint("b")
+	mr, _ := b.Register(64)
+	qp := Connect(a, b, 4)
+	if err := qp.Write(999, 0, []byte("x"), 1); !errors.Is(err, ErrBadRKey) {
+		t.Fatalf("bad rkey err = %v", err)
+	}
+	if err := qp.Write(mr.RKey(), 60, []byte("12345678"), 1); !errors.Is(err, ErrBounds) {
+		t.Fatalf("bounds err = %v", err)
+	}
+	if err := qp.Write(mr.RKey(), -1, []byte("x"), 1); !errors.Is(err, ErrBounds) {
+		t.Fatalf("negative offset err = %v", err)
+	}
+}
+
+func TestDeregisteredRegionRejected(t *testing.T) {
+	a, b := NewEndpoint("a"), NewEndpoint("b")
+	mr, _ := b.Register(64)
+	b.Deregister(mr)
+	qp := Connect(a, b, 4)
+	if err := qp.Write(mr.RKey(), 0, []byte("x"), 1); !errors.Is(err, ErrBadRKey) {
+		t.Fatalf("deregistered write err = %v", err)
+	}
+}
+
+func TestDoorbellRingsOnWrite(t *testing.T) {
+	a, b := NewEndpoint("a"), NewEndpoint("b")
+	mr, _ := b.Register(64)
+	qp := Connect(a, b, 4)
+	select {
+	case <-b.Doorbell():
+		t.Fatal("doorbell rang before any write")
+	default:
+	}
+	if err := qp.Write(mr.RKey(), 0, []byte("x"), 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Doorbell():
+	default:
+		t.Fatal("doorbell did not ring")
+	}
+}
+
+func TestSendRecvTwoSided(t *testing.T) {
+	a, b := NewEndpoint("a"), NewEndpoint("b")
+	qab := Connect(a, b, 4)
+	qba := Connect(b, a, 4)
+	qba.PostRecv(128)
+	if err := qab.Send(qba, []byte("control message")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := qba.Recv()
+	if err != nil || string(msg) != "control message" {
+		t.Fatalf("Recv = %q, %v", msg, err)
+	}
+}
+
+func TestSendWaitsForPostedRecv(t *testing.T) {
+	// Reliable-connection RNR semantics: a send with no posted receive
+	// buffer blocks until one is posted.
+	a, b := NewEndpoint("a"), NewEndpoint("b")
+	qab := Connect(a, b, 4)
+	qba := Connect(b, a, 4)
+	done := make(chan error, 1)
+	go func() { done <- qab.Send(qba, []byte("x")) }()
+	select {
+	case err := <-done:
+		t.Fatalf("Send returned %v before a recv was posted", err)
+	default:
+	}
+	qba.PostRecv(16)
+	if err := <-done; err != nil {
+		t.Fatalf("Send after post: %v", err)
+	}
+	if msg, err := qba.Recv(); err != nil || string(msg) != "x" {
+		t.Fatalf("Recv = %q, %v", msg, err)
+	}
+	qba.PostRecv(2)
+	if err := qab.Send(qba, []byte("too large")); !errors.Is(err, ErrSendTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSendToClosedQPFails(t *testing.T) {
+	a, b := NewEndpoint("a"), NewEndpoint("b")
+	qab := Connect(a, b, 4)
+	qba := Connect(b, a, 4)
+	qba.Close()
+	if err := qab.Send(qba, []byte("x")); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCloseWakesReceiver(t *testing.T) {
+	a, b := NewEndpoint("a"), NewEndpoint("b")
+	qba := Connect(b, a, 4)
+	done := make(chan error, 1)
+	go func() {
+		_, err := qba.Recv()
+		done <- err
+	}()
+	qba.Close()
+	if err := <-done; !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("Recv after close = %v", err)
+	}
+	if _, err := qba.WaitCompletion(); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("WaitCompletion after close = %v", err)
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	a, b := NewEndpoint("a"), NewEndpoint("b")
+	mr, _ := b.Register(64)
+	qp := Connect(a, b, 4)
+	qp.Close()
+	if err := qp.Write(mr.RKey(), 0, []byte("x"), 1); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPollCQ(t *testing.T) {
+	a, b := NewEndpoint("a"), NewEndpoint("b")
+	mr, _ := b.Register(1024)
+	qp := Connect(a, b, 16)
+	for i := 0; i < 5; i++ {
+		if err := qp.Write(mr.RKey(), i, []byte{1}, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := qp.PollCQ(3)
+	if len(got) != 3 || got[0].WRID != 0 || got[2].WRID != 2 {
+		t.Fatalf("PollCQ = %+v", got)
+	}
+	got = qp.PollCQ(10)
+	if len(got) != 2 {
+		t.Fatalf("second PollCQ = %+v", got)
+	}
+}
+
+func TestCQOverflow(t *testing.T) {
+	a, b := NewEndpoint("a"), NewEndpoint("b")
+	mr, _ := b.Register(64)
+	qp := Connect(a, b, 1)
+	if err := qp.Write(mr.RKey(), 0, []byte{1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := qp.Write(mr.RKey(), 0, []byte{1}, 2); !errors.Is(err, ErrCQOverflow) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentWritersDisjointRanges(t *testing.T) {
+	a, b := NewEndpoint("a"), NewEndpoint("b")
+	mr, _ := b.Register(8 * 256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			qp := Connect(a, b, 256)
+			buf := bytes.Repeat([]byte{byte(w + 1)}, 256)
+			if err := qp.Write(mr.RKey(), w*256, buf, uint64(w)); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 8; w++ {
+		got := make([]byte, 256)
+		if err := mr.ReadAt(w*256, got); err != nil {
+			t.Fatal(err)
+		}
+		for _, bb := range got {
+			if bb != byte(w+1) {
+				t.Fatalf("range %d corrupted: %d", w, bb)
+			}
+		}
+	}
+	if a.TxBytes() != 8*256 {
+		t.Fatalf("tx = %d", a.TxBytes())
+	}
+}
+
+func TestLocalRegionAccess(t *testing.T) {
+	ep := NewEndpoint("n")
+	mr, _ := ep.Register(32)
+	if err := mr.WriteLocal(4, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if err := mr.ReadAt(4, got); err != nil || string(got) != "abcd" {
+		t.Fatalf("ReadAt = %q, %v", got, err)
+	}
+	if err := mr.WriteLocal(30, []byte("abcd")); !errors.Is(err, ErrBounds) {
+		t.Fatalf("err = %v", err)
+	}
+	if mr.Size() != 32 {
+		t.Fatalf("Size = %d", mr.Size())
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	a, b := NewEndpoint("a"), NewEndpoint("b")
+	mr, _ := b.Register(64)
+	qp := Connect(a, b, 4)
+	_ = qp.Write(mr.RKey(), 0, []byte("xy"), 1)
+	a.ResetCounters()
+	b.ResetCounters()
+	if a.TxBytes() != 0 || b.RxBytes() != 0 {
+		t.Fatal("counters not reset")
+	}
+}

@@ -1,0 +1,492 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"tebis/internal/btree"
+	"tebis/internal/lsm"
+	"tebis/internal/metrics"
+	"tebis/internal/rdma"
+	"tebis/internal/region"
+	"tebis/internal/storage"
+	"tebis/internal/vlog"
+	"tebis/internal/wire"
+)
+
+// Mode selects the replication scheme for a region (§4).
+type Mode int
+
+// Replication modes.
+const (
+	// NoReplication runs the primary alone.
+	NoReplication Mode = iota
+	// SendIndex ships the pre-built index to backups (the paper's
+	// contribution).
+	SendIndex
+	// BuildIndex has backups build their own index with compactions
+	// (the paper's baseline).
+	BuildIndex
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case NoReplication:
+		return "No-Replication"
+	case SendIndex:
+		return "Send-Index"
+	case BuildIndex:
+		return "Build-Index"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// BackupConfig configures one backup region replica.
+type BackupConfig struct {
+	// RegionID is the replicated region.
+	RegionID region.ID
+	// ServerName is the hosting region server.
+	ServerName string
+	// Mode selects Send-Index or Build-Index.
+	Mode Mode
+	// Device is the backup node's storage device.
+	Device storage.Device
+	// Endpoint is the backup node's NIC.
+	Endpoint *rdma.Endpoint
+	// Cycles is the backup node's cycle account.
+	Cycles *metrics.Cycles
+	// Cost is the cycle cost model.
+	Cost metrics.CostModel
+	// LSM configures the backup's own engine in Build-Index mode and is
+	// reused by Promote in both modes.
+	LSM lsm.Options
+}
+
+// Backup is the backup-side replica of one region.
+type Backup struct {
+	cfg BackupConfig
+	geo storage.Geometry
+
+	// Registered RDMA buffers the primary writes into.
+	logBuf *rdma.MemoryRegion // value-log tail replica (§3.2)
+	idxBuf *rdma.MemoryRegion // index segment staging (§3.3)
+
+	// Control channel (two-sided).
+	reqRecv *rdma.QP // primary's commands arrive here
+	ackSend *rdma.QP // acks go back on this
+	ackPeer *rdma.QP // the primary's ack receive QP
+
+	mu      sync.Mutex
+	log     *vlog.Log
+	logMap  *SegMap
+	flushed map[storage.SegmentID]bool  // primary log segments flushed here
+	idxMap  *SegMap                     // valid during one compaction
+	pending map[int][]storage.SegmentID // segments of the level being shipped
+	levels  map[int]lsm.LevelState      // installed levels (Send-Index)
+	db      *lsm.DB                     // own engine (Build-Index)
+	// watermarkPrimary is the last compaction watermark in primary
+	// device space.
+	watermarkPrimary storage.Offset
+	loopDone         chan struct{}
+	loopErr          error
+	promoted         bool
+
+	// Build-Index: flushed segments are indexed by a background worker
+	// so the flush ack does not wait on L0 inserts (backup compactions
+	// run on the backup's own threads, as in the paper's baseline).
+	idxQueue chan idxWork
+	idxDone  chan struct{}
+}
+
+// idxWork is one flushed log segment awaiting Build-Index indexing.
+type idxWork struct {
+	local storage.SegmentID
+	data  []byte
+}
+
+// NewBackup creates the backup-side state for a region replica.
+func NewBackup(cfg BackupConfig) (*Backup, error) {
+	if cfg.Device == nil || cfg.Endpoint == nil {
+		return nil, fmt.Errorf("replica: backup needs Device and Endpoint")
+	}
+	geo := cfg.Device.Geometry()
+	logBuf, err := cfg.Endpoint.Register(int(geo.SegmentSize()))
+	if err != nil {
+		return nil, err
+	}
+	idxBuf, err := cfg.Endpoint.Register(int(geo.SegmentSize()))
+	if err != nil {
+		return nil, err
+	}
+	b := &Backup{
+		cfg:     cfg,
+		geo:     geo,
+		logBuf:  logBuf,
+		idxBuf:  idxBuf,
+		logMap:  NewSegMap(cfg.Device),
+		pending: make(map[int][]storage.SegmentID),
+		levels:  make(map[int]lsm.LevelState),
+	}
+	// The backup's value log holds adopted (replicated) segments; it
+	// never appends until promotion.
+	b.log, err = vlog.New(cfg.Device)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Mode == BuildIndex {
+		opt := cfg.LSM
+		opt.Device = cfg.Device
+		opt.Cycles = cfg.Cycles
+		opt.Cost = cfg.Cost
+		opt.Listener = nil // backups of backups do not exist
+		db, err := lsm.NewFromState(opt, b.log, nil, storage.NilOffset)
+		if err != nil {
+			return nil, err
+		}
+		b.db = db
+		b.idxQueue = make(chan idxWork, 4)
+		b.idxDone = make(chan struct{})
+		go b.indexWorker()
+	}
+	return b, nil
+}
+
+// indexWorker drains flushed segments into the backup's own LSM
+// (Build-Index mode only).
+func (b *Backup) indexWorker() {
+	defer close(b.idxDone)
+	for w := range b.idxQueue {
+		if err := b.indexFlushedSegment(w.local, w.data); err != nil {
+			b.fail(err)
+			return
+		}
+	}
+}
+
+// LogBufferRKey returns the rkey the primary writes log records to.
+func (b *Backup) LogBufferRKey() uint32 { return b.logBuf.RKey() }
+
+// IndexBufferRKey returns the rkey the primary stages index segments to.
+func (b *Backup) IndexBufferRKey() uint32 { return b.idxBuf.RKey() }
+
+// ServerName returns the hosting server's name.
+func (b *Backup) ServerName() string { return b.cfg.ServerName }
+
+// Mode returns the replication mode.
+func (b *Backup) Mode() Mode { return b.cfg.Mode }
+
+// LogMap exposes the backup's log segment map (promotion needs it).
+func (b *Backup) LogMap() *SegMap { return b.logMap }
+
+func (b *Backup) charge(c metrics.Component, n uint64) {
+	if b.cfg.Cycles != nil {
+		b.cfg.Cycles.Charge(c, n)
+	}
+}
+
+// serve is the backup's control loop: it receives primary commands and
+// acknowledges them. The loop exits when the control QP closes.
+func (b *Backup) serve() {
+	defer close(b.loopDone)
+	for {
+		b.reqRecv.PostRecv(64 << 10)
+		msg, err := b.reqRecv.Recv()
+		if err != nil {
+			return
+		}
+		// Control messages are two-sided: detection and parsing cost
+		// backup CPU (unlike the one-sided data writes).
+		b.charge(metrics.CompOther, b.cfg.Cost.PollPerMessage)
+		h, payload, err := wire.DecodeMessage(msg)
+		if err != nil {
+			b.fail(fmt.Errorf("replica: backup decode: %w", err))
+			return
+		}
+		ack, err := b.handle(h, payload)
+		if err != nil {
+			b.fail(err)
+			return
+		}
+		if err := b.ackSend.Send(b.ackPeer, ack); err != nil {
+			if !errors.Is(err, rdma.ErrDisconnected) {
+				b.fail(err)
+			}
+			return
+		}
+	}
+}
+
+func (b *Backup) fail(err error) {
+	b.mu.Lock()
+	if b.loopErr == nil {
+		b.loopErr = err
+	}
+	b.mu.Unlock()
+}
+
+// Err returns the first control-loop error, if any.
+func (b *Backup) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.loopErr
+}
+
+func (b *Backup) handle(h wire.Header, payload []byte) ([]byte, error) {
+	switch h.Opcode {
+	case wire.OpFlushTail:
+		req, err := wire.DecodeFlushTail(payload)
+		if err != nil {
+			return nil, err
+		}
+		return b.handleFlushTail(h, req)
+	case wire.OpCompactionStart:
+		return b.handleCompactionStart(h)
+	case wire.OpIndexSegment:
+		req, err := wire.DecodeIndexSegment(payload)
+		if err != nil {
+			return nil, err
+		}
+		return b.handleIndexSegment(h, req)
+	case wire.OpCompactionDone:
+		req, err := wire.DecodeCompactionDone(payload)
+		if err != nil {
+			return nil, err
+		}
+		return b.handleCompactionDone(h, req)
+	case wire.OpTrimLog:
+		req, err := wire.DecodeTrimLog(payload)
+		if err != nil {
+			return nil, err
+		}
+		return b.handleTrimLog(h, req)
+	default:
+		return nil, fmt.Errorf("replica: backup got unexpected op %v", h.Opcode)
+	}
+}
+
+func ackMessage(h wire.Header, op wire.Op) []byte {
+	buf := make([]byte, wire.MessageSize(1))
+	if _, err := wire.EncodeMessage(buf, wire.Header{
+		Opcode:    op,
+		RegionID:  h.RegionID,
+		RequestID: h.RequestID,
+	}, []byte{0}); err != nil {
+		panic(err) // buffer is sized exactly; cannot fail
+	}
+	return buf
+}
+
+// handleFlushTail persists the replicated log buffer as a local segment
+// (§3.2 steps 2c-2d) and, in Build-Index mode, inserts the flushed
+// records into the backup's own L0.
+func (b *Backup) handleFlushTail(h wire.Header, req wire.FlushTail) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	data := make([]byte, b.logBuf.Size())
+	if err := b.logBuf.ReadAt(0, data); err != nil {
+		return nil, err
+	}
+	// The log map may already hold a lazily allocated segment for this
+	// primary segment (an index leaf referenced it before the flush).
+	local, err := b.logMap.Resolve(storage.SegmentID(req.PrimarySeg))
+	if err != nil {
+		return nil, err
+	}
+	if err := b.log.AdoptSegmentAs(local, data); err != nil {
+		return nil, err
+	}
+	b.logMap.MarkFlushed(storage.SegmentID(req.PrimarySeg))
+	b.charge(metrics.CompLogReplication, b.cfg.Cost.WriteIO(len(data)))
+
+	if b.cfg.Mode == BuildIndex && b.db != nil {
+		// Build-Index: hand the flushed records to the indexing worker.
+		b.mu.Unlock()
+		b.idxQueue <- idxWork{local: local, data: data}
+		b.mu.Lock()
+	}
+
+	// Clear the buffer for the next tail (the primary restarts at 0).
+	zero := make([]byte, b.logBuf.Size())
+	if err := b.logBuf.WriteLocal(0, zero); err != nil {
+		return nil, err
+	}
+	return ackMessage(h, wire.OpFlushTailAck), nil
+}
+
+// indexFlushedSegment walks the records of a freshly flushed log segment
+// and inserts them into the backup's own LSM (Build-Index).
+func (b *Backup) indexFlushedSegment(local storage.SegmentID, data []byte) error {
+	used := vlog.ScanUsed(data)
+	return replaySegmentRecords(b.geo, local, data[:used], func(off storage.Offset, key []byte, tomb bool, recLen int) error {
+		return b.db.PutIndexed(key, off, tomb, recLen)
+	})
+}
+
+// handleCompactionStart resets the per-compaction index map.
+func (b *Backup) handleCompactionStart(h wire.Header) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.idxMap != nil {
+		// A previous compaction never completed (primary retry);
+		// discard its partial segments.
+		if err := b.idxMap.FreeAll(); err != nil {
+			return nil, err
+		}
+	}
+	b.idxMap = NewSegMap(b.cfg.Device)
+	b.pending = make(map[int][]storage.SegmentID)
+	return ackMessage(h, wire.OpIndexSegmentAck), nil
+}
+
+// handleIndexSegment rewrites and persists one shipped index segment
+// (§3.3): resolve a local segment through the index map, rebase every
+// pivot and KV device offset, write it out.
+func (b *Backup) handleIndexSegment(h wire.Header, req wire.IndexSegment) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.idxMap == nil {
+		return nil, fmt.Errorf("replica: index segment without compaction start")
+	}
+	if int64(req.DataLen) > b.geo.SegmentSize() {
+		return nil, fmt.Errorf("replica: index segment of %d bytes", req.DataLen)
+	}
+	data := make([]byte, req.DataLen)
+	if err := b.idxBuf.ReadAt(0, data); err != nil {
+		return nil, err
+	}
+	pointers, err := btree.RewriteSegment(
+		data, b.cfg.LSM.NodeSize, b.geo,
+		b.idxMap.Resolve, // child pointers → index map
+		b.logMap.Resolve, // value offsets → log map (lazy for tail refs)
+	)
+	if err != nil {
+		return nil, err
+	}
+	b.charge(metrics.CompRewriteIndex, uint64(pointers)*b.cfg.Cost.RewritePerPointer)
+
+	local, err := b.idxMap.Resolve(storage.SegmentID(req.PrimarySeg))
+	if err != nil {
+		return nil, err
+	}
+	if err := b.cfg.Device.WriteAt(b.geo.Pack(local, 0), data); err != nil {
+		return nil, err
+	}
+	b.charge(metrics.CompRewriteIndex, b.cfg.Cost.WriteIO(len(data)))
+	lvl := int(req.DstLevel)
+	b.pending[lvl] = append(b.pending[lvl], local)
+	return ackMessage(h, wire.OpIndexSegmentAck), nil
+}
+
+// handleCompactionDone installs the shipped level: translate the root
+// through the index map, adopt the pending segments, release the levels
+// the compaction replaced.
+func (b *Backup) handleCompactionDone(h wire.Header, req wire.CompactionDone) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	dst := int(req.DstLevel)
+	src := int(req.SrcLevel)
+
+	var newState lsm.LevelState
+	if req.NumKeys > 0 {
+		if b.idxMap == nil {
+			return nil, fmt.Errorf("replica: compaction done without start")
+		}
+		rootOff := storage.Offset(req.Root)
+		localSeg, ok := b.idxMap.Lookup(b.geo.Segment(rootOff))
+		if !ok {
+			return nil, fmt.Errorf("replica: root segment %d never shipped", b.geo.Segment(rootOff))
+		}
+		newState = lsm.LevelState{
+			Root:     b.geo.Rebase(rootOff, localSeg),
+			Segments: b.pending[dst],
+			NumKeys:  int(req.NumKeys),
+		}
+	}
+
+	// Free the levels this compaction replaced.
+	for _, lvl := range []int{src, dst} {
+		if lvl == 0 {
+			continue // backups have no L0 (the Send-Index memory saving)
+		}
+		if old, ok := b.levels[lvl]; ok {
+			for _, seg := range old.Segments {
+				if err := b.cfg.Device.Free(seg); err != nil {
+					return nil, err
+				}
+			}
+			delete(b.levels, lvl)
+		}
+	}
+	if req.NumKeys > 0 {
+		b.levels[dst] = newState
+	}
+	b.watermarkPrimary = storage.Offset(req.Watermark)
+	if b.idxMap != nil {
+		b.idxMap.Clear() // segment ownership moved to the level
+		b.idxMap = nil
+	}
+	b.pending = make(map[int][]storage.SegmentID)
+	return ackMessage(h, wire.OpCompactionDoneAck), nil
+}
+
+// handleTrimLog performs the backup side of GC: translate the keep
+// offset into local space through the log map and trim the replicated
+// log (§4 — no data movement at backups).
+func (b *Backup) handleTrimLog(h wire.Header, req wire.TrimLog) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	keepPrimary := storage.Offset(req.Keep)
+	local, ok := b.logMap.Lookup(b.geo.Segment(keepPrimary))
+	if ok {
+		if _, err := b.log.Trim(b.geo.Rebase(keepPrimary, local)); err != nil {
+			return nil, err
+		}
+	}
+	// If the keep segment was never flushed here (it is the primary's
+	// tail), every sealed local segment is trimmable.
+	if !ok {
+		if _, err := b.log.Trim(b.geo.Pack(b.log.TailSegment(), 0)); err != nil {
+			return nil, err
+		}
+	}
+	return ackMessage(h, wire.OpTrimLogAck), nil
+}
+
+// LevelStates returns the installed levels ordered L1..Ln, sized to
+// maxLevels-1 entries (Send-Index mode).
+func (b *Backup) LevelStates(maxLevels int) []lsm.LevelState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]lsm.LevelState, maxLevels-1)
+	var lvls []int
+	for l := range b.levels {
+		lvls = append(lvls, l)
+	}
+	sort.Ints(lvls)
+	for _, l := range lvls {
+		if l-1 >= 0 && l-1 < len(out) {
+			out[l-1] = b.levels[l]
+		}
+	}
+	return out
+}
+
+// DB returns the backup's own engine (Build-Index mode; nil otherwise).
+func (b *Backup) DB() *lsm.DB { return b.db }
+
+// replaySegmentRecords walks the records of one segment image.
+func replaySegmentRecords(geo storage.Geometry, seg storage.SegmentID, data []byte, fn func(off storage.Offset, key []byte, tomb bool, recLen int) error) error {
+	var ferr error
+	vlog.WalkImage(data, func(pos int64, key, value []byte, tomb bool, recLen int) bool {
+		if err := fn(geo.Pack(seg, pos), key, tomb, recLen); err != nil {
+			ferr = err
+			return false
+		}
+		return true
+	})
+	return ferr
+}

@@ -1,0 +1,480 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+
+	"tebis/internal/lsm"
+	"tebis/internal/metrics"
+	"tebis/internal/rdma"
+	"tebis/internal/storage"
+)
+
+// rig is a one-region mini cluster: a primary plus n backups, each with
+// its own device, NIC, and cycle account.
+type rig struct {
+	t       *testing.T
+	mode    Mode
+	primary *Primary
+	db      *lsm.DB
+	backups []*Backup
+
+	devP *storage.MemDevice
+	cyP  *metrics.Cycles
+	epP  *rdma.Endpoint
+
+	devB []*storage.MemDevice
+	cyB  []*metrics.Cycles
+	epB  []*rdma.Endpoint
+}
+
+func lsmOpts() lsm.Options {
+	return lsm.Options{
+		NodeSize:     512,
+		GrowthFactor: 4,
+		L0MaxKeys:    256,
+		MaxLevels:    5,
+		Seed:         1,
+	}
+}
+
+func newRig(t *testing.T, mode Mode, nBackups int) *rig {
+	t.Helper()
+	const segSize = 16 << 10
+	r := &rig{t: t, mode: mode}
+	var err error
+	r.devP, err = storage.NewMemDevice(segSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.cyP = &metrics.Cycles{}
+	r.epP = rdma.NewEndpoint("primary")
+
+	r.primary = NewPrimary(PrimaryConfig{
+		RegionID:   1,
+		ServerName: "primary",
+		Mode:       mode,
+		Endpoint:   r.epP,
+		Cycles:     r.cyP,
+		Cost:       metrics.DefaultCostModel(),
+	})
+
+	opt := lsmOpts()
+	opt.Device = r.devP
+	opt.Cycles = r.cyP
+	if mode != NoReplication {
+		opt.Listener = r.primary
+	}
+	r.db, err = lsm.New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.primary.SetDB(r.db)
+
+	for i := 0; i < nBackups; i++ {
+		dev, err := storage.NewMemDevice(segSize, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cy := &metrics.Cycles{}
+		ep := rdma.NewEndpoint(fmt.Sprintf("backup%d", i))
+		b, err := NewBackup(BackupConfig{
+			RegionID:   1,
+			ServerName: ep.Name(),
+			Mode:       mode,
+			Device:     dev,
+			Endpoint:   ep,
+			Cycles:     cy,
+			Cost:       metrics.DefaultCostModel(),
+			LSM:        lsmOpts(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		Attach(r.primary, b)
+		r.backups = append(r.backups, b)
+		r.devB = append(r.devB, dev)
+		r.cyB = append(r.cyB, cy)
+		r.epB = append(r.epB, ep)
+	}
+	t.Cleanup(func() {
+		r.primary.DetachAll()
+		r.devP.Close()
+		for _, d := range r.devB {
+			d.Close()
+		}
+	})
+	return r
+}
+
+// load writes n sequential keys and waits for compactions to drain.
+func (r *rig) load(n int, valSize int) {
+	r.t.Helper()
+	val := make([]byte, valSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	for i := 0; i < n; i++ {
+		if err := r.db.Put([]byte(fmt.Sprintf("user%08d", i)), val); err != nil {
+			r.t.Fatal(err)
+		}
+	}
+	if err := r.db.Flush(); err != nil {
+		r.t.Fatal(err)
+	}
+	r.checkHealthy()
+}
+
+func (r *rig) checkHealthy() {
+	r.t.Helper()
+	if err := r.primary.Err(); err != nil {
+		r.t.Fatal(err)
+	}
+	for _, b := range r.backups {
+		if err := b.Err(); err != nil {
+			r.t.Fatal(err)
+		}
+	}
+}
+
+func TestSendIndexShipsLevels(t *testing.T) {
+	r := newRig(t, SendIndex, 1)
+	r.load(3000, 40)
+
+	b := r.backups[0]
+	bLevels := b.LevelStates(lsmOpts().MaxLevels)
+	pLevels := r.db.Levels()
+	for i := range pLevels {
+		if pLevels[i].NumKeys != bLevels[i].NumKeys {
+			t.Fatalf("level %d: primary %d keys, backup %d keys", i+1, pLevels[i].NumKeys, bLevels[i].NumKeys)
+		}
+		if pLevels[i].NumKeys > 0 {
+			if bLevels[i].Root == storage.NilOffset {
+				t.Fatalf("level %d: backup root missing", i+1)
+			}
+			if len(bLevels[i].Segments) != len(pLevels[i].Segments) {
+				t.Fatalf("level %d: segment counts differ (%d vs %d)",
+					i+1, len(bLevels[i].Segments), len(pLevels[i].Segments))
+			}
+		}
+	}
+	if b.LogMap().Len() == 0 {
+		t.Fatal("log map empty after flushes")
+	}
+}
+
+func TestSendIndexBackupDoesNoCompactionWork(t *testing.T) {
+	r := newRig(t, SendIndex, 1)
+	r.load(4000, 40)
+
+	bc := r.cyB[0].Snapshot()
+	// The paper's core claim: backups avoid compaction merge-sort, L0
+	// insertion, and compaction reads entirely (§3.3).
+	if bc[metrics.CompCompaction] != 0 {
+		t.Fatalf("Send-Index backup charged %d compaction cycles", bc[metrics.CompCompaction])
+	}
+	if bc[metrics.CompInsertL0] != 0 {
+		t.Fatalf("Send-Index backup charged %d L0 cycles", bc[metrics.CompInsertL0])
+	}
+	if bc[metrics.CompRewriteIndex] == 0 {
+		t.Fatal("Send-Index backup did no rewrites")
+	}
+	// Backups never read their device in Send-Index (no compactions).
+	if got := r.devB[0].Stats().BytesRead; got != 0 {
+		t.Fatalf("Send-Index backup read %d device bytes", got)
+	}
+	pc := r.cyP.Snapshot()
+	if pc[metrics.CompSendIndex] == 0 {
+		t.Fatal("primary charged no send-index cycles")
+	}
+	if pc[metrics.CompLogReplication] == 0 {
+		t.Fatal("primary charged no log replication cycles")
+	}
+}
+
+func TestBuildIndexBackupDoesCompactionWork(t *testing.T) {
+	r := newRig(t, BuildIndex, 1)
+	r.load(4000, 40)
+	if err := r.backups[0].DB().WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+
+	bc := r.cyB[0].Snapshot()
+	if bc[metrics.CompCompaction] == 0 {
+		t.Fatal("Build-Index backup charged no compaction cycles")
+	}
+	if bc[metrics.CompInsertL0] == 0 {
+		t.Fatal("Build-Index backup charged no L0 cycles")
+	}
+	if bc[metrics.CompRewriteIndex] != 0 || bc[metrics.CompSendIndex] != 0 {
+		t.Fatalf("Build-Index backup charged shipping cycles: %v", bc)
+	}
+	// Build-Index backups read their device during compactions.
+	if got := r.devB[0].Stats().BytesRead; got == 0 {
+		t.Fatal("Build-Index backup read no device bytes")
+	}
+}
+
+func TestSendIndexLowerBackupIOThanBuildIndex(t *testing.T) {
+	const n, vs = 6000, 60
+	rs := newRig(t, SendIndex, 1)
+	rs.load(n, vs)
+	rb := newRig(t, BuildIndex, 1)
+	rb.load(n, vs)
+	if err := rb.backups[0].DB().WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+
+	sIO := rs.devB[0].Stats()
+	bIO := rb.devB[0].Stats()
+	sTotal := sIO.BytesRead + sIO.BytesWritten
+	bTotal := bIO.BytesRead + bIO.BytesWritten
+	if sTotal >= bTotal {
+		t.Fatalf("Send-Index backup I/O %d >= Build-Index %d", sTotal, bTotal)
+	}
+
+	// And the network cost inverts: Send-Index moves more bytes.
+	sNet := rs.epP.TxBytes()
+	bNet := rb.epP.TxBytes()
+	if sNet <= bNet {
+		t.Fatalf("Send-Index network %d <= Build-Index %d", sNet, bNet)
+	}
+}
+
+func TestPromoteSendIndexBackupServesAllData(t *testing.T) {
+	r := newRig(t, SendIndex, 2)
+	const n = 3500
+	for i := 0; i < n; i++ {
+		if err := r.db.Put([]byte(fmt.Sprintf("user%08d", i)), []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrites and deletes mixed in, NOT flushed: the tail and L0
+	// must survive promotion via the RDMA buffer + replay.
+	for i := 0; i < n; i += 10 {
+		if err := r.db.Put([]byte(fmt.Sprintf("user%08d", i)), []byte("overwritten")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 5; i < n; i += 500 {
+		if err := r.db.Delete([]byte(fmt.Sprintf("user%08d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	r.checkHealthy()
+
+	// Primary "fails"; promote backup 0.
+	b := r.backups[0]
+	r.primary.Detach(b)
+	db2, err := b.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("user%08d", i)
+		want := fmt.Sprintf("value-%d", i)
+		deleted := i >= 5 && (i-5)%500 == 0
+		if i%10 == 0 {
+			want = "overwritten"
+		}
+		v, found, err := db2.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("promoted Get(%s): %v", k, err)
+		}
+		if deleted {
+			if found {
+				t.Fatalf("promoted Get(%s) found deleted key", k)
+			}
+			continue
+		}
+		if !found || string(v) != want {
+			t.Fatalf("promoted Get(%s) = %q, %v; want %q", k, v, found, want)
+		}
+	}
+}
+
+func TestPromoteBuildIndexBackupServesAllData(t *testing.T) {
+	r := newRig(t, BuildIndex, 1)
+	const n = 2500
+	for i := 0; i < n; i++ {
+		if err := r.db.Put([]byte(fmt.Sprintf("user%08d", i)), []byte(fmt.Sprintf("v-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	r.checkHealthy()
+
+	b := r.backups[0]
+	r.primary.Detach(b)
+	db2, err := b.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < n; i += 7 {
+		k := fmt.Sprintf("user%08d", i)
+		v, found, err := db2.Get([]byte(k))
+		if err != nil || !found || string(v) != fmt.Sprintf("v-%d", i) {
+			t.Fatalf("promoted Get(%s) = %q, %v, %v", k, v, found, err)
+		}
+	}
+}
+
+func TestPromotedBackupAcceptsNewWrites(t *testing.T) {
+	r := newRig(t, SendIndex, 1)
+	r.load(2000, 30)
+	b := r.backups[0]
+	r.primary.Detach(b)
+	db2, err := b.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+
+	// The promoted engine must keep working as a primary: new writes,
+	// overwrites, compactions.
+	for i := 0; i < 1500; i++ {
+		if err := db2.Put([]byte(fmt.Sprintf("new%08d", i)), []byte("post-failover")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := db2.Get([]byte("new00001499"))
+	if err != nil || !found || string(v) != "post-failover" {
+		t.Fatalf("Get after failover writes = %q, %v, %v", v, found, err)
+	}
+	// Old data still present.
+	if _, found, _ := db2.Get([]byte("user00000042")); !found {
+		t.Fatal("pre-failover key lost")
+	}
+}
+
+func TestDoublePromoteFails(t *testing.T) {
+	r := newRig(t, SendIndex, 1)
+	r.load(500, 20)
+	b := r.backups[0]
+	r.primary.Detach(b)
+	if _, err := b.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Promote(); err == nil {
+		t.Fatal("second Promote succeeded")
+	}
+}
+
+func TestLogMapRetargetAfterPromotion(t *testing.T) {
+	// Three-way replication: promote backup 0; backup 1 retargets its
+	// log map through the new primary's map (§3.2).
+	r := newRig(t, SendIndex, 2)
+	r.load(3000, 40)
+
+	b0, b1 := r.backups[0], r.backups[1]
+	newPrimaryMap := b0.LogMap().Snapshot() // old-primary seg → b0 seg
+	oldMapLen := b1.LogMap().Len()
+	if err := b1.LogMap().Retarget(newPrimaryMap); err != nil {
+		t.Fatal(err)
+	}
+	if got := b1.LogMap().Len(); got != oldMapLen {
+		t.Fatalf("retargeted map has %d entries, want %d", got, oldMapLen)
+	}
+	// Every b0-local segment must now resolve to the same b1-local
+	// segment its primary-space twin did.
+	b1Old := make(map[storage.SegmentID]storage.SegmentID)
+	for p, l := range newPrimaryMap {
+		b1Old[p] = l
+	}
+	for p, b0Seg := range newPrimaryMap {
+		want, ok := b1.LogMap().Lookup(b0Seg)
+		_ = want
+		if !ok {
+			t.Fatalf("b1 map missing new-primary segment %d (was primary %d)", b0Seg, p)
+		}
+	}
+}
+
+func TestNoReplicationChargesNothingRemote(t *testing.T) {
+	r := newRig(t, NoReplication, 0)
+	r.load(1500, 30)
+	pc := r.cyP.Snapshot()
+	if pc[metrics.CompLogReplication] != 0 || pc[metrics.CompSendIndex] != 0 || pc[metrics.CompRewriteIndex] != 0 {
+		t.Fatalf("No-Replication charged replication cycles: %v", pc)
+	}
+	if r.epP.TxBytes() != 0 {
+		t.Fatalf("No-Replication sent %d bytes", r.epP.TxBytes())
+	}
+}
+
+func TestThreeWayReplicationBothBackupsConsistent(t *testing.T) {
+	r := newRig(t, SendIndex, 2)
+	r.load(2500, 50)
+	l0 := r.backups[0].LevelStates(lsmOpts().MaxLevels)
+	l1 := r.backups[1].LevelStates(lsmOpts().MaxLevels)
+	for i := range l0 {
+		if l0[i].NumKeys != l1[i].NumKeys {
+			t.Fatalf("backups disagree at level %d: %d vs %d", i+1, l0[i].NumKeys, l1[i].NumKeys)
+		}
+	}
+}
+
+func TestSegMapLazyResolveAndRetarget(t *testing.T) {
+	dev, _ := storage.NewMemDevice(4096, 0)
+	defer dev.Close()
+	m := NewSegMap(dev)
+	a, err := m.Resolve(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := m.Resolve(100)
+	if a != a2 {
+		t.Fatal("Resolve not idempotent")
+	}
+	if _, ok := m.Lookup(200); ok {
+		t.Fatal("Lookup allocated")
+	}
+	b, _ := m.Resolve(200)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	// Retarget: new primary maps old segs 100→500, 200→600.
+	if err := m.Retarget(map[storage.SegmentID]storage.SegmentID{100: 500, 200: 600}); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := m.Lookup(500); !ok || got != a {
+		t.Fatalf("Lookup(500) = %d, %v", got, ok)
+	}
+	if got, ok := m.Lookup(600); !ok || got != b {
+		t.Fatalf("Lookup(600) = %d, %v", got, ok)
+	}
+}
+
+func TestSegMapFreeAll(t *testing.T) {
+	dev, _ := storage.NewMemDevice(4096, 0)
+	defer dev.Close()
+	m := NewSegMap(dev)
+	_, _ = m.Resolve(1)
+	_, _ = m.Resolve(2)
+	if dev.Stats().SegmentsLive != 2 {
+		t.Fatalf("live = %d", dev.Stats().SegmentsLive)
+	}
+	if err := m.FreeAll(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats().SegmentsLive != 0 || m.Len() != 0 {
+		t.Fatalf("after FreeAll: live=%d len=%d", dev.Stats().SegmentsLive, m.Len())
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if NoReplication.String() != "No-Replication" || SendIndex.String() != "Send-Index" || BuildIndex.String() != "Build-Index" {
+		t.Fatal("mode names wrong")
+	}
+}

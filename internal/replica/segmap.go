@@ -1,0 +1,176 @@
+// Package replica implements Tebis's replication protocols (§3.2-3.3):
+//
+//   - Value-log replication: the primary RDMA-writes each record into a
+//     log buffer at every backup without involving their CPUs; when the
+//     tail segment fills, a flush command makes backups persist their
+//     buffer and record a <primary segment, backup segment> log-map
+//     entry.
+//
+//   - Send-Index: after each Li×Li+1 compaction the primary ships the
+//     pre-built L'i+1 index segment by segment; backups allocate local
+//     segments through an index map and rewrite every device offset in
+//     the received nodes, avoiding the compaction entirely.
+//
+//   - Build-Index (the paper's baseline): backups keep their own L0 and
+//     run their own compactions over the replicated log.
+package replica
+
+import (
+	"fmt"
+	"sync"
+
+	"tebis/internal/storage"
+)
+
+// SegMap maintains the <primary segment, local segment> translation a
+// backup keeps for the value log (log map) and, per compaction, for the
+// shipped index (index map). Resolution allocates local segments lazily
+// so forward references — a parent index segment shipped before a child,
+// or a leaf pointing into the primary's still-unflushed log tail —
+// translate correctly (§3.3).
+type SegMap struct {
+	dev storage.Device
+
+	mu sync.Mutex
+	m  map[storage.SegmentID]segEntry
+}
+
+// segEntry is one mapping: the local segment plus whether its data has
+// been persisted locally (lazily allocated entries start unflushed).
+type segEntry struct {
+	local   storage.SegmentID
+	flushed bool
+}
+
+// NewSegMap creates an empty map allocating from dev.
+func NewSegMap(dev storage.Device) *SegMap {
+	return &SegMap{dev: dev, m: make(map[storage.SegmentID]segEntry)}
+}
+
+// Resolve returns the local segment for primary, allocating one on first
+// reference (unflushed until MarkFlushed).
+func (s *SegMap) Resolve(primary storage.SegmentID) (storage.SegmentID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[primary]; ok {
+		return e.local, nil
+	}
+	local, err := s.dev.Alloc()
+	if err != nil {
+		return storage.NilSegment, err
+	}
+	s.m[primary] = segEntry{local: local}
+	return local, nil
+}
+
+// MarkFlushed records that the local segment for primary now holds
+// persisted data (§3.2 step 2d).
+func (s *SegMap) MarkFlushed(primary storage.SegmentID) {
+	s.mu.Lock()
+	if e, ok := s.m[primary]; ok {
+		e.flushed = true
+		s.m[primary] = e
+	}
+	s.mu.Unlock()
+}
+
+// Put records an explicit <primary, local> mapping (used when a demoted
+// primary re-keys its own segments under the new primary's numbering).
+func (s *SegMap) Put(primary, local storage.SegmentID, flushed bool) {
+	s.mu.Lock()
+	s.m[primary] = segEntry{local: local, flushed: flushed}
+	s.mu.Unlock()
+}
+
+// Lookup returns the local segment for primary without allocating.
+func (s *SegMap) Lookup(primary storage.SegmentID) (storage.SegmentID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[primary]
+	return e.local, ok
+}
+
+// UnflushedLocal returns the single local segment whose data was never
+// flushed (the primary's live tail), if any. At most one mapped segment
+// can be unflushed; more indicates protocol corruption.
+func (s *SegMap) UnflushedLocal() (storage.SegmentID, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	found := storage.NilSegment
+	for _, e := range s.m {
+		if e.flushed {
+			continue
+		}
+		if found != storage.NilSegment {
+			return storage.NilSegment, false, fmt.Errorf("replica: multiple unflushed log segments in map")
+		}
+		found = e.local
+	}
+	return found, found != storage.NilSegment, nil
+}
+
+// Len returns the number of entries (each entry is 16 B in the paper's
+// footprint estimate).
+func (s *SegMap) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Snapshot copies the mapping (the new primary sends this to the
+// remaining backups after a promotion, §3.2).
+func (s *SegMap) Snapshot() map[storage.SegmentID]storage.SegmentID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[storage.SegmentID]storage.SegmentID, len(s.m))
+	for k, e := range s.m {
+		out[k] = e.local
+	}
+	return out
+}
+
+// Retarget rewrites the map after a primary change: every key (old
+// primary segment) is replaced by the new primary's local segment for
+// the same data, using the new primary's own log map. This is the pure
+// in-memory map update §3.2 describes — no I/O; flushed state travels
+// with each entry. Entries the new primary does not know (e.g.
+// allocated for its unflushed tail) are dropped.
+func (s *SegMap) Retarget(newPrimary map[storage.SegmentID]storage.SegmentID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[storage.SegmentID]segEntry, len(s.m))
+	for oldSeg, e := range s.m {
+		newSeg, ok := newPrimary[oldSeg]
+		if !ok {
+			continue
+		}
+		if _, dup := out[newSeg]; dup {
+			return fmt.Errorf("replica: retarget maps %d twice", newSeg)
+		}
+		out[newSeg] = e
+	}
+	s.m = out
+	return nil
+}
+
+// FreeAll releases every allocated local segment (discarding a stale
+// index map after an aborted compaction) and empties the map.
+func (s *SegMap) FreeAll() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.m {
+		if err := s.dev.Free(e.local); err != nil {
+			return err
+		}
+	}
+	s.m = make(map[storage.SegmentID]segEntry)
+	return nil
+}
+
+// Clear empties the map without freeing segments (after ownership of the
+// segments moved to an installed level).
+func (s *SegMap) Clear() {
+	s.mu.Lock()
+	s.m = make(map[storage.SegmentID]segEntry)
+	s.mu.Unlock()
+}

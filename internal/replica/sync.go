@@ -1,0 +1,135 @@
+package replica
+
+import (
+	"fmt"
+
+	"tebis/internal/metrics"
+	"tebis/internal/storage"
+	"tebis/internal/wire"
+)
+
+// Sync brings a freshly attached, empty backup up to date with this
+// primary — the data transfer the master triggers when it replaces a
+// failed backup with a new node (§3.5, "the master instructs the rest of
+// the region servers in the group to transfer their region data to the
+// new backup").
+//
+// It reuses the regular replication machinery: every sealed value-log
+// segment is pushed through the log buffer + flush-tail path (which also
+// populates the new backup's log map, and, under Build-Index, feeds its
+// own LSM), the unflushed tail is mirrored into the log buffer, and
+// under Send-Index every level is shipped through the index path.
+//
+// The caller must quiesce writes to the region for the duration of the
+// transfer (the master performs transfers on regions whose primary just
+// changed, before re-admitting client traffic). An incremental catch-up
+// protocol is future work, as in the paper.
+func (p *Primary) Sync(b *Backup) error {
+	var h *backupHandle
+	for _, cand := range p.handles() {
+		if cand.backup == b {
+			h = cand
+			break
+		}
+	}
+	if h == nil {
+		return fmt.Errorf("replica: Sync target not attached")
+	}
+	db := p.DB()
+	if db == nil {
+		return fmt.Errorf("replica: Sync without engine")
+	}
+	log := db.Log()
+	geo := db.Log().Geometry()
+
+	// 1. Replay every sealed log segment through the flush path.
+	segImage := make([]byte, geo.SegmentSize())
+	for _, seg := range log.Segments() {
+		if err := log.ReadSegmentImage(seg, segImage); err != nil {
+			return err
+		}
+		if err := h.dataQP.Write(b.LogBufferRKey(), 0, segImage, 0); err != nil {
+			return err
+		}
+		if _, err := h.dataQP.WaitCompletion(); err != nil {
+			return err
+		}
+		p.charge(metrics.CompLogReplication, p.cfg.Cost.RDMAWrite(len(segImage)))
+		payload := wire.FlushTail{
+			RegionID:   uint16(p.cfg.RegionID),
+			PrimarySeg: uint32(seg),
+		}.Encode(nil)
+		if err := p.rpc(h, wire.OpFlushTail, payload); err != nil {
+			return err
+		}
+	}
+
+	// 2. Mirror the unflushed tail into the backup's log buffer (no
+	// flush: the backup holds it in memory exactly like live replicas).
+	tailSeg, tailData, tailLen := log.TailSnapshot()
+	_ = tailSeg
+	if tailLen > 0 {
+		if err := h.dataQP.Write(b.LogBufferRKey(), 0, tailData, 0); err != nil {
+			return err
+		}
+		if _, err := h.dataQP.WaitCompletion(); err != nil {
+			return err
+		}
+		p.charge(metrics.CompLogReplication, p.cfg.Cost.RDMAWrite(len(tailData)))
+	}
+
+	// 3. Send-Index: ship every populated level through the index path.
+	if p.cfg.Mode == SendIndex {
+		watermark := db.Watermark()
+		for i, st := range db.Levels() {
+			lvl := i + 1
+			if st.NumKeys == 0 {
+				continue
+			}
+			if err := p.rpc(h, wire.OpCompactionStart, nil); err != nil {
+				return err
+			}
+			for _, seg := range st.Segments {
+				if err := p.shipSegmentImage(h, lvl, seg, geo); err != nil {
+					return err
+				}
+			}
+			done := wire.CompactionDone{
+				RegionID:  uint16(p.cfg.RegionID),
+				SrcLevel:  0,
+				DstLevel:  uint8(lvl),
+				Root:      uint64(st.Root),
+				NumKeys:   uint32(st.NumKeys),
+				Watermark: uint64(watermark),
+			}.Encode(nil)
+			if err := p.rpc(h, wire.OpCompactionDone, done); err != nil {
+				return err
+			}
+		}
+	}
+	return b.Err()
+}
+
+// shipSegmentImage sends one full level segment image through the
+// Send-Index path (the backup's rewrite stops at the first free node
+// slot, so full images of partially used segments are safe).
+func (p *Primary) shipSegmentImage(h *backupHandle, lvl int, seg storage.SegmentID, geo storage.Geometry) error {
+	data := make([]byte, geo.SegmentSize())
+	if err := p.DB().Log().ReadSegmentImage(seg, data); err != nil {
+		return err
+	}
+	if err := h.dataQP.Write(h.backup.IndexBufferRKey(), 0, data, 0); err != nil {
+		return err
+	}
+	if _, err := h.dataQP.WaitCompletion(); err != nil {
+		return err
+	}
+	p.charge(metrics.CompSendIndex, p.cfg.Cost.RDMAWrite(len(data)))
+	payload := wire.IndexSegment{
+		RegionID:   uint16(p.cfg.RegionID),
+		DstLevel:   uint8(lvl),
+		PrimarySeg: uint32(seg),
+		DataLen:    uint32(len(data)),
+	}.Encode(nil)
+	return p.rpc(h, wire.OpIndexSegment, payload)
+}

@@ -1,0 +1,101 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+
+	"tebis/internal/metrics"
+	"tebis/internal/rdma"
+	"tebis/internal/storage"
+)
+
+// addEmptyBackup attaches a brand-new backup to an existing rig primary.
+func (r *rig) addEmptyBackup(mode Mode) *Backup {
+	r.t.Helper()
+	dev, err := storage.NewMemDevice(16<<10, 0)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	cy := &metrics.Cycles{}
+	ep := rdma.NewEndpoint(fmt.Sprintf("newbackup%d", len(r.backups)))
+	b, err := NewBackup(BackupConfig{
+		RegionID:   1,
+		ServerName: ep.Name(),
+		Mode:       mode,
+		Device:     dev,
+		Endpoint:   ep,
+		Cycles:     cy,
+		Cost:       metrics.DefaultCostModel(),
+		LSM:        lsmOpts(),
+	})
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	Attach(r.primary, b)
+	r.backups = append(r.backups, b)
+	r.devB = append(r.devB, dev)
+	r.cyB = append(r.cyB, cy)
+	r.epB = append(r.epB, ep)
+	return b
+}
+
+func testSyncNewBackup(t *testing.T, mode Mode) {
+	r := newRig(t, mode, 1)
+	const n = 2800
+	for i := 0; i < n; i++ {
+		if err := r.db.Put([]byte(fmt.Sprintf("user%08d", i)), []byte(fmt.Sprintf("v-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	r.checkHealthy()
+
+	// A backup "failed": attach a fresh empty one and transfer state.
+	nb := r.addEmptyBackup(mode)
+	if err := r.primary.Sync(nb); err != nil {
+		t.Fatal(err)
+	}
+	if mode == BuildIndex {
+		if err := nb.DB().WaitIdle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The synced backup must be promotable and serve every record.
+	r.primary.Detach(nb)
+	db2, err := nb.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < n; i += 3 {
+		k := fmt.Sprintf("user%08d", i)
+		v, found, err := db2.Get([]byte(k))
+		if err != nil || !found || string(v) != fmt.Sprintf("v-%d", i) {
+			t.Fatalf("synced-backup Get(%s) = %q, %v, %v", k, v, found, err)
+		}
+	}
+}
+
+func TestSyncNewBackupSendIndex(t *testing.T)  { testSyncNewBackup(t, SendIndex) }
+func TestSyncNewBackupBuildIndex(t *testing.T) { testSyncNewBackup(t, BuildIndex) }
+
+func TestSyncRequiresAttachment(t *testing.T) {
+	r := newRig(t, SendIndex, 1)
+	r.load(300, 20)
+	dev, _ := storage.NewMemDevice(16<<10, 0)
+	defer dev.Close()
+	orphan, err := NewBackup(BackupConfig{
+		RegionID: 1, ServerName: "orphan", Mode: SendIndex,
+		Device: dev, Endpoint: rdma.NewEndpoint("orphan"),
+		Cost: metrics.DefaultCostModel(), LSM: lsmOpts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.primary.Sync(orphan); err == nil {
+		t.Fatal("Sync of unattached backup succeeded")
+	}
+}

@@ -1,0 +1,487 @@
+// Package server implements the Tebis region server: it hosts regions
+// with primary or backup roles, detects client messages with spinning
+// threads polling RDMA buffer rendezvous points, and processes requests
+// on a worker pool with private task queues (§3.4).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tebis/internal/lsm"
+	"tebis/internal/metrics"
+	"tebis/internal/rdma"
+	"tebis/internal/region"
+	"tebis/internal/replica"
+	"tebis/internal/storage"
+)
+
+// Defaults matching the paper's configuration (§4).
+const (
+	// DefaultWorkers is the worker-thread count per server.
+	DefaultWorkers = 8
+	// DefaultSpinThreads is the number of spinning threads per server.
+	DefaultSpinThreads = 2
+	// DefaultTaskThreshold is the queue depth beyond which the spinning
+	// thread moves to the next worker (§3.4.2).
+	DefaultTaskThreshold = 64
+	// DefaultBufferSize is the client request/reply buffer size.
+	DefaultBufferSize = 256 << 10
+)
+
+// Config configures a region server.
+type Config struct {
+	// Name is the server's cluster-unique name.
+	Name string
+	// Device is the node's storage device.
+	Device storage.Device
+	// Endpoint is the node's NIC.
+	Endpoint *rdma.Endpoint
+	// Cycles is the node's cycle account.
+	Cycles *metrics.Cycles
+	// Cost is the cycle cost model.
+	Cost metrics.CostModel
+	// LSM is the per-region engine template (Device/Cycles are filled
+	// in per region).
+	LSM lsm.Options
+	// Workers is the worker pool size (DefaultWorkers if zero).
+	Workers int
+	// SpinThreads is the number of spinning threads (DefaultSpinThreads
+	// if zero).
+	SpinThreads int
+	// TaskThreshold is the per-worker queue threshold
+	// (DefaultTaskThreshold if zero).
+	TaskThreshold int
+	// BufferSize is the per-client RDMA buffer size (DefaultBufferSize
+	// if zero).
+	BufferSize int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers == 0 {
+		c.Workers = DefaultWorkers
+	}
+	if c.SpinThreads == 0 {
+		c.SpinThreads = DefaultSpinThreads
+	}
+	if c.TaskThreshold == 0 {
+		c.TaskThreshold = DefaultTaskThreshold
+	}
+	if c.BufferSize == 0 {
+		c.BufferSize = DefaultBufferSize
+	}
+	if c.Cost == (metrics.CostModel{}) {
+		c.Cost = metrics.DefaultCostModel()
+	}
+}
+
+// hostedRegion is one region resident on this server.
+type hostedRegion struct {
+	info    region.Region
+	mode    replica.Mode
+	primary *replica.Primary // non-nil when this server is the primary
+	db      *lsm.DB          // the engine (primary role only)
+	backup  *replica.Backup  // non-nil when this server is a backup
+}
+
+// Server is a Tebis region server.
+type Server struct {
+	cfg Config
+
+	mu      sync.Mutex
+	regions map[region.ID]*hostedRegion
+	conns   []*clientConn
+	closed  bool
+	seed    int64
+
+	wg      sync.WaitGroup
+	workers []*worker
+	stop    chan struct{}
+}
+
+// Errors reported by the server.
+var (
+	ErrClosed        = errors.New("server: closed")
+	ErrUnknownRegion = errors.New("server: region not hosted here")
+	ErrNotPrimary    = errors.New("server: not primary for region")
+	ErrRegionExists  = errors.New("server: region already hosted")
+)
+
+// New creates a region server and starts its spinning threads and
+// worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg.applyDefaults()
+	if cfg.Device == nil || cfg.Endpoint == nil {
+		return nil, fmt.Errorf("server: Device and Endpoint are required")
+	}
+	s := &Server{
+		cfg:     cfg,
+		regions: make(map[region.ID]*hostedRegion),
+		stop:    make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := newWorker(s, i)
+		s.workers = append(s.workers, w)
+		s.wg.Add(1)
+		go w.run()
+	}
+	for i := 0; i < cfg.SpinThreads; i++ {
+		s.wg.Add(1)
+		go s.spin(i)
+	}
+	return s, nil
+}
+
+// Name returns the server's name.
+func (s *Server) Name() string { return s.cfg.Name }
+
+// Endpoint returns the server's NIC.
+func (s *Server) Endpoint() *rdma.Endpoint { return s.cfg.Endpoint }
+
+// Device returns the server's storage device.
+func (s *Server) Device() storage.Device { return s.cfg.Device }
+
+// Cycles returns the server's cycle account.
+func (s *Server) Cycles() *metrics.Cycles { return s.cfg.Cycles }
+
+func (s *Server) charge(c metrics.Component, n uint64) {
+	if s.cfg.Cycles != nil {
+		s.cfg.Cycles.Charge(c, n)
+	}
+}
+
+// lsmOptions builds the engine options for one hosted region.
+func (s *Server) lsmOptions() lsm.Options {
+	opt := s.cfg.LSM
+	opt.Device = s.cfg.Device
+	opt.Cycles = s.cfg.Cycles
+	opt.Cost = s.cfg.Cost
+	s.seed++
+	opt.Seed = s.seed
+	return opt
+}
+
+// OpenPrimary hosts a region with the primary role and returns its
+// replica state so the master can attach backups.
+func (s *Server) OpenPrimary(r region.Region, mode replica.Mode) (*replica.Primary, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := s.regions[r.ID]; ok {
+		return nil, fmt.Errorf("%w: %d", ErrRegionExists, r.ID)
+	}
+	p := replica.NewPrimary(replica.PrimaryConfig{
+		RegionID:   r.ID,
+		ServerName: s.cfg.Name,
+		Mode:       mode,
+		Endpoint:   s.cfg.Endpoint,
+		Cycles:     s.cfg.Cycles,
+		Cost:       s.cfg.Cost,
+	})
+	opt := s.lsmOptions()
+	if mode != replica.NoReplication {
+		opt.Listener = p
+	}
+	db, err := lsm.New(opt)
+	if err != nil {
+		return nil, err
+	}
+	p.SetDB(db)
+	s.regions[r.ID] = &hostedRegion{info: r.Clone(), mode: mode, primary: p, db: db}
+	return p, nil
+}
+
+// OpenBackup hosts a region with the backup role.
+func (s *Server) OpenBackup(r region.Region, mode replica.Mode) (*replica.Backup, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := s.regions[r.ID]; ok {
+		return nil, fmt.Errorf("%w: %d", ErrRegionExists, r.ID)
+	}
+	opt := s.cfg.LSM
+	s.seed++
+	opt.Seed = s.seed
+	b, err := replica.NewBackup(replica.BackupConfig{
+		RegionID:   r.ID,
+		ServerName: s.cfg.Name,
+		Mode:       mode,
+		Device:     s.cfg.Device,
+		Endpoint:   s.cfg.Endpoint,
+		Cycles:     s.cfg.Cycles,
+		Cost:       s.cfg.Cost,
+		LSM:        opt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.regions[r.ID] = &hostedRegion{info: r.Clone(), mode: mode, backup: b}
+	return b, nil
+}
+
+// PromoteToPrimary converts a hosted backup into the primary role
+// (§3.5). The returned replica state lets the master attach the
+// remaining backups to the new primary.
+func (s *Server) PromoteToPrimary(id region.ID) (*replica.Primary, error) {
+	s.mu.Lock()
+	hr, ok := s.regions[id]
+	s.mu.Unlock()
+	if !ok || hr.backup == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownRegion, id)
+	}
+	db, err := hr.backup.Promote()
+	if err != nil {
+		return nil, err
+	}
+	p := replica.NewPrimary(replica.PrimaryConfig{
+		RegionID:   id,
+		ServerName: s.cfg.Name,
+		Mode:       hr.mode,
+		Endpoint:   s.cfg.Endpoint,
+		Cycles:     s.cfg.Cycles,
+		Cost:       s.cfg.Cost,
+	})
+	p.SetDB(db)
+	db.SetListener(p)
+
+	s.mu.Lock()
+	hr.primary = p
+	hr.db = db
+	hr.info.Primary = s.cfg.Name
+	hr.backup = nil
+	s.mu.Unlock()
+	return p, nil
+}
+
+// DemoteToBackup converts a hosted primary into a backup of a newly
+// promoted primary (the graceful-switch path used for load balancing).
+// oldToNew is the new primary's log-map snapshot taken before its
+// promotion. The caller must have quiesced client traffic on the
+// region; after demotion this server answers wrong-region so clients
+// refresh their maps.
+func (s *Server) DemoteToBackup(id region.ID, mode replica.Mode, oldToNew map[storage.SegmentID]storage.SegmentID) (*replica.Backup, error) {
+	s.mu.Lock()
+	hr, ok := s.regions[id]
+	s.mu.Unlock()
+	if !ok || hr.primary == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownRegion, id)
+	}
+	opt := s.cfg.LSM
+	s.seed++
+	opt.Seed = s.seed
+	b, err := replica.NewBackupFromPrimary(hr.primary, replica.BackupConfig{
+		RegionID:   id,
+		ServerName: s.cfg.Name,
+		Mode:       mode,
+		Device:     s.cfg.Device,
+		Endpoint:   s.cfg.Endpoint,
+		Cycles:     s.cfg.Cycles,
+		Cost:       s.cfg.Cost,
+		LSM:        opt,
+	}, oldToNew)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	hr.backup = b
+	hr.primary = nil
+	hr.db = nil
+	s.mu.Unlock()
+	return b, nil
+}
+
+// Backup returns the hosted backup replica of a region, if any.
+func (s *Server) Backup(id region.ID) (*replica.Backup, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hr, ok := s.regions[id]
+	if !ok || hr.backup == nil {
+		return nil, false
+	}
+	return hr.backup, true
+}
+
+// Primary returns the hosted primary replica of a region, if any.
+func (s *Server) Primary(id region.ID) (*replica.Primary, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hr, ok := s.regions[id]
+	if !ok || hr.primary == nil {
+		return nil, false
+	}
+	return hr.primary, true
+}
+
+// DropRegion removes a hosted region (used when the master reassigns).
+func (s *Server) DropRegion(id region.ID) error {
+	s.mu.Lock()
+	hr, ok := s.regions[id]
+	delete(s.regions, id)
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownRegion, id)
+	}
+	if hr.db != nil {
+		return hr.db.Close()
+	}
+	return nil
+}
+
+// Regions lists hosted region IDs.
+func (s *Server) Regions() []region.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]region.ID, 0, len(s.regions))
+	for id := range s.regions {
+		out = append(out, id)
+	}
+	return out
+}
+
+// primaryDB resolves the engine serving a region, or an error reply
+// reason.
+func (s *Server) primaryDB(id region.ID) (*lsm.DB, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hr, ok := s.regions[id]
+	if !ok {
+		return nil, ErrUnknownRegion
+	}
+	if hr.db == nil || hr.primary == nil && hr.mode != replica.NoReplication {
+		if hr.db == nil {
+			return nil, ErrNotPrimary
+		}
+	}
+	return hr.db, nil
+}
+
+// WaitIdle drains compactions of every hosted primary (benchmarks call
+// this before reading amplification counters).
+func (s *Server) WaitIdle() error {
+	s.mu.Lock()
+	dbs := make([]*lsm.DB, 0, len(s.regions))
+	for _, hr := range s.regions {
+		if hr.db != nil {
+			dbs = append(dbs, hr.db)
+		}
+		if hr.backup != nil && hr.backup.DB() != nil {
+			dbs = append(dbs, hr.backup.DB())
+		}
+	}
+	s.mu.Unlock()
+	for _, db := range dbs {
+		if err := db.WaitIdle(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush forces every hosted engine's L0 down and drains compactions —
+// primaries and Build-Index backup engines alike, so both replication
+// schemes are charged their full maintenance work before counters are
+// read.
+func (s *Server) Flush() error {
+	s.mu.Lock()
+	dbs := make([]*lsm.DB, 0, len(s.regions))
+	for _, hr := range s.regions {
+		if hr.db != nil {
+			dbs = append(dbs, hr.db)
+		}
+		if hr.backup != nil && hr.backup.DB() != nil {
+			dbs = append(dbs, hr.backup.DB())
+		}
+	}
+	s.mu.Unlock()
+	for _, db := range dbs {
+		if err := db.Flush(); err != nil {
+			return err
+		}
+	}
+	return s.WaitIdle()
+}
+
+// Crash simulates a node failure: message processing stops immediately
+// and replication connections drop, without flushing or closing the
+// hosted engines (their in-memory state is lost with the "machine").
+func (s *Server) Crash() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	regions := make([]*hostedRegion, 0, len(s.regions))
+	for _, hr := range s.regions {
+		regions = append(regions, hr)
+	}
+	conns := append([]*clientConn(nil), s.conns...)
+	s.mu.Unlock()
+
+	// Tear down client connections: requests to this server now fail
+	// fast at the writer (the RDMA connection "breaks").
+	for _, conn := range conns {
+		conn.closed.Store(true)
+		s.cfg.Endpoint.Deregister(conn.reqBuf)
+		conn.replyQP.Close()
+	}
+
+	close(s.stop)
+	for _, w := range s.workers {
+		close(w.queue)
+	}
+	s.wg.Wait()
+	for _, hr := range regions {
+		if hr.primary != nil {
+			hr.primary.DetachAll()
+		}
+	}
+}
+
+// Close shuts the server down: spinning threads and workers exit, all
+// hosted engines drain and close.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	regions := make([]*hostedRegion, 0, len(s.regions))
+	for _, hr := range s.regions {
+		regions = append(regions, hr)
+	}
+	s.mu.Unlock()
+
+	s.mu.Lock()
+	conns := append([]*clientConn(nil), s.conns...)
+	s.mu.Unlock()
+	close(s.stop)
+	for _, w := range s.workers {
+		close(w.queue)
+	}
+	s.wg.Wait()
+	for _, conn := range conns {
+		conn.closed.Store(true)
+		s.cfg.Endpoint.Deregister(conn.reqBuf)
+		conn.replyQP.Close()
+	}
+
+	var firstErr error
+	for _, hr := range regions {
+		if hr.primary != nil {
+			hr.primary.DetachAll()
+		}
+		if hr.db != nil {
+			if err := hr.db.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}

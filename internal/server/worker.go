@@ -1,0 +1,217 @@
+package server
+
+import (
+	"errors"
+
+	"tebis/internal/kv"
+	"tebis/internal/metrics"
+	"tebis/internal/region"
+	"tebis/internal/wire"
+)
+
+// worker processes client requests from its private task queue and
+// RDMA-writes replies into the client's reply buffer (§3.4.2).
+type worker struct {
+	s     *Server
+	id    int
+	queue chan task
+}
+
+func newWorker(s *Server, id int) *worker {
+	return &worker{s: s, id: id, queue: make(chan task, 4*s.cfg.TaskThreshold)}
+}
+
+func (w *worker) run() {
+	defer w.s.wg.Done()
+	for t := range w.queue {
+		w.process(t)
+	}
+}
+
+// process executes one request and replies.
+func (w *worker) process(t task) {
+	var (
+		op      wire.Op
+		flags   uint8
+		payload []byte
+	)
+	switch t.hdr.Opcode {
+	case wire.OpNoop:
+		op = wire.OpNoopReply
+		payload = wire.StatusReply{}.Encode(nil)
+	case wire.OpPut:
+		op, flags, payload = w.doPut(t, false)
+	case wire.OpDelete:
+		op, flags, payload = w.doPut(t, true)
+	case wire.OpGet:
+		op, flags, payload = w.doGet(t)
+	case wire.OpGetRest:
+		op, flags, payload = w.doGetRest(t)
+	case wire.OpScan:
+		op, flags, payload = w.doScan(t)
+	default:
+		op, flags, payload = wire.OpNoopReply, wire.FlagError, []byte("bad opcode")
+	}
+	w.reply(t, op, flags, payload)
+}
+
+// errReply classifies engine errors for the client.
+func errReply(err error, okOp wire.Op) (wire.Op, uint8, []byte) {
+	if errors.Is(err, ErrUnknownRegion) || errors.Is(err, ErrNotPrimary) {
+		// Stale region map: tell the client to refresh (§3.1).
+		return okOp, wire.FlagError | wire.FlagWrongRegion, []byte(err.Error())
+	}
+	return okOp, wire.FlagError, []byte(err.Error())
+}
+
+func (w *worker) doPut(t task, del bool) (wire.Op, uint8, []byte) {
+	okOp := wire.OpPutReply
+	if del {
+		okOp = wire.OpDeleteReply
+	}
+	req, err := wire.DecodePutReq(t.body)
+	if err != nil {
+		return okOp, wire.FlagError, []byte(err.Error())
+	}
+	db, err := w.s.primaryDB(region.ID(t.hdr.RegionID))
+	if err != nil {
+		return errReply(err, okOp)
+	}
+	if del {
+		err = db.Delete(req.Key)
+	} else {
+		err = db.Put(req.Key, req.Value)
+	}
+	if err != nil {
+		return okOp, wire.FlagError, []byte(err.Error())
+	}
+	return okOp, 0, wire.StatusReply{}.Encode(nil)
+}
+
+// getReplyBudget returns how many value bytes fit in the client's reply
+// slot for a get.
+func getReplyBudget(h wire.Header) int {
+	// Reply slot holds header + encoded GetReply: 1 (found) + 4 (total)
+	// + 4 (len) + value, padded. Leave the padding headroom out.
+	overhead := wire.HeaderSize + 1 + 4 + 4 + 4 // + trailer magic
+	budget := int(h.ReplySize) - overhead
+	if budget < 0 {
+		budget = 0
+	}
+	return budget
+}
+
+func (w *worker) doGet(t task) (wire.Op, uint8, []byte) {
+	req, err := wire.DecodeGetReq(t.body)
+	if err != nil {
+		return wire.OpGetReply, wire.FlagError, []byte(err.Error())
+	}
+	db, err := w.s.primaryDB(region.ID(t.hdr.RegionID))
+	if err != nil {
+		return errReply(err, wire.OpGetReply)
+	}
+	val, found, err := db.Get(req.Key)
+	if err != nil {
+		return wire.OpGetReply, wire.FlagError, []byte(err.Error())
+	}
+	rep := wire.GetReply{Found: found, TotalSize: uint32(len(val)), Value: val}
+	var flags uint8
+	if budget := getReplyBudget(t.hdr); len(val) > budget {
+		// The value exceeds the client's reply slot: send the first
+		// chunk and let the client fetch the rest (§3.4.1).
+		rep.Value = val[:budget]
+		flags |= wire.FlagPartial
+	}
+	return wire.OpGetReply, flags, rep.Encode(nil)
+}
+
+func (w *worker) doGetRest(t task) (wire.Op, uint8, []byte) {
+	req, err := wire.DecodeGetRestReq(t.body)
+	if err != nil {
+		return wire.OpGetReply, wire.FlagError, []byte(err.Error())
+	}
+	db, err := w.s.primaryDB(region.ID(t.hdr.RegionID))
+	if err != nil {
+		return errReply(err, wire.OpGetReply)
+	}
+	val, found, err := db.Get(req.Key)
+	if err != nil {
+		return wire.OpGetReply, wire.FlagError, []byte(err.Error())
+	}
+	if !found || int(req.Offset) > len(val) {
+		return wire.OpGetReply, 0, wire.GetReply{Found: false}.Encode(nil)
+	}
+	rest := val[req.Offset:]
+	rep := wire.GetReply{Found: true, TotalSize: uint32(len(val)), Value: rest}
+	var flags uint8
+	if budget := getReplyBudget(t.hdr); len(rest) > budget {
+		rep.Value = rest[:budget]
+		flags |= wire.FlagPartial
+	}
+	return wire.OpGetReply, flags, rep.Encode(nil)
+}
+
+func (w *worker) doScan(t task) (wire.Op, uint8, []byte) {
+	req, err := wire.DecodeScanReq(t.body)
+	if err != nil {
+		return wire.OpScanReply, wire.FlagError, []byte(err.Error())
+	}
+	db, err := w.s.primaryDB(region.ID(t.hdr.RegionID))
+	if err != nil {
+		return errReply(err, wire.OpScanReply)
+	}
+	budget := int(t.hdr.ReplySize) - wire.HeaderSize - 64
+	var pairs []kv.Pair
+	size := 0
+	err = db.Scan(req.Start, func(p kv.Pair) bool {
+		size += p.Size() + 8
+		if size > budget && len(pairs) > 0 {
+			return false
+		}
+		pairs = append(pairs, p)
+		return len(pairs) < int(req.Count)
+	})
+	if err != nil {
+		return wire.OpScanReply, wire.FlagError, []byte(err.Error())
+	}
+	return wire.OpScanReply, 0, wire.ScanReply{Pairs: pairs}.Encode(nil)
+}
+
+// reply RDMA-writes the response into the client's reply slot.
+func (w *worker) reply(t task, op wire.Op, flags uint8, payload []byte) {
+	total := wire.MessageSize(len(payload))
+	if total > int(t.hdr.ReplySize) {
+		// The reply does not fit the slot the client allocated; replace
+		// it with an error the client can always hold (the slot always
+		// fits a header + minimum payload).
+		flags = wire.FlagError
+		payload = []byte("reply overflow")
+		total = wire.MessageSize(len(payload))
+		if total > int(t.hdr.ReplySize) {
+			return // client violated the minimum slot size; drop
+		}
+	}
+	msg := make([]byte, total)
+	if _, err := wire.EncodeMessage(msg, wire.Header{
+		Opcode:    op,
+		Flags:     flags,
+		RegionID:  t.hdr.RegionID,
+		RequestID: t.hdr.RequestID,
+	}, payload); err != nil {
+		return
+	}
+	w.s.charge(metrics.CompReply, w.s.cfg.Cost.ReplyPerMessage)
+	if err := w.s.replyWrite(t.conn, int(t.hdr.ReplyOffset), msg); err != nil {
+		t.conn.closed.Store(true)
+	}
+}
+
+// replyWrite performs the one-sided reply write and drains the
+// completion.
+func (s *Server) replyWrite(conn *clientConn, off int, msg []byte) error {
+	if err := conn.replyQP.Write(conn.replyKey, off, msg, 0); err != nil {
+		return err
+	}
+	_, err := conn.replyQP.WaitCompletion()
+	return err
+}

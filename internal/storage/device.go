@@ -1,0 +1,284 @@
+// Package storage provides the segment-granular virtual storage device
+// that backs every Tebis node.
+//
+// Tebis (like Kreon) represents all on-device structures — the value log
+// and the per-level B+-tree indexes — as lists of fixed-size segments
+// (2 MiB in the paper). A device offset packs the segment number into its
+// high-order bits and the byte offset within the segment into its
+// low-order bits, which is what makes the Send-Index pointer rewrite an
+// O(1) high-bit swap per pointer.
+//
+// The device counts every byte read and written; those counters are the
+// ground truth for the paper's I/O amplification metric. Two
+// implementations are provided: an in-memory device (used by tests and
+// benchmarks, standing in for the paper's NVMe SSD; see DESIGN.md §2) and
+// a file-backed device for the standalone binaries.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// SegmentID identifies one fixed-size segment on a device.
+type SegmentID uint32
+
+// NilSegment is the reserved invalid segment ID. Segment 0 is never
+// handed out so that the zero Offset is never a valid location.
+const NilSegment SegmentID = 0
+
+// Offset is a device location: segment number in the high-order bits,
+// byte offset within the segment in the low-order bits.
+type Offset uint64
+
+// NilOffset is the invalid device offset.
+const NilOffset Offset = 0
+
+// Geometry fixes the segment size of a device and packs/unpacks offsets.
+type Geometry struct {
+	segSize  int64
+	segShift uint
+}
+
+// NewGeometry returns the geometry for the given segment size, which
+// must be a power of two and at least 512 bytes.
+func NewGeometry(segmentSize int64) (Geometry, error) {
+	if segmentSize < 512 || segmentSize&(segmentSize-1) != 0 {
+		return Geometry{}, fmt.Errorf("storage: segment size %d is not a power of two >= 512", segmentSize)
+	}
+	return Geometry{
+		segSize:  segmentSize,
+		segShift: uint(bits.TrailingZeros64(uint64(segmentSize))),
+	}, nil
+}
+
+// SegmentSize returns the segment size in bytes.
+func (g Geometry) SegmentSize() int64 { return g.segSize }
+
+// Pack builds a device offset from a segment ID and an in-segment offset.
+func (g Geometry) Pack(seg SegmentID, within int64) Offset {
+	return Offset(uint64(seg)<<g.segShift | uint64(within))
+}
+
+// Segment extracts the segment number of an offset.
+func (g Geometry) Segment(off Offset) SegmentID {
+	return SegmentID(uint64(off) >> g.segShift)
+}
+
+// Within extracts the in-segment byte offset of an offset.
+func (g Geometry) Within(off Offset) int64 {
+	return int64(uint64(off) & (uint64(g.segSize) - 1))
+}
+
+// Rebase replaces the segment number of off with seg, keeping the
+// in-segment offset. This is the primitive behind the Send-Index rewrite.
+func (g Geometry) Rebase(off Offset, seg SegmentID) Offset {
+	return g.Pack(seg, g.Within(off))
+}
+
+// Stats is a snapshot of device traffic counters.
+type Stats struct {
+	BytesRead    uint64
+	BytesWritten uint64
+	ReadOps      uint64
+	WriteOps     uint64
+	SegmentsLive uint64
+}
+
+// Device is the storage abstraction every Tebis subsystem writes to.
+//
+// All reads and writes are segment-bounded: an I/O may not cross a
+// segment boundary, matching the paper's segment-aligned layout.
+type Device interface {
+	// Geometry returns the device geometry (segment size).
+	Geometry() Geometry
+	// Alloc reserves a fresh segment and returns its ID.
+	Alloc() (SegmentID, error)
+	// Free returns a segment to the allocator. Its contents become
+	// invalid.
+	Free(SegmentID) error
+	// WriteAt writes p at the device offset off. The write must stay
+	// inside the segment off points into.
+	WriteAt(off Offset, p []byte) error
+	// ReadAt fills p from the device offset off. The read must stay
+	// inside the segment off points into.
+	ReadAt(off Offset, p []byte) error
+	// Stats returns a snapshot of the traffic counters.
+	Stats() Stats
+	// ResetStats zeroes the traffic counters (segment liveness is kept).
+	ResetStats()
+	// Close releases resources held by the device.
+	Close() error
+}
+
+type counters struct {
+	bytesRead    atomic.Uint64
+	bytesWritten atomic.Uint64
+	readOps      atomic.Uint64
+	writeOps     atomic.Uint64
+}
+
+func (c *counters) read(n int) {
+	c.bytesRead.Add(uint64(n))
+	c.readOps.Add(1)
+}
+
+func (c *counters) write(n int) {
+	c.bytesWritten.Add(uint64(n))
+	c.writeOps.Add(1)
+}
+
+func (c *counters) reset() {
+	c.bytesRead.Store(0)
+	c.bytesWritten.Store(0)
+	c.readOps.Store(0)
+	c.writeOps.Store(0)
+}
+
+// Errors reported by devices.
+var (
+	ErrOutOfSpace      = errors.New("storage: device out of segments")
+	ErrBadSegment      = errors.New("storage: segment not allocated")
+	ErrSegmentOverflow = errors.New("storage: I/O crosses segment boundary")
+	ErrClosed          = errors.New("storage: device closed")
+)
+
+// MemDevice is an in-memory segment device with byte-accurate traffic
+// accounting. It stands in for the paper's NVMe SSD (DESIGN.md §2).
+type MemDevice struct {
+	geo  Geometry
+	maxN int
+
+	mu       sync.Mutex
+	segments map[SegmentID][]byte
+	free     []SegmentID
+	next     SegmentID
+	closed   bool
+
+	ctr counters
+}
+
+// NewMemDevice creates an in-memory device with the given segment size.
+// maxSegments bounds capacity; 0 means unbounded.
+func NewMemDevice(segmentSize int64, maxSegments int) (*MemDevice, error) {
+	geo, err := NewGeometry(segmentSize)
+	if err != nil {
+		return nil, err
+	}
+	return &MemDevice{
+		geo:      geo,
+		maxN:     maxSegments,
+		segments: make(map[SegmentID][]byte),
+		next:     1, // segment 0 is NilSegment
+	}, nil
+}
+
+// Geometry implements Device.
+func (d *MemDevice) Geometry() Geometry { return d.geo }
+
+// Alloc implements Device.
+func (d *MemDevice) Alloc() (SegmentID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return NilSegment, ErrClosed
+	}
+	var id SegmentID
+	if n := len(d.free); n > 0 {
+		id = d.free[n-1]
+		d.free = d.free[:n-1]
+	} else {
+		if d.maxN > 0 && int(d.next) > d.maxN {
+			return NilSegment, ErrOutOfSpace
+		}
+		id = d.next
+		d.next++
+	}
+	d.segments[id] = make([]byte, d.geo.segSize)
+	return id, nil
+}
+
+// Free implements Device.
+func (d *MemDevice) Free(id SegmentID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if _, ok := d.segments[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrBadSegment, id)
+	}
+	delete(d.segments, id)
+	d.free = append(d.free, id)
+	return nil
+}
+
+func (d *MemDevice) segment(off Offset, n int) ([]byte, int64, error) {
+	seg := d.geo.Segment(off)
+	within := d.geo.Within(off)
+	if within+int64(n) > d.geo.segSize {
+		return nil, 0, fmt.Errorf("%w: seg %d off %d len %d", ErrSegmentOverflow, seg, within, n)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, 0, ErrClosed
+	}
+	buf, ok := d.segments[seg]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %d", ErrBadSegment, seg)
+	}
+	return buf, within, nil
+}
+
+// WriteAt implements Device.
+func (d *MemDevice) WriteAt(off Offset, p []byte) error {
+	buf, within, err := d.segment(off, len(p))
+	if err != nil {
+		return err
+	}
+	copy(buf[within:], p)
+	d.ctr.write(len(p))
+	return nil
+}
+
+// ReadAt implements Device.
+func (d *MemDevice) ReadAt(off Offset, p []byte) error {
+	buf, within, err := d.segment(off, len(p))
+	if err != nil {
+		return err
+	}
+	copy(p, buf[within:])
+	d.ctr.read(len(p))
+	return nil
+}
+
+// Stats implements Device.
+func (d *MemDevice) Stats() Stats {
+	d.mu.Lock()
+	live := uint64(len(d.segments))
+	d.mu.Unlock()
+	return Stats{
+		BytesRead:    d.ctr.bytesRead.Load(),
+		BytesWritten: d.ctr.bytesWritten.Load(),
+		ReadOps:      d.ctr.readOps.Load(),
+		WriteOps:     d.ctr.writeOps.Load(),
+		SegmentsLive: live,
+	}
+}
+
+// ResetStats implements Device.
+func (d *MemDevice) ResetStats() { d.ctr.reset() }
+
+// Close implements Device.
+func (d *MemDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	d.segments = nil
+	d.free = nil
+	return nil
+}

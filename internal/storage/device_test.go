@@ -1,0 +1,220 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometryRejectsBadSizes(t *testing.T) {
+	for _, sz := range []int64{0, 100, 511, 3 << 10} {
+		if _, err := NewGeometry(sz); err == nil {
+			t.Errorf("NewGeometry(%d) should fail", sz)
+		}
+	}
+	if _, err := NewGeometry(2 << 20); err != nil {
+		t.Fatalf("NewGeometry(2MiB): %v", err)
+	}
+}
+
+func TestGeometryPackUnpackRoundTrip(t *testing.T) {
+	geo, _ := NewGeometry(64 << 10)
+	f := func(seg uint32, within uint16) bool {
+		s := SegmentID(seg)
+		w := int64(within) % geo.SegmentSize()
+		off := geo.Pack(s, w)
+		return geo.Segment(off) == s && geo.Within(off) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometryRebaseKeepsWithin(t *testing.T) {
+	geo, _ := NewGeometry(4096)
+	off := geo.Pack(7, 123)
+	re := geo.Rebase(off, 42)
+	if geo.Segment(re) != 42 || geo.Within(re) != 123 {
+		t.Fatalf("Rebase = seg %d within %d", geo.Segment(re), geo.Within(re))
+	}
+}
+
+func testDeviceBasics(t *testing.T, d Device) {
+	t.Helper()
+	geo := d.Geometry()
+
+	s1, err := d.Alloc()
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if s1 == NilSegment {
+		t.Fatal("Alloc returned NilSegment")
+	}
+	data := []byte("hello segment world")
+	off := geo.Pack(s1, 100)
+	if err := d.WriteAt(off, data); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	got := make([]byte, len(data))
+	if err := d.ReadAt(off, got); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("ReadAt = %q, want %q", got, data)
+	}
+
+	st := d.Stats()
+	if st.BytesWritten != uint64(len(data)) || st.BytesRead != uint64(len(data)) {
+		t.Fatalf("stats = %+v, want %d read/written", st, len(data))
+	}
+
+	// I/O must not cross segment boundaries.
+	edge := geo.Pack(s1, geo.SegmentSize()-4)
+	if err := d.WriteAt(edge, make([]byte, 8)); !errors.Is(err, ErrSegmentOverflow) {
+		t.Fatalf("boundary write err = %v, want ErrSegmentOverflow", err)
+	}
+
+	// Unallocated segments must be rejected.
+	if err := d.ReadAt(geo.Pack(999, 0), got); err == nil {
+		t.Fatal("read of unallocated segment should fail")
+	}
+
+	// Free / reuse.
+	if err := d.Free(s1); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := d.Free(s1); err == nil {
+		t.Fatal("double free should fail")
+	}
+	s2, err := d.Alloc()
+	if err != nil {
+		t.Fatalf("Alloc after free: %v", err)
+	}
+	if s2 != s1 {
+		t.Logf("allocator did not reuse segment (got %d, freed %d) — allowed but unexpected", s2, s1)
+	}
+}
+
+func TestMemDeviceBasics(t *testing.T) {
+	d, err := NewMemDevice(4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	testDeviceBasics(t, d)
+}
+
+func TestFileDeviceBasics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	d, err := NewFileDevice(path, 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	testDeviceBasics(t, d)
+}
+
+func TestMemDeviceCapacity(t *testing.T) {
+	d, err := NewMemDevice(512, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Alloc(); !errors.Is(err, ErrOutOfSpace) {
+		t.Fatalf("third alloc err = %v, want ErrOutOfSpace", err)
+	}
+}
+
+func TestMemDeviceFreshSegmentIsZeroed(t *testing.T) {
+	d, _ := NewMemDevice(512, 0)
+	defer d.Close()
+	s, _ := d.Alloc()
+	geo := d.Geometry()
+	if err := d.WriteAt(geo.Pack(s, 0), []byte{0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Free(s); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := d.Alloc()
+	buf := make([]byte, 2)
+	if err := d.ReadAt(geo.Pack(s2, 0), buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 || buf[1] != 0 {
+		t.Fatalf("recycled segment not zeroed: %v", buf)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	d, _ := NewMemDevice(512, 0)
+	defer d.Close()
+	s, _ := d.Alloc()
+	_ = d.WriteAt(d.Geometry().Pack(s, 0), []byte{1})
+	d.ResetStats()
+	if st := d.Stats(); st.BytesWritten != 0 || st.WriteOps != 0 {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+}
+
+func TestClosedDeviceRejectsIO(t *testing.T) {
+	d, _ := NewMemDevice(512, 0)
+	s, _ := d.Alloc()
+	off := d.Geometry().Pack(s, 0)
+	_ = d.Close()
+	if err := d.WriteAt(off, []byte{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close err = %v", err)
+	}
+	if _, err := d.Alloc(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("alloc after close err = %v", err)
+	}
+}
+
+func TestConcurrentAllocWrite(t *testing.T) {
+	d, _ := NewMemDevice(4096, 0)
+	defer d.Close()
+	geo := d.Geometry()
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			for i := 0; i < 50; i++ {
+				s, err := d.Alloc()
+				if err != nil {
+					done <- err
+					return
+				}
+				b := []byte{byte(w), byte(i)}
+				if err := d.WriteAt(geo.Pack(s, 0), b); err != nil {
+					done <- err
+					return
+				}
+				got := make([]byte, 2)
+				if err := d.ReadAt(geo.Pack(s, 0), got); err != nil {
+					done <- err
+					return
+				}
+				if !bytes.Equal(got, b) {
+					done <- errors.New("readback mismatch")
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := d.Stats(); st.SegmentsLive != 400 {
+		t.Fatalf("live segments = %d, want 400", st.SegmentsLive)
+	}
+}

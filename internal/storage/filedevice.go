@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileDevice is a file-backed segment device used by the standalone
+// binaries. The file grows as segments are allocated; the segment
+// allocator and the traffic counters behave exactly like MemDevice.
+type FileDevice struct {
+	geo  Geometry
+	maxN int
+
+	mu     sync.Mutex
+	f      *os.File
+	alloc  map[SegmentID]bool
+	free   []SegmentID
+	next   SegmentID
+	closed bool
+
+	ctr counters
+}
+
+// NewFileDevice opens (creating if necessary) a file-backed device at
+// path. maxSegments bounds capacity; 0 means unbounded.
+func NewFileDevice(path string, segmentSize int64, maxSegments int) (*FileDevice, error) {
+	geo, err := NewGeometry(segmentSize)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open device file: %w", err)
+	}
+	return &FileDevice{
+		geo:   geo,
+		maxN:  maxSegments,
+		f:     f,
+		alloc: make(map[SegmentID]bool),
+		next:  1,
+	}, nil
+}
+
+// Geometry implements Device.
+func (d *FileDevice) Geometry() Geometry { return d.geo }
+
+// Alloc implements Device.
+func (d *FileDevice) Alloc() (SegmentID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return NilSegment, ErrClosed
+	}
+	var id SegmentID
+	if n := len(d.free); n > 0 {
+		id = d.free[n-1]
+		d.free = d.free[:n-1]
+		// Zero the recycled segment so readers of fresh segments never
+		// see stale bytes (MemDevice allocates zeroed; match it).
+		if _, err := d.f.WriteAt(make([]byte, d.geo.segSize), int64(id)*d.geo.segSize); err != nil {
+			return NilSegment, fmt.Errorf("storage: zero recycled segment: %w", err)
+		}
+	} else {
+		if d.maxN > 0 && int(d.next) > d.maxN {
+			return NilSegment, ErrOutOfSpace
+		}
+		id = d.next
+		d.next++
+		if err := d.f.Truncate(int64(id+1) * d.geo.segSize); err != nil {
+			return NilSegment, fmt.Errorf("storage: grow device file: %w", err)
+		}
+	}
+	d.alloc[id] = true
+	return id, nil
+}
+
+// Free implements Device.
+func (d *FileDevice) Free(id SegmentID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if !d.alloc[id] {
+		return fmt.Errorf("%w: %d", ErrBadSegment, id)
+	}
+	delete(d.alloc, id)
+	d.free = append(d.free, id)
+	return nil
+}
+
+func (d *FileDevice) check(off Offset, n int) (int64, error) {
+	seg := d.geo.Segment(off)
+	within := d.geo.Within(off)
+	if within+int64(n) > d.geo.segSize {
+		return 0, fmt.Errorf("%w: seg %d off %d len %d", ErrSegmentOverflow, seg, within, n)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	if !d.alloc[seg] {
+		return 0, fmt.Errorf("%w: %d", ErrBadSegment, seg)
+	}
+	return int64(seg)*d.geo.segSize + within, nil
+}
+
+// WriteAt implements Device.
+func (d *FileDevice) WriteAt(off Offset, p []byte) error {
+	pos, err := d.check(off, len(p))
+	if err != nil {
+		return err
+	}
+	if _, err := d.f.WriteAt(p, pos); err != nil {
+		return fmt.Errorf("storage: file write: %w", err)
+	}
+	d.ctr.write(len(p))
+	return nil
+}
+
+// ReadAt implements Device.
+func (d *FileDevice) ReadAt(off Offset, p []byte) error {
+	pos, err := d.check(off, len(p))
+	if err != nil {
+		return err
+	}
+	if _, err := d.f.ReadAt(p, pos); err != nil {
+		return fmt.Errorf("storage: file read: %w", err)
+	}
+	d.ctr.read(len(p))
+	return nil
+}
+
+// Stats implements Device.
+func (d *FileDevice) Stats() Stats {
+	d.mu.Lock()
+	live := uint64(len(d.alloc))
+	d.mu.Unlock()
+	return Stats{
+		BytesRead:    d.ctr.bytesRead.Load(),
+		BytesWritten: d.ctr.bytesWritten.Load(),
+		ReadOps:      d.ctr.readOps.Load(),
+		WriteOps:     d.ctr.writeOps.Load(),
+		SegmentsLive: live,
+	}
+}
+
+// ResetStats implements Device.
+func (d *FileDevice) ResetStats() { d.ctr.reset() }
+
+// Close implements Device.
+func (d *FileDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.f.Close()
+}

@@ -1,0 +1,72 @@
+package vlog
+
+import (
+	"fmt"
+
+	"tebis/internal/storage"
+)
+
+// AdoptSegment installs a sealed segment image that was produced
+// elsewhere — the backup's value-log replication path writes the
+// contents of its RDMA buffer here when the primary sends a flush-tail
+// command (§3.2, step 2c). The segment is allocated on the local device,
+// written, and appended to the log's segment list so replay and reads
+// work exactly as for locally appended data. It returns the local
+// segment ID (the backup records <primary seg, local seg> in its log
+// map).
+func (l *Log) AdoptSegment(data []byte) (storage.SegmentID, error) {
+	if int64(len(data)) != l.geo.SegmentSize() {
+		return storage.NilSegment, fmt.Errorf("vlog: adopt segment of %d bytes, want %d", len(data), l.geo.SegmentSize())
+	}
+	seg, err := l.dev.Alloc()
+	if err != nil {
+		return storage.NilSegment, err
+	}
+	if err := l.dev.WriteAt(l.geo.Pack(seg, 0), data); err != nil {
+		return storage.NilSegment, err
+	}
+	l.mu.Lock()
+	l.segs = append(l.segs, seg)
+	l.mu.Unlock()
+	return seg, nil
+}
+
+// AdoptSegmentAs is AdoptSegment for a segment the caller has already
+// allocated (a backup's lazily resolved log-map entry).
+func (l *Log) AdoptSegmentAs(seg storage.SegmentID, data []byte) error {
+	if int64(len(data)) != l.geo.SegmentSize() {
+		return fmt.Errorf("vlog: adopt segment of %d bytes, want %d", len(data), l.geo.SegmentSize())
+	}
+	if err := l.dev.WriteAt(l.geo.Pack(seg, 0), data); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.segs = append(l.segs, seg)
+	l.mu.Unlock()
+	return nil
+}
+
+// AdoptTail overwrites the in-memory tail with data, so a promoted
+// backup resumes appending exactly where the failed primary stopped:
+// its RDMA buffer holds the unflushed tail replica (§3.5). The tail
+// keeps its local segment ID (which the backup's log map already maps).
+func (l *Log) AdoptTail(tailSeg storage.SegmentID, data []byte) error {
+	if int64(len(data)) > l.geo.SegmentSize() {
+		return fmt.Errorf("vlog: adopt tail of %d bytes exceeds segment size", len(data))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Release the tail segment New() allocated if it is being replaced.
+	if l.tailSeg != tailSeg && l.tailLen == 0 {
+		if err := l.dev.Free(l.tailSeg); err != nil {
+			return err
+		}
+	}
+	l.tailSeg = tailSeg
+	for i := range l.tailBuf {
+		l.tailBuf[i] = 0
+	}
+	copy(l.tailBuf, data)
+	l.tailLen = int64(len(data))
+	return nil
+}

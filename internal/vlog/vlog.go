@@ -1,0 +1,315 @@
+// Package vlog implements the Tebis/Kreon value log.
+//
+// KV separation stores the full key-value records in an append-only log
+// while the LSM index keeps only <key prefix, device offset> pairs. The
+// log is a list of fixed-size device segments. New records are
+// accumulated in an in-memory tail segment; when the tail fills up it is
+// sealed and flushed to the device in one large sequential write —
+// exactly the event that drives the paper's value-log replication
+// protocol (primary flushes, then tells backups to flush their RDMA
+// buffers, §3.2).
+package vlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"tebis/internal/kv"
+	"tebis/internal/storage"
+)
+
+// recHdrSize is the record header: 4-byte key length + 4-byte value length.
+const recHdrSize = 8
+
+// tombstoneLen is the value-length sentinel marking a delete record.
+const tombstoneLen = ^uint32(0)
+
+// Errors reported by the log.
+var (
+	ErrRecordTooLarge = errors.New("vlog: record larger than a segment")
+	ErrBadOffset      = errors.New("vlog: invalid record offset")
+)
+
+// Sealed describes a tail segment that has just been filled, flushed to
+// the local device, and made immutable. Replication uses it to tell
+// backups to persist the corresponding RDMA buffer.
+type Sealed struct {
+	// Seg is the device segment the tail was flushed to.
+	Seg storage.SegmentID
+	// Data is the full segment image (valid until the log is closed).
+	Data []byte
+}
+
+// AppendResult reports where an appended record landed.
+type AppendResult struct {
+	// Off is the device offset of the record (also its index pointer).
+	Off storage.Offset
+	// TailPos is the byte offset inside the current tail segment.
+	TailPos int64
+	// Rec is the encoded record, aliasing the tail buffer: valid only
+	// until the tail seals. Replication copies it into RDMA buffers
+	// immediately.
+	Rec []byte
+	// Sealed is non-nil when this append first sealed the previous
+	// tail segment (the record itself landed in a fresh tail).
+	Sealed *Sealed
+}
+
+// Log is the value log of one region.
+type Log struct {
+	dev storage.Device
+	geo storage.Geometry
+
+	mu      sync.Mutex
+	segs    []storage.SegmentID // sealed segments, oldest first
+	tailSeg storage.SegmentID
+	tailBuf []byte
+	tailLen int64
+	head    int    // index into segs of the first live segment (GC)
+	bytes   uint64 // total user bytes appended
+}
+
+// New creates an empty value log on dev. The first tail segment is
+// allocated eagerly so every record has a valid device offset at append
+// time (Send-Index may ship leaves pointing at the unflushed tail).
+func New(dev storage.Device) (*Log, error) {
+	l := &Log{dev: dev, geo: dev.Geometry()}
+	if err := l.rollTail(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// rollTail allocates a fresh tail segment. Caller holds l.mu (or is New).
+func (l *Log) rollTail() error {
+	seg, err := l.dev.Alloc()
+	if err != nil {
+		return err
+	}
+	l.tailSeg = seg
+	if l.tailBuf == nil {
+		l.tailBuf = make([]byte, l.geo.SegmentSize())
+	} else {
+		for i := range l.tailBuf {
+			l.tailBuf[i] = 0
+		}
+	}
+	l.tailLen = 0
+	return nil
+}
+
+// encodedLen returns the on-log size of a record.
+func encodedLen(key, val []byte) int64 {
+	return int64(recHdrSize + len(key) + len(val))
+}
+
+// Append writes a put record for (key, value) and returns its location.
+// A nil value with tombstone=true records a delete.
+func (l *Log) Append(key, value []byte, tombstone bool) (AppendResult, error) {
+	if len(key) == 0 {
+		return AppendResult{}, fmt.Errorf("vlog: empty key")
+	}
+	need := encodedLen(key, value)
+	if need > l.geo.SegmentSize() {
+		return AppendResult{}, fmt.Errorf("%w: %d > %d", ErrRecordTooLarge, need, l.geo.SegmentSize())
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	var res AppendResult
+	if l.tailLen+need > l.geo.SegmentSize() {
+		sealed, err := l.sealLocked()
+		if err != nil {
+			return AppendResult{}, err
+		}
+		res.Sealed = sealed
+	}
+
+	pos := l.tailLen
+	buf := l.tailBuf[pos : pos+need]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(key)))
+	if tombstone {
+		binary.LittleEndian.PutUint32(buf[4:8], tombstoneLen)
+	} else {
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(len(value)))
+	}
+	copy(buf[recHdrSize:], key)
+	copy(buf[recHdrSize+len(key):], value)
+
+	l.tailLen += need
+	l.bytes += uint64(len(key) + len(value))
+
+	res.Off = l.geo.Pack(l.tailSeg, pos)
+	res.TailPos = pos
+	res.Rec = buf
+	return res, nil
+}
+
+// sealLocked flushes the current tail to the device and starts a new one.
+func (l *Log) sealLocked() (*Sealed, error) {
+	if err := l.dev.WriteAt(l.geo.Pack(l.tailSeg, 0), l.tailBuf); err != nil {
+		return nil, err
+	}
+	sealed := &Sealed{
+		Seg:  l.tailSeg,
+		Data: append([]byte(nil), l.tailBuf...),
+	}
+	l.segs = append(l.segs, l.tailSeg)
+	if err := l.rollTail(); err != nil {
+		return nil, err
+	}
+	return sealed, nil
+}
+
+// Seal force-flushes a non-empty partial tail (shutdown, state transfer).
+// It returns nil if the tail was empty.
+func (l *Log) Seal() (*Sealed, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.tailLen == 0 {
+		return nil, nil
+	}
+	return l.sealLocked()
+}
+
+// readAt reads n bytes at off, serving from the in-memory tail when the
+// offset points into the unflushed tail segment (the mmap-cache analogue
+// for the hot tail).
+func (l *Log) readAt(off storage.Offset, p []byte) error {
+	l.mu.Lock()
+	if l.geo.Segment(off) == l.tailSeg {
+		within := l.geo.Within(off)
+		if within+int64(len(p)) > l.tailLen {
+			l.mu.Unlock()
+			return fmt.Errorf("%w: tail read past %d", ErrBadOffset, l.tailLen)
+		}
+		copy(p, l.tailBuf[within:])
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
+	return l.dev.ReadAt(off, p)
+}
+
+// Get decodes the record at off. For tombstones it returns the key, a
+// nil value, and tombstone=true.
+func (l *Log) Get(off storage.Offset) (pair kv.Pair, tombstone bool, err error) {
+	var hdr [recHdrSize]byte
+	if err = l.readAt(off, hdr[:]); err != nil {
+		return kv.Pair{}, false, err
+	}
+	keyLen := binary.LittleEndian.Uint32(hdr[0:4])
+	valLen := binary.LittleEndian.Uint32(hdr[4:8])
+	if keyLen == 0 {
+		return kv.Pair{}, false, fmt.Errorf("%w: zero key length at %#x", ErrBadOffset, off)
+	}
+	tomb := valLen == tombstoneLen
+	vl := valLen
+	if tomb {
+		vl = 0
+	}
+	buf := make([]byte, int(keyLen)+int(vl))
+	if err = l.readAt(off+recHdrSize, buf); err != nil {
+		return kv.Pair{}, false, err
+	}
+	return kv.Pair{Key: buf[:keyLen], Value: buf[keyLen:]}, tomb, nil
+}
+
+// GetKey decodes only the key of the record at off. Compactions use it
+// to merge-sort leaf streams without fetching values.
+func (l *Log) GetKey(off storage.Offset) ([]byte, error) {
+	var hdr [recHdrSize]byte
+	if err := l.readAt(off, hdr[:]); err != nil {
+		return nil, err
+	}
+	keyLen := binary.LittleEndian.Uint32(hdr[0:4])
+	if keyLen == 0 {
+		return nil, fmt.Errorf("%w: zero key length at %#x", ErrBadOffset, off)
+	}
+	key := make([]byte, keyLen)
+	if err := l.readAt(off+recHdrSize, key); err != nil {
+		return nil, err
+	}
+	return key, nil
+}
+
+// Geometry returns the underlying device geometry.
+func (l *Log) Geometry() storage.Geometry { return l.geo }
+
+// ReadSegmentImage reads the raw image of any allocated device segment
+// (log or index). State transfer uses it to ship full segment images to
+// a new backup.
+func (l *Log) ReadSegmentImage(seg storage.SegmentID, p []byte) error {
+	if int64(len(p)) != l.geo.SegmentSize() {
+		return fmt.Errorf("vlog: segment image buffer of %d bytes, want %d", len(p), l.geo.SegmentSize())
+	}
+	l.mu.Lock()
+	if seg == l.tailSeg {
+		copy(p, l.tailBuf)
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
+	return l.dev.ReadAt(l.geo.Pack(seg, 0), p)
+}
+
+// Position returns the device offset where the next record will be
+// appended. Everything appended before this point is in the log; the
+// LSM engine captures it as the compaction watermark used for L0
+// reconstruction after a primary failure (§3.5).
+func (l *Log) Position() storage.Offset {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.geo.Pack(l.tailSeg, l.tailLen)
+}
+
+// TailSegment returns the current tail segment ID.
+func (l *Log) TailSegment() storage.SegmentID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tailSeg
+}
+
+// TailSnapshot returns the tail segment ID, a copy of its current
+// contents, and its fill level. Used for backup state transfer.
+func (l *Log) TailSnapshot() (storage.SegmentID, []byte, int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tailSeg, append([]byte(nil), l.tailBuf[:l.tailLen]...), l.tailLen
+}
+
+// Segments returns the sealed segments in append order (oldest first),
+// excluding trimmed ones.
+func (l *Log) Segments() []storage.SegmentID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]storage.SegmentID(nil), l.segs[l.head:]...)
+}
+
+// UserBytes returns the cumulative user data (keys+values) appended.
+func (l *Log) UserBytes() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+// Trim releases all sealed segments up to but excluding the one holding
+// keep. It is the garbage-collection hook: the primary decides what to
+// trim and backups only perform the trim (§4). Segments are freed on the
+// device; trimming never touches the tail.
+func (l *Log) Trim(keep storage.Offset) (freed int, err error) {
+	keepSeg := l.geo.Segment(keep)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.head < len(l.segs) && l.segs[l.head] != keepSeg {
+		if err := l.dev.Free(l.segs[l.head]); err != nil {
+			return freed, err
+		}
+		l.head++
+		freed++
+	}
+	return freed, nil
+}

@@ -1,0 +1,244 @@
+// Package wire defines the Tebis RDMA message format (§3.4).
+//
+// Every message is a 128-byte header plus a variable-size payload padded
+// to a multiple of the header size. The last four bytes of the header
+// hold a rendezvous magic number the server's spinning thread polls for;
+// a second rendezvous magic sits in the final four bytes of the padded
+// payload so the detector knows the whole message has arrived. Because
+// message sizes are multiples of the header size, the spinning thread
+// only ever needs to zero the possible header locations after consuming
+// a message.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Protocol constants.
+const (
+	// HeaderSize is the fixed message header size.
+	HeaderSize = 128
+	// Magic is the rendezvous magic number ("TEBI").
+	Magic = 0x54454249
+	// MinPayload pads every payload to at least this size: for small
+	// messages the NIC packet rate is the bottleneck, so the paper's
+	// protocol uses a 256 B minimum payload (§4).
+	MinPayload = 256
+)
+
+// Op identifies a message type.
+type Op uint8
+
+// Client-server and server-server operations.
+const (
+	OpInvalid Op = iota
+
+	// Client → server.
+	OpPut
+	OpDelete
+	OpGet
+	OpGetRest
+	OpScan
+	OpNoop
+
+	// Server → client.
+	OpPutReply
+	OpDeleteReply
+	OpGetReply
+	OpScanReply
+	OpNoopReply
+
+	// Primary → backup control plane.
+	OpFlushTail
+	OpFlushTailAck
+	OpIndexSegment
+	OpIndexSegmentAck
+	OpCompactionStart
+	OpCompactionDone
+	OpCompactionDoneAck
+	OpGetBuffer
+	OpGetBufferReply
+	OpTrimLog
+	OpTrimLogAck
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	names := [...]string{
+		"invalid", "put", "delete", "get", "get-rest", "scan", "noop",
+		"put-reply", "delete-reply", "get-reply", "scan-reply", "noop-reply",
+		"flush-tail", "flush-tail-ack", "index-segment", "index-segment-ack",
+		"compaction-start", "compaction-done", "compaction-done-ack",
+		"get-buffer", "get-buffer-reply", "trim-log", "trim-log-ack",
+	}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Flags carried in the header.
+const (
+	// FlagPartial marks a get reply that did not fit the client's reply
+	// slot; the client must fetch the rest with OpGetRest (§3.4.1).
+	FlagPartial = 1 << 0
+	// FlagError marks a reply carrying an error string payload.
+	FlagError = 1 << 1
+	// FlagWrongRegion tells the client its region map is stale (§3.1).
+	FlagWrongRegion = 1 << 2
+)
+
+// Header is the decoded fixed-size message header.
+type Header struct {
+	// PayloadSize is the unpadded payload length in bytes.
+	PayloadSize uint32
+	// Opcode identifies the message type.
+	Opcode Op
+	// Flags carries FlagPartial etc.
+	Flags uint8
+	// RegionID addresses the target region on the server.
+	RegionID uint16
+	// RequestID correlates replies with requests.
+	RequestID uint64
+	// ReplyOffset is where in the client's reply buffer the server must
+	// RDMA-write the reply (client-managed allocation, §3.4.1).
+	ReplyOffset uint32
+	// ReplySize is the size of the reply slot the client allocated.
+	ReplySize uint32
+}
+
+// Errors reported by the codec.
+var (
+	ErrShortBuffer = errors.New("wire: buffer too small")
+	ErrBadMagic    = errors.New("wire: bad rendezvous magic")
+	ErrBadHeader   = errors.New("wire: malformed header")
+)
+
+// PaddedPayloadSize returns the on-wire payload size: padded to a
+// multiple of HeaderSize with room for the 4-byte end-of-payload
+// rendezvous, and at least MinPayload for non-empty payloads.
+func PaddedPayloadSize(payloadLen int) int {
+	if payloadLen == 0 {
+		return 0
+	}
+	n := payloadLen + 4 // trailer magic
+	if n < MinPayload {
+		n = MinPayload
+	}
+	return (n + HeaderSize - 1) / HeaderSize * HeaderSize
+}
+
+// MessageSize returns the total on-wire size of a message with the given
+// payload length.
+func MessageSize(payloadLen int) int {
+	return HeaderSize + PaddedPayloadSize(payloadLen)
+}
+
+// EncodeHeader writes h into buf[0:HeaderSize], including the rendezvous
+// magic in the final four bytes.
+func EncodeHeader(buf []byte, h Header) error {
+	if len(buf) < HeaderSize {
+		return ErrShortBuffer
+	}
+	for i := 0; i < HeaderSize; i++ {
+		buf[i] = 0
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], h.PayloadSize)
+	buf[4] = byte(h.Opcode)
+	buf[5] = h.Flags
+	binary.LittleEndian.PutUint16(buf[6:8], h.RegionID)
+	binary.LittleEndian.PutUint64(buf[8:16], h.RequestID)
+	binary.LittleEndian.PutUint32(buf[16:20], h.ReplyOffset)
+	binary.LittleEndian.PutUint32(buf[20:24], h.ReplySize)
+	binary.LittleEndian.PutUint32(buf[HeaderSize-4:HeaderSize], Magic)
+	return nil
+}
+
+// DecodeHeader parses buf[0:HeaderSize]; it fails unless the rendezvous
+// magic is present.
+func DecodeHeader(buf []byte) (Header, error) {
+	if len(buf) < HeaderSize {
+		return Header{}, ErrShortBuffer
+	}
+	if binary.LittleEndian.Uint32(buf[HeaderSize-4:HeaderSize]) != Magic {
+		return Header{}, ErrBadMagic
+	}
+	h := Header{
+		PayloadSize: binary.LittleEndian.Uint32(buf[0:4]),
+		Opcode:      Op(buf[4]),
+		Flags:       buf[5],
+		RegionID:    binary.LittleEndian.Uint16(buf[6:8]),
+		RequestID:   binary.LittleEndian.Uint64(buf[8:16]),
+		ReplyOffset: binary.LittleEndian.Uint32(buf[16:20]),
+		ReplySize:   binary.LittleEndian.Uint32(buf[20:24]),
+	}
+	if h.Opcode == OpInvalid {
+		return Header{}, ErrBadHeader
+	}
+	return h, nil
+}
+
+// HeaderArrived reports whether a header rendezvous magic is present at
+// buf (the spinning thread's first poll point).
+func HeaderArrived(buf []byte) bool {
+	return len(buf) >= HeaderSize &&
+		binary.LittleEndian.Uint32(buf[HeaderSize-4:HeaderSize]) == Magic
+}
+
+// PayloadArrived reports whether the end-of-payload rendezvous magic for
+// a message with the given payload size is present (the spinning
+// thread's second poll point). Messages without payload are complete
+// once the header is.
+func PayloadArrived(buf []byte, payloadSize int) bool {
+	padded := PaddedPayloadSize(payloadSize)
+	if padded == 0 {
+		return true
+	}
+	end := HeaderSize + padded
+	if len(buf) < end {
+		return false
+	}
+	return binary.LittleEndian.Uint32(buf[end-4:end]) == Magic
+}
+
+// EncodeMessage writes a complete message (header + payload + padding +
+// trailer magic) into buf and returns the total size.
+func EncodeMessage(buf []byte, h Header, payload []byte) (int, error) {
+	h.PayloadSize = uint32(len(payload))
+	total := MessageSize(len(payload))
+	if len(buf) < total {
+		return 0, fmt.Errorf("%w: need %d, have %d", ErrShortBuffer, total, len(buf))
+	}
+	if err := EncodeHeader(buf, h); err != nil {
+		return 0, err
+	}
+	padded := PaddedPayloadSize(len(payload))
+	body := buf[HeaderSize : HeaderSize+padded]
+	for i := range body {
+		body[i] = 0
+	}
+	copy(body, payload)
+	if padded > 0 {
+		binary.LittleEndian.PutUint32(body[padded-4:], Magic)
+	}
+	return total, nil
+}
+
+// DecodeMessage parses a complete message at buf, returning the header
+// and the unpadded payload (aliasing buf).
+func DecodeMessage(buf []byte) (Header, []byte, error) {
+	h, err := DecodeHeader(buf)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	padded := PaddedPayloadSize(int(h.PayloadSize))
+	if len(buf) < HeaderSize+padded {
+		return Header{}, nil, ErrShortBuffer
+	}
+	if !PayloadArrived(buf, int(h.PayloadSize)) {
+		return Header{}, nil, ErrBadMagic
+	}
+	return h, buf[HeaderSize : HeaderSize+int(h.PayloadSize)], nil
+}

@@ -1,0 +1,380 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tebis/internal/kv"
+)
+
+// Payload codecs for every operation. All integers are little-endian;
+// byte strings are length-prefixed (u32).
+
+func appendBytes(dst []byte, b []byte) []byte {
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(b)))
+	dst = append(dst, l[:]...)
+	return append(dst, b...)
+}
+
+func readBytes(src []byte) ([]byte, []byte, error) {
+	if len(src) < 4 {
+		return nil, nil, ErrShortBuffer
+	}
+	n := binary.LittleEndian.Uint32(src)
+	if len(src) < 4+int(n) {
+		return nil, nil, ErrShortBuffer
+	}
+	return src[4 : 4+n], src[4+n:], nil
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func readU32(src []byte) (uint32, []byte, error) {
+	if len(src) < 4 {
+		return 0, nil, ErrShortBuffer
+	}
+	return binary.LittleEndian.Uint32(src), src[4:], nil
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func readU64(src []byte) (uint64, []byte, error) {
+	if len(src) < 8 {
+		return 0, nil, ErrShortBuffer
+	}
+	return binary.LittleEndian.Uint64(src), src[8:], nil
+}
+
+// PutReq is the payload of OpPut (and OpDelete without a value).
+type PutReq struct {
+	Key   []byte
+	Value []byte
+}
+
+// Encode appends the payload to dst.
+func (r PutReq) Encode(dst []byte) []byte {
+	dst = appendBytes(dst, r.Key)
+	return appendBytes(dst, r.Value)
+}
+
+// DecodePutReq parses a PutReq payload.
+func DecodePutReq(p []byte) (PutReq, error) {
+	key, rest, err := readBytes(p)
+	if err != nil {
+		return PutReq{}, fmt.Errorf("put key: %w", err)
+	}
+	val, _, err := readBytes(rest)
+	if err != nil {
+		return PutReq{}, fmt.Errorf("put value: %w", err)
+	}
+	return PutReq{Key: key, Value: val}, nil
+}
+
+// GetReq is the payload of OpGet.
+type GetReq struct {
+	Key []byte
+}
+
+// Encode appends the payload to dst.
+func (r GetReq) Encode(dst []byte) []byte { return appendBytes(dst, r.Key) }
+
+// DecodeGetReq parses a GetReq payload.
+func DecodeGetReq(p []byte) (GetReq, error) {
+	key, _, err := readBytes(p)
+	if err != nil {
+		return GetReq{}, fmt.Errorf("get key: %w", err)
+	}
+	return GetReq{Key: key}, nil
+}
+
+// GetRestReq is the payload of OpGetRest: fetch value bytes from Offset
+// onward after a partial reply (§3.4.1).
+type GetRestReq struct {
+	Key    []byte
+	Offset uint32
+}
+
+// Encode appends the payload to dst.
+func (r GetRestReq) Encode(dst []byte) []byte {
+	dst = appendBytes(dst, r.Key)
+	return appendU32(dst, r.Offset)
+}
+
+// DecodeGetRestReq parses a GetRestReq payload.
+func DecodeGetRestReq(p []byte) (GetRestReq, error) {
+	key, rest, err := readBytes(p)
+	if err != nil {
+		return GetRestReq{}, err
+	}
+	off, _, err := readU32(rest)
+	if err != nil {
+		return GetRestReq{}, err
+	}
+	return GetRestReq{Key: key, Offset: off}, nil
+}
+
+// ScanReq is the payload of OpScan.
+type ScanReq struct {
+	Start []byte
+	Count uint32
+}
+
+// Encode appends the payload to dst.
+func (r ScanReq) Encode(dst []byte) []byte {
+	dst = appendBytes(dst, r.Start)
+	return appendU32(dst, r.Count)
+}
+
+// DecodeScanReq parses a ScanReq payload.
+func DecodeScanReq(p []byte) (ScanReq, error) {
+	start, rest, err := readBytes(p)
+	if err != nil {
+		return ScanReq{}, err
+	}
+	count, _, err := readU32(rest)
+	if err != nil {
+		return ScanReq{}, err
+	}
+	return ScanReq{Start: start, Count: count}, nil
+}
+
+// GetReply is the payload of OpGetReply. Found=false encodes a miss.
+// When the value did not fit the reply slot, FlagPartial is set in the
+// header, Value holds the first chunk, and TotalSize the full length.
+type GetReply struct {
+	Found     bool
+	TotalSize uint32
+	Value     []byte
+}
+
+// Encode appends the payload to dst.
+func (r GetReply) Encode(dst []byte) []byte {
+	b := byte(0)
+	if r.Found {
+		b = 1
+	}
+	dst = append(dst, b)
+	dst = appendU32(dst, r.TotalSize)
+	return appendBytes(dst, r.Value)
+}
+
+// DecodeGetReply parses a GetReply payload.
+func DecodeGetReply(p []byte) (GetReply, error) {
+	if len(p) < 1 {
+		return GetReply{}, ErrShortBuffer
+	}
+	found := p[0] == 1
+	total, rest, err := readU32(p[1:])
+	if err != nil {
+		return GetReply{}, err
+	}
+	val, _, err := readBytes(rest)
+	if err != nil {
+		return GetReply{}, err
+	}
+	return GetReply{Found: found, TotalSize: total, Value: val}, nil
+}
+
+// ScanReply is the payload of OpScanReply.
+type ScanReply struct {
+	Pairs []kv.Pair
+}
+
+// Encode appends the payload to dst.
+func (r ScanReply) Encode(dst []byte) []byte {
+	dst = appendU32(dst, uint32(len(r.Pairs)))
+	for _, p := range r.Pairs {
+		dst = appendBytes(dst, p.Key)
+		dst = appendBytes(dst, p.Value)
+	}
+	return dst
+}
+
+// DecodeScanReply parses a ScanReply payload.
+func DecodeScanReply(p []byte) (ScanReply, error) {
+	n, rest, err := readU32(p)
+	if err != nil {
+		return ScanReply{}, err
+	}
+	// Never pre-allocate from a remote-controlled count: each pair
+	// costs at least 8 bytes on the wire, so anything claiming more
+	// pairs than the payload could hold is malformed.
+	if int(n) > len(rest)/8+1 {
+		return ScanReply{}, fmt.Errorf("scan reply: %w: %d pairs in %d bytes", ErrBadHeader, n, len(rest))
+	}
+	out := ScanReply{Pairs: make([]kv.Pair, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		var k, v []byte
+		if k, rest, err = readBytes(rest); err != nil {
+			return ScanReply{}, err
+		}
+		if v, rest, err = readBytes(rest); err != nil {
+			return ScanReply{}, err
+		}
+		out.Pairs = append(out.Pairs, kv.Pair{Key: k, Value: v})
+	}
+	return out, nil
+}
+
+// StatusReply is the payload of OpPutReply/OpDeleteReply: a one-byte
+// status (0 = OK) so even fixed-size replies carry the minimum payload.
+type StatusReply struct {
+	Status uint8
+}
+
+// Encode appends the payload to dst.
+func (r StatusReply) Encode(dst []byte) []byte { return append(dst, r.Status) }
+
+// DecodeStatusReply parses a StatusReply payload.
+func DecodeStatusReply(p []byte) (StatusReply, error) {
+	if len(p) < 1 {
+		return StatusReply{}, ErrShortBuffer
+	}
+	return StatusReply{Status: p[0]}, nil
+}
+
+// FlushTail is the primary → backup command to persist the replicated
+// log tail buffer (§3.2 step 2b). PrimarySeg lets the backup create its
+// <primary seg, backup seg> log-map entry (step 2d).
+type FlushTail struct {
+	RegionID   uint16
+	PrimarySeg uint32
+}
+
+// Encode appends the payload to dst.
+func (r FlushTail) Encode(dst []byte) []byte {
+	dst = appendU32(dst, uint32(r.RegionID))
+	return appendU32(dst, r.PrimarySeg)
+}
+
+// DecodeFlushTail parses a FlushTail payload.
+func DecodeFlushTail(p []byte) (FlushTail, error) {
+	rid, rest, err := readU32(p)
+	if err != nil {
+		return FlushTail{}, err
+	}
+	seg, _, err := readU32(rest)
+	if err != nil {
+		return FlushTail{}, err
+	}
+	return FlushTail{RegionID: uint16(rid), PrimarySeg: seg}, nil
+}
+
+// IndexSegment is the primary → backup metadata for one shipped index
+// segment (its data travels by one-sided RDMA write into the backup's
+// staging buffer).
+type IndexSegment struct {
+	RegionID   uint16
+	DstLevel   uint8
+	Kind       uint8 // btree.SegKind
+	PrimarySeg uint32
+	DataLen    uint32
+}
+
+// Encode appends the payload to dst.
+func (r IndexSegment) Encode(dst []byte) []byte {
+	dst = appendU32(dst, uint32(r.RegionID))
+	dst = append(dst, r.DstLevel, r.Kind)
+	dst = appendU32(dst, r.PrimarySeg)
+	return appendU32(dst, r.DataLen)
+}
+
+// DecodeIndexSegment parses an IndexSegment payload.
+func DecodeIndexSegment(p []byte) (IndexSegment, error) {
+	rid, rest, err := readU32(p)
+	if err != nil {
+		return IndexSegment{}, err
+	}
+	if len(rest) < 2 {
+		return IndexSegment{}, ErrShortBuffer
+	}
+	r := IndexSegment{RegionID: uint16(rid), DstLevel: rest[0], Kind: rest[1]}
+	rest = rest[2:]
+	if r.PrimarySeg, rest, err = readU32(rest); err != nil {
+		return IndexSegment{}, err
+	}
+	if r.DataLen, _, err = readU32(rest); err != nil {
+		return IndexSegment{}, err
+	}
+	return r, nil
+}
+
+// TrimLog is the primary → backup garbage-collection command: trim the
+// replicated value log up to (but excluding) the segment holding the
+// primary-space offset Keep (§4 — backups only perform the trim).
+type TrimLog struct {
+	RegionID uint16
+	Keep     uint64 // primary device offset
+}
+
+// Encode appends the payload to dst.
+func (r TrimLog) Encode(dst []byte) []byte {
+	dst = appendU32(dst, uint32(r.RegionID))
+	return appendU64(dst, r.Keep)
+}
+
+// DecodeTrimLog parses a TrimLog payload.
+func DecodeTrimLog(p []byte) (TrimLog, error) {
+	rid, rest, err := readU32(p)
+	if err != nil {
+		return TrimLog{}, err
+	}
+	keep, _, err := readU64(rest)
+	if err != nil {
+		return TrimLog{}, err
+	}
+	return TrimLog{RegionID: uint16(rid), Keep: keep}, nil
+}
+
+// CompactionDone is the primary → backup end-of-compaction message: the
+// backup translates Root through its index map, installs the new level,
+// and discards replaced levels (§3.3).
+type CompactionDone struct {
+	RegionID  uint16
+	SrcLevel  uint8
+	DstLevel  uint8
+	Root      uint64 // primary device offset of the new root
+	NumKeys   uint32
+	Watermark uint64 // primary log offset covered by levels
+}
+
+// Encode appends the payload to dst.
+func (r CompactionDone) Encode(dst []byte) []byte {
+	dst = appendU32(dst, uint32(r.RegionID))
+	dst = append(dst, r.SrcLevel, r.DstLevel)
+	dst = appendU64(dst, r.Root)
+	dst = appendU32(dst, r.NumKeys)
+	return appendU64(dst, r.Watermark)
+}
+
+// DecodeCompactionDone parses a CompactionDone payload.
+func DecodeCompactionDone(p []byte) (CompactionDone, error) {
+	rid, rest, err := readU32(p)
+	if err != nil {
+		return CompactionDone{}, err
+	}
+	if len(rest) < 2 {
+		return CompactionDone{}, ErrShortBuffer
+	}
+	r := CompactionDone{RegionID: uint16(rid), SrcLevel: rest[0], DstLevel: rest[1]}
+	rest = rest[2:]
+	if r.Root, rest, err = readU64(rest); err != nil {
+		return CompactionDone{}, err
+	}
+	if r.NumKeys, rest, err = readU32(rest); err != nil {
+		return CompactionDone{}, err
+	}
+	if r.Watermark, _, err = readU64(rest); err != nil {
+		return CompactionDone{}, err
+	}
+	return r, nil
+}

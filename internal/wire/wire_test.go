@@ -1,0 +1,288 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tebis/internal/kv"
+)
+
+func TestPaddedPayloadSize(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 0},
+		{1, 256},     // minimum payload
+		{200, 256},   // min payload still
+		{252, 256},   // fits with trailer
+		{253, 384},   // 253+4 > 256 → next multiple of 128
+		{256, 384},   // needs trailer room
+		{380, 384},   // 380+4 = 384 exactly
+		{381, 512},   // spills
+		{1000, 1024}, // 1000+4 → 1024
+		{1021, 1152}, // 1021+4 > 1024
+	}
+	for _, c := range cases {
+		if got := PaddedPayloadSize(c.in); got != c.want {
+			t.Errorf("PaddedPayloadSize(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPaddedPayloadInvariants(t *testing.T) {
+	f := func(n uint16) bool {
+		p := PaddedPayloadSize(int(n))
+		if n == 0 {
+			return p == 0
+		}
+		// Multiple of header size, fits payload + trailer, ≥ min.
+		return p%HeaderSize == 0 && p >= int(n)+4 && p >= MinPayload
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		PayloadSize: 77,
+		Opcode:      OpGet,
+		Flags:       FlagPartial | FlagError,
+		RegionID:    42,
+		RequestID:   0xdeadbeefcafe,
+		ReplyOffset: 4096,
+		ReplySize:   512,
+	}
+	buf := make([]byte, HeaderSize)
+	if err := EncodeHeader(buf, h); err != nil {
+		t.Fatal(err)
+	}
+	if !HeaderArrived(buf) {
+		t.Fatal("HeaderArrived = false after encode")
+	}
+	got, err := DecodeHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip = %+v, want %+v", got, h)
+	}
+}
+
+func TestDecodeHeaderRejectsBadMagic(t *testing.T) {
+	buf := make([]byte, HeaderSize)
+	if _, err := DecodeHeader(buf); err != ErrBadMagic {
+		t.Fatalf("err = %v", err)
+	}
+	if HeaderArrived(buf) {
+		t.Fatal("HeaderArrived on zero buffer")
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte("payload!"), 40) // 320 bytes
+	buf := make([]byte, MessageSize(len(payload)))
+	h := Header{Opcode: OpPut, RegionID: 3, RequestID: 9}
+	n, err := EncodeMessage(buf, h, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != MessageSize(len(payload)) {
+		t.Fatalf("encoded %d bytes, want %d", n, MessageSize(len(payload)))
+	}
+	if !PayloadArrived(buf, len(payload)) {
+		t.Fatal("PayloadArrived = false")
+	}
+	gh, gp, err := DecodeMessage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gh.Opcode != OpPut || gh.PayloadSize != uint32(len(payload)) {
+		t.Fatalf("header = %+v", gh)
+	}
+	if !bytes.Equal(gp, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestHeaderOnlyMessage(t *testing.T) {
+	buf := make([]byte, HeaderSize)
+	n, err := EncodeMessage(buf, Header{Opcode: OpNoop}, nil)
+	if err != nil || n != HeaderSize {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if !PayloadArrived(buf, 0) {
+		t.Fatal("zero payload should be complete with header")
+	}
+	h, p, err := DecodeMessage(buf)
+	if err != nil || h.Opcode != OpNoop || len(p) != 0 {
+		t.Fatalf("decode = %+v %q %v", h, p, err)
+	}
+}
+
+func TestPartialPayloadNotArrived(t *testing.T) {
+	payload := bytes.Repeat([]byte{1}, 300)
+	full := make([]byte, MessageSize(len(payload)))
+	if _, err := EncodeMessage(full, Header{Opcode: OpPut}, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate torn delivery: header present, trailer missing.
+	torn := append([]byte(nil), full...)
+	for i := len(torn) - 4; i < len(torn); i++ {
+		torn[i] = 0
+	}
+	if PayloadArrived(torn, len(payload)) {
+		t.Fatal("trailer missing but PayloadArrived = true")
+	}
+	if _, _, err := DecodeMessage(torn); err == nil {
+		t.Fatal("DecodeMessage should fail on torn message")
+	}
+}
+
+func TestPutReqRoundTrip(t *testing.T) {
+	r := PutReq{Key: []byte("key"), Value: []byte("value bytes")}
+	got, err := DecodePutReq(r.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Key, r.Key) || !bytes.Equal(got.Value, r.Value) {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestPutReqPropertyRoundTrip(t *testing.T) {
+	f := func(key, value []byte) bool {
+		got, err := DecodePutReq(PutReq{Key: key, Value: value}.Encode(nil))
+		return err == nil && bytes.Equal(got.Key, key) && bytes.Equal(got.Value, value)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetReqAndRestRoundTrip(t *testing.T) {
+	g, err := DecodeGetReq(GetReq{Key: []byte("abc")}.Encode(nil))
+	if err != nil || string(g.Key) != "abc" {
+		t.Fatalf("get = %+v %v", g, err)
+	}
+	rr, err := DecodeGetRestReq(GetRestReq{Key: []byte("abc"), Offset: 512}.Encode(nil))
+	if err != nil || string(rr.Key) != "abc" || rr.Offset != 512 {
+		t.Fatalf("rest = %+v %v", rr, err)
+	}
+}
+
+func TestScanRoundTrip(t *testing.T) {
+	r, err := DecodeScanReq(ScanReq{Start: []byte("s"), Count: 99}.Encode(nil))
+	if err != nil || string(r.Start) != "s" || r.Count != 99 {
+		t.Fatalf("scan = %+v %v", r, err)
+	}
+	rep := ScanReply{Pairs: []kv.Pair{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("b"), Value: []byte("2")},
+	}}
+	got, err := DecodeScanReply(rep.Encode(nil))
+	if err != nil || len(got.Pairs) != 2 || string(got.Pairs[1].Value) != "2" {
+		t.Fatalf("scan reply = %+v %v", got, err)
+	}
+}
+
+func TestGetReplyRoundTrip(t *testing.T) {
+	r := GetReply{Found: true, TotalSize: 1000, Value: bytes.Repeat([]byte{7}, 100)}
+	got, err := DecodeGetReply(r.Encode(nil))
+	if err != nil || !got.Found || got.TotalSize != 1000 || len(got.Value) != 100 {
+		t.Fatalf("get reply = %+v %v", got, err)
+	}
+	miss, err := DecodeGetReply(GetReply{}.Encode(nil))
+	if err != nil || miss.Found {
+		t.Fatalf("miss = %+v %v", miss, err)
+	}
+}
+
+func TestStatusReplyRoundTrip(t *testing.T) {
+	got, err := DecodeStatusReply(StatusReply{Status: 3}.Encode(nil))
+	if err != nil || got.Status != 3 {
+		t.Fatalf("status = %+v %v", got, err)
+	}
+}
+
+func TestControlPayloadsRoundTrip(t *testing.T) {
+	ft, err := DecodeFlushTail(FlushTail{RegionID: 5, PrimarySeg: 77}.Encode(nil))
+	if err != nil || ft.RegionID != 5 || ft.PrimarySeg != 77 {
+		t.Fatalf("flush = %+v %v", ft, err)
+	}
+	is, err := DecodeIndexSegment(IndexSegment{
+		RegionID: 9, DstLevel: 2, Kind: 1, PrimarySeg: 33, DataLen: 4096,
+	}.Encode(nil))
+	if err != nil || is.DstLevel != 2 || is.PrimarySeg != 33 || is.DataLen != 4096 {
+		t.Fatalf("index segment = %+v %v", is, err)
+	}
+	cd, err := DecodeCompactionDone(CompactionDone{
+		RegionID: 9, SrcLevel: 1, DstLevel: 2, Root: 1 << 40, NumKeys: 12345, Watermark: 1 << 33,
+	}.Encode(nil))
+	if err != nil || cd.Root != 1<<40 || cd.NumKeys != 12345 || cd.Watermark != 1<<33 {
+		t.Fatalf("done = %+v %v", cd, err)
+	}
+}
+
+func TestDecodersRejectTruncation(t *testing.T) {
+	full := PutReq{Key: []byte("abc"), Value: []byte("defg")}.Encode(nil)
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodePutReq(full[:i]); err == nil {
+			t.Fatalf("truncated put at %d decoded", i)
+		}
+	}
+	fullCD := CompactionDone{RegionID: 1, Root: 7}.Encode(nil)
+	for i := 0; i < len(fullCD); i++ {
+		if _, err := DecodeCompactionDone(fullCD[:i]); err == nil {
+			t.Fatalf("truncated done at %d decoded", i)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for o := OpInvalid; o <= OpGetBufferReply; o++ {
+		if o.String() == "" {
+			t.Fatalf("op %d has empty name", o)
+		}
+	}
+}
+
+// TestDecodeRobustnessRandomBytes: no decoder may panic or read out of
+// bounds on arbitrary input (the spinning thread parses memory a remote
+// peer wrote).
+func TestDecodeRobustnessRandomBytes(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 5000; trial++ {
+		n := rnd.Intn(1024)
+		buf := make([]byte, n)
+		rnd.Read(buf)
+		// Occasionally plant a valid magic so header parsing proceeds
+		// deeper.
+		if n >= HeaderSize && trial%3 == 0 {
+			binary.LittleEndian.PutUint32(buf[HeaderSize-4:HeaderSize], Magic)
+		}
+		_, _, _ = DecodeMessage(buf)
+		_, _ = DecodeHeader(buf)
+		_ = HeaderArrived(buf)
+		_ = PayloadArrived(buf, rnd.Intn(4096))
+		_, _ = DecodePutReq(buf)
+		_, _ = DecodeGetReq(buf)
+		_, _ = DecodeGetRestReq(buf)
+		_, _ = DecodeScanReq(buf)
+		_, _ = DecodeGetReply(buf)
+		_, _ = DecodeScanReply(buf)
+		_, _ = DecodeStatusReply(buf)
+		_, _ = DecodeFlushTail(buf)
+		_, _ = DecodeIndexSegment(buf)
+		_, _ = DecodeCompactionDone(buf)
+		_, _ = DecodeTrimLog(buf)
+	}
+}
+
+func TestTrimLogRoundTrip(t *testing.T) {
+	got, err := DecodeTrimLog(TrimLog{RegionID: 7, Keep: 1 << 45}.Encode(nil))
+	if err != nil || got.RegionID != 7 || got.Keep != 1<<45 {
+		t.Fatalf("trim = %+v %v", got, err)
+	}
+}

@@ -1,0 +1,305 @@
+package ycsb
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(10000)
+	r := rand.New(rand.NewSource(1))
+	counts := map[uint64]int{}
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := z.Next(r)
+		if v >= 10000 {
+			t.Fatalf("draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate: YCSB's zipfian(0.99) puts several percent
+	// of mass on the hottest item.
+	if float64(counts[0])/draws < 0.03 {
+		t.Fatalf("hottest item got %.4f of draws", float64(counts[0])/draws)
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[100] {
+		t.Fatalf("mass not decreasing: c0=%d c1=%d c100=%d", counts[0], counts[1], counts[100])
+	}
+}
+
+func TestScrambledZipfianSpreads(t *testing.T) {
+	s := NewScrambledZipfian(1 << 16)
+	r := rand.New(rand.NewSource(2))
+	// The hottest scrambled items must not cluster in one prefix
+	// region: bucket draws by the high byte of the item's key.
+	buckets := map[byte]int{}
+	for i := 0; i < 20000; i++ {
+		k := Key(s.Next(r))
+		buckets[k[0]]++
+	}
+	if len(buckets) < 100 {
+		t.Fatalf("draws hit only %d/256 key-prefix buckets", len(buckets))
+	}
+}
+
+func TestLatestFavoursNewest(t *testing.T) {
+	l := NewLatest(10000)
+	r := rand.New(rand.NewSource(3))
+	newer, older := 0, 0
+	for i := 0; i < 50000; i++ {
+		v := l.Next(r, 10000)
+		if v >= 10000 {
+			t.Fatalf("draw %d out of range", v)
+		}
+		if v >= 9000 {
+			newer++
+		} else if v < 1000 {
+			older++
+		}
+	}
+	if newer <= older*5 {
+		t.Fatalf("latest distribution not skewed to new items: newer=%d older=%d", newer, older)
+	}
+}
+
+func TestKeyDeterministicAndUnique(t *testing.T) {
+	if !bytes.Equal(Key(42), Key(42)) {
+		t.Fatal("Key not deterministic")
+	}
+	seen := map[string]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		k := string(Key(i))
+		if seen[k] {
+			t.Fatalf("duplicate key for record %d", i)
+		}
+		seen[k] = true
+	}
+	if len(Key(7)) != KeySize {
+		t.Fatalf("key length %d", len(Key(7)))
+	}
+}
+
+func TestKeyPrefixesUniform(t *testing.T) {
+	// Keys must spread across 2-byte prefixes for region partitioning.
+	buckets := map[byte]int{}
+	for i := uint64(0); i < 20000; i++ {
+		buckets[Key(i)[0]]++
+	}
+	if len(buckets) < 200 {
+		t.Fatalf("keys hit only %d/256 prefix buckets", len(buckets))
+	}
+}
+
+func TestSizeMixProportions(t *testing.T) {
+	for _, mix := range AllMixes {
+		var s, m, l int
+		const n = 100000
+		for i := uint64(0); i < n; i++ {
+			switch mix.recordSize(i) {
+			case SmallSize:
+				s++
+			case MediumSize:
+				m++
+			case LargeSize:
+				l++
+			}
+		}
+		check := func(got int, want int) bool {
+			return got >= (want-2)*n/100 && got <= (want+2)*n/100
+		}
+		if !check(s, mix.Small) || !check(m, mix.Medium) || !check(l, mix.Large) {
+			t.Fatalf("mix %s proportions: s=%d m=%d l=%d of %d", mix.Name, s, m, l, n)
+		}
+	}
+}
+
+func TestSizeStablePerRecord(t *testing.T) {
+	mix := MixSD
+	for i := uint64(0); i < 1000; i++ {
+		if mix.recordSize(i) != mix.recordSize(i) {
+			t.Fatal("record size not stable")
+		}
+	}
+}
+
+func TestDatasetBytesMatchesTable2Shape(t *testing.T) {
+	// Table 2 reports, for 100M records: S=3.0 GB, M=11.4 GB, L=95.2 GB,
+	// SD=23.2 GB, MD=26.5 GB, LD=60.0 GB. Our records use the same
+	// 33/123/1023 sizes, so per-record averages must match the paper's
+	// implied averages within a few percent.
+	paperGB := map[string]float64{
+		"S": 3.0, "M": 11.4, "L": 95.2, "SD": 23.2, "MD": 26.5, "LD": 60.0,
+	}
+	for _, mix := range AllMixes {
+		gotAvg := mix.AvgRecordSize()
+		wantAvg := paperGB[mix.Name] * 1e9 / 100e6
+		ratio := gotAvg / wantAvg
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("mix %s: avg record %.1f B vs paper-implied %.1f B", mix.Name, gotAvg, wantAvg)
+		}
+	}
+}
+
+func TestLoadAProducesAllRecordsOnce(t *testing.T) {
+	g := NewGenerator(Config{Workload: LoadA, Records: 5000, Mix: MixSD, Seed: 1})
+	seen := map[string]bool{}
+	n := 0
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		if op.Kind != OpInsert {
+			t.Fatalf("Load A produced %v", op.Kind)
+		}
+		if seen[string(op.Key)] {
+			t.Fatal("duplicate insert")
+		}
+		seen[string(op.Key)] = true
+		if len(op.Key)+len(op.Value) != MixSD.recordSize(uint64(n)) {
+			// Note: record numbers are sequential in Load A.
+			t.Fatalf("record %d size %d", n, len(op.Key)+len(op.Value))
+		}
+		n++
+	}
+	if n != 5000 {
+		t.Fatalf("Load A produced %d ops", n)
+	}
+}
+
+func TestLoadRangeSharding(t *testing.T) {
+	g1 := NewGenerator(Config{Workload: LoadA, Records: 100, Mix: MixS, Seed: 1})
+	g1.SetLoadRange(0, 50)
+	g2 := NewGenerator(Config{Workload: LoadA, Records: 100, Mix: MixS, Seed: 2})
+	g2.SetLoadRange(50, 100)
+	seen := map[string]bool{}
+	for _, g := range []*Generator{g1, g2} {
+		for {
+			op, ok := g.Next()
+			if !ok {
+				break
+			}
+			if seen[string(op.Key)] {
+				t.Fatal("shards overlap")
+			}
+			seen[string(op.Key)] = true
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("shards produced %d records", len(seen))
+	}
+}
+
+func TestRunMixesMatchTable1(t *testing.T) {
+	cases := []struct {
+		w        Workload
+		readPct  int
+		writeKin OpKind
+	}{
+		{RunA, 50, OpUpdate},
+		{RunB, 95, OpUpdate},
+		{RunC, 100, OpUpdate},
+		{RunD, 95, OpInsert},
+	}
+	for _, c := range cases {
+		g := NewGenerator(Config{Workload: c.w, Records: 10000, Mix: MixSD, Seed: 7})
+		reads, writes := 0, 0
+		const n = 40000
+		for i := 0; i < n; i++ {
+			op, ok := g.Next()
+			if !ok {
+				t.Fatalf("%v ended early", c.w)
+			}
+			switch op.Kind {
+			case OpRead:
+				reads++
+			case c.writeKin:
+				writes++
+			default:
+				t.Fatalf("%v produced %v", c.w, op.Kind)
+			}
+		}
+		gotPct := reads * 100 / n
+		if gotPct < c.readPct-2 || gotPct > c.readPct+2 {
+			t.Fatalf("%v read%% = %d, want %d", c.w, gotPct, c.readPct)
+		}
+	}
+}
+
+func TestRunDInsertsFreshRecords(t *testing.T) {
+	g := NewGenerator(Config{Workload: RunD, Records: 1000, Mix: MixS, Seed: 9})
+	inserts := map[string]bool{}
+	for i := 0; i < 20000; i++ {
+		op, _ := g.Next()
+		if op.Kind == OpInsert {
+			if inserts[string(op.Key)] {
+				t.Fatal("Run D re-inserted a record")
+			}
+			inserts[string(op.Key)] = true
+		}
+	}
+	if len(inserts) == 0 {
+		t.Fatal("Run D produced no inserts")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	mk := func() []Op {
+		g := NewGenerator(Config{Workload: RunA, Records: 1000, Mix: MixSD, Seed: 42})
+		var ops []Op
+		for i := 0; i < 100; i++ {
+			op, _ := g.Next()
+			ops = append(ops, Op{Kind: op.Kind, Key: append([]byte(nil), op.Key...)})
+		}
+		return ops
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i].Kind != b[i].Kind || !bytes.Equal(a[i].Key, b[i].Key) {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestSmallPercentMix(t *testing.T) {
+	for _, pct := range []int{40, 60, 80, 100} {
+		m := SmallPercentMix(pct)
+		if m.Small != pct || m.Small+m.Medium+m.Large != 100 {
+			t.Fatalf("SmallPercentMix(%d) = %+v", pct, m)
+		}
+	}
+	m := SmallPercentMix(40)
+	if m.Medium != 30 || m.Large != 30 {
+		t.Fatalf("rest not split evenly: %+v", m)
+	}
+}
+
+func TestRunEMix(t *testing.T) {
+	g := NewGenerator(Config{Workload: RunE, Records: 5000, Mix: MixS, Seed: 3})
+	scans, inserts := 0, 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		op, ok := g.Next()
+		if !ok {
+			t.Fatal("Run E ended early")
+		}
+		switch op.Kind {
+		case OpScan:
+			scans++
+		case OpInsert:
+			inserts++
+		default:
+			t.Fatalf("Run E produced %v", op.Kind)
+		}
+	}
+	if pct := scans * 100 / n; pct < 93 || pct > 97 {
+		t.Fatalf("scan%% = %d", pct)
+	}
+	if inserts == 0 {
+		t.Fatal("no inserts")
+	}
+	if RunE.String() != "Run E" {
+		t.Fatal("name")
+	}
+}

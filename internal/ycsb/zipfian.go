@@ -1,0 +1,113 @@
+// Package ycsb reimplements the YCSB workload generator the paper uses
+// for its evaluation (§4): workloads Load A and Run A-D (Table 1) with
+// Zipfian and latest request distributions, modified — like the paper's
+// C++ YCSB — to produce variable KV sizes following Facebook's
+// production size mixes (Table 2).
+package ycsb
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// ZipfianConstant is YCSB's default skew.
+const ZipfianConstant = 0.99
+
+// Zipfian draws items 0..n-1 with a Zipfian distribution, using the
+// algorithm from Gray et al. "Quickly Generating Billion-Record
+// Synthetic Databases" (the same one YCSB uses).
+type Zipfian struct {
+	items uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// zeta computes the incomplete zeta sum of n terms.
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// NewZipfian builds a generator over n items with the default skew.
+func NewZipfian(n uint64) *Zipfian {
+	theta := ZipfianConstant
+	z := &Zipfian{
+		items: n,
+		theta: theta,
+		zeta2: zeta(2, theta),
+		zetan: zeta(n, theta),
+	}
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// Next draws one item rank (0 = hottest).
+func (z *Zipfian) Next(r *rand.Rand) uint64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// ScrambledZipfian spreads Zipfian ranks uniformly over the item space
+// by hashing, so hot keys are not clustered (YCSB's scrambled variant —
+// essential here because regions partition the key space by prefix).
+type ScrambledZipfian struct {
+	z     *Zipfian
+	items uint64
+}
+
+// NewScrambledZipfian builds a scrambled generator over n items.
+func NewScrambledZipfian(n uint64) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(n), items: n}
+}
+
+// Next draws one item number in 0..n-1.
+func (s *ScrambledZipfian) Next(r *rand.Rand) uint64 {
+	return fnvHash64(s.z.Next(r)) % s.items
+}
+
+// Latest favours recently inserted items (YCSB's latest distribution,
+// used by Run D): rank 0 is the newest item.
+type Latest struct {
+	z *Zipfian
+}
+
+// NewLatest builds a latest-distribution generator over n items.
+func NewLatest(n uint64) *Latest {
+	return &Latest{z: NewZipfian(n)}
+}
+
+// Next draws an item given the current insertion count: values close to
+// max-1 (the newest) are most likely.
+func (l *Latest) Next(r *rand.Rand, max uint64) uint64 {
+	rank := l.z.Next(r)
+	if rank >= max {
+		rank = max - 1
+	}
+	return max - 1 - rank
+}
+
+// fnvHash64 is YCSB's FNV-1a 64-bit hash of an integer.
+func fnvHash64(v uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	_, _ = h.Write(b[:])
+	return h.Sum64()
+}

@@ -1,0 +1,96 @@
+package zklite
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Election implements Zookeeper-style leader election: each candidate
+// creates an ephemeral sequence node under a shared path; the candidate
+// owning the lowest sequence is the leader, and every other candidate
+// watches its immediate predecessor to avoid herd effects. Tebis region
+// servers use this to elect a new master when the master fails (§3.5).
+type Election struct {
+	sess   *Session
+	dir    string
+	myNode string // full path of this candidate's node
+}
+
+// NewElection enrolls the session as a candidate under dir (created if
+// missing). name is stored as the node data for observability.
+func NewElection(sess *Session, dir, name string) (*Election, error) {
+	if err := sess.CreateAll(dir); err != nil {
+		return nil, err
+	}
+	node, err := sess.Create(dir+"/candidate-", []byte(name), FlagEphemeral|FlagSequence)
+	if err != nil {
+		return nil, err
+	}
+	return &Election{sess: sess, dir: dir, myNode: node}, nil
+}
+
+// IsLeader reports whether this candidate currently owns the lowest
+// sequence. When not leader, it returns a one-shot watch channel on the
+// immediate predecessor; when that fires, call IsLeader again.
+func (e *Election) IsLeader() (bool, <-chan Event, error) {
+	kids, _, err := e.sess.Children(e.dir, false)
+	if err != nil {
+		return false, nil, err
+	}
+	sort.Strings(kids)
+	mine := e.myNode[strings.LastIndexByte(e.myNode, '/')+1:]
+	idx := -1
+	for i, k := range kids {
+		if k == mine {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false, nil, fmt.Errorf("zklite: election node %s vanished", e.myNode)
+	}
+	if idx == 0 {
+		return true, nil, nil
+	}
+	pred := e.dir + "/" + kids[idx-1]
+	exists, ch, err := e.sess.Exists(pred, true)
+	if err != nil {
+		return false, nil, err
+	}
+	if !exists {
+		// Predecessor died between Children and Exists; re-check.
+		return e.IsLeader()
+	}
+	return false, ch, nil
+}
+
+// Resign withdraws the candidacy.
+func (e *Election) Resign() error {
+	err := e.sess.Delete(e.myNode)
+	if errors.Is(err, ErrNoNode) {
+		return nil
+	}
+	return err
+}
+
+// Leader returns the name (node data) of the current leader, if any.
+func Leader(sess *Session, dir string) (string, bool, error) {
+	kids, _, err := sess.Children(dir, false)
+	if err != nil {
+		if errors.Is(err, ErrNoNode) {
+			return "", false, nil
+		}
+		return "", false, err
+	}
+	if len(kids) == 0 {
+		return "", false, nil
+	}
+	sort.Strings(kids)
+	data, err := sess.Get(dir + "/" + kids[0])
+	if err != nil {
+		return "", false, err
+	}
+	return string(data), true, nil
+}

@@ -1,0 +1,243 @@
+package zklite
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCreateGetSetDelete(t *testing.T) {
+	s := NewStore()
+	sess := s.NewSession()
+	if _, err := sess.Create("/a", []byte("1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Create("/a/b", []byte("2"), 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := sess.Get("/a/b")
+	if err != nil || string(data) != "2" {
+		t.Fatalf("Get = %q, %v", data, err)
+	}
+	if err := sess.Set("/a/b", []byte("3")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = sess.Get("/a/b")
+	if string(data) != "3" {
+		t.Fatalf("after Set = %q", data)
+	}
+	if err := sess.Delete("/a"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("Delete non-empty = %v", err)
+	}
+	if err := sess.Delete("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Get("/a/b"); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("Get deleted = %v", err)
+	}
+}
+
+func TestCreateRequiresParent(t *testing.T) {
+	s := NewStore()
+	sess := s.NewSession()
+	if _, err := sess.Create("/x/y", nil, 0); !errors.Is(err, ErrNoParent) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	s := NewStore()
+	sess := s.NewSession()
+	_, _ = sess.Create("/a", nil, 0)
+	if _, err := sess.Create("/a", nil, 0); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadPaths(t *testing.T) {
+	s := NewStore()
+	sess := s.NewSession()
+	for _, p := range []string{"", "a", "/a/", "//a", "/a//b"} {
+		if _, err := sess.Create(p, nil, 0); err == nil {
+			t.Errorf("Create(%q) accepted", p)
+		}
+	}
+}
+
+func TestSequenceNodes(t *testing.T) {
+	s := NewStore()
+	sess := s.NewSession()
+	_, _ = sess.Create("/q", nil, 0)
+	a, err := sess.Create("/q/n-", nil, FlagSequence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := sess.Create("/q/n-", nil, FlagSequence)
+	if a >= b {
+		t.Fatalf("sequence not increasing: %s, %s", a, b)
+	}
+	if a != "/q/n-0000000000" {
+		t.Fatalf("first sequence = %s", a)
+	}
+}
+
+func TestEphemeralsDieWithSession(t *testing.T) {
+	s := NewStore()
+	owner := s.NewSession()
+	watcher := s.NewSession()
+	_, _ = owner.Create("/servers", nil, 0)
+	if _, err := owner.Create("/servers/s1", nil, FlagEphemeral); err != nil {
+		t.Fatal(err)
+	}
+	exists, ch, err := watcher.Exists("/servers/s1", true)
+	if err != nil || !exists {
+		t.Fatalf("Exists = %v, %v", exists, err)
+	}
+	owner.Close()
+	ev := <-ch
+	if ev.Type != EventDeleted {
+		t.Fatalf("event = %+v", ev)
+	}
+	exists, _, _ = watcher.Exists("/servers/s1", false)
+	if exists {
+		t.Fatal("ephemeral survived session close")
+	}
+	// Persistent node survives.
+	if ok, _, _ := watcher.Exists("/servers", false); !ok {
+		t.Fatal("persistent parent deleted")
+	}
+}
+
+func TestChildrenWatchFires(t *testing.T) {
+	s := NewStore()
+	sess := s.NewSession()
+	_, _ = sess.Create("/servers", nil, 0)
+	kids, ch, err := sess.Children("/servers", true)
+	if err != nil || len(kids) != 0 {
+		t.Fatalf("Children = %v, %v", kids, err)
+	}
+	_, _ = sess.Create("/servers/s1", nil, 0)
+	ev := <-ch
+	if ev.Type != EventChildren || ev.Path != "/servers" {
+		t.Fatalf("event = %+v", ev)
+	}
+	// Watches are one-shot.
+	kids, ch2, _ := sess.Children("/servers", true)
+	if len(kids) != 1 || kids[0] != "s1" {
+		t.Fatalf("kids = %v", kids)
+	}
+	_ = sess.Delete("/servers/s1")
+	if ev := <-ch2; ev.Type != EventChildren {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestDataWatchFires(t *testing.T) {
+	s := NewStore()
+	sess := s.NewSession()
+	_, _ = sess.Create("/cfg", []byte("v1"), 0)
+	_, ch, _ := sess.Exists("/cfg", true)
+	_ = sess.Set("/cfg", []byte("v2"))
+	if ev := <-ch; ev.Type != EventDataChanged {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestClosedSessionRejectsOps(t *testing.T) {
+	s := NewStore()
+	sess := s.NewSession()
+	sess.Close()
+	if _, err := sess.Create("/a", nil, 0); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := sess.Get("/a"); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCreateAll(t *testing.T) {
+	s := NewStore()
+	sess := s.NewSession()
+	if err := sess.CreateAll("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _, _ := sess.Exists("/a/b/c", false); !ok {
+		t.Fatal("CreateAll missed a node")
+	}
+	// Idempotent.
+	if err := sess.CreateAll("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElectionBasic(t *testing.T) {
+	s := NewStore()
+	s1, s2, s3 := s.NewSession(), s.NewSession(), s.NewSession()
+	e1, err := NewElection(s1, "/election", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := NewElection(s2, "/election", "m2")
+	e3, _ := NewElection(s3, "/election", "m3")
+
+	lead, _, _ := e1.IsLeader()
+	if !lead {
+		t.Fatal("first candidate not leader")
+	}
+	if lead, _, _ := e2.IsLeader(); lead {
+		t.Fatal("second candidate claims leadership")
+	}
+	name, ok, _ := Leader(s1, "/election")
+	if !ok || name != "m1" {
+		t.Fatalf("Leader = %q, %v", name, ok)
+	}
+
+	// Leader dies: m2 becomes leader after its watch fires.
+	_, ch2, _ := e2.IsLeader()
+	s1.Close()
+	<-ch2
+	if lead, _, _ := e2.IsLeader(); !lead {
+		t.Fatal("m2 did not take over")
+	}
+	name, _, _ = Leader(s2, "/election")
+	if name != "m2" {
+		t.Fatalf("Leader = %q", name)
+	}
+
+	// m3 still behind m2.
+	if lead, _, _ := e3.IsLeader(); lead {
+		t.Fatal("m3 jumped the queue")
+	}
+
+	// Resignation promotes m3.
+	_, ch3, _ := e3.IsLeader()
+	if err := e2.Resign(); err != nil {
+		t.Fatal(err)
+	}
+	<-ch3
+	if lead, _, _ := e3.IsLeader(); !lead {
+		t.Fatal("m3 did not take over after resign")
+	}
+}
+
+func TestElectionManyCandidates(t *testing.T) {
+	s := NewStore()
+	var elections []*Election
+	for i := 0; i < 10; i++ {
+		sess := s.NewSession()
+		e, err := NewElection(sess, "/e", fmt.Sprintf("c%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		elections = append(elections, e)
+	}
+	leaders := 0
+	for _, e := range elections {
+		if lead, _, _ := e.IsLeader(); lead {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders", leaders)
+	}
+}
