@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test race check fmt vet bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the tier-1 gate: formatting, vet, build, and the full test
+# suite under the race detector. CI and pre-merge runs use this target.
+check:
+	sh scripts/check.sh
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) run ./cmd/tebis-bench -quick
+
+clean:
+	$(GO) clean ./...

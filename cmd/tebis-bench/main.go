@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	tebis-bench [-experiment all|table2,fig6,fig7a,fig7b,fig8,table3,fig9a,fig9b,fig10a,fig10b,sec55]
-//	            [-records N] [-ops N] [-l0 N] [-quick]
+//	tebis-bench [-experiment all|table2,fig6,fig7a,fig7b,fig8,table3,fig9a,fig9b,fig10a,fig10b,sec55,compaction]
+//	            [-records N] [-ops N] [-l0 N] [-quick] [-compaction-json FILE]
 //
 // Each experiment prints rows shaped like the paper's artifact:
 // throughput (Kops/s), efficiency (Kcycles/op), I/O amplification, and
@@ -33,8 +33,11 @@ func main() {
 		l0      = flag.Int("l0", 0, "per-region L0 capacity in keys (0 = scale default)")
 		quick   = flag.Bool("quick", false, "use the quick scale (smaller runs)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
+		cmpJSON = flag.String("compaction-json", bench.CompactionJSONPath,
+			"output path for the compaction experiment's JSON report (empty = no file)")
 	)
 	flag.Parse()
+	bench.CompactionJSONPath = *cmpJSON
 
 	if *list {
 		for _, e := range bench.AllExperiments {

@@ -2,6 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -112,6 +115,43 @@ func TestRunExperimentTable2(t *testing.T) {
 		if !strings.Contains(out, mix) {
 			t.Fatalf("table 2 output missing mix %q:\n%s", mix, out)
 		}
+	}
+}
+
+func TestRunExperimentCompaction(t *testing.T) {
+	old := CompactionJSONPath
+	CompactionJSONPath = filepath.Join(t.TempDir(), "BENCH_compaction.json")
+	defer func() { CompactionJSONPath = old }()
+
+	var buf bytes.Buffer
+	if err := RunExperiment(ExpCompaction, tinyScale, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(CompactionJSONPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep CompactionReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, data)
+	}
+	if rep.Records != tinyScale.Records {
+		t.Fatalf("records = %d, want %d", rep.Records, tinyScale.Records)
+	}
+	for _, m := range []CompactionModeResult{rep.Serial, rep.Pipelined} {
+		if m.Jobs == 0 || m.SegmentsShipped == 0 || m.KOpsPerSec <= 0 {
+			t.Fatalf("mode %q measured nothing: %+v", m.Mode, m)
+		}
+	}
+	if rep.Serial.CompactionWorkers != 1 || rep.Serial.L0Buffers != 1 {
+		t.Fatalf("serial knobs: %+v", rep.Serial)
+	}
+	if rep.Pipelined.CompactionWorkers <= 1 || rep.Pipelined.L0Buffers <= 1 {
+		t.Fatalf("pipelined knobs: %+v", rep.Pipelined)
+	}
+	// The pipelined engine must actually overlap ship with build.
+	if rep.Pipelined.OverlapFraction <= 0 {
+		t.Fatalf("pipelined overlap fraction = %v", rep.Pipelined.OverlapFraction)
 	}
 }
 

@@ -43,12 +43,16 @@ const (
 	ExpFig10b Experiment = "fig10b"
 	ExpSec55  Experiment = "sec55"
 	ExpTable2 Experiment = "table2"
+	// ExpCompaction is not a paper artifact: it ablates the staged
+	// compaction scheduler (serial vs pipelined) on a bare engine and
+	// writes BENCH_compaction.json.
+	ExpCompaction Experiment = "compaction"
 )
 
 // AllExperiments lists every reproducible artifact in paper order.
 var AllExperiments = []Experiment{
 	ExpTable2, ExpFig6, ExpFig7a, ExpFig7b, ExpFig8, ExpTable3,
-	ExpFig9a, ExpFig9b, ExpFig10a, ExpFig10b, ExpSec55,
+	ExpFig9a, ExpFig9b, ExpFig10a, ExpFig10b, ExpSec55, ExpCompaction,
 }
 
 // twoWaySetups are the Figure 6/7 configurations.
@@ -83,6 +87,8 @@ func RunExperiment(exp Experiment, sc Scale, w io.Writer) error {
 		return runFig10(sc, w, ycsb.RunA)
 	case ExpSec55:
 		return runSec55(sc, w)
+	case ExpCompaction:
+		return runCompaction(sc, w)
 	}
 	return fmt.Errorf("bench: unknown experiment %q", exp)
 }

@@ -10,60 +10,20 @@ import (
 	"tebis/internal/storage"
 )
 
-// compactor is the single background compaction goroutine. It drains
-// the frozen L0 first, then cascades any over-capacity levels, and
-// exits when the engine is idle.
-func (db *DB) compactor() {
-	for {
-		db.mu.Lock()
-		if db.closed || db.bgErr != nil {
-			db.compacting = false
-			db.cond.Broadcast()
-			db.mu.Unlock()
-			return
-		}
-		if db.frozen != nil {
-			frozen := db.frozen
-			mark := db.frozenMark
-			db.mu.Unlock()
-			if err := db.compactL0(frozen, mark); err != nil {
-				db.fail(err)
-				return
-			}
-			continue
-		}
-		src := -1
-		for i := 1; i < len(db.levels)-1; i++ {
-			if db.levels[i].numKeys() > db.capacity(i) {
-				src = i
-				break
-			}
-		}
-		if src < 0 {
-			db.compacting = false
-			db.cond.Broadcast()
-			db.mu.Unlock()
-			return
-		}
-		db.mu.Unlock()
-		if err := db.compactLevels(src); err != nil {
-			db.fail(err)
-			return
-		}
-	}
-}
-
 // CompactAll forces every populated level down into the next one until
 // only the deepest populated level holds data. Garbage collection uses
 // it to eliminate every stale index entry pointing into the log's head
 // segments before they are trimmed.
+//
+// CompactAll runs in exclusive mode: it drains the scheduler's in-flight
+// jobs first, then owns the whole level range, so no background job
+// races its full-cascade merges.
 func (db *DB) CompactAll() error {
 	if err := db.Flush(); err != nil {
 		return err
 	}
-	// Take the compactor role so no background compactor races us.
 	db.mu.Lock()
-	for db.compacting && db.bgErr == nil {
+	for (len(db.inflight) > 0 || len(db.frozen) > 0 || db.exclusive) && db.bgErr == nil {
 		db.cond.Wait()
 	}
 	if db.bgErr != nil {
@@ -71,92 +31,52 @@ func (db *DB) CompactAll() error {
 		db.mu.Unlock()
 		return err
 	}
-	db.compacting = true
+	db.exclusive = true
 	db.mu.Unlock()
 
 	var err error
 	for i := 1; i < len(db.levels)-1 && err == nil; i++ {
-		db.mu.RLock()
-		populated := db.levels[i] != nil
-		db.mu.RUnlock()
-		if populated {
-			err = db.compactLevels(i)
+		db.mu.Lock()
+		if db.levels[i] == nil {
+			db.mu.Unlock()
+			continue
 		}
+		job := &compactionJob{
+			id:       db.nextJobID,
+			srcLevel: i,
+			dstLevel: i + 1,
+		}
+		db.nextJobID++
+		db.inflight[job.id] = job
+		db.mu.Unlock()
+
+		err = db.executeJob(job)
+
+		db.mu.Lock()
+		delete(db.inflight, job.id)
+		db.cond.Broadcast()
+		db.mu.Unlock()
 	}
 
 	db.mu.Lock()
-	db.compacting = false
+	db.exclusive = false
 	db.cond.Broadcast()
+	db.maybeScheduleLocked()
 	db.mu.Unlock()
 	return err
 }
 
-// fail records a background error and wakes all waiters.
+// fail records a background error and wakes every waiter: stalled
+// writers in freezeLocked, WaitIdle callers, and install-waiting jobs
+// all re-check bgErr after the broadcast, so no exit path can strand
+// them.
 func (db *DB) fail(err error) {
 	db.mu.Lock()
 	if db.bgErr == nil {
 		db.bgErr = fmt.Errorf("lsm: background compaction: %w", err)
 	}
-	db.compacting = false
 	db.cond.Broadcast()
 	db.mu.Unlock()
-}
-
-// compactL0 merges a frozen L0 with L1 into a new L1.
-func (db *DB) compactL0(frozen *memtable.Table, mark storage.Offset) error {
-	const dstLevel = 1
-	if l := db.getListener(); l != nil {
-		l.OnCompactionStart(0, dstLevel)
-	}
-	src := &memCursor{it: frozen.Iter()}
-	dst, oldDst := db.levelCursor(dstLevel)
-	built, err := db.merge(src, dst, dstLevel)
-	if err != nil {
-		return err
-	}
-
-	db.mu.Lock()
-	db.installLevel(dstLevel, built)
-	db.frozen = nil
-	db.watermark = mark
-	db.cond.Broadcast()
-	db.mu.Unlock()
-
-	if err := db.freeLevel(oldDst); err != nil {
-		return err
-	}
-	db.notifyDone(CompactionResult{SrcLevel: 0, DstLevel: dstLevel, Built: built, Watermark: mark})
-	return nil
-}
-
-// compactLevels merges level src into src+1.
-func (db *DB) compactLevels(srcLevel int) error {
-	dstLevel := srcLevel + 1
-	if l := db.getListener(); l != nil {
-		l.OnCompactionStart(srcLevel, dstLevel)
-	}
-	srcCur, oldSrc := db.levelCursor(srcLevel)
-	dstCur, oldDst := db.levelCursor(dstLevel)
-	built, err := db.merge(srcCur, dstCur, dstLevel)
-	if err != nil {
-		return err
-	}
-
-	db.mu.Lock()
-	db.installLevel(dstLevel, built)
-	db.levels[srcLevel] = nil
-	watermark := db.watermark
-	db.cond.Broadcast()
-	db.mu.Unlock()
-
-	if err := db.freeLevel(oldSrc); err != nil {
-		return err
-	}
-	if err := db.freeLevel(oldDst); err != nil {
-		return err
-	}
-	db.notifyDone(CompactionResult{SrcLevel: srcLevel, DstLevel: dstLevel, Built: built, Watermark: watermark})
-	return nil
 }
 
 // installLevel swaps a freshly built tree into place. Caller holds db.mu.
@@ -202,29 +122,15 @@ func (db *DB) levelCursor(i int) (cursor, *level) {
 	return newTreeCursor(db, lv.tree.Iter()), lv
 }
 
-// merge streams src and dst (src is the newer data and wins ties) into a
-// new tree for dstLevel, charging compaction CPU along the way.
-func (db *DB) merge(src, dst cursor, dstLevel int) (btree.Built, error) {
-	dropTombstones := dstLevel == len(db.levels)-1
-	emit := func(es btree.EmittedSegment) error {
-		db.charge(metrics.CompCompaction, db.cost.WriteIO(len(es.Data)))
-		if l := db.getListener(); l != nil {
-			l.OnIndexSegment(dstLevel, es)
-		}
-		return nil
-	}
-	b, err := btree.NewBuilder(db.dev, db.opt.NodeSize, emit)
-	if err != nil {
-		return btree.Built{}, err
-	}
-
+// mergeStream streams src and dst (src is the newer data and wins ties)
+// through emit in key order, charging compaction CPU along the way. It
+// is the merge stage of the compaction pipeline; emit hands each entry
+// to the index-build stage.
+func (db *DB) mergeStream(src, dst cursor, emit func(key []byte, off storage.Offset, tomb bool) error) error {
 	merged := 0
 	add := func(key []byte, off storage.Offset, tomb bool) error {
 		merged++
-		if tomb && dropTombstones {
-			return nil
-		}
-		return b.Add(key, off, tomb)
+		return emit(key, off, tomb)
 	}
 
 	for src.valid() && dst.valid() {
@@ -232,40 +138,40 @@ func (db *DB) merge(src, dst cursor, dstLevel int) (btree.Built, error) {
 		switch {
 		case c < 0:
 			if err := add(src.key(), src.off(), src.tomb()); err != nil {
-				return btree.Built{}, err
+				return err
 			}
 			if err := src.next(); err != nil {
-				return btree.Built{}, err
+				return err
 			}
 		case c > 0:
 			if err := add(dst.key(), dst.off(), dst.tomb()); err != nil {
-				return btree.Built{}, err
+				return err
 			}
 			if err := dst.next(); err != nil {
-				return btree.Built{}, err
+				return err
 			}
 		default:
 			// Same key: the newer (src) version wins; the dst version
 			// is discarded (this discard is the LSM's space reclaim).
 			if err := add(src.key(), src.off(), src.tomb()); err != nil {
-				return btree.Built{}, err
+				return err
 			}
 			merged++ // the dropped dst entry was still merge work
 			if err := src.next(); err != nil {
-				return btree.Built{}, err
+				return err
 			}
 			if err := dst.next(); err != nil {
-				return btree.Built{}, err
+				return err
 			}
 		}
 	}
 	for _, c := range []cursor{src, dst} {
 		for c.valid() {
 			if err := add(c.key(), c.off(), c.tomb()); err != nil {
-				return btree.Built{}, err
+				return err
 			}
 			if err := c.next(); err != nil {
-				return btree.Built{}, err
+				return err
 			}
 		}
 	}
@@ -273,7 +179,7 @@ func (db *DB) merge(src, dst cursor, dstLevel int) (btree.Built, error) {
 	// error instead of silently truncating the merge.
 	for _, c := range []cursor{src, dst} {
 		if tc, ok := c.(*treeCursor); ok && tc.err != nil {
-			return btree.Built{}, tc.err
+			return tc.err
 		}
 	}
 
@@ -284,7 +190,7 @@ func (db *DB) merge(src, dst cursor, dstLevel int) (btree.Built, error) {
 			db.charge(metrics.CompCompaction, db.cost.ReadIO(tc.it.NodesRead()*db.opt.NodeSize))
 		}
 	}
-	return b.Finish()
+	return nil
 }
 
 // cursor is a sorted stream of (key, value-offset, tombstone) entries.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tebis/internal/btree"
 	"tebis/internal/kv"
@@ -32,12 +33,21 @@ func (lv *level) numKeys() int {
 	return lv.built.NumKeys
 }
 
+// frozenL0 is one immutable L0 awaiting (or undergoing) compaction.
+type frozenL0 struct {
+	mt   *memtable.Table
+	mark storage.Offset // log position when the table was cut
+}
+
 // DB is a Kreon-style LSM engine over a value log.
 //
 // Concurrency: Put/Delete/Get/Scan may be called from any goroutine.
-// A single background compactor goroutine runs at a time; writers stall
-// when L0 fills while the previous L0 is still being compacted — the
-// stall the paper's tail-latency experiment observes (§5.1).
+// Background compactions run as scheduler-planned jobs on a bounded
+// worker pool (Options.CompactionWorkers). Frozen L0 tables queue up to
+// Options.L0Buffers deep; writers stall when the queue is full while
+// compaction lags — the stall the paper's tail-latency experiment
+// observes (§5.1). With the default knobs (one worker, one buffer) the
+// engine behaves exactly like the paper's single background compactor.
 type DB struct {
 	opt Options
 	dev storage.Device
@@ -46,20 +56,24 @@ type DB struct {
 
 	cycles *metrics.Cycles
 	cost   metrics.CostModel
+	stats  *metrics.CompactionStats
 
 	listener atomic.Value // holds listenerBox
 
-	mu         sync.RWMutex
-	cond       *sync.Cond // signaled when compaction state changes
-	l0         *memtable.Table
-	frozen     *memtable.Table
-	frozenMark storage.Offset // log position when frozen was cut
-	levels     []*level       // levels[0] unused; levels[i] = Li
-	watermark  storage.Offset
-	compacting bool
-	closed     bool
-	bgErr      error
-	seedCtr    int64
+	mu        sync.RWMutex
+	cond      *sync.Cond // signaled when compaction/scheduler state changes
+	l0        *memtable.Table
+	frozen    []*frozenL0 // oldest first; len bounded by opt.L0Buffers
+	levels    []*level    // levels[0] unused; levels[i] = Li
+	watermark storage.Offset
+	closed    bool
+	bgErr     error
+	seedCtr   int64
+
+	// Compaction scheduler state (guarded by mu).
+	inflight  map[uint64]*compactionJob
+	nextJobID uint64
+	exclusive bool // CompactAll holds the whole level range
 }
 
 // New creates an empty DB.
@@ -94,13 +108,18 @@ func NewFromState(opt Options, log *vlog.Log, levels []LevelState, watermark sto
 
 func newWithLog(opt Options, log *vlog.Log, states []LevelState) (*DB, error) {
 	db := &DB{
-		opt:    opt,
-		dev:    opt.Device,
-		geo:    opt.Device.Geometry(),
-		log:    log,
-		cycles: opt.Cycles,
-		cost:   opt.Cost,
-		levels: make([]*level, opt.MaxLevels),
+		opt:      opt,
+		dev:      opt.Device,
+		geo:      opt.Device.Geometry(),
+		log:      log,
+		cycles:   opt.Cycles,
+		cost:     opt.Cost,
+		stats:    opt.CompactionStats,
+		levels:   make([]*level, opt.MaxLevels),
+		inflight: make(map[uint64]*compactionJob),
+	}
+	if db.stats == nil {
+		db.stats = &metrics.CompactionStats{}
 	}
 	db.cond = sync.NewCond(&db.mu)
 	if opt.Listener != nil {
@@ -149,6 +168,10 @@ func (db *DB) getListener() Listener {
 
 // Log exposes the value log (replication and promotion need it).
 func (db *DB) Log() *vlog.Log { return db.log }
+
+// CompactionStats returns a snapshot of the engine's compaction pipeline
+// and writer-stall accounting.
+func (db *DB) CompactionStats() metrics.CompactionSnapshot { return db.stats.Snapshot() }
 
 // Watermark returns the current compaction watermark: the log offset
 // below which all data is in on-device levels.
@@ -216,7 +239,10 @@ func (db *DB) mutate(key, value []byte, tombstone bool) error {
 	db.l0.Insert(key, res.Off, tombstone)
 
 	if db.l0.Len() >= db.opt.L0MaxKeys {
-		db.freezeLocked()
+		if err := db.freezeLocked(); err != nil {
+			db.mu.Unlock()
+			return err
+		}
 	}
 	db.mu.Unlock()
 	return nil
@@ -238,29 +264,37 @@ func (db *DB) PutIndexed(key []byte, off storage.Offset, tombstone bool, recLen 
 	db.charge(metrics.CompInsertL0, db.cost.L0Insert(recLen))
 	db.l0.Insert(key, off, tombstone)
 	if db.l0.Len() >= db.opt.L0MaxKeys {
-		db.freezeLocked()
+		if err := db.freezeLocked(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// freezeLocked swaps the active L0 out for compaction. Callers hold
-// db.mu. If a frozen table is still being compacted the caller stalls —
-// the L0 write stall.
-func (db *DB) freezeLocked() {
-	for db.frozen != nil && !db.closed && db.bgErr == nil {
-		db.cond.Wait()
+// freezeLocked cuts the active L0 and queues it for compaction. Callers
+// hold db.mu. When the frozen queue is already opt.L0Buffers deep the
+// caller stalls until a compaction drains a table — the L0 write stall
+// the paper's tail-latency experiment observes (§5.1).
+func (db *DB) freezeLocked() error {
+	if len(db.frozen) >= db.opt.L0Buffers {
+		db.stats.StallBegin()
+		start := time.Now()
+		for len(db.frozen) >= db.opt.L0Buffers && !db.closed && db.bgErr == nil {
+			db.cond.Wait()
+		}
+		db.stats.StallEnd(time.Since(start))
 	}
-	if db.closed || db.bgErr != nil {
-		return
+	if db.closed {
+		return ErrClosed
 	}
-	db.frozen = db.l0
-	db.frozenMark = db.log.Position()
+	if db.bgErr != nil {
+		return db.bgErr
+	}
+	db.frozen = append(db.frozen, &frozenL0{mt: db.l0, mark: db.log.Position()})
 	db.seedCtr++
 	db.l0 = memtable.New(db.seedCtr)
-	if !db.compacting {
-		db.compacting = true
-		go db.compactor()
-	}
+	db.maybeScheduleLocked()
+	return nil
 }
 
 // Flush forces the current L0 down to L1 (and cascades), then waits for
@@ -273,17 +307,20 @@ func (db *DB) Flush() error {
 		return ErrClosed
 	}
 	if db.l0.Len() > 0 {
-		db.freezeLocked()
+		if err := db.freezeLocked(); err != nil {
+			db.mu.Unlock()
+			return err
+		}
 	}
 	db.mu.Unlock()
 	return db.WaitIdle()
 }
 
-// WaitIdle blocks until no compaction is running or pending.
+// WaitIdle blocks until no compaction job is running or pending.
 func (db *DB) WaitIdle() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for (db.compacting || db.frozen != nil) && db.bgErr == nil {
+	for (len(db.inflight) > 0 || len(db.frozen) > 0 || db.exclusive) && db.bgErr == nil {
 		db.cond.Wait()
 	}
 	return db.bgErr
@@ -302,9 +339,9 @@ func (db *DB) Get(key []byte) (value []byte, found bool, err error) {
 	if e, ok := db.l0.Get(key); ok {
 		return db.resolveEntry(e, levelsVisited)
 	}
-	if db.frozen != nil {
+	for i := len(db.frozen) - 1; i >= 0; i-- { // newest frozen table first
 		levelsVisited++
-		if e, ok := db.frozen.Get(key); ok {
+		if e, ok := db.frozen[i].mt.Get(key); ok {
 			return db.resolveEntry(memtable.Entry{Key: key, Off: e.Off, Tombstone: e.Tombstone}, levelsVisited)
 		}
 	}

@@ -113,8 +113,8 @@ func (db *DB) isCurrentVersion(key []byte, off storage.Offset) (bool, error) {
 	if e, ok := db.l0.Get(key); ok {
 		return e.Off == off && !e.Tombstone, nil
 	}
-	if db.frozen != nil {
-		if e, ok := db.frozen.Get(key); ok {
+	for i := len(db.frozen) - 1; i >= 0; i-- { // newest frozen first
+		if e, ok := db.frozen[i].mt.Get(key); ok {
 			return e.Off == off && !e.Tombstone, nil
 		}
 	}

@@ -349,13 +349,13 @@ func (r *recordingListener) OnAppend(res vlog.AppendResult) {
 	r.mu.Unlock()
 }
 
-func (r *recordingListener) OnCompactionStart(src, dst int) {
+func (r *recordingListener) OnCompactionStart(job CompactionJob) {
 	r.mu.Lock()
-	r.starts = append(r.starts, [2]int{src, dst})
+	r.starts = append(r.starts, [2]int{job.SrcLevel, job.DstLevel})
 	r.mu.Unlock()
 }
 
-func (r *recordingListener) OnIndexSegment(dst int, seg btree.EmittedSegment) {
+func (r *recordingListener) OnIndexSegment(job CompactionJob, seg btree.EmittedSegment) {
 	r.mu.Lock()
 	r.segments = append(r.segments, seg)
 	r.mu.Unlock()

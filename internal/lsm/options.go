@@ -30,9 +30,25 @@ const (
 	DefaultNodeSize = 4096
 )
 
+// CompactionJob identifies one scheduled compaction. IDs are unique per
+// DB and strictly increasing in planning order; with CompactionWorkers
+// greater than one, several jobs can be in flight at once, and listeners
+// use the ID to demultiplex interleaved event streams (the backup keys
+// its per-compaction index maps by it).
+type CompactionJob struct {
+	// ID is the engine-unique job identifier.
+	ID uint64
+	// SrcLevel is the level being merged down (0 = the in-memory L0).
+	SrcLevel int
+	// DstLevel is the level receiving the merge (SrcLevel+1).
+	DstLevel int
+}
+
 // CompactionResult describes a finished compaction, as delivered to the
 // Listener and to WaitIdle callers.
 type CompactionResult struct {
+	// JobID is the finished job's identifier (CompactionJob.ID).
+	JobID uint64
 	// SrcLevel is the level that was merged down (0 = the in-memory L0).
 	SrcLevel int
 	// DstLevel is the level that received the merge (SrcLevel+1).
@@ -45,21 +61,28 @@ type CompactionResult struct {
 	Watermark storage.Offset
 }
 
-// Listener observes engine events the replication layer needs. All
-// callbacks are invoked synchronously: OnAppend from the Put path (in
-// log-append order), the compaction callbacks from the compactor
-// goroutine (in emit order). A nil listener disables all callbacks.
+// Listener observes engine events the replication layer needs. OnAppend
+// is invoked synchronously from the Put path (in log-append order). The
+// compaction callbacks are invoked from compaction job goroutines: within
+// one job, OnCompactionStart precedes every OnIndexSegment (emitted in
+// build order) which all precede OnCompactionDone; with
+// CompactionWorkers greater than one, events of different jobs
+// interleave, distinguished by CompactionJob.ID. Jobs touching
+// overlapping levels never run concurrently, and OnCompactionDone calls
+// fire in level-install order. A nil listener disables all callbacks.
 type Listener interface {
 	// OnAppend fires after a record lands in the value log and before
 	// it is inserted into L0 — the point where the primary RDMA-writes
 	// the record into each backup's buffer (§3.2 step 1) and, when
 	// res.Sealed is non-nil, first tells backups to flush (step 2b).
 	OnAppend(res vlog.AppendResult)
-	// OnCompactionStart fires before a compaction begins merging.
-	OnCompactionStart(srcLevel, dstLevel int)
+	// OnCompactionStart fires before a compaction job begins merging.
+	OnCompactionStart(job CompactionJob)
 	// OnIndexSegment fires for every sealed index/leaf segment of the
-	// new L'dst, in build order — the Send-Index shipping hook.
-	OnIndexSegment(dstLevel int, seg btree.EmittedSegment)
+	// new L'dst, in build order — the Send-Index shipping hook. It is
+	// called from the job's shipping stage, concurrently with the
+	// ongoing merge and build stages of the same job.
+	OnIndexSegment(job CompactionJob, seg btree.EmittedSegment)
 	// OnCompactionDone fires after the new level is installed, carrying
 	// the new root (primary device space) for backup root translation.
 	OnCompactionDone(res CompactionResult)
@@ -90,6 +113,22 @@ type Options struct {
 	Cycles *metrics.Cycles
 	// Cost is the cycle cost model (DefaultCostModel if zero).
 	Cost metrics.CostModel
+	// CompactionWorkers bounds how many compaction jobs execute
+	// concurrently. The default (1) reproduces the paper's single
+	// background compactor: one job per level pair at a time. Higher
+	// values let an L0 flush overlap with deeper-level compactions; the
+	// scheduler never runs two jobs over conflicting levels.
+	CompactionWorkers int
+	// L0Buffers is how many frozen L0 tables may queue for compaction
+	// before writers stall. The default (1) is the paper's
+	// single-frozen-L0 behavior, whose fill-up causes the §5.1 write
+	// stalls; 2 double-buffers L0 so a new memtable is cut while the
+	// previous one compacts.
+	L0Buffers int
+	// CompactionStats receives per-stage pipeline timings and
+	// writer-stall accounting; if nil the DB allocates a private sink
+	// (readable via DB.CompactionStats).
+	CompactionStats *metrics.CompactionStats
 }
 
 func (o *Options) applyDefaults() {
@@ -107,6 +146,12 @@ func (o *Options) applyDefaults() {
 	}
 	if o.Cost == (metrics.CostModel{}) {
 		o.Cost = metrics.DefaultCostModel()
+	}
+	if o.CompactionWorkers <= 0 {
+		o.CompactionWorkers = 1
+	}
+	if o.L0Buffers <= 0 {
+		o.L0Buffers = 1
 	}
 }
 

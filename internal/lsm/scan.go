@@ -17,11 +17,12 @@ func (db *DB) Scan(start []byte, fn func(pair kv.Pair) bool) error {
 		return ErrClosed
 	}
 
-	// Collect cursors newest-first: active L0, frozen L0, L1, L2, ...
+	// Collect cursors newest-first: active L0, frozen L0s (newest
+	// first), L1, L2, ...
 	var cursors []cursor
 	cursors = append(cursors, &memCursor{it: db.l0.SeekGE(start)})
-	if db.frozen != nil {
-		cursors = append(cursors, &memCursor{it: db.frozen.SeekGE(start)})
+	for i := len(db.frozen) - 1; i >= 0; i-- {
+		cursors = append(cursors, &memCursor{it: db.frozen[i].mt.SeekGE(start)})
 	}
 	for i := 1; i < len(db.levels); i++ {
 		lv := db.levels[i]

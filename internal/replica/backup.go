@@ -82,11 +82,10 @@ type Backup struct {
 	mu      sync.Mutex
 	log     *vlog.Log
 	logMap  *SegMap
-	flushed map[storage.SegmentID]bool  // primary log segments flushed here
-	idxMap  *SegMap                     // valid during one compaction
-	pending map[int][]storage.SegmentID // segments of the level being shipped
-	levels  map[int]lsm.LevelState      // installed levels (Send-Index)
-	db      *lsm.DB                     // own engine (Build-Index)
+	flushed map[storage.SegmentID]bool // primary log segments flushed here
+	ships   map[uint64]*shipJob        // per-compaction staging, keyed by job ID
+	levels  map[int]lsm.LevelState     // installed levels (Send-Index)
+	db      *lsm.DB                    // own engine (Build-Index)
 	// watermarkPrimary is the last compaction watermark in primary
 	// device space.
 	watermarkPrimary storage.Offset
@@ -107,6 +106,15 @@ type idxWork struct {
 	data  []byte
 }
 
+// shipJob is the backup's staging state for one in-flight compaction:
+// the primary→local index segment map and the rewritten segments per
+// destination level. The primary may run several jobs concurrently, so
+// the backup keys this state by job ID.
+type shipJob struct {
+	idxMap  *SegMap
+	pending map[int][]storage.SegmentID
+}
+
 // NewBackup creates the backup-side state for a region replica.
 func NewBackup(cfg BackupConfig) (*Backup, error) {
 	if cfg.Device == nil || cfg.Endpoint == nil {
@@ -122,13 +130,13 @@ func NewBackup(cfg BackupConfig) (*Backup, error) {
 		return nil, err
 	}
 	b := &Backup{
-		cfg:     cfg,
-		geo:     geo,
-		logBuf:  logBuf,
-		idxBuf:  idxBuf,
-		logMap:  NewSegMap(cfg.Device),
-		pending: make(map[int][]storage.SegmentID),
-		levels:  make(map[int]lsm.LevelState),
+		cfg:    cfg,
+		geo:    geo,
+		logBuf: logBuf,
+		idxBuf: idxBuf,
+		logMap: NewSegMap(cfg.Device),
+		ships:  make(map[uint64]*shipJob),
+		levels: make(map[int]lsm.LevelState),
 	}
 	// The backup's value log holds adopted (replicated) segments; it
 	// never appends until promotion.
@@ -243,7 +251,11 @@ func (b *Backup) handle(h wire.Header, payload []byte) ([]byte, error) {
 		}
 		return b.handleFlushTail(h, req)
 	case wire.OpCompactionStart:
-		return b.handleCompactionStart(h)
+		req, err := wire.DecodeCompactionStart(payload)
+		if err != nil {
+			return nil, err
+		}
+		return b.handleCompactionStart(h, req)
 	case wire.OpIndexSegment:
 		req, err := wire.DecodeIndexSegment(payload)
 		if err != nil {
@@ -326,19 +338,21 @@ func (b *Backup) indexFlushedSegment(local storage.SegmentID, data []byte) error
 	})
 }
 
-// handleCompactionStart resets the per-compaction index map.
-func (b *Backup) handleCompactionStart(h wire.Header) ([]byte, error) {
+// handleCompactionStart opens staging state for one compaction job.
+func (b *Backup) handleCompactionStart(h wire.Header, req wire.CompactionStart) ([]byte, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.idxMap != nil {
-		// A previous compaction never completed (primary retry);
-		// discard its partial segments.
-		if err := b.idxMap.FreeAll(); err != nil {
+	if old, ok := b.ships[req.JobID]; ok {
+		// The same job never completed (primary retry); discard its
+		// partial segments.
+		if err := old.idxMap.FreeAll(); err != nil {
 			return nil, err
 		}
 	}
-	b.idxMap = NewSegMap(b.cfg.Device)
-	b.pending = make(map[int][]storage.SegmentID)
+	b.ships[req.JobID] = &shipJob{
+		idxMap:  NewSegMap(b.cfg.Device),
+		pending: make(map[int][]storage.SegmentID),
+	}
 	return ackMessage(h, wire.OpIndexSegmentAck), nil
 }
 
@@ -348,8 +362,9 @@ func (b *Backup) handleCompactionStart(h wire.Header) ([]byte, error) {
 func (b *Backup) handleIndexSegment(h wire.Header, req wire.IndexSegment) ([]byte, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.idxMap == nil {
-		return nil, fmt.Errorf("replica: index segment without compaction start")
+	ship, ok := b.ships[req.JobID]
+	if !ok {
+		return nil, fmt.Errorf("replica: index segment for unknown job %d", req.JobID)
 	}
 	if int64(req.DataLen) > b.geo.SegmentSize() {
 		return nil, fmt.Errorf("replica: index segment of %d bytes", req.DataLen)
@@ -360,15 +375,15 @@ func (b *Backup) handleIndexSegment(h wire.Header, req wire.IndexSegment) ([]byt
 	}
 	pointers, err := btree.RewriteSegment(
 		data, b.cfg.LSM.NodeSize, b.geo,
-		b.idxMap.Resolve, // child pointers → index map
-		b.logMap.Resolve, // value offsets → log map (lazy for tail refs)
+		ship.idxMap.Resolve, // child pointers → index map
+		b.logMap.Resolve,    // value offsets → log map (lazy for tail refs)
 	)
 	if err != nil {
 		return nil, err
 	}
 	b.charge(metrics.CompRewriteIndex, uint64(pointers)*b.cfg.Cost.RewritePerPointer)
 
-	local, err := b.idxMap.Resolve(storage.SegmentID(req.PrimarySeg))
+	local, err := ship.idxMap.Resolve(storage.SegmentID(req.PrimarySeg))
 	if err != nil {
 		return nil, err
 	}
@@ -377,7 +392,7 @@ func (b *Backup) handleIndexSegment(h wire.Header, req wire.IndexSegment) ([]byt
 	}
 	b.charge(metrics.CompRewriteIndex, b.cfg.Cost.WriteIO(len(data)))
 	lvl := int(req.DstLevel)
-	b.pending[lvl] = append(b.pending[lvl], local)
+	ship.pending[lvl] = append(ship.pending[lvl], local)
 	return ackMessage(h, wire.OpIndexSegmentAck), nil
 }
 
@@ -389,20 +404,21 @@ func (b *Backup) handleCompactionDone(h wire.Header, req wire.CompactionDone) ([
 	defer b.mu.Unlock()
 	dst := int(req.DstLevel)
 	src := int(req.SrcLevel)
+	ship := b.ships[req.JobID]
 
 	var newState lsm.LevelState
 	if req.NumKeys > 0 {
-		if b.idxMap == nil {
-			return nil, fmt.Errorf("replica: compaction done without start")
+		if ship == nil {
+			return nil, fmt.Errorf("replica: compaction done for unknown job %d", req.JobID)
 		}
 		rootOff := storage.Offset(req.Root)
-		localSeg, ok := b.idxMap.Lookup(b.geo.Segment(rootOff))
+		localSeg, ok := ship.idxMap.Lookup(b.geo.Segment(rootOff))
 		if !ok {
 			return nil, fmt.Errorf("replica: root segment %d never shipped", b.geo.Segment(rootOff))
 		}
 		newState = lsm.LevelState{
 			Root:     b.geo.Rebase(rootOff, localSeg),
-			Segments: b.pending[dst],
+			Segments: ship.pending[dst],
 			NumKeys:  int(req.NumKeys),
 		}
 	}
@@ -425,11 +441,10 @@ func (b *Backup) handleCompactionDone(h wire.Header, req wire.CompactionDone) ([
 		b.levels[dst] = newState
 	}
 	b.watermarkPrimary = storage.Offset(req.Watermark)
-	if b.idxMap != nil {
-		b.idxMap.Clear() // segment ownership moved to the level
-		b.idxMap = nil
+	if ship != nil {
+		ship.idxMap.Clear() // segment ownership moved to the level
+		delete(b.ships, req.JobID)
 	}
-	b.pending = make(map[int][]storage.SegmentID)
 	return ackMessage(h, wire.OpCompactionDoneAck), nil
 }
 

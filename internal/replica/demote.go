@@ -68,14 +68,14 @@ func NewBackupFromPrimary(p *Primary, cfg BackupConfig, oldToNew map[storage.Seg
 		return nil, err
 	}
 	b := &Backup{
-		cfg:     cfg,
-		geo:     geo,
-		logBuf:  logBuf,
-		idxBuf:  idxBuf,
-		log:     db.Log(),
-		logMap:  NewSegMap(cfg.Device),
-		pending: make(map[int][]storage.SegmentID),
-		levels:  make(map[int]lsm.LevelState),
+		cfg:    cfg,
+		geo:    geo,
+		logBuf: logBuf,
+		idxBuf: idxBuf,
+		log:    db.Log(),
+		logMap: NewSegMap(cfg.Device),
+		ships:  make(map[uint64]*shipJob),
+		levels: make(map[int]lsm.LevelState),
 	}
 	// Key the log map by the new primary's segment numbers: local
 	// segment oldSeg now answers for the new primary's newSeg (the

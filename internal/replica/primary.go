@@ -59,9 +59,9 @@ type Primary struct {
 	reqID   atomic.Uint64
 	repErr  atomic.Value // first replication error (type error)
 
-	// deferred buffers emitted segments per destination level when
+	// deferred buffers emitted segments per compaction job when
 	// ShipAtCompactionEnd is set (ablation only).
-	deferred map[int][]btree.EmittedSegment
+	deferred map[uint64][]btree.EmittedSegment
 }
 
 var _ lsm.Listener = (*Primary)(nil)
@@ -181,6 +181,13 @@ func (p *Primary) Backups() []*Backup {
 func (p *Primary) rpc(h *backupHandle, op wire.Op, payload []byte) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return p.rpcLocked(h, op, payload)
+}
+
+// rpcLocked is rpc for callers that already hold h.mu (segment shipping
+// holds it across the data write and the control message so concurrent
+// jobs cannot interleave on the backup's single staging buffer).
+func (p *Primary) rpcLocked(h *backupHandle, op wire.Op, payload []byte) error {
 	msg := make([]byte, wire.MessageSize(len(payload)))
 	if _, err := wire.EncodeMessage(msg, wire.Header{
 		Opcode:    op,
@@ -239,15 +246,21 @@ func (p *Primary) OnAppend(res vlog.AppendResult) {
 	}
 }
 
-// OnCompactionStart announces a compaction to Send-Index backups so they
-// reset their index maps.
-func (p *Primary) OnCompactionStart(srcLevel, dstLevel int) {
+// OnCompactionStart announces a compaction job to Send-Index backups so
+// they open job-keyed staging state (index map + pending segments).
+func (p *Primary) OnCompactionStart(job lsm.CompactionJob) {
 	if p.cfg.Mode != SendIndex {
 		return
 	}
+	payload := wire.CompactionStart{
+		RegionID: uint16(p.cfg.RegionID),
+		JobID:    job.ID,
+		SrcLevel: uint8(job.SrcLevel),
+		DstLevel: uint8(job.DstLevel),
+	}.Encode(nil)
 	for _, h := range p.handles() {
 		p.charge(metrics.CompSendIndex, p.cfg.Cost.RDMAPost)
-		if err := p.rpc(h, wire.OpCompactionStart, nil); err != nil {
+		if err := p.rpc(h, wire.OpCompactionStart, payload); err != nil {
 			p.setErr(err)
 			return
 		}
@@ -256,17 +269,19 @@ func (p *Primary) OnCompactionStart(srcLevel, dstLevel int) {
 
 // OnIndexSegment ships one sealed index segment: a one-sided write of
 // the segment image into the backup's staging buffer followed by a
-// control message with the translation metadata (§3.3).
-func (p *Primary) OnIndexSegment(dstLevel int, seg btree.EmittedSegment) {
+// control message with the translation metadata (§3.3). It is invoked
+// from the job's shipping stage while the build is still producing
+// later segments — the Send-Index streaming overlap.
+func (p *Primary) OnIndexSegment(job lsm.CompactionJob, seg btree.EmittedSegment) {
 	if p.cfg.Mode != SendIndex {
 		return
 	}
 	if p.cfg.ShipAtCompactionEnd {
 		p.mu.Lock()
 		if p.deferred == nil {
-			p.deferred = make(map[int][]btree.EmittedSegment)
+			p.deferred = make(map[uint64][]btree.EmittedSegment)
 		}
-		p.deferred[dstLevel] = append(p.deferred[dstLevel], btree.EmittedSegment{
+		p.deferred[job.ID] = append(p.deferred[job.ID], btree.EmittedSegment{
 			Seg:  seg.Seg,
 			Kind: seg.Kind,
 			Data: append([]byte(nil), seg.Data...),
@@ -274,34 +289,43 @@ func (p *Primary) OnIndexSegment(dstLevel int, seg btree.EmittedSegment) {
 		p.mu.Unlock()
 		return
 	}
-	p.shipSegment(dstLevel, seg)
+	p.shipSegment(job, seg)
 }
 
-// shipSegment performs the actual transfer of one segment.
-func (p *Primary) shipSegment(dstLevel int, seg btree.EmittedSegment) {
+// shipSegment performs the actual transfer of one segment. It holds the
+// backup handle's control lock across the staging-buffer write and the
+// metadata message: the backup stages one segment at a time, so two
+// concurrent jobs must not interleave their writes.
+func (p *Primary) shipSegment(job lsm.CompactionJob, seg btree.EmittedSegment) {
 	const wrIndexShip = 2
 	for _, h := range p.handles() {
+		h.mu.Lock()
 		if err := h.dataQP.Write(h.backup.IndexBufferRKey(), 0, seg.Data, wrIndexShip); err != nil {
+			h.mu.Unlock()
 			p.setErr(err)
 			return
 		}
 		if _, err := h.dataQP.WaitCompletion(); err != nil {
+			h.mu.Unlock()
 			p.setErr(err)
 			return
 		}
 		p.charge(metrics.CompSendIndex, p.cfg.Cost.RDMAWrite(len(seg.Data)))
 		payload := wire.IndexSegment{
 			RegionID:   uint16(p.cfg.RegionID),
-			DstLevel:   uint8(dstLevel),
+			JobID:      job.ID,
+			DstLevel:   uint8(job.DstLevel),
 			Kind:       uint8(seg.Kind),
 			PrimarySeg: uint32(seg.Seg),
 			DataLen:    uint32(len(seg.Data)),
 		}.Encode(nil)
 		p.charge(metrics.CompSendIndex, p.cfg.Cost.RDMAWrite(wire.MessageSize(len(payload))))
-		if err := p.rpc(h, wire.OpIndexSegment, payload); err != nil {
+		if err := p.rpcLocked(h, wire.OpIndexSegment, payload); err != nil {
+			h.mu.Unlock()
 			p.setErr(err)
 			return
 		}
+		h.mu.Unlock()
 	}
 }
 
@@ -332,15 +356,17 @@ func (p *Primary) OnCompactionDone(res lsm.CompactionResult) {
 	}
 	if p.cfg.ShipAtCompactionEnd {
 		p.mu.Lock()
-		segs := p.deferred[res.DstLevel]
-		delete(p.deferred, res.DstLevel)
+		segs := p.deferred[res.JobID]
+		delete(p.deferred, res.JobID)
 		p.mu.Unlock()
+		job := lsm.CompactionJob{ID: res.JobID, SrcLevel: res.SrcLevel, DstLevel: res.DstLevel}
 		for _, seg := range segs {
-			p.shipSegment(res.DstLevel, seg)
+			p.shipSegment(job, seg)
 		}
 	}
 	payload := wire.CompactionDone{
 		RegionID:  uint16(p.cfg.RegionID),
+		JobID:     res.JobID,
 		SrcLevel:  uint8(res.SrcLevel),
 		DstLevel:  uint8(res.DstLevel),
 		Root:      uint64(res.Built.Root),

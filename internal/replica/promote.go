@@ -30,14 +30,13 @@ func (b *Backup) Promote() (*lsm.DB, error) {
 	}
 	b.promoted = true
 
-	// Discard any partially shipped compaction: its segments never
+	// Discard any partially shipped compactions: their segments never
 	// became a level.
-	if b.idxMap != nil {
-		if err := b.idxMap.FreeAll(); err != nil {
+	for id, ship := range b.ships {
+		if err := ship.idxMap.FreeAll(); err != nil {
 			return nil, err
 		}
-		b.idxMap = nil
-		b.pending = make(map[int][]storage.SegmentID)
+		delete(b.ships, id)
 	}
 
 	// Stop the Build-Index worker and drain queued segments.

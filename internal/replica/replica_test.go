@@ -40,6 +40,13 @@ func lsmOpts() lsm.Options {
 
 func newRig(t *testing.T, mode Mode, nBackups int) *rig {
 	t.Helper()
+	return newRigOpts(t, mode, nBackups, nil)
+}
+
+// newRigOpts is newRig with a hook to adjust the primary engine's
+// options (e.g. attach compaction stats or change scheduler knobs).
+func newRigOpts(t *testing.T, mode Mode, nBackups int, tweak func(*lsm.Options)) *rig {
+	t.Helper()
 	const segSize = 16 << 10
 	r := &rig{t: t, mode: mode}
 	var err error
@@ -64,6 +71,9 @@ func newRig(t *testing.T, mode Mode, nBackups int) *rig {
 	opt.Cycles = r.cyP
 	if mode != NoReplication {
 		opt.Listener = r.primary
+	}
+	if tweak != nil {
+		tweak(&opt)
 	}
 	r.db, err = lsm.New(opt)
 	if err != nil {
@@ -160,6 +170,40 @@ func TestSendIndexShipsLevels(t *testing.T) {
 	}
 	if b.LogMap().Len() == 0 {
 		t.Fatal("log map empty after flushes")
+	}
+}
+
+// TestSendIndexShipsSegmentsBeforeBuildCompletes is the acceptance test
+// for the staged pipeline: with replication attached, index segments
+// must reach the backup while the primary's index build is still
+// running — the Send-Index streaming overlap. Shipping to the backup is
+// synchronous inside the pipeline's ship stage, so a segment recorded
+// as "early" was rewritten by the backup before the build finished.
+func TestSendIndexShipsSegmentsBeforeBuildCompletes(t *testing.T) {
+	stats := &metrics.CompactionStats{}
+	r := newRigOpts(t, SendIndex, 1, func(o *lsm.Options) { o.CompactionStats = stats })
+	// Enough data to force a >4096-key merge, which seals well over the
+	// pipeline's two-segment ship buffer.
+	r.load(6000, 40)
+
+	snap := stats.Snapshot()
+	if snap.Jobs == 0 || snap.SegmentsShipped == 0 {
+		t.Fatalf("no shipping activity: %+v", snap)
+	}
+	if snap.SegmentsShippedEarly == 0 {
+		t.Fatalf("backup never received a segment before the build completed (%d shipped)", snap.SegmentsShipped)
+	}
+	// The early segments really were processed by the backup, not just
+	// handed to a listener: it charged rewrite cycles and its levels
+	// match the primary's.
+	if got := r.cyB[0].Snapshot()[metrics.CompRewriteIndex]; got == 0 {
+		t.Fatal("backup charged no rewrite cycles")
+	}
+	bLevels := r.backups[0].LevelStates(lsmOpts().MaxLevels)
+	for i, st := range r.db.Levels() {
+		if st.NumKeys != bLevels[i].NumKeys {
+			t.Fatalf("level %d: primary %d keys, backup %d keys", i+1, st.NumKeys, bLevels[i].NumKeys)
+		}
 	}
 }
 

@@ -79,6 +79,9 @@ func (p *Primary) Sync(b *Backup) error {
 	}
 
 	// 3. Send-Index: ship every populated level through the index path.
+	// Sync uses a reserved job-ID namespace (high bit set, keyed by
+	// level) so its pseudo-jobs can never collide with the scheduler's
+	// monotonically assigned compaction job IDs.
 	if p.cfg.Mode == SendIndex {
 		watermark := db.Watermark()
 		for i, st := range db.Levels() {
@@ -86,16 +89,24 @@ func (p *Primary) Sync(b *Backup) error {
 			if st.NumKeys == 0 {
 				continue
 			}
-			if err := p.rpc(h, wire.OpCompactionStart, nil); err != nil {
+			jobID := syncJobBase | uint64(lvl)
+			start := wire.CompactionStart{
+				RegionID: uint16(p.cfg.RegionID),
+				JobID:    jobID,
+				SrcLevel: 0,
+				DstLevel: uint8(lvl),
+			}.Encode(nil)
+			if err := p.rpc(h, wire.OpCompactionStart, start); err != nil {
 				return err
 			}
 			for _, seg := range st.Segments {
-				if err := p.shipSegmentImage(h, lvl, seg, geo); err != nil {
+				if err := p.shipSegmentImage(h, jobID, lvl, seg, geo); err != nil {
 					return err
 				}
 			}
 			done := wire.CompactionDone{
 				RegionID:  uint16(p.cfg.RegionID),
+				JobID:     jobID,
 				SrcLevel:  0,
 				DstLevel:  uint8(lvl),
 				Root:      uint64(st.Root),
@@ -110,10 +121,13 @@ func (p *Primary) Sync(b *Backup) error {
 	return b.Err()
 }
 
+// syncJobBase marks the pseudo job IDs Sync ships whole levels under.
+const syncJobBase = uint64(1) << 63
+
 // shipSegmentImage sends one full level segment image through the
 // Send-Index path (the backup's rewrite stops at the first free node
 // slot, so full images of partially used segments are safe).
-func (p *Primary) shipSegmentImage(h *backupHandle, lvl int, seg storage.SegmentID, geo storage.Geometry) error {
+func (p *Primary) shipSegmentImage(h *backupHandle, jobID uint64, lvl int, seg storage.SegmentID, geo storage.Geometry) error {
 	data := make([]byte, geo.SegmentSize())
 	if err := p.DB().Log().ReadSegmentImage(seg, data); err != nil {
 		return err
@@ -127,6 +141,7 @@ func (p *Primary) shipSegmentImage(h *backupHandle, lvl int, seg storage.Segment
 	p.charge(metrics.CompSendIndex, p.cfg.Cost.RDMAWrite(len(data)))
 	payload := wire.IndexSegment{
 		RegionID:   uint16(p.cfg.RegionID),
+		JobID:      jobID,
 		DstLevel:   uint8(lvl),
 		PrimarySeg: uint32(seg),
 		DataLen:    uint32(len(data)),

@@ -221,3 +221,42 @@ func TestFlushDrainsBuildIndexBackups(t *testing.T) {
 		t.Fatal("Build-Index backup never compacted")
 	}
 }
+
+func TestWorkerQueueDepthConfig(t *testing.T) {
+	// Default: 4 * TaskThreshold.
+	s, _ := newTestServer(t, "s0")
+	if want := 4 * DefaultTaskThreshold; cap(s.workers[0].queue) != want {
+		t.Fatalf("default queue depth = %d, want %d", cap(s.workers[0].queue), want)
+	}
+
+	// Explicit override.
+	dev, err := storage.NewMemDevice(16<<10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Config{
+		Name:     "s1",
+		Device:   dev,
+		Endpoint: rdma.NewEndpoint("s1"),
+		LSM: lsm.Options{
+			NodeSize:     512,
+			GrowthFactor: 4,
+			L0MaxKeys:    256,
+			MaxLevels:    5,
+		},
+		Workers:          1,
+		SpinThreads:      1,
+		TaskThreshold:    16,
+		WorkerQueueDepth: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s2.Close()
+		dev.Close()
+	})
+	if cap(s2.workers[0].queue) != 7 {
+		t.Fatalf("explicit queue depth = %d, want 7", cap(s2.workers[0].queue))
+	}
+}

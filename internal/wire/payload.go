@@ -269,11 +269,51 @@ func DecodeFlushTail(p []byte) (FlushTail, error) {
 	return FlushTail{RegionID: uint16(rid), PrimarySeg: seg}, nil
 }
 
+// CompactionStart is the primary → backup announcement of one
+// compaction job. With a concurrently-scheduling primary several jobs
+// may be in flight at once; JobID keys the backup's per-compaction
+// staging state so interleaved IndexSegment streams demultiplex.
+type CompactionStart struct {
+	RegionID uint16
+	JobID    uint64
+	SrcLevel uint8
+	DstLevel uint8
+}
+
+// Encode appends the payload to dst.
+func (r CompactionStart) Encode(dst []byte) []byte {
+	dst = appendU32(dst, uint32(r.RegionID))
+	dst = appendU64(dst, r.JobID)
+	return append(dst, r.SrcLevel, r.DstLevel)
+}
+
+// DecodeCompactionStart parses a CompactionStart payload.
+func DecodeCompactionStart(p []byte) (CompactionStart, error) {
+	rid, rest, err := readU32(p)
+	if err != nil {
+		return CompactionStart{}, err
+	}
+	job, rest, err := readU64(rest)
+	if err != nil {
+		return CompactionStart{}, err
+	}
+	if len(rest) < 2 {
+		return CompactionStart{}, ErrShortBuffer
+	}
+	return CompactionStart{
+		RegionID: uint16(rid),
+		JobID:    job,
+		SrcLevel: rest[0],
+		DstLevel: rest[1],
+	}, nil
+}
+
 // IndexSegment is the primary → backup metadata for one shipped index
 // segment (its data travels by one-sided RDMA write into the backup's
-// staging buffer).
+// staging buffer). JobID matches the owning CompactionStart.
 type IndexSegment struct {
 	RegionID   uint16
+	JobID      uint64
 	DstLevel   uint8
 	Kind       uint8 // btree.SegKind
 	PrimarySeg uint32
@@ -283,6 +323,7 @@ type IndexSegment struct {
 // Encode appends the payload to dst.
 func (r IndexSegment) Encode(dst []byte) []byte {
 	dst = appendU32(dst, uint32(r.RegionID))
+	dst = appendU64(dst, r.JobID)
 	dst = append(dst, r.DstLevel, r.Kind)
 	dst = appendU32(dst, r.PrimarySeg)
 	return appendU32(dst, r.DataLen)
@@ -294,10 +335,14 @@ func DecodeIndexSegment(p []byte) (IndexSegment, error) {
 	if err != nil {
 		return IndexSegment{}, err
 	}
+	job, rest, err := readU64(rest)
+	if err != nil {
+		return IndexSegment{}, err
+	}
 	if len(rest) < 2 {
 		return IndexSegment{}, ErrShortBuffer
 	}
-	r := IndexSegment{RegionID: uint16(rid), DstLevel: rest[0], Kind: rest[1]}
+	r := IndexSegment{RegionID: uint16(rid), JobID: job, DstLevel: rest[0], Kind: rest[1]}
 	rest = rest[2:]
 	if r.PrimarySeg, rest, err = readU32(rest); err != nil {
 		return IndexSegment{}, err
@@ -336,10 +381,11 @@ func DecodeTrimLog(p []byte) (TrimLog, error) {
 }
 
 // CompactionDone is the primary → backup end-of-compaction message: the
-// backup translates Root through its index map, installs the new level,
-// and discards replaced levels (§3.3).
+// backup translates Root through the JobID's index map, installs the
+// new level, and discards replaced levels (§3.3).
 type CompactionDone struct {
 	RegionID  uint16
+	JobID     uint64
 	SrcLevel  uint8
 	DstLevel  uint8
 	Root      uint64 // primary device offset of the new root
@@ -350,6 +396,7 @@ type CompactionDone struct {
 // Encode appends the payload to dst.
 func (r CompactionDone) Encode(dst []byte) []byte {
 	dst = appendU32(dst, uint32(r.RegionID))
+	dst = appendU64(dst, r.JobID)
 	dst = append(dst, r.SrcLevel, r.DstLevel)
 	dst = appendU64(dst, r.Root)
 	dst = appendU32(dst, r.NumKeys)
@@ -362,10 +409,14 @@ func DecodeCompactionDone(p []byte) (CompactionDone, error) {
 	if err != nil {
 		return CompactionDone{}, err
 	}
+	job, rest, err := readU64(rest)
+	if err != nil {
+		return CompactionDone{}, err
+	}
 	if len(rest) < 2 {
 		return CompactionDone{}, ErrShortBuffer
 	}
-	r := CompactionDone{RegionID: uint16(rid), SrcLevel: rest[0], DstLevel: rest[1]}
+	r := CompactionDone{RegionID: uint16(rid), JobID: job, SrcLevel: rest[0], DstLevel: rest[1]}
 	rest = rest[2:]
 	if r.Root, rest, err = readU64(rest); err != nil {
 		return CompactionDone{}, err

@@ -211,16 +211,22 @@ func TestControlPayloadsRoundTrip(t *testing.T) {
 	if err != nil || ft.RegionID != 5 || ft.PrimarySeg != 77 {
 		t.Fatalf("flush = %+v %v", ft, err)
 	}
-	is, err := DecodeIndexSegment(IndexSegment{
-		RegionID: 9, DstLevel: 2, Kind: 1, PrimarySeg: 33, DataLen: 4096,
+	cs, err := DecodeCompactionStart(CompactionStart{
+		RegionID: 9, JobID: 1<<62 + 5, SrcLevel: 1, DstLevel: 2,
 	}.Encode(nil))
-	if err != nil || is.DstLevel != 2 || is.PrimarySeg != 33 || is.DataLen != 4096 {
+	if err != nil || cs.RegionID != 9 || cs.JobID != 1<<62+5 || cs.SrcLevel != 1 || cs.DstLevel != 2 {
+		t.Fatalf("compaction start = %+v %v", cs, err)
+	}
+	is, err := DecodeIndexSegment(IndexSegment{
+		RegionID: 9, JobID: 41, DstLevel: 2, Kind: 1, PrimarySeg: 33, DataLen: 4096,
+	}.Encode(nil))
+	if err != nil || is.JobID != 41 || is.DstLevel != 2 || is.PrimarySeg != 33 || is.DataLen != 4096 {
 		t.Fatalf("index segment = %+v %v", is, err)
 	}
 	cd, err := DecodeCompactionDone(CompactionDone{
-		RegionID: 9, SrcLevel: 1, DstLevel: 2, Root: 1 << 40, NumKeys: 12345, Watermark: 1 << 33,
+		RegionID: 9, JobID: 41, SrcLevel: 1, DstLevel: 2, Root: 1 << 40, NumKeys: 12345, Watermark: 1 << 33,
 	}.Encode(nil))
-	if err != nil || cd.Root != 1<<40 || cd.NumKeys != 12345 || cd.Watermark != 1<<33 {
+	if err != nil || cd.JobID != 41 || cd.Root != 1<<40 || cd.NumKeys != 12345 || cd.Watermark != 1<<33 {
 		t.Fatalf("done = %+v %v", cd, err)
 	}
 }
@@ -232,10 +238,16 @@ func TestDecodersRejectTruncation(t *testing.T) {
 			t.Fatalf("truncated put at %d decoded", i)
 		}
 	}
-	fullCD := CompactionDone{RegionID: 1, Root: 7}.Encode(nil)
+	fullCD := CompactionDone{RegionID: 1, JobID: 3, Root: 7}.Encode(nil)
 	for i := 0; i < len(fullCD); i++ {
 		if _, err := DecodeCompactionDone(fullCD[:i]); err == nil {
 			t.Fatalf("truncated done at %d decoded", i)
+		}
+	}
+	fullCS := CompactionStart{RegionID: 1, JobID: 3, SrcLevel: 0, DstLevel: 1}.Encode(nil)
+	for i := 0; i < len(fullCS); i++ {
+		if _, err := DecodeCompactionStart(fullCS[:i]); err == nil {
+			t.Fatalf("truncated start at %d decoded", i)
 		}
 	}
 }
@@ -274,6 +286,7 @@ func TestDecodeRobustnessRandomBytes(t *testing.T) {
 		_, _ = DecodeScanReply(buf)
 		_, _ = DecodeStatusReply(buf)
 		_, _ = DecodeFlushTail(buf)
+		_, _ = DecodeCompactionStart(buf)
 		_, _ = DecodeIndexSegment(buf)
 		_, _ = DecodeCompactionDone(buf)
 		_, _ = DecodeTrimLog(buf)

@@ -1,0 +1,26 @@
+#!/bin/sh
+# check.sh — the repository's tier-1 gate, run by `make check` and CI.
+# Fails on unformatted files, vet findings, build errors, or any test
+# failure under the race detector.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "OK"
