@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race check fmt vet bench clean
+.PHONY: all build test race check stress fmt vet bench clean
 
 all: build
 
@@ -17,6 +17,12 @@ race:
 # suite under the race detector. CI and pre-merge runs use this target.
 check:
 	sh scripts/check.sh
+
+# stress re-runs the failure-prone suites — replication retry/eviction
+# and the client ring/freeList property tests — repeatedly under the
+# race detector, to shake out interleavings a single run can miss.
+stress:
+	$(GO) test -race -count=5 ./internal/replica ./internal/client
 
 fmt:
 	gofmt -w .

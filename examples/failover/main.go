@@ -1,11 +1,18 @@
-// Failover: the paper's §3.5 recovery story, end to end. A three-server
-// Send-Index cluster takes writes; one server crashes; the coordination
-// service's ephemeral node disappears; the master promotes backups for
-// the dead server's primary regions (log-map retargeting + L0 replay
-// from the replicated log), refills the vacated backup slots with a
-// state transfer, and republishes the region map. Clients refresh their
-// cached map on wrong-region replies and keep going — with zero lost
-// acknowledged writes.
+// Failover: the paper's §3.5 recovery story, end to end, in two acts.
+//
+// Act 1 — partial failure: a backup's NIC silently drops every packet
+// from its primary. The primary's bounded RPC retries expire, it evicts
+// the backup, keeps serving in degraded mode, and the master attaches a
+// replacement and drives a state-transfer Sync to restore the
+// replication factor.
+//
+// Act 2 — full crash: the same region's primary then crashes; the
+// coordination service's ephemeral node disappears; the master promotes
+// backups for the dead server's primary regions (log-map retargeting +
+// L0 replay from the replicated log), refills the vacated backup slots,
+// and republishes the region map. Clients refresh their cached map on
+// wrong-region replies and keep going — with zero lost acknowledged
+// writes, including through the freshly synced replacement.
 //
 // Run with: go run ./examples/failover
 package main
@@ -13,15 +20,17 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"tebis/internal/cluster"
 	"tebis/internal/lsm"
+	"tebis/internal/rdma"
 	"tebis/internal/replica"
 )
 
 func main() {
 	c, err := cluster.New(cluster.Config{
-		Servers:     3,
+		Servers:     4, // one spare: the replacement backup must come from outside the group
 		Regions:     6,
 		Replicas:    2, // three-way replication
 		Mode:        replica.SendIndex,
@@ -33,6 +42,13 @@ func main() {
 			MaxLevels:    6,
 		},
 		MasterCandidates: 2,
+		// Short timeouts so the demo's injected failure is detected in
+		// milliseconds rather than the production-scale default.
+		Retry: replica.RetryPolicy{
+			AckTimeout: 100 * time.Millisecond,
+			MaxRetries: 2,
+			Backoff:    5 * time.Millisecond,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -46,7 +62,7 @@ func main() {
 	defer cl.Close()
 
 	const n = 6000
-	fmt.Printf("writing %d records across 3 servers (three-way replication)...\n", n)
+	fmt.Printf("writing %d records across 4 servers (three-way replication)...\n", n)
 	for i := 0; i < n; i++ {
 		key := fmt.Sprintf("order-%02x-%08d", i%199, i)
 		if err := cl.Put([]byte(key), []byte(fmt.Sprintf("payload-%d", i))); err != nil {
@@ -58,31 +74,87 @@ func main() {
 	}
 
 	before, _ := c.Map()
-	fmt.Printf("region map v%d: s0 is primary for %d regions\n",
-		before.Version, countPrimaries(c, "s0"))
+	// Target the region the workload actually writes to: every key
+	// shares the "order-" prefix, so they all land in one region.
+	reg, err := before.Lookup([]byte("order-00-00000000"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	primary, backup := reg.Primary, reg.Backups[0]
+	fmt.Printf("region map v%d: region %d has primary %s, backups %v\n",
+		before.Version, reg.ID, primary, reg.Backups)
 
-	fmt.Println("\ncrashing s0 (threads stop, replication drops, ephemeral node vanishes)...")
-	if err := c.Crash("s0"); err != nil {
+	// ---- Act 1: partial failure → eviction → replacement + Sync ----
+
+	fmt.Printf("\ninjecting a fault: %s's NIC drops everything arriving from %s...\n",
+		backup, primary)
+	bEp := c.Nodes[backup].Server.Endpoint()
+	bEp.InjectFault(func(op rdma.FaultOp, from, to string, seq int, payload []byte) rdma.Fault {
+		if from == primary {
+			return rdma.Fault{Action: rdma.FaultDrop}
+		}
+		return rdma.Fault{}
+	})
+
+	fmt.Println("writing through the fault (primary retries, then evicts)...")
+	for i := n; i < n+2000; i++ {
+		key := fmt.Sprintf("order-%02x-%08d", i%199, i)
+		if err := cl.Put([]byte(key), []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	snap := c.Nodes[primary].Failures.Snapshot()
+	fmt.Printf("%s failure metrics: %d RPC retries, %d backups evicted, degraded=%v\n",
+		primary, snap.Retries, snap.Evictions, snap.Degraded)
+	if p, ok := c.Nodes[primary].Server.Primary(reg.ID); ok {
+		for _, ev := range p.Evictions() {
+			fmt.Printf("  region %d evicted backup %s (%s)\n", reg.ID, ev.Backup, ev.Cause)
+		}
+	}
+
+	fmt.Printf("repair: master replaces %s on %s's degraded regions and drives Sync...\n",
+		backup, primary)
+	bEp.InjectFault(nil) // the node recovers, but replacements come from elsewhere
+	m, _ := c.Map()
+	for _, r := range m.Regions {
+		p, ok := c.Nodes[primary].Server.Primary(r.ID)
+		if !ok || !p.Degraded() {
+			continue
+		}
+		if err := c.Leader().ReplaceBackup(r.ID, backup); err != nil {
+			log.Fatal(err)
+		}
+	}
+	snap = c.Nodes[primary].Failures.Snapshot()
+	repaired, _ := c.Map()
+	fmt.Printf("region map v%d: replication factor restored; degraded=%v, resynced %d bytes\n",
+		repaired.Version, snap.Degraded, snap.ResyncBytes)
+
+	// ---- Act 2: the primary itself crashes ----
+
+	fmt.Printf("\ncrashing %s (threads stop, replication drops, ephemeral node vanishes)...\n", primary)
+	if err := c.Crash(primary); err != nil {
 		log.Fatal(err)
 	}
 	after, _ := c.Map()
 	refs := 0
 	for _, r := range after.Regions {
-		if r.Primary == "s0" {
+		if r.Primary == primary {
 			refs++
 		}
 		for _, b := range r.Backups {
-			if b == "s0" {
+			if b == primary {
 				refs++
 			}
 		}
 	}
-	fmt.Printf("master recovered: region map v%d, s0 referenced by %d regions\n",
-		after.Version, refs)
+	fmt.Printf("master recovered: region map v%d, %s referenced by %d regions\n",
+		after.Version, primary, refs)
 
-	fmt.Println("verifying every acknowledged write survives the failover...")
+	fmt.Println("verifying every acknowledged write survives both failures...")
 	lost := 0
-	for i := 0; i < n; i++ {
+	for i := 0; i < n+2000; i++ {
 		key := fmt.Sprintf("order-%02x-%08d", i%199, i)
 		v, found, err := cl.Get([]byte(key))
 		if err != nil {
@@ -92,7 +164,7 @@ func main() {
 			lost++
 		}
 	}
-	fmt.Printf("lost writes: %d / %d\n", lost, n)
+	fmt.Printf("lost writes: %d / %d\n", lost, n+2000)
 
 	fmt.Println("writing through the reconfigured cluster...")
 	for i := 0; i < 1000; i++ {
@@ -110,19 +182,4 @@ func main() {
 	if _, found, _ := cl.Get([]byte("post-000999")); found {
 		fmt.Println("reads served during and after master change: OK")
 	}
-}
-
-// countPrimaries counts regions whose primary is the given server.
-func countPrimaries(c *cluster.Cluster, name string) int {
-	m, err := c.Map()
-	if err != nil {
-		return 0
-	}
-	n := 0
-	for _, r := range m.Regions {
-		if r.Primary == name {
-			n++
-		}
-	}
-	return n
 }

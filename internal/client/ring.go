@@ -87,6 +87,14 @@ func (r *ring) alloc(size int) (e, noopE *extent, err error) {
 			// Residual end space cannot hold the message: reserve it
 			// for a NOOP and wrap (at most once per alloc).
 			if noopE == nil {
+				// The front region a wrap opens is capped by the wrap
+				// position: if the request exceeds it, no amount of
+				// freeing can ever make room, and reserving the NOOP
+				// would leave this caller waiting forever on an
+				// otherwise drained ring.
+				if size > r.head {
+					return nil, nil, fmt.Errorf("client: request of %d bytes cannot fit ahead of wrap position %d", size, r.head)
+				}
 				noopE = &extent{off: r.head, size: r.size - r.head, noop: true}
 				r.head = 0
 				r.extents = append(r.extents, noopE)

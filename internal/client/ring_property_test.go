@@ -1,0 +1,224 @@
+package client
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRingPropertyLockstepPositions drives the ring with random alloc
+// sizes and out-of-order frees, checking the protocol-critical
+// invariant: extent offsets (including the NOOP padding extents the
+// wrap path reserves) form exactly the sequential rendezvous positions
+// the server's spinning thread walks. Any gap or overlap would desync
+// the client from the server.
+func TestRingPropertyLockstepPositions(t *testing.T) {
+	const ringSize = 1 << 10
+	rng := rand.New(rand.NewSource(7))
+	r := newRing(ringSize)
+
+	pos := 0 // the server's rendezvous position mirror
+	advance := func(e *extent) {
+		t.Helper()
+		if e.off != pos {
+			t.Fatalf("extent at %d, server position %d (size %d, noop %v)", e.off, pos, e.size, e.noop)
+		}
+		pos += e.size
+		if pos == ringSize {
+			pos = 0 // exact fill: both sides wrap without padding
+		}
+		if pos > ringSize {
+			t.Fatalf("position %d overran the buffer", pos)
+		}
+	}
+
+	for round := 0; round < 200; round++ {
+		// A batch small enough to always fit: the ring is empty at the
+		// top of each round, so allocation never blocks.
+		n := 1 + rng.Intn(6)
+		var batch []*extent
+		total := 0
+		for i := 0; i < n; i++ {
+			size := 16 + 16*rng.Intn(8) // 16..128
+			if total+size > ringSize/2 {
+				break
+			}
+			total += size
+			e, noopE, err := r.alloc(size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if noopE != nil {
+				if !noopE.noop || noopE.off+noopE.size != ringSize {
+					t.Fatalf("NOOP extent %+v does not pad to the end", noopE)
+				}
+				advance(noopE)
+				pos = 0 // padding filled the rest; the server wraps
+				batch = append(batch, noopE)
+			}
+			if e.noop || e.size != size {
+				t.Fatalf("real extent %+v for size %d", e, size)
+			}
+			advance(e)
+			batch = append(batch, e)
+		}
+		// Replies arrive out of order: free in a random permutation.
+		for _, i := range rng.Perm(len(batch)) {
+			r.free(batch[i])
+		}
+	}
+}
+
+// TestRingPropertyConcurrentNoOverlap hammers the ring from several
+// goroutines under the race detector, with every allocated byte claimed
+// in a shared table: two live extents handing out the same byte — a
+// corrupted request on the wire — trips the claim check (and the
+// detector).
+func TestRingPropertyConcurrentNoOverlap(t *testing.T) {
+	const ringSize = 1 << 10
+	r := newRing(ringSize)
+	var claims [ringSize]atomic.Int32
+
+	var fail atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 400; i++ {
+				size := 16 + 16*rng.Intn(6)
+				e, noopE, err := r.alloc(size)
+				if err != nil {
+					fail.Store(err.Error())
+					return
+				}
+				for _, x := range []*extent{noopE, e} {
+					if x == nil {
+						continue
+					}
+					for b := x.off; b < x.off+x.size; b++ {
+						if claims[b].Add(1) != 1 {
+							fail.Store("byte handed out twice")
+						}
+					}
+				}
+				for _, x := range []*extent{noopE, e} {
+					if x == nil {
+						continue
+					}
+					for b := x.off; b < x.off+x.size; b++ {
+						claims[b].Add(-1)
+					}
+					r.free(x)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if msg := fail.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	// Quiesced ring must keep serving.
+	e, noopE, err := r.alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noopE != nil {
+		r.free(noopE)
+	}
+	r.free(e)
+}
+
+// TestRingWrapCannotFitErrorsInsteadOfDeadlock pins the liveness fix
+// the property tests flushed out: a request larger than the front
+// region a wrap can open must fail fast — before the fix, alloc
+// reserved the NOOP and waited forever on an otherwise empty ring.
+func TestRingWrapCannotFitErrorsInsteadOfDeadlock(t *testing.T) {
+	r := newRing(1024)
+	a, _ := mustAlloc(t, r, 256)
+	b, _ := mustAlloc(t, r, 512) // head = 768
+	r.free(a)
+	r.free(b)
+	// 960 bytes fit neither in [768,1024) nor, after a wrap, in
+	// [0,768): no future free can help.
+	if _, _, err := r.alloc(960); err == nil {
+		t.Fatal("impossible wrap alloc succeeded")
+	}
+	// A request the wrap CAN serve still succeeds.
+	e, noopE := mustAlloc(t, r, 512)
+	if noopE == nil || e.off != 0 {
+		t.Fatalf("wrap alloc = %+v (noop %+v)", e, noopE)
+	}
+	r.free(noopE)
+	r.free(e)
+}
+
+// TestFreeListPropertyRandomChurn random-walks the reply-buffer
+// allocator: live ranges must never overlap, and freeing everything —
+// in random order — must coalesce back to the single full span,
+// whatever interleaving got us there.
+func TestFreeListPropertyRandomChurn(t *testing.T) {
+	const size = 4 << 10
+	rng := rand.New(rand.NewSource(11))
+	f := newFreeList(size)
+
+	type alloc struct{ off, size int }
+	var live []alloc
+	liveBytes := 0
+
+	overlaps := func(a alloc) bool {
+		for _, b := range live {
+			if a.off < b.off+b.size && b.off < a.off+a.size {
+				return true
+			}
+		}
+		return false
+	}
+
+	// alloc blocks when no span fits; in a single-threaded walk that is
+	// a hang, so only alloc when a span can serve the request.
+	canFit := func(sz int) bool {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		for _, s := range f.spans {
+			if s.size >= sz {
+				return true
+			}
+		}
+		return false
+	}
+
+	for step := 0; step < 3000; step++ {
+		sz := 8 * (1 + rng.Intn(16)) // 8..128
+		if canFit(sz) && liveBytes+sz <= size/2 && (len(live) == 0 || rng.Intn(2) == 0) {
+			off := f.alloc(sz)
+			a := alloc{off, sz}
+			if off < 0 || off+sz > size {
+				t.Fatalf("alloc out of bounds: %+v", a)
+			}
+			if overlaps(a) {
+				t.Fatalf("alloc %+v overlaps a live range", a)
+			}
+			live = append(live, a)
+			liveBytes += sz
+		} else {
+			i := rng.Intn(len(live))
+			f.free(live[i].off, live[i].size)
+			liveBytes -= live[i].size
+			live = append(live[:i], live[i+1:]...)
+		}
+	}
+	for _, i := range rng.Perm(len(live)) {
+		f.free(live[i].off, live[i].size)
+	}
+	live = nil
+
+	f.mu.Lock()
+	spans := append([]span(nil), f.spans...)
+	f.mu.Unlock()
+	if len(spans) != 1 || spans[0] != (span{0, size}) {
+		t.Fatalf("free list did not coalesce: %+v", spans)
+	}
+}

@@ -42,6 +42,9 @@ type Config struct {
 	Cost metrics.CostModel
 	// MasterCandidates is the number of master candidates (≥1).
 	MasterCandidates int
+	// Retry bounds primaries' patience with unresponsive backups (zero
+	// selects replica.DefaultRetryPolicy). Failure tests shorten it.
+	Retry replica.RetryPolicy
 }
 
 func (c *Config) applyDefaults() {
@@ -67,7 +70,10 @@ type Node struct {
 	Server *server.Server
 	Device *storage.MemDevice
 	Cycles *metrics.Cycles
-	sess   *zklite.Session
+	// Failures collects the node's replication-failure metrics (retries,
+	// evictions, degraded time, resync bytes).
+	Failures *metrics.FailureStats
+	sess     *zklite.Session
 }
 
 // Cluster is a running deployment.
@@ -119,6 +125,7 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		cycles := &metrics.Cycles{}
+		failures := &metrics.FailureStats{}
 		srv, err := server.New(server.Config{
 			Name:        name,
 			Device:      dev,
@@ -128,6 +135,8 @@ func New(cfg Config) (*Cluster, error) {
 			LSM:         cfg.LSM,
 			Workers:     cfg.Workers,
 			SpinThreads: cfg.SpinThreads,
+			Retry:       cfg.Retry,
+			Failures:    failures,
 		})
 		if err != nil {
 			return nil, err
@@ -136,7 +145,7 @@ func New(cfg Config) (*Cluster, error) {
 		if _, err := sess.Create(master.ServersPath+"/"+name, nil, zklite.FlagEphemeral); err != nil {
 			return nil, err
 		}
-		c.Nodes[name] = &Node{Server: srv, Device: dev, Cycles: cycles, sess: sess}
+		c.Nodes[name] = &Node{Server: srv, Device: dev, Cycles: cycles, Failures: failures, sess: sess}
 	}
 
 	// Master candidates; the first enrolled wins the election.

@@ -70,6 +70,14 @@ type CompactionResult struct {
 // interleave, distinguished by CompactionJob.ID. Jobs touching
 // overlapping levels never run concurrently, and OnCompactionDone calls
 // fire in level-install order. A nil listener disables all callbacks.
+//
+// Error contract: callbacks have no error return and must not block
+// indefinitely — the ship stage of a compaction waits inside them, so a
+// wedged callback wedges the job (and, through level locks, the engine).
+// Replication failures are the listener's problem to absorb: the
+// replica.Primary implementation bounds every backup interaction with a
+// timeout/retry policy and evicts unresponsive backups, letting the
+// compaction complete on the survivors rather than failing the job.
 type Listener interface {
 	// OnAppend fires after a record lands in the value log and before
 	// it is inserted into L0 — the point where the primary RDMA-writes

@@ -468,7 +468,7 @@ func (m *Master) failPrimary(r region.Region) error {
 	m.mu.Unlock()
 
 	// The failed server also vacated a replica slot: refill it.
-	return m.refillBackup(updated)
+	return m.refillBackup(updated, r.Primary)
 }
 
 // failBackup replaces a failed backup of r with a live server not
@@ -481,12 +481,54 @@ func (m *Master) failBackup(r region.Region, failed string) error {
 	}
 	updated, _ := m.rmap.ByID(r.ID)
 	m.mu.Unlock()
-	return m.refillBackup(updated)
+	return m.refillBackup(updated, failed)
+}
+
+// ReplaceBackup handles a backup the region's primary evicted for
+// unresponsiveness (Primary.Degraded/Evictions): unlike a crash, the
+// evicted server may still be live with its coordination-service node
+// intact, so liveness watching never fires. The master drops the stale
+// region state on the evicted host, removes it from the region, and
+// refills the slot from a server outside the region — driving Sync to
+// restore the replication factor (§3.5).
+func (m *Master) ReplaceBackup(id region.ID, failed string) error {
+	m.mu.Lock()
+	r, err := m.rmap.ByID(id)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	isBackup := false
+	for _, b := range r.Backups {
+		if b == failed {
+			isBackup = true
+		}
+	}
+	fh := m.hosts[failed]
+	m.mu.Unlock()
+	if !isBackup {
+		return fmt.Errorf("master: %s is not a backup of region %d", failed, id)
+	}
+	// A live evicted host still holds the region slot; drop it so the
+	// region can be reassigned (possibly back to this host later).
+	if fh != nil {
+		if _, ok := fh.Backup(id); ok {
+			if err := fh.DropRegion(id); err != nil {
+				return err
+			}
+		}
+	}
+	if err := m.failBackup(r, failed); err != nil {
+		return err
+	}
+	return m.publishMap()
 }
 
 // refillBackup tops the region's replica set back up to the cluster's
-// replication factor using live servers outside the region.
-func (m *Master) refillBackup(r region.Region) error {
+// replication factor using live servers outside the region, never
+// picking avoid (the server just declared failed — it may still look
+// live when the primary evicted it for unresponsiveness).
+func (m *Master) refillBackup(r region.Region, avoid string) error {
 	if m.mode == replica.NoReplication {
 		return nil
 	}
@@ -498,7 +540,7 @@ func (m *Master) refillBackup(r region.Region) error {
 	}
 	var candidates []string
 	for name, alive := range m.live {
-		if alive && !in[name] {
+		if alive && !in[name] && name != avoid {
 			candidates = append(candidates, name)
 		}
 	}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFailureStatsNilSafe(t *testing.T) {
+	var s *FailureStats
+	s.RecordRetry()
+	s.RecordEviction()
+	s.AddResyncBytes(100)
+	s.EnterDegraded()
+	s.ExitDegraded()
+	if snap := s.Snapshot(); snap != (FailureSnapshot{}) {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+}
+
+func TestFailureStatsCounters(t *testing.T) {
+	s := &FailureStats{}
+	s.RecordRetry()
+	s.RecordRetry()
+	s.RecordEviction()
+	s.AddResyncBytes(64)
+	s.AddResyncBytes(-1) // ignored
+	snap := s.Snapshot()
+	if snap.Retries != 2 || snap.Evictions != 1 || snap.ResyncBytes != 64 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Degraded || snap.DegradedDuration != 0 {
+		t.Fatalf("unexpected degraded state: %+v", snap)
+	}
+}
+
+func TestFailureStatsDegradedWindow(t *testing.T) {
+	s := &FailureStats{}
+	s.ExitDegraded() // unmatched exit is a no-op
+	s.EnterDegraded()
+	s.EnterDegraded() // two deficits overlap into one window
+	time.Sleep(2 * time.Millisecond)
+	mid := s.Snapshot()
+	if !mid.Degraded || mid.DegradedDuration <= 0 {
+		t.Fatalf("open window snapshot = %+v", mid)
+	}
+	s.ExitDegraded()
+	if snap := s.Snapshot(); !snap.Degraded {
+		t.Fatalf("still one deficit outstanding: %+v", snap)
+	}
+	s.ExitDegraded()
+	closed := s.Snapshot()
+	if closed.Degraded || closed.DegradedDuration < mid.DegradedDuration {
+		t.Fatalf("closed window snapshot = %+v (mid %+v)", closed, mid)
+	}
+	// The clock stops while not degraded.
+	again := s.Snapshot()
+	if again.DegradedDuration != closed.DegradedDuration {
+		t.Fatalf("degraded clock ran while healthy: %v vs %v",
+			again.DegradedDuration, closed.DegradedDuration)
+	}
+}

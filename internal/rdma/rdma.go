@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Errors reported by the package.
@@ -31,6 +32,7 @@ var (
 	ErrSendTooLarge  = errors.New("rdma: send larger than posted receive buffer")
 	ErrCQOverflow    = errors.New("rdma: completion queue overflow")
 	ErrAlreadyClosed = errors.New("rdma: endpoint closed")
+	ErrTimeout       = errors.New("rdma: operation timed out")
 )
 
 // Endpoint is one node's NIC: a registry of memory regions plus traffic
@@ -50,6 +52,12 @@ type Endpoint struct {
 	// written remotely. It models the memory the spinning thread polls:
 	// the writer's NIC makes bytes visible; the poller discovers them.
 	doorbell chan struct{}
+
+	// faultFn is the installed fault hook (nil when none); faultSeq
+	// counts operations per class for the hook's seq argument.
+	faultMu  sync.Mutex
+	faultFn  FaultFunc
+	faultSeq [numFaultOps]int
 }
 
 // NewEndpoint creates a NIC for a node.
@@ -208,6 +216,14 @@ func (qp *QP) Write(rkey uint32, off int, data []byte, wrID uint64) error {
 		return ErrDisconnected
 	default:
 	}
+	switch f := evalFault(FaultWrite, qp.local, qp.remote, data); f.Action {
+	case FaultDrop:
+		return nil // vanished on the wire: no data, no completion
+	case FaultError:
+		return f.error()
+	case FaultDelay:
+		time.Sleep(f.Delay)
+	}
 	qp.remote.mu.Lock()
 	mr, ok := qp.remote.regions[rkey]
 	qp.remote.mu.Unlock()
@@ -269,6 +285,28 @@ func (qp *QP) WaitCompletion() (Completion, error) {
 	}
 }
 
+// WaitCompletionTimeout is WaitCompletion bounded by d: it returns
+// ErrTimeout when no completion arrives in time — how an initiator
+// notices a write that vanished (a dead or faulted peer never
+// completes).
+func (qp *QP) WaitCompletionTimeout(d time.Duration) (Completion, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case c := <-qp.cq:
+		return c, nil
+	case <-qp.done:
+		select {
+		case c := <-qp.cq:
+			return c, nil
+		default:
+			return Completion{}, ErrDisconnected
+		}
+	case <-timer.C:
+		return Completion{}, ErrTimeout
+	}
+}
+
 // PostRecv posts a receive buffer for two-sided traffic.
 func (qp *QP) PostRecv(size int) {
 	qp.recvMu.Lock()
@@ -283,10 +321,32 @@ func (qp *QP) PostRecv(size int) {
 // semantics: when the receiver has no posted buffer the sender blocks
 // until one appears (hardware RNR retry).
 func (qp *QP) Send(peer *QP, data []byte) error {
+	return qp.send(peer, data, time.Time{})
+}
+
+// SendTimeout is Send bounded by d on the receiver posting a buffer
+// (the RNR retries give up); it returns ErrTimeout when d elapses
+// first.
+func (qp *QP) SendTimeout(peer *QP, data []byte, d time.Duration) error {
+	return qp.send(peer, data, time.Now().Add(d))
+}
+
+func (qp *QP) send(peer *QP, data []byte, deadline time.Time) error {
+	switch f := evalFault(FaultSend, qp.local, qp.remote, data); f.Action {
+	case FaultDrop:
+		return nil // vanished on the wire: the receiver never sees it
+	case FaultError:
+		return f.error()
+	case FaultDelay:
+		time.Sleep(f.Delay)
+	}
 	peer.recvMu.Lock()
 	defer peer.recvMu.Unlock()
 	for len(peer.recvQ) == 0 && !peer.closed {
-		peer.recvCond.Wait()
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return ErrTimeout
+		}
+		waitCond(peer.recvCond, deadline)
 	}
 	if peer.closed {
 		return ErrDisconnected
@@ -306,10 +366,23 @@ func (qp *QP) Send(peer *QP, data []byte) error {
 
 // Recv blocks until a sent message arrives (or the QP closes).
 func (qp *QP) Recv() ([]byte, error) {
+	return qp.recv(time.Time{})
+}
+
+// RecvTimeout is Recv bounded by d; it returns ErrTimeout when nothing
+// arrives in time — the primary's ack deadline.
+func (qp *QP) RecvTimeout(d time.Duration) ([]byte, error) {
+	return qp.recv(time.Now().Add(d))
+}
+
+func (qp *QP) recv(deadline time.Time) ([]byte, error) {
 	qp.recvMu.Lock()
 	defer qp.recvMu.Unlock()
 	for len(qp.inbox) == 0 && !qp.closed {
-		qp.recvCond.Wait()
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return nil, ErrTimeout
+		}
+		waitCond(qp.recvCond, deadline)
 	}
 	if len(qp.inbox) == 0 {
 		return nil, ErrDisconnected
@@ -317,6 +390,27 @@ func (qp *QP) Recv() ([]byte, error) {
 	msg := qp.inbox[0]
 	qp.inbox = qp.inbox[1:]
 	return msg, nil
+}
+
+// waitCond waits on cond, waking no later than the deadline (zero
+// deadline waits indefinitely). The caller holds cond.L and re-checks
+// its predicate and deadline on return.
+func waitCond(cond *sync.Cond, deadline time.Time) {
+	if deadline.IsZero() {
+		cond.Wait()
+		return
+	}
+	remain := time.Until(deadline)
+	if remain <= 0 {
+		return
+	}
+	t := time.AfterFunc(remain, func() {
+		cond.L.Lock()
+		cond.Broadcast()
+		cond.L.Unlock()
+	})
+	cond.Wait()
+	t.Stop()
 }
 
 // Close tears the QP down, waking blocked receivers and completers.

@@ -63,6 +63,23 @@ type BackupConfig struct {
 	// LSM configures the backup's own engine in Build-Index mode and is
 	// reused by Promote in both modes.
 	LSM lsm.Options
+	// LogBufferSize sizes the registered RDMA log buffer the primary
+	// mirrors its tail into. Zero selects the device segment size; it
+	// must not exceed it.
+	LogBufferSize int
+}
+
+// logBufferSize resolves the configured log-buffer size against the
+// device geometry.
+func logBufferSize(cfg BackupConfig, geo storage.Geometry) (int, error) {
+	if cfg.LogBufferSize == 0 {
+		return int(geo.SegmentSize()), nil
+	}
+	if int64(cfg.LogBufferSize) > geo.SegmentSize() {
+		return 0, fmt.Errorf("replica: log buffer %d exceeds segment size %d",
+			cfg.LogBufferSize, geo.SegmentSize())
+	}
+	return cfg.LogBufferSize, nil
 }
 
 // Backup is the backup-side replica of one region.
@@ -93,6 +110,14 @@ type Backup struct {
 	loopErr          error
 	promoted         bool
 
+	// lastReq/lastAck deduplicate retried control RPCs: the primary
+	// serializes RPCs per backup and retries reuse the RequestID, so a
+	// one-entry cache gives at-most-once handler execution (a retry
+	// whose original was handled but whose ack was lost replays the
+	// cached ack instead of re-running the handler).
+	lastReq uint64
+	lastAck []byte
+
 	// Build-Index: flushed segments are indexed by a background worker
 	// so the flush ack does not wait on L0 inserts (backup compactions
 	// run on the backup's own threads, as in the paper's baseline).
@@ -121,7 +146,11 @@ func NewBackup(cfg BackupConfig) (*Backup, error) {
 		return nil, fmt.Errorf("replica: backup needs Device and Endpoint")
 	}
 	geo := cfg.Device.Geometry()
-	logBuf, err := cfg.Endpoint.Register(int(geo.SegmentSize()))
+	logBufSize, err := logBufferSize(cfg, geo)
+	if err != nil {
+		return nil, err
+	}
+	logBuf, err := cfg.Endpoint.Register(logBufSize)
 	if err != nil {
 		return nil, err
 	}
@@ -213,10 +242,16 @@ func (b *Backup) serve() {
 			b.fail(fmt.Errorf("replica: backup decode: %w", err))
 			return
 		}
-		ack, err := b.handle(h, payload)
-		if err != nil {
-			b.fail(err)
-			return
+		// At-most-once: a retried request (same RequestID) whose
+		// original already executed replays the cached ack.
+		ack := b.cachedAck(h.RequestID)
+		if ack == nil {
+			ack, err = b.handle(h, payload)
+			if err != nil {
+				b.fail(err)
+				return
+			}
+			b.cacheAck(h.RequestID, ack)
 		}
 		if err := b.ackSend.Send(b.ackPeer, ack); err != nil {
 			if !errors.Is(err, rdma.ErrDisconnected) {
@@ -225,6 +260,24 @@ func (b *Backup) serve() {
 			return
 		}
 	}
+}
+
+// cachedAck returns the cached ack when reqID matches the last handled
+// request (a primary retry), nil otherwise.
+func (b *Backup) cachedAck(reqID uint64) []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if reqID != 0 && reqID == b.lastReq {
+		return b.lastAck
+	}
+	return nil
+}
+
+func (b *Backup) cacheAck(reqID uint64, ack []byte) {
+	b.mu.Lock()
+	b.lastReq = reqID
+	b.lastAck = ack
+	b.mu.Unlock()
 }
 
 func (b *Backup) fail(err error) {
@@ -240,6 +293,23 @@ func (b *Backup) Err() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.loopErr
+}
+
+// Crash severs the backup's transport without any cleanup: the
+// registered buffers deregister and the control QPs close, so a remote
+// primary's next operation fails fast and evicts this replica — the
+// "machine" is gone (§3.5). A crashed server calls this for each
+// hosted backup; without it the primary would keep replicating into a
+// dead node's memory.
+func (b *Backup) Crash() {
+	b.cfg.Endpoint.Deregister(b.logBuf)
+	b.cfg.Endpoint.Deregister(b.idxBuf)
+	if b.reqRecv != nil {
+		b.reqRecv.Close()
+	}
+	if b.ackSend != nil {
+		b.ackSend.Close()
+	}
 }
 
 func (b *Backup) handle(h wire.Header, payload []byte) ([]byte, error) {
@@ -274,6 +344,12 @@ func (b *Backup) handle(h wire.Header, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		return b.handleTrimLog(h, req)
+	case wire.OpSyncTail:
+		req, err := wire.DecodeFlushTail(payload)
+		if err != nil {
+			return nil, err
+		}
+		return b.handleSyncTail(h, req)
 	default:
 		return nil, fmt.Errorf("replica: backup got unexpected op %v", h.Opcode)
 	}
@@ -298,8 +374,11 @@ func (b *Backup) handleFlushTail(h wire.Header, req wire.FlushTail) ([]byte, err
 	b.mu.Lock()
 	defer b.mu.Unlock()
 
-	data := make([]byte, b.logBuf.Size())
-	if err := b.logBuf.ReadAt(0, data); err != nil {
+	// Adopted segments are full segment images; a log buffer smaller
+	// than a segment is zero-padded (the unwritten suffix holds no
+	// records by construction).
+	data := make([]byte, b.geo.SegmentSize())
+	if err := b.logBuf.ReadAt(0, data[:b.logBuf.Size()]); err != nil {
 		return nil, err
 	}
 	// The log map may already hold a lazily allocated segment for this
@@ -327,6 +406,20 @@ func (b *Backup) handleFlushTail(h wire.Header, req wire.FlushTail) ([]byte, err
 		return nil, err
 	}
 	return ackMessage(h, wire.OpFlushTailAck), nil
+}
+
+// handleSyncTail registers the primary's unflushed tail segment in the
+// log map after Sync mirrored it into the log buffer. No data moves and
+// nothing is flushed — the mapping alone guarantees a later Promote
+// adopts the tail into the exact local segment that shipped indexes
+// (which may already reference the tail) were rewritten to point at.
+func (b *Backup) handleSyncTail(h wire.Header, req wire.FlushTail) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, err := b.logMap.Resolve(storage.SegmentID(req.PrimarySeg)); err != nil {
+		return nil, err
+	}
+	return ackMessage(h, wire.OpSyncTailAck), nil
 }
 
 // indexFlushedSegment walks the records of a freshly flushed log segment

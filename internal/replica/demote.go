@@ -59,7 +59,11 @@ func NewBackupFromPrimary(p *Primary, cfg BackupConfig, oldToNew map[storage.Seg
 		return nil, err
 	}
 	geo := cfg.Device.Geometry()
-	logBuf, err := cfg.Endpoint.Register(int(geo.SegmentSize()))
+	logBufSize, err := logBufferSize(cfg, geo)
+	if err != nil {
+		return nil, err
+	}
+	logBuf, err := cfg.Endpoint.Register(logBufSize)
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,11 @@
 package replica
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tebis/internal/btree"
 	"tebis/internal/lsm"
@@ -14,6 +16,55 @@ import (
 	"tebis/internal/vlog"
 	"tebis/internal/wire"
 )
+
+// RetryPolicy bounds the primary's patience with an unresponsive backup
+// before declaring it dead (§3.5). The zero value selects
+// DefaultRetryPolicy.
+type RetryPolicy struct {
+	// AckTimeout is the per-attempt deadline for a control-RPC ack or a
+	// one-sided write completion.
+	AckTimeout time.Duration
+	// MaxRetries is the number of additional attempts after the first
+	// (0 in a non-zero policy means fail on the first miss).
+	MaxRetries int
+	// Backoff is the sleep before the first retry, doubling per attempt.
+	Backoff time.Duration
+}
+
+// DefaultRetryPolicy is applied where a config leaves Retry zero.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		AckTimeout: 5 * time.Second,
+		MaxRetries: 2,
+		Backoff:    5 * time.Millisecond,
+	}
+}
+
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if r == (RetryPolicy{}) {
+		return def
+	}
+	if r.AckTimeout <= 0 {
+		r.AckTimeout = def.AckTimeout
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = def.Backoff
+	}
+	if r.MaxRetries < 0 {
+		r.MaxRetries = 0
+	}
+	return r
+}
+
+// backoff returns the sleep before the attempt-th retry (attempt ≥ 1).
+func (r RetryPolicy) backoff(attempt int) time.Duration {
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	return r.Backoff << shift
+}
 
 // PrimaryConfig configures the primary-side replica of a region.
 type PrimaryConfig struct {
@@ -34,6 +85,11 @@ type PrimaryConfig struct {
 	// The default (false) is the paper's incremental design; the
 	// deferred variant exists for the DESIGN.md §4.1 ablation.
 	ShipAtCompactionEnd bool
+	// Retry bounds how long the primary waits on an unresponsive backup
+	// before evicting it (zero selects DefaultRetryPolicy).
+	Retry RetryPolicy
+	// Failures collects retry/eviction/degradation metrics (optional).
+	Failures *metrics.FailureStats
 }
 
 // backupHandle is the primary's view of one attached backup.
@@ -51,7 +107,8 @@ type backupHandle struct {
 // lsm.Listener: the engine's append/compaction events drive the
 // replication protocol.
 type Primary struct {
-	cfg PrimaryConfig
+	cfg   PrimaryConfig
+	retry RetryPolicy
 
 	mu      sync.Mutex
 	db      *lsm.DB
@@ -59,9 +116,23 @@ type Primary struct {
 	reqID   atomic.Uint64
 	repErr  atomic.Value // first replication error (type error)
 
+	// evictions records backups declared dead; deficit counts those not
+	// yet replaced by a Sync (the degraded-state report the master acts
+	// on, §3.5).
+	evictions []Eviction
+	deficit   int
+
 	// deferred buffers emitted segments per compaction job when
 	// ShipAtCompactionEnd is set (ablation only).
 	deferred map[uint64][]btree.EmittedSegment
+}
+
+// Eviction records one backup the primary declared dead.
+type Eviction struct {
+	// Backup is the evicted backup's server name.
+	Backup string
+	// Cause is the error that exhausted the retry policy.
+	Cause error
 }
 
 var _ lsm.Listener = (*Primary)(nil)
@@ -69,7 +140,7 @@ var _ lsm.Listener = (*Primary)(nil)
 // NewPrimary creates the primary-side replica state. Bind the engine
 // afterwards with SetDB (the engine takes the Primary as its Listener).
 func NewPrimary(cfg PrimaryConfig) *Primary {
-	return &Primary{cfg: cfg}
+	return &Primary{cfg: cfg, retry: cfg.Retry.withDefaults()}
 }
 
 // SetDB binds the engine after construction (the engine's Options take
@@ -187,23 +258,163 @@ func (p *Primary) rpc(h *backupHandle, op wire.Op, payload []byte) error {
 // rpcLocked is rpc for callers that already hold h.mu (segment shipping
 // holds it across the data write and the control message so concurrent
 // jobs cannot interleave on the backup's single staging buffer).
+//
+// Each attempt is bounded by the retry policy's ack deadline. Retries
+// resend the SAME RequestID: the backup deduplicates re-deliveries and
+// replays its cached ack, so non-idempotent handlers never run twice
+// even when only the ack was lost. Stale acks of earlier attempts are
+// discarded by RequestID matching.
 func (p *Primary) rpcLocked(h *backupHandle, op wire.Op, payload []byte) error {
+	reqID := p.reqID.Add(1)
 	msg := make([]byte, wire.MessageSize(len(payload)))
 	if _, err := wire.EncodeMessage(msg, wire.Header{
 		Opcode:    op,
 		RegionID:  uint16(p.cfg.RegionID),
-		RequestID: p.reqID.Add(1),
+		RequestID: reqID,
 	}, payload); err != nil {
 		return err
 	}
-	h.ackRecv.PostRecv(1024)
-	if err := h.reqSend.Send(h.backup.reqRecv, msg); err != nil {
-		return err
+	pol := p.retry
+	var lastErr error
+	for attempt := 0; attempt <= pol.MaxRetries; attempt++ {
+		if attempt > 0 {
+			p.cfg.Failures.RecordRetry()
+			time.Sleep(pol.backoff(attempt))
+		}
+		h.ackRecv.PostRecv(1024)
+		if err := h.reqSend.SendTimeout(h.backup.reqRecv, msg, pol.AckTimeout); err != nil {
+			if errors.Is(err, rdma.ErrDisconnected) {
+				return err // the QP is gone; retrying cannot help
+			}
+			lastErr = err
+			continue
+		}
+		if err := p.awaitAck(h, reqID, pol.AckTimeout); err != nil {
+			if errors.Is(err, rdma.ErrDisconnected) {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		return nil
 	}
-	if _, err := h.ackRecv.Recv(); err != nil {
-		return err
+	return fmt.Errorf("replica: backup %s unresponsive to %v after %d attempts: %w",
+		h.backup.cfg.ServerName, op, pol.MaxRetries+1, lastErr)
+}
+
+// awaitAck waits for the ack matching reqID, discarding stale acks of
+// earlier attempts (a slow backup may ack after the primary retried).
+func (p *Primary) awaitAck(h *backupHandle, reqID uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return rdma.ErrTimeout
+		}
+		ack, err := h.ackRecv.RecvTimeout(remain)
+		if err != nil {
+			return err
+		}
+		ah, err := wire.DecodeHeader(ack)
+		if err != nil {
+			return err
+		}
+		if ah.RequestID == reqID {
+			return nil
+		}
 	}
-	return nil
+}
+
+// writeWithRetry performs one one-sided write and waits for its
+// completion under the retry policy. A dropped write never completes,
+// so the completion deadline doubles as the liveness check; re-issuing
+// the identical write is idempotent.
+func (p *Primary) writeWithRetry(h *backupHandle, rkey uint32, off int, data []byte, wrID uint64) error {
+	pol := p.retry
+	var lastErr error
+	for attempt := 0; attempt <= pol.MaxRetries; attempt++ {
+		if attempt > 0 {
+			p.cfg.Failures.RecordRetry()
+			time.Sleep(pol.backoff(attempt))
+		}
+		if err := h.dataQP.Write(rkey, off, data, wrID); err != nil {
+			if errors.Is(err, rdma.ErrDisconnected) {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		if _, err := h.dataQP.WaitCompletionTimeout(pol.AckTimeout); err != nil {
+			if errors.Is(err, rdma.ErrDisconnected) {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("replica: backup %s write unacknowledged after %d attempts: %w",
+		h.backup.cfg.ServerName, pol.MaxRetries+1, lastErr)
+}
+
+// evict declares a backup dead and detaches it: the handle leaves the
+// replication group, its in-flight ship state dies with its QPs (which
+// also stops the backup's control loop), and the primary keeps serving
+// Puts/Gets with the survivors — graceful degradation until the master
+// attaches a replacement and drives Sync (§3.5). Idempotent: only the
+// first removal of a handle counts.
+func (p *Primary) evict(h *backupHandle, cause error) {
+	p.mu.Lock()
+	found := false
+	for i, cand := range p.backups {
+		if cand == h {
+			p.backups = append(p.backups[:i], p.backups[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if found {
+		p.evictions = append(p.evictions, Eviction{Backup: h.backup.cfg.ServerName, Cause: cause})
+		p.deficit++
+	}
+	p.mu.Unlock()
+	if !found {
+		return
+	}
+	p.cfg.Failures.RecordEviction()
+	p.cfg.Failures.EnterDegraded()
+	h.closeQPs()
+}
+
+// repaired closes one degraded window after a successful Sync restored
+// a replica slot.
+func (p *Primary) repaired() {
+	p.mu.Lock()
+	open := p.deficit > 0
+	if open {
+		p.deficit--
+	}
+	p.mu.Unlock()
+	if open {
+		p.cfg.Failures.ExitDegraded()
+	}
+}
+
+// Evictions returns the backups this primary declared dead, oldest
+// first.
+func (p *Primary) Evictions() []Eviction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Eviction(nil), p.evictions...)
+}
+
+// Degraded reports whether the replication group currently runs below
+// its configured strength (evictions not yet repaired by a Sync). The
+// master polls this to decide when to attach a replacement.
+func (p *Primary) Degraded() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.deficit > 0
 }
 
 // OnAppend replicates one value-log record: flush-tail handshake when
@@ -215,34 +426,31 @@ func (p *Primary) OnAppend(res vlog.AppendResult) {
 	if len(handles) == 0 {
 		return
 	}
+	var flushPayload []byte
 	if res.Sealed != nil {
-		payload := wire.FlushTail{
+		flushPayload = wire.FlushTail{
 			RegionID:   uint16(p.cfg.RegionID),
 			PrimarySeg: uint32(res.Sealed.Seg),
 		}.Encode(nil)
-		for _, h := range handles {
-			p.charge(metrics.CompLogReplication, p.cfg.Cost.RDMAWrite(wire.MessageSize(len(payload))))
-			if err := p.rpc(h, wire.OpFlushTail, payload); err != nil {
-				p.setErr(err)
-				return
-			}
-		}
 	}
+	// A failing backup is evicted and the append continues with the
+	// survivors: one dead replica must not block the write path (§3.5).
+	// Reliable QP semantics still hold per surviving backup — the write
+	// completion is awaited before the client is acknowledged.
 	const wrLogAppend = 1
 	for _, h := range handles {
-		if err := h.dataQP.Write(h.backup.LogBufferRKey(), int(res.TailPos), res.Rec, wrLogAppend); err != nil {
-			p.setErr(err)
-			return
+		if flushPayload != nil {
+			p.charge(metrics.CompLogReplication, p.cfg.Cost.RDMAWrite(wire.MessageSize(len(flushPayload))))
+			if err := p.rpc(h, wire.OpFlushTail, flushPayload); err != nil {
+				p.evict(h, err)
+				continue
+			}
+		}
+		if err := p.writeWithRetry(h, h.backup.LogBufferRKey(), int(res.TailPos), res.Rec, wrLogAppend); err != nil {
+			p.evict(h, err)
+			continue
 		}
 		p.charge(metrics.CompLogReplication, p.cfg.Cost.RDMAWrite(len(res.Rec)))
-	}
-	// Reliable QP semantics: wait for every write's completion before
-	// acknowledging the client.
-	for _, h := range handles {
-		if _, err := h.dataQP.WaitCompletion(); err != nil {
-			p.setErr(err)
-			return
-		}
 	}
 }
 
@@ -261,8 +469,7 @@ func (p *Primary) OnCompactionStart(job lsm.CompactionJob) {
 	for _, h := range p.handles() {
 		p.charge(metrics.CompSendIndex, p.cfg.Cost.RDMAPost)
 		if err := p.rpc(h, wire.OpCompactionStart, payload); err != nil {
-			p.setErr(err)
-			return
+			p.evict(h, err)
 		}
 	}
 }
@@ -296,19 +503,18 @@ func (p *Primary) OnIndexSegment(job lsm.CompactionJob, seg btree.EmittedSegment
 // backup handle's control lock across the staging-buffer write and the
 // metadata message: the backup stages one segment at a time, so two
 // concurrent jobs must not interleave their writes.
+//
+// A backup that stops responding mid-ship is evicted and the remaining
+// backups still receive the segment — the compaction job must complete
+// on the survivors rather than wedge in the scheduler's ship stage.
 func (p *Primary) shipSegment(job lsm.CompactionJob, seg btree.EmittedSegment) {
 	const wrIndexShip = 2
 	for _, h := range p.handles() {
 		h.mu.Lock()
-		if err := h.dataQP.Write(h.backup.IndexBufferRKey(), 0, seg.Data, wrIndexShip); err != nil {
+		if err := p.writeWithRetry(h, h.backup.IndexBufferRKey(), 0, seg.Data, wrIndexShip); err != nil {
 			h.mu.Unlock()
-			p.setErr(err)
-			return
-		}
-		if _, err := h.dataQP.WaitCompletion(); err != nil {
-			h.mu.Unlock()
-			p.setErr(err)
-			return
+			p.evict(h, err)
+			continue
 		}
 		p.charge(metrics.CompSendIndex, p.cfg.Cost.RDMAWrite(len(seg.Data)))
 		payload := wire.IndexSegment{
@@ -322,8 +528,8 @@ func (p *Primary) shipSegment(job lsm.CompactionJob, seg btree.EmittedSegment) {
 		p.charge(metrics.CompSendIndex, p.cfg.Cost.RDMAWrite(wire.MessageSize(len(payload))))
 		if err := p.rpcLocked(h, wire.OpIndexSegment, payload); err != nil {
 			h.mu.Unlock()
-			p.setErr(err)
-			return
+			p.evict(h, err)
+			continue
 		}
 		h.mu.Unlock()
 	}
@@ -342,8 +548,7 @@ func (p *Primary) OnTrim(keep storage.Offset) {
 	for _, h := range p.handles() {
 		p.charge(metrics.CompLogReplication, p.cfg.Cost.RDMAWrite(wire.MessageSize(len(payload))))
 		if err := p.rpc(h, wire.OpTrimLog, payload); err != nil {
-			p.setErr(err)
-			return
+			p.evict(h, err)
 		}
 	}
 }
@@ -376,8 +581,7 @@ func (p *Primary) OnCompactionDone(res lsm.CompactionResult) {
 	for _, h := range p.handles() {
 		p.charge(metrics.CompSendIndex, p.cfg.Cost.RDMAWrite(wire.MessageSize(len(payload))))
 		if err := p.rpc(h, wire.OpCompactionDone, payload); err != nil {
-			p.setErr(err)
-			return
+			p.evict(h, err)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"errors"
 	"fmt"
 
 	"tebis/internal/lsm"
@@ -77,11 +78,14 @@ func (b *Backup) Promote() (*lsm.DB, error) {
 		return nil, err
 	}
 	// Persist the adopted tail so level pointers into it resolve even
-	// for reads that go to the device.
-	if int64(len(buf)) == b.geo.SegmentSize() {
-		if err := b.cfg.Device.WriteAt(b.geo.Pack(tailSeg, 0), buf); err != nil {
-			return nil, err
-		}
+	// for reads that go to the device. The used bytes are zero-padded
+	// to a full segment image: buf is sized by the RDMA log buffer,
+	// which may be smaller than a segment, and persistence must not
+	// depend on that configuration.
+	img := make([]byte, b.geo.SegmentSize())
+	copy(img, buf[:used])
+	if err := b.cfg.Device.WriteAt(b.geo.Pack(tailSeg, 0), img); err != nil {
+		return nil, err
 	}
 
 	switch b.cfg.Mode {
@@ -115,7 +119,17 @@ func (b *Backup) Promote() (*lsm.DB, error) {
 			return nil, err
 		}
 		if _, err := db.ReplayLog(watermark); err != nil {
-			return nil, err
+			// The watermark's segment may have been trimmed from the
+			// local log by a GC that ran after the last compaction
+			// shipped here; fall back to a full replay (correct because
+			// replay applies records in log order, newest version
+			// last).
+			if !errors.Is(err, vlog.ErrTrimmed) {
+				return nil, err
+			}
+			if _, err := db.ReplayLog(storage.NilOffset); err != nil {
+				return nil, err
+			}
 		}
 		b.db = db
 		return db, nil

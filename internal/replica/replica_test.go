@@ -47,6 +47,13 @@ func newRig(t *testing.T, mode Mode, nBackups int) *rig {
 // options (e.g. attach compaction stats or change scheduler knobs).
 func newRigOpts(t *testing.T, mode Mode, nBackups int, tweak func(*lsm.Options)) *rig {
 	t.Helper()
+	return newRigCfg(t, mode, nBackups, tweak, nil)
+}
+
+// newRigCfg additionally exposes the primary's replica config (failure
+// tests shorten the retry policy and attach failure metrics).
+func newRigCfg(t *testing.T, mode Mode, nBackups int, tweak func(*lsm.Options), ptweak func(*PrimaryConfig)) *rig {
+	t.Helper()
 	const segSize = 16 << 10
 	r := &rig{t: t, mode: mode}
 	var err error
@@ -57,14 +64,18 @@ func newRigOpts(t *testing.T, mode Mode, nBackups int, tweak func(*lsm.Options))
 	r.cyP = &metrics.Cycles{}
 	r.epP = rdma.NewEndpoint("primary")
 
-	r.primary = NewPrimary(PrimaryConfig{
+	pcfg := PrimaryConfig{
 		RegionID:   1,
 		ServerName: "primary",
 		Mode:       mode,
 		Endpoint:   r.epP,
 		Cycles:     r.cyP,
 		Cost:       metrics.DefaultCostModel(),
-	})
+	}
+	if ptweak != nil {
+		ptweak(&pcfg)
+	}
+	r.primary = NewPrimary(pcfg)
 
 	opt := lsmOpts()
 	opt.Device = r.devP

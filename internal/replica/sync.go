@@ -48,13 +48,11 @@ func (p *Primary) Sync(b *Backup) error {
 		if err := log.ReadSegmentImage(seg, segImage); err != nil {
 			return err
 		}
-		if err := h.dataQP.Write(b.LogBufferRKey(), 0, segImage, 0); err != nil {
-			return err
-		}
-		if _, err := h.dataQP.WaitCompletion(); err != nil {
+		if err := p.writeWithRetry(h, b.LogBufferRKey(), 0, segImage, 0); err != nil {
 			return err
 		}
 		p.charge(metrics.CompLogReplication, p.cfg.Cost.RDMAWrite(len(segImage)))
+		p.cfg.Failures.AddResyncBytes(len(segImage))
 		payload := wire.FlushTail{
 			RegionID:   uint16(p.cfg.RegionID),
 			PrimarySeg: uint32(seg),
@@ -65,17 +63,26 @@ func (p *Primary) Sync(b *Backup) error {
 	}
 
 	// 2. Mirror the unflushed tail into the backup's log buffer (no
-	// flush: the backup holds it in memory exactly like live replicas).
+	// flush: the backup holds it in memory exactly like live replicas)
+	// and register the tail's primary segment in the backup's log map.
+	// Without the mapping a later Promote would adopt the tail into a
+	// fresh local segment while indexes shipped in step 3 may reference
+	// the tail through a different lazily allocated one — every pointer
+	// into the unflushed tail would dangle.
 	tailSeg, tailData, tailLen := log.TailSnapshot()
-	_ = tailSeg
 	if tailLen > 0 {
-		if err := h.dataQP.Write(b.LogBufferRKey(), 0, tailData, 0); err != nil {
-			return err
-		}
-		if _, err := h.dataQP.WaitCompletion(); err != nil {
+		if err := p.writeWithRetry(h, b.LogBufferRKey(), 0, tailData, 0); err != nil {
 			return err
 		}
 		p.charge(metrics.CompLogReplication, p.cfg.Cost.RDMAWrite(len(tailData)))
+		p.cfg.Failures.AddResyncBytes(len(tailData))
+		payload := wire.FlushTail{
+			RegionID:   uint16(p.cfg.RegionID),
+			PrimarySeg: uint32(tailSeg),
+		}.Encode(nil)
+		if err := p.rpc(h, wire.OpSyncTail, payload); err != nil {
+			return err
+		}
 	}
 
 	// 3. Send-Index: ship every populated level through the index path.
@@ -118,7 +125,13 @@ func (p *Primary) Sync(b *Backup) error {
 			}
 		}
 	}
-	return b.Err()
+	if err := b.Err(); err != nil {
+		return err
+	}
+	// The replica slot is whole again: close the degraded window this
+	// transfer repairs, if one was open.
+	p.repaired()
+	return nil
 }
 
 // syncJobBase marks the pseudo job IDs Sync ships whole levels under.
@@ -132,13 +145,11 @@ func (p *Primary) shipSegmentImage(h *backupHandle, jobID uint64, lvl int, seg s
 	if err := p.DB().Log().ReadSegmentImage(seg, data); err != nil {
 		return err
 	}
-	if err := h.dataQP.Write(h.backup.IndexBufferRKey(), 0, data, 0); err != nil {
-		return err
-	}
-	if _, err := h.dataQP.WaitCompletion(); err != nil {
+	if err := p.writeWithRetry(h, h.backup.IndexBufferRKey(), 0, data, 0); err != nil {
 		return err
 	}
 	p.charge(metrics.CompSendIndex, p.cfg.Cost.RDMAWrite(len(data)))
+	p.cfg.Failures.AddResyncBytes(len(data))
 	payload := wire.IndexSegment{
 		RegionID:   uint16(p.cfg.RegionID),
 		JobID:      jobID,

@@ -60,6 +60,12 @@ type Config struct {
 	// BufferSize is the per-client RDMA buffer size (DefaultBufferSize
 	// if zero).
 	BufferSize int
+	// Retry bounds hosted primaries' patience with unresponsive backups
+	// (zero selects replica.DefaultRetryPolicy).
+	Retry replica.RetryPolicy
+	// Failures collects this node's failure metrics (created on demand
+	// when nil).
+	Failures *metrics.FailureStats
 }
 
 func (c *Config) applyDefaults() {
@@ -80,6 +86,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Cost == (metrics.CostModel{}) {
 		c.Cost = metrics.DefaultCostModel()
+	}
+	if c.Failures == nil {
+		c.Failures = &metrics.FailureStats{}
 	}
 }
 
@@ -152,6 +161,9 @@ func (s *Server) Device() storage.Device { return s.cfg.Device }
 // Cycles returns the server's cycle account.
 func (s *Server) Cycles() *metrics.Cycles { return s.cfg.Cycles }
 
+// Failures returns the node's failure metrics.
+func (s *Server) Failures() *metrics.FailureStats { return s.cfg.Failures }
+
 func (s *Server) charge(c metrics.Component, n uint64) {
 	if s.cfg.Cycles != nil {
 		s.cfg.Cycles.Charge(c, n)
@@ -187,6 +199,8 @@ func (s *Server) OpenPrimary(r region.Region, mode replica.Mode) (*replica.Prima
 		Endpoint:   s.cfg.Endpoint,
 		Cycles:     s.cfg.Cycles,
 		Cost:       s.cfg.Cost,
+		Retry:      s.cfg.Retry,
+		Failures:   s.cfg.Failures,
 	})
 	opt := s.lsmOptions()
 	if mode != replica.NoReplication {
@@ -252,6 +266,8 @@ func (s *Server) PromoteToPrimary(id region.ID) (*replica.Primary, error) {
 		Endpoint:   s.cfg.Endpoint,
 		Cycles:     s.cfg.Cycles,
 		Cost:       s.cfg.Cost,
+		Retry:      s.cfg.Retry,
+		Failures:   s.cfg.Failures,
 	})
 	p.SetDB(db)
 	db.SetListener(p)
@@ -446,6 +462,11 @@ func (s *Server) Crash() {
 	for _, hr := range regions {
 		if hr.primary != nil {
 			hr.primary.DetachAll()
+		}
+		if hr.backup != nil {
+			// Drop the backup's RDMA resources so a remote primary's next
+			// write or RPC to this "machine" fails fast and evicts it.
+			hr.backup.Crash()
 		}
 	}
 }

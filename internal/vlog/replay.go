@@ -2,10 +2,17 @@ package vlog
 
 import (
 	"encoding/binary"
+	"errors"
 
 	"tebis/internal/kv"
 	"tebis/internal/storage"
 )
+
+// ErrTrimmed reports a replay start offset that is no longer in the
+// live log: GC trimmed past its segment. Nothing was replayed; the
+// caller must decide between a full replay (promotion, where an empty
+// L0 would silently lose the suffix) and treating the log as drained.
+var ErrTrimmed = errors.New("vlog: replay start offset trimmed")
 
 // ReplayFunc receives one decoded record during replay, with its device
 // offset. Returning false stops the replay early.
@@ -13,7 +20,8 @@ type ReplayFunc func(off storage.Offset, pair kv.Pair, tombstone bool) bool
 
 // Replay scans the log from the given offset (inclusive) through the end
 // of the in-memory tail, invoking fn for every record in append order.
-// A NilOffset start replays the whole live log.
+// A NilOffset start replays the whole live log. A from inside a trimmed
+// segment returns ErrTrimmed without invoking fn.
 //
 // This is the mechanism a promoted backup uses to reconstruct L0: the
 // new primary replays the value-log suffix past the last compaction
@@ -53,7 +61,10 @@ func (l *Log) Replay(from storage.Offset, fn ReplayFunc) error {
 	pos := int64(0)
 	if !started {
 		if tailSeg != startSeg {
-			return nil // offset past the end: nothing to replay
+			// The start segment is neither sealed-and-live nor the
+			// tail: GC trimmed past it. Returning nil here would be a
+			// silent empty replay.
+			return ErrTrimmed
 		}
 		pos = startWithin
 	}

@@ -298,3 +298,55 @@ func TestWalkImageRobustness(t *testing.T) {
 		t.Fatalf("ScanUsed = %d, want %d", got, used)
 	}
 }
+
+func TestReplayFromTrimmedSegmentReturnsErrTrimmed(t *testing.T) {
+	l, _ := newTestLog(t, 512)
+	var offs []storage.Offset
+	for i := 0; i < 100; i++ {
+		res, err := l.Append([]byte(fmt.Sprintf("key-%03d", i)), []byte("0123456789"), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, res.Off)
+	}
+	// Trim everything before record 70's segment; record 10 now lives
+	// in a freed segment.
+	if _, err := l.Trim(offs[70]); err != nil {
+		t.Fatal(err)
+	}
+
+	n := 0
+	err := l.Replay(offs[10], func(off storage.Offset, pair kv.Pair, tomb bool) bool {
+		n++
+		return true
+	})
+	if !errors.Is(err, ErrTrimmed) {
+		t.Fatalf("Replay from trimmed offset: err = %v, want ErrTrimmed", err)
+	}
+	if n != 0 {
+		t.Fatalf("Replay invoked fn %d times despite ErrTrimmed", n)
+	}
+
+	// Replaying from a live offset still works after the trim.
+	n = 0
+	if err := l.Replay(offs[70], func(off storage.Offset, pair kv.Pair, tomb bool) bool {
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 30 {
+		t.Fatalf("live replay visited %d records, want 30", n)
+	}
+	// And a full replay (NilOffset) covers exactly the surviving suffix.
+	n = 0
+	if err := l.Replay(storage.NilOffset, func(off storage.Offset, pair kv.Pair, tomb bool) bool {
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n > 100 {
+		t.Fatalf("full replay after trim visited %d records", n)
+	}
+}

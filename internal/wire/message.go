@@ -62,6 +62,8 @@ const (
 	OpGetBufferReply
 	OpTrimLog
 	OpTrimLogAck
+	OpSyncTail
+	OpSyncTailAck
 )
 
 // String implements fmt.Stringer.
@@ -72,6 +74,7 @@ func (o Op) String() string {
 		"flush-tail", "flush-tail-ack", "index-segment", "index-segment-ack",
 		"compaction-start", "compaction-done", "compaction-done-ack",
 		"get-buffer", "get-buffer-reply", "trim-log", "trim-log-ack",
+		"sync-tail", "sync-tail-ack",
 	}
 	if int(o) < len(names) {
 		return names[o]

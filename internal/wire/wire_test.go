@@ -253,7 +253,7 @@ func TestDecodersRejectTruncation(t *testing.T) {
 }
 
 func TestOpStrings(t *testing.T) {
-	for o := OpInvalid; o <= OpGetBufferReply; o++ {
+	for o := OpInvalid; o <= OpSyncTailAck; o++ {
 		if o.String() == "" {
 			t.Fatalf("op %d has empty name", o)
 		}

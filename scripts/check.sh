@@ -23,4 +23,12 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+# The full -race run above already includes the failure-handling suite;
+# this focused pass re-runs it by name so a gate log shows explicitly
+# that fault injection, eviction/repair, and the failover-path
+# regressions were exercised.
+echo "== failover suite (focused re-run)"
+go test -race -run 'TestBackupFailure|TestBackupCrash|TestRPCRetry|TestSyncPromote|TestPromoteSmallLogBuffer|TestBackupEvictionReplacementAndFailover|TestReplayFromTrimmedSegment|TestRingProperty|TestRingWrap|TestFreeListProperty' \
+    ./internal/replica ./internal/cluster ./internal/vlog ./internal/client
+
 echo "OK"
