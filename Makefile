@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race check stress fmt vet bench clean
+.PHONY: all build test race check stress fmt vet bench obs-smoke clean
 
 all: build
 
@@ -32,6 +32,12 @@ vet:
 
 bench:
 	$(GO) run ./cmd/tebis-bench -quick
+
+# obs-smoke boots tebis-server with -metrics and -replica, drives load,
+# and asserts /metrics, /debug/trace, and /debug/vars all serve the
+# observability surface end to end.
+obs-smoke:
+	$(GO) run ./scripts/obssmoke
 
 clean:
 	$(GO) clean ./...

@@ -3,11 +3,19 @@
 // convenience binary for poking at the storage engine outside the
 // in-process benchmark harness. The full replicated data plane (RDMA
 // simulation, Send-Index) lives in the library and is exercised by
-// cmd/tebis-bench and the examples.
+// cmd/tebis-bench and the examples; -replica attaches one in-process
+// Send-Index backup so the full merge → build → ship → rewrite pipeline
+// is observable from this binary alone.
 //
 // Usage:
 //
 //	tebis-server [-addr :7625] [-data /tmp/tebis.img] [-segment 2097152]
+//	             [-metrics 127.0.0.1:7626] [-replica]
+//
+// With -metrics, an HTTP endpoint serves Prometheus text exposition on
+// /metrics, expvar on /debug/vars, and Chrome trace-event JSON of the
+// compaction pipeline on /debug/trace (load it in chrome://tracing or
+// https://ui.perfetto.dev).
 //
 // Protocol (one request per line, space-separated, values hex-escaped
 // via Go %q):
@@ -29,19 +37,47 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"tebis/internal/kv"
 	"tebis/internal/lsm"
 	"tebis/internal/metrics"
+	"tebis/internal/obs"
+	"tebis/internal/rdma"
+	"tebis/internal/region"
+	"tebis/internal/replica"
 	"tebis/internal/storage"
 )
 
+// engineState bundles the engine with its instrumentation for the serve
+// loop: per-command latency histograms and the user-byte counter that
+// anchors the amplification gauges.
+type engineState struct {
+	db      *lsm.DB
+	dev     storage.Device
+	cycles  *metrics.Cycles
+	opLat   map[string]*metrics.Histogram
+	dataset atomic.Uint64
+}
+
+func newEngineState(db *lsm.DB, dev storage.Device, cycles *metrics.Cycles) *engineState {
+	st := &engineState{db: db, dev: dev, cycles: cycles,
+		opLat: make(map[string]*metrics.Histogram)}
+	for _, op := range []string{"PUT", "GET", "DEL", "SCAN"} {
+		st.opLat[op] = metrics.NewHistogram()
+	}
+	return st
+}
+
 func main() {
 	var (
-		addr    = flag.String("addr", ":7625", "listen address")
-		data    = flag.String("data", "/tmp/tebis.img", "device file path")
-		segSize = flag.Int64("segment", 2<<20, "segment size in bytes (power of two)")
-		l0      = flag.Int("l0", lsm.DefaultL0MaxKeys, "L0 capacity in keys")
+		addr        = flag.String("addr", ":7625", "listen address")
+		data        = flag.String("data", "/tmp/tebis.img", "device file path")
+		segSize     = flag.Int64("segment", 2<<20, "segment size in bytes (power of two)")
+		l0          = flag.Int("l0", lsm.DefaultL0MaxKeys, "L0 capacity in keys")
+		metricsAddr = flag.String("metrics", "", "observability HTTP listen address (empty = off)")
+		withReplica = flag.Bool("replica", false, "attach an in-process Send-Index backup")
 	)
 	flag.Parse()
 
@@ -51,22 +87,124 @@ func main() {
 	}
 	defer dev.Close()
 
-	var cycles metrics.Cycles
-	db, err := lsm.New(lsm.Options{
-		Device:    dev,
-		L0MaxKeys: *l0,
-		Cycles:    &cycles,
-	})
+	var (
+		cycles   metrics.Cycles
+		cstats   metrics.CompactionStats
+		failures metrics.FailureStats
+		tracer   *obs.Tracer
+		reg      *obs.Registry
+	)
+	if *metricsAddr != "" {
+		tracer = obs.NewTracer(0)
+		reg = obs.NewRegistry()
+	}
+
+	opt := lsm.Options{
+		Device:          dev,
+		L0MaxKeys:       *l0,
+		Cycles:          &cycles,
+		CompactionStats: &cstats,
+		Trace:           tracer.Node("primary"),
+	}
+
+	// With -replica, the engine's listener is a Send-Index primary
+	// attached to one in-memory backup node, so every compaction runs
+	// the paper's full pipeline: merge → build → ship → offset rewrite.
+	var (
+		primary *replica.Primary
+		epP     *rdma.Endpoint
+		epB     *rdma.Endpoint
+		devB    *storage.MemDevice
+	)
+	if *withReplica {
+		epP = rdma.NewEndpoint("primary")
+		epB = rdma.NewEndpoint("backup0")
+		devB, err = storage.NewMemDevice(*segSize, 0)
+		if err != nil {
+			log.Fatalf("open backup device: %v", err)
+		}
+		defer devB.Close()
+		primary = replica.NewPrimary(replica.PrimaryConfig{
+			RegionID:   region.ID(1),
+			ServerName: "primary",
+			Mode:       replica.SendIndex,
+			Endpoint:   epP,
+			Cycles:     &cycles,
+			Cost:       metrics.DefaultCostModel(),
+			Failures:   &failures,
+			Trace:      tracer.Node("primary"),
+		})
+		opt.Listener = primary
+	}
+
+	db, err := lsm.New(opt)
 	if err != nil {
 		log.Fatalf("open engine: %v", err)
 	}
 	defer db.Close()
 
+	if *withReplica {
+		var cyB metrics.Cycles
+		backup, err := replica.NewBackup(replica.BackupConfig{
+			RegionID:   region.ID(1),
+			ServerName: "backup0",
+			Mode:       replica.SendIndex,
+			Device:     devB,
+			Endpoint:   epB,
+			Cycles:     &cyB,
+			Cost:       metrics.DefaultCostModel(),
+			LSM:        lsm.Options{L0MaxKeys: *l0, NodeSize: lsm.DefaultNodeSize},
+			Trace:      tracer.Node("backup0"),
+		})
+		if err != nil {
+			log.Fatalf("open backup: %v", err)
+		}
+		replica.Attach(primary, backup)
+		primary.SetDB(db)
+		if reg != nil {
+			reg.RegisterDevice(obs.Labels{"node": "backup0"}, devB)
+			reg.RegisterEndpoint(obs.Labels{"node": "backup0"}, epB)
+			reg.RegisterCycles(obs.Labels{"node": "backup0"}, &cyB)
+		}
+	}
+
+	st := newEngineState(db, dev, &cycles)
+
+	if reg != nil {
+		labels := obs.Labels{"node": "primary"}
+		reg.RegisterDevice(labels, dev)
+		reg.RegisterCycles(labels, &cycles)
+		reg.RegisterCompaction(labels, &cstats)
+		reg.RegisterFailure(labels, &failures)
+		for op, h := range st.opLat {
+			reg.RegisterOpLatency(labels, op, h)
+		}
+		dataset := func() float64 { return float64(st.dataset.Load()) }
+		var netTraffic func() float64
+		if epP != nil {
+			reg.RegisterEndpoint(labels, epP)
+			netTraffic = func() float64 { return float64(epP.TxBytes() + epP.RxBytes()) }
+		}
+		reg.RegisterAmplification(labels,
+			func() float64 {
+				s := dev.Stats()
+				return float64(s.BytesRead + s.BytesWritten)
+			},
+			netTraffic, dataset)
+
+		got, err := obs.Serve(*metricsAddr, reg, tracer)
+		if err != nil {
+			log.Fatalf("metrics listen: %v", err)
+		}
+		log.Printf("tebis-server metrics on http://%s/metrics (trace on /debug/trace)", got)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("tebis-server listening on %s (device %s, segment %d B)", *addr, *data, *segSize)
+	log.Printf("tebis-server listening on %s (device %s, segment %d B, replica=%v)",
+		ln.Addr(), *data, *segSize, *withReplica)
 
 	for {
 		conn, err := ln.Accept()
@@ -74,11 +212,12 @@ func main() {
 			log.Printf("accept: %v", err)
 			continue
 		}
-		go serve(conn, db, dev, &cycles)
+		go serve(conn, st)
 	}
 }
 
-func serve(conn net.Conn, db *lsm.DB, dev storage.Device, cycles *metrics.Cycles) {
+func serve(conn net.Conn, st *engineState) {
+	db, dev, cycles := st.db, st.dev, st.cycles
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -89,7 +228,9 @@ func serve(conn net.Conn, db *lsm.DB, dev storage.Device, cycles *metrics.Cycles
 		if len(fields) == 0 {
 			continue
 		}
-		switch strings.ToUpper(fields[0]) {
+		cmd := strings.ToUpper(fields[0])
+		start := time.Now()
+		switch cmd {
 		case "PUT":
 			if len(fields) != 3 {
 				fmt.Fprintln(w, "ERR usage: PUT <key> <value>")
@@ -105,6 +246,7 @@ func serve(conn net.Conn, db *lsm.DB, dev storage.Device, cycles *metrics.Cycles
 				fmt.Fprintf(w, "ERR %v\n", err)
 				break
 			}
+			st.dataset.Add(uint64(len(key) + len(val)))
 			fmt.Fprintln(w, "OK")
 		case "GET":
 			if len(fields) != 2 {
@@ -145,7 +287,7 @@ func serve(conn net.Conn, db *lsm.DB, dev storage.Device, cycles *metrics.Cycles
 				fmt.Fprintln(w, "ERR usage: SCAN <start> <n>")
 				break
 			}
-			start, err := unq(fields[1])
+			startKey, err := unq(fields[1])
 			if err != nil {
 				fmt.Fprintln(w, "ERR bad escaping")
 				break
@@ -155,7 +297,7 @@ func serve(conn net.Conn, db *lsm.DB, dev storage.Device, cycles *metrics.Cycles
 				fmt.Fprintln(w, "ERR bad count")
 				break
 			}
-			err = db.Scan(start, func(p kv.Pair) bool {
+			err = db.Scan(startKey, func(p kv.Pair) bool {
 				fmt.Fprintf(w, "KV %q %q\n", p.Key, p.Value)
 				n--
 				return n > 0
@@ -166,11 +308,11 @@ func serve(conn net.Conn, db *lsm.DB, dev storage.Device, cycles *metrics.Cycles
 			}
 			fmt.Fprintln(w, "END")
 		case "STATS":
-			st := dev.Stats()
+			devStats := dev.Stats()
 			out, _ := json.Marshal(map[string]any{
-				"bytes_read":    st.BytesRead,
-				"bytes_written": st.BytesWritten,
-				"segments_live": st.SegmentsLive,
+				"bytes_read":    devStats.BytesRead,
+				"bytes_written": devStats.BytesWritten,
+				"segments_live": devStats.SegmentsLive,
 				"cycles_total":  cycles.Snapshot().Total(),
 			})
 			fmt.Fprintf(w, "STATS %s\n", out)
@@ -179,6 +321,7 @@ func serve(conn net.Conn, db *lsm.DB, dev storage.Device, cycles *metrics.Cycles
 		default:
 			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
 		}
+		st.opLat[cmd].Record(time.Since(start))
 		if err := w.Flush(); err != nil {
 			return
 		}

@@ -25,7 +25,7 @@ func startPipeServer(t *testing.T) (net.Conn, *lsm.DB) {
 		t.Fatal(err)
 	}
 	client, server := net.Pipe()
-	go serve(server, db, dev, &cycles)
+	go serve(server, newEngineState(db, dev, &cycles))
 	t.Cleanup(func() {
 		client.Close()
 		db.Close()

@@ -155,6 +155,47 @@ func TestRunExperimentCompaction(t *testing.T) {
 	}
 }
 
+func TestRunExperimentObservability(t *testing.T) {
+	old := ObservabilityJSONPath
+	ObservabilityJSONPath = filepath.Join(t.TempDir(), "BENCH_observability.json")
+	defer func() { ObservabilityJSONPath = old }()
+
+	var buf bytes.Buffer
+	if err := RunExperiment(ExpObservability, tinyScale, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ObservabilityJSONPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ObservabilityReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, data)
+	}
+	if rep.Records != tinyScale.Records {
+		t.Fatalf("records = %d, want %d", rep.Records, tinyScale.Records)
+	}
+	for _, m := range []ObservabilityModeResult{rep.Off, rep.On} {
+		if m.NsPerOp <= 0 || m.KOpsPerSec <= 0 || m.PacedKOpsPerSec <= 0 || m.Jobs == 0 {
+			t.Fatalf("mode (instrumented=%v) measured nothing: %+v", m.Instrumented, m)
+		}
+	}
+	if rep.Off.Instrumented || !rep.On.Instrumented {
+		t.Fatalf("mode flags swapped: off=%+v on=%+v", rep.Off, rep.On)
+	}
+	// The instrumented run must have actually exercised the obs layer.
+	if rep.On.TraceSpans == 0 {
+		t.Fatal("instrumented run recorded no trace spans")
+	}
+	// Loose sanity bound: tiny runs are noisy, but instrumentation must
+	// not be anywhere near doubling the hot path. The acceptance bound
+	// (≤5%) is checked on the full-scale tebis-bench run.
+	if rep.OverheadNsPerOpPercent > 50 || rep.OverheadOfferedLoadPercent > 50 {
+		t.Fatalf("implausible overhead: ns/op %.1f%%, offered-load %.1f%%",
+			rep.OverheadNsPerOpPercent, rep.OverheadOfferedLoadPercent)
+	}
+}
+
 func TestSetupStringsAndModes(t *testing.T) {
 	if SendIndex.String() != "Send-Index" || BuildIndexRL.String() != "Build-IndexRL" {
 		t.Fatal("setup names")

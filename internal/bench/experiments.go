@@ -47,12 +47,17 @@ const (
 	// compaction scheduler (serial vs pipelined) on a bare engine and
 	// writes BENCH_compaction.json.
 	ExpCompaction Experiment = "compaction"
+	// ExpObservability is not a paper artifact: it measures the hot-path
+	// cost of the obs layer (registry + tracer + scraping) on the
+	// compaction path and writes BENCH_observability.json.
+	ExpObservability Experiment = "observability"
 )
 
 // AllExperiments lists every reproducible artifact in paper order.
 var AllExperiments = []Experiment{
 	ExpTable2, ExpFig6, ExpFig7a, ExpFig7b, ExpFig8, ExpTable3,
 	ExpFig9a, ExpFig9b, ExpFig10a, ExpFig10b, ExpSec55, ExpCompaction,
+	ExpObservability,
 }
 
 // twoWaySetups are the Figure 6/7 configurations.
@@ -89,6 +94,8 @@ func RunExperiment(exp Experiment, sc Scale, w io.Writer) error {
 		return runSec55(sc, w)
 	case ExpCompaction:
 		return runCompaction(sc, w)
+	case ExpObservability:
+		return runObservability(sc, w)
 	}
 	return fmt.Errorf("bench: unknown experiment %q", exp)
 }

@@ -13,6 +13,7 @@ import (
 	"tebis/internal/lsm"
 	"tebis/internal/master"
 	"tebis/internal/metrics"
+	"tebis/internal/obs"
 	"tebis/internal/rdma"
 	"tebis/internal/region"
 	"tebis/internal/replica"
@@ -45,6 +46,9 @@ type Config struct {
 	// Retry bounds primaries' patience with unresponsive backups (zero
 	// selects replica.DefaultRetryPolicy). Failure tests shorten it.
 	Retry replica.RetryPolicy
+	// Trace records compaction pipeline spans across all nodes into one
+	// shared ring, each stamped with its server's name; may be nil.
+	Trace *obs.Tracer
 }
 
 func (c *Config) applyDefaults() {
@@ -137,6 +141,7 @@ func New(cfg Config) (*Cluster, error) {
 			SpinThreads: cfg.SpinThreads,
 			Retry:       cfg.Retry,
 			Failures:    failures,
+			Trace:       cfg.Trace,
 		})
 		if err != nil {
 			return nil, err
@@ -379,6 +384,18 @@ func (c *Cluster) Totals() Totals {
 	}
 	t.DeviceBytes = t.DeviceReadBytes + t.DeviceWriteBytes
 	return t
+}
+
+// Observe registers every node's metric families with reg (each
+// labeled by server name), one call per deployment: a single /metrics
+// scrape then covers the whole cluster.
+func (c *Cluster) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, n := range c.Nodes {
+		n.Server.Observe(reg)
+	}
 }
 
 // ResetCounters zeroes all device, network, and cycle counters (between

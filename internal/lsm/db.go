@@ -11,6 +11,7 @@ import (
 	"tebis/internal/kv"
 	"tebis/internal/memtable"
 	"tebis/internal/metrics"
+	"tebis/internal/obs"
 	"tebis/internal/storage"
 	"tebis/internal/vlog"
 )
@@ -57,6 +58,7 @@ type DB struct {
 	cycles *metrics.Cycles
 	cost   metrics.CostModel
 	stats  *metrics.CompactionStats
+	trace  *obs.Tracer
 
 	listener atomic.Value // holds listenerBox
 
@@ -115,6 +117,7 @@ func newWithLog(opt Options, log *vlog.Log, states []LevelState) (*DB, error) {
 		cycles:   opt.Cycles,
 		cost:     opt.Cost,
 		stats:    opt.CompactionStats,
+		trace:    opt.Trace,
 		levels:   make([]*level, opt.MaxLevels),
 		inflight: make(map[uint64]*compactionJob),
 	}
@@ -416,6 +419,22 @@ func (db *DB) L0Len() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.l0.Len()
+}
+
+// MemtableBytes returns the approximate byte footprint of the active L0
+// memtable.
+func (db *DB) MemtableBytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.l0.Bytes()
+}
+
+// QueueDepth reports the compaction backlog: frozen L0 tables waiting
+// to drain plus jobs currently in flight.
+func (db *DB) QueueDepth() (frozen, inflight int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.frozen), len(db.inflight)
 }
 
 // ReplayLog re-inserts all log records from a watermark into L0 without

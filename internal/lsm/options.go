@@ -13,6 +13,7 @@ package lsm
 import (
 	"tebis/internal/btree"
 	"tebis/internal/metrics"
+	"tebis/internal/obs"
 	"tebis/internal/storage"
 	"tebis/internal/vlog"
 )
@@ -137,6 +138,9 @@ type Options struct {
 	// writer-stall accounting; if nil the DB allocates a private sink
 	// (readable via DB.CompactionStats).
 	CompactionStats *metrics.CompactionStats
+	// Trace records per-compaction merge/build/ship spans keyed by the
+	// scheduler's job IDs; may be nil (spans are dropped).
+	Trace *obs.Tracer
 }
 
 func (o *Options) applyDefaults() {

@@ -8,6 +8,7 @@ import (
 
 	"tebis/internal/btree"
 	"tebis/internal/metrics"
+	"tebis/internal/obs"
 	"tebis/internal/storage"
 )
 
@@ -278,6 +279,10 @@ func (db *DB) pipeline(ref CompactionJob, src, dst cursor) (btree.Built, error) 
 		})
 		close(entries) // happens-after the mergeErr store
 		db.stats.RecordMerge(time.Since(start))
+		db.trace.Record(obs.Span{
+			Cat: "compaction", Name: "merge", JobID: ref.ID,
+			Start: start, Dur: time.Since(start),
+		})
 		if mergeErr != nil {
 			cancel()
 		}
@@ -290,7 +295,13 @@ func (db *DB) pipeline(ref CompactionJob, src, dst cursor) (btree.Built, error) 
 		defer close(segs)
 		defer buildDone.Store(true)
 		start := time.Now()
-		defer func() { db.stats.RecordBuild(time.Since(start)) }()
+		defer func() {
+			db.stats.RecordBuild(time.Since(start))
+			db.trace.Record(obs.Span{
+				Cat: "compaction", Name: "build", JobID: ref.ID,
+				Start: start, Dur: time.Since(start),
+			})
+		}()
 		emit := func(es btree.EmittedSegment) error {
 			db.charge(metrics.CompCompaction, db.cost.WriteIO(len(es.Data)))
 			select {
@@ -342,6 +353,11 @@ func (db *DB) pipeline(ref CompactionJob, src, dst cursor) (btree.Built, error) 
 				l.OnIndexSegment(ref, es)
 			}
 			db.stats.RecordShip(time.Since(start), early)
+			db.trace.Record(obs.Span{
+				Cat: "compaction", Name: "ship", JobID: ref.ID,
+				Bytes: int64(len(es.Data)),
+				Start: start, Dur: time.Since(start),
+			})
 		}
 	}()
 

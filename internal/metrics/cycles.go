@@ -71,13 +71,17 @@ func (c Component) String() string {
 }
 
 // Cycles accumulates simulated CPU cycles per component. All methods
-// are safe for concurrent use.
+// are safe for concurrent use and nil-safe: a nil *Cycles discards
+// charges and snapshots to zero, so unmetered nodes need no setup.
 type Cycles struct {
 	c [NumComponents]atomic.Uint64
 }
 
 // Charge adds n cycles to component comp.
 func (cy *Cycles) Charge(comp Component, n uint64) {
+	if cy == nil {
+		return
+	}
 	cy.c[comp].Add(n)
 }
 
@@ -87,6 +91,9 @@ type Breakdown [NumComponents]uint64
 // Snapshot returns the current totals.
 func (cy *Cycles) Snapshot() Breakdown {
 	var b Breakdown
+	if cy == nil {
+		return b
+	}
 	for i := range b {
 		b[i] = cy.c[i].Load()
 	}
@@ -95,6 +102,9 @@ func (cy *Cycles) Snapshot() Breakdown {
 
 // Reset zeroes all counters.
 func (cy *Cycles) Reset() {
+	if cy == nil {
+		return
+	}
 	for i := range cy.c {
 		cy.c[i].Store(0)
 	}

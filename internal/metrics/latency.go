@@ -9,7 +9,9 @@ import (
 // Histogram records latency samples into exponentially spaced buckets
 // and answers percentile queries. It covers 100 ns to ~100 s with ~5%
 // resolution, which is ample for the paper's 50th-99.99th percentile
-// tail-latency plots (Figure 8).
+// tail-latency plots (Figure 8). All methods are nil-safe: a nil
+// *Histogram discards samples and reports zeroes, so optional latency
+// wiring needs no setup.
 type Histogram struct {
 	mu      sync.Mutex
 	buckets []uint64
@@ -48,6 +50,9 @@ func bucketValue(i int) time.Duration {
 
 // Record adds one sample.
 func (h *Histogram) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
 	h.mu.Lock()
 	h.buckets[bucketFor(d)]++
 	h.count++
@@ -62,6 +67,9 @@ func (h *Histogram) Record(d time.Duration) {
 
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.count
@@ -70,6 +78,9 @@ func (h *Histogram) Count() uint64 {
 // Percentile returns the latency at percentile p (0 < p <= 100).
 // It returns 0 when the histogram is empty.
 func (h *Histogram) Percentile(p float64) time.Duration {
+	if h == nil {
+		return 0
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.count == 0 {
@@ -96,8 +107,11 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	return h.max
 }
 
-// Merge adds all samples of o into h.
+// Merge adds all samples of o into h. A nil h or o is a no-op.
 func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
 	o.mu.Lock()
 	ob := append([]uint64(nil), o.buckets...)
 	oc, omin, omax := o.count, o.min, o.max
@@ -119,6 +133,9 @@ func (h *Histogram) Merge(o *Histogram) {
 
 // Reset clears all samples.
 func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
 	h.mu.Lock()
 	for i := range h.buckets {
 		h.buckets[i] = 0

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"tebis/internal/metrics"
+	"tebis/internal/storage"
+)
+
+// Collectors wrap the measurement structs in internal/metrics (and the
+// storage/rdma byte counters) as live metric families. Each Register*
+// call pulls a fresh snapshot at exposition time, so scraping /metrics
+// always reflects current totals. All registration is nil-safe on both
+// the registry and the wrapped struct.
+
+// RegisterCompaction exposes the compaction scheduler counters:
+// stage durations (Figure 9's merge/build/ship pipeline), early-ship
+// fraction, and writer stalls (the paper's L0 backpressure signal).
+func (r *Registry) RegisterCompaction(labels Labels, s *metrics.CompactionStats) {
+	if r == nil {
+		return
+	}
+	snap := func() metrics.CompactionSnapshot { return s.Snapshot() }
+	r.CounterFunc("tebis_compaction_jobs_total",
+		"Compaction jobs completed by the scheduler.", labels,
+		func() float64 { return float64(snap().Jobs) })
+	r.CounterFunc("tebis_compaction_stage_seconds_total",
+		"Cumulative time spent in each Send-Index pipeline stage.",
+		labels.clone(Labels{"stage": "merge"}),
+		func() float64 { return snap().MergeTime.Seconds() })
+	r.CounterFunc("tebis_compaction_stage_seconds_total", "",
+		labels.clone(Labels{"stage": "build"}),
+		func() float64 { return snap().BuildTime.Seconds() })
+	r.CounterFunc("tebis_compaction_stage_seconds_total", "",
+		labels.clone(Labels{"stage": "ship"}),
+		func() float64 { return snap().ShipTime.Seconds() })
+	r.CounterFunc("tebis_compaction_segments_shipped_total",
+		"Index segments shipped to backups, split by whether the ship overlapped the build.",
+		labels.clone(Labels{"early": "true"}),
+		func() float64 { return float64(snap().SegmentsShippedEarly) })
+	r.CounterFunc("tebis_compaction_segments_shipped_total", "",
+		labels.clone(Labels{"early": "false"}),
+		func() float64 {
+			sn := snap()
+			return float64(sn.SegmentsShipped - sn.SegmentsShippedEarly)
+		})
+	r.CounterFunc("tebis_writer_stalls_total",
+		"Writer stalls caused by a full L0 waiting on compaction.", labels,
+		func() float64 { return float64(snap().WriterStalls) })
+	r.CounterFunc("tebis_writer_stall_seconds_total",
+		"Cumulative writer stall time.", labels,
+		func() float64 { return snap().WriterStallTime.Seconds() })
+}
+
+// RegisterFailure exposes the replication control-plane failure
+// counters: RPC retries, backup evictions, resync traffic, and the
+// degraded-replication state.
+func (r *Registry) RegisterFailure(labels Labels, s *metrics.FailureStats) {
+	if r == nil {
+		return
+	}
+	snap := func() metrics.FailureSnapshot { return s.Snapshot() }
+	r.CounterFunc("tebis_replication_retries_total",
+		"Replication RPC retries after transient failures.", labels,
+		func() float64 { return float64(snap().Retries) })
+	r.CounterFunc("tebis_backup_evictions_total",
+		"Backups evicted from a replica group after exhausting retries.", labels,
+		func() float64 { return float64(snap().Evictions) })
+	r.CounterFunc("tebis_resync_bytes_total",
+		"Bytes transferred to resynchronize rejoining backups.", labels,
+		func() float64 { return float64(snap().ResyncBytes) })
+	r.GaugeFunc("tebis_degraded",
+		"1 while the replica group runs below its replication factor.", labels,
+		func() float64 {
+			if snap().Degraded {
+				return 1
+			}
+			return 0
+		})
+	r.CounterFunc("tebis_degraded_seconds_total",
+		"Cumulative time spent degraded.", labels,
+		func() float64 { return snap().DegradedDuration.Seconds() })
+}
+
+// RegisterCycles exposes the Table 3 cycle breakdown, one series per
+// component.
+func (r *Registry) RegisterCycles(labels Labels, cy *metrics.Cycles) {
+	if r == nil {
+		return
+	}
+	for c := metrics.Component(0); c < metrics.NumComponents; c++ {
+		comp := c
+		r.CounterFunc("tebis_cycles_total",
+			"Simulated CPU cycles charged per Table 3 component.",
+			labels.clone(Labels{"component": comp.String()}),
+			func() float64 { return float64(cy.Snapshot()[comp]) })
+	}
+}
+
+// RegisterDevice exposes a storage device's I/O counters — the
+// numerator of the paper's I/O amplification metric.
+func (r *Registry) RegisterDevice(labels Labels, dev storage.Device) {
+	if r == nil || dev == nil {
+		return
+	}
+	r.CounterFunc("tebis_device_read_bytes_total",
+		"Bytes read from the storage device.", labels,
+		func() float64 { return float64(dev.Stats().BytesRead) })
+	r.CounterFunc("tebis_device_write_bytes_total",
+		"Bytes written to the storage device.", labels,
+		func() float64 { return float64(dev.Stats().BytesWritten) })
+	r.GaugeFunc("tebis_device_segments_live",
+		"Segments currently allocated on the device.", labels,
+		func() float64 { return float64(dev.Stats().SegmentsLive) })
+}
+
+// NetCounters is the subset of an RDMA endpoint the network collector
+// needs; *rdma.Endpoint satisfies it (obs must not import rdma, which
+// sits above storage in the dependency order).
+type NetCounters interface {
+	TxBytes() uint64
+	RxBytes() uint64
+}
+
+// RegisterEndpoint exposes an endpoint's transmit/receive byte
+// counters — the numerator of the paper's network amplification metric.
+func (r *Registry) RegisterEndpoint(labels Labels, ep NetCounters) {
+	if r == nil || ep == nil {
+		return
+	}
+	r.CounterFunc("tebis_net_tx_bytes_total",
+		"Bytes transmitted over the replication network.", labels,
+		func() float64 { return float64(ep.TxBytes()) })
+	r.CounterFunc("tebis_net_rx_bytes_total",
+		"Bytes received over the replication network.", labels,
+		func() float64 { return float64(ep.RxBytes()) })
+}
+
+// RegisterAmplification exposes the paper's two amplification ratios
+// (Figure 7): traffic fns return cumulative device or network bytes,
+// dataset returns the user bytes ingested so far. Gauges read 0 until
+// the dataset is non-empty.
+func (r *Registry) RegisterAmplification(labels Labels, ioTraffic, netTraffic, dataset func() float64) {
+	if r == nil {
+		return
+	}
+	ratio := func(traffic func() float64) func() float64 {
+		return func() float64 {
+			d := dataset()
+			if d <= 0 {
+				return 0
+			}
+			return traffic() / d
+		}
+	}
+	if ioTraffic != nil {
+		r.GaugeFunc("tebis_io_amplification",
+			"Device traffic divided by dataset size (Figure 7).", labels, ratio(ioTraffic))
+	}
+	if netTraffic != nil {
+		r.GaugeFunc("tebis_net_amplification",
+			"Network traffic divided by dataset size (Figure 7).", labels, ratio(netTraffic))
+	}
+}
+
+// RegisterOpLatency exposes one op kind's latency histogram as a
+// summary family plus an ops counter — the Figure 8 tail-latency view.
+func (r *Registry) RegisterOpLatency(labels Labels, op string, h *metrics.Histogram) {
+	if r == nil {
+		return
+	}
+	opLabels := labels.clone(Labels{"op": op})
+	r.Summary("tebis_op_latency_seconds",
+		"Per-operation service latency (Figure 8).", opLabels, h)
+	r.CounterFunc("tebis_ops_total",
+		"Operations served, by kind.", opLabels,
+		func() float64 { return float64(h.Count()) })
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+)
+
+// Handler serves the registry in Prometheus text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Handler serves the buffered spans as Chrome trace-event JSON.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.WriteChromeTrace(w)
+	})
+}
+
+// NewMux mounts the observability endpoints: /metrics (Prometheus
+// text), /debug/vars (expvar JSON), and /debug/trace (Chrome
+// trace-event JSON). reg and tr may each be nil; the endpoints then
+// serve empty documents.
+func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/trace", tr.Handler())
+	return mux
+}
+
+// Serve listens on addr (e.g. "127.0.0.1:0") and serves the
+// observability mux in a background goroutine. It returns the actual
+// listen address so callers can use port 0. The server runs until the
+// process exits; tebis-server's lifetime is the process lifetime, so no
+// shutdown plumbing is needed.
+func Serve(addr string, reg *Registry, tr *Tracer) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: NewMux(reg, tr)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, mux *http.ServeMux, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Result().StatusCode, string(body)
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("tebis_test_total", "h", nil).Add(9)
+	tr := NewTracer(8)
+	tr.Record(Span{Name: "merge", JobID: 1, Start: time.Now(), Dur: time.Millisecond})
+	mux := NewMux(reg, tr)
+
+	code, body := get(t, mux, "/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "tebis_test_total 9") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+
+	code, body = get(t, mux, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars: code=%d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+
+	code, body = get(t, mux, "/debug/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace: code=%d", code)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/trace is not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("/debug/trace exported no events")
+	}
+}
+
+func TestMuxNilComponents(t *testing.T) {
+	mux := NewMux(nil, nil)
+	if code, _ := get(t, mux, "/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics with nil registry: code=%d", code)
+	}
+	code, body := get(t, mux, "/debug/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace with nil tracer: code=%d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("nil tracer trace is not JSON: %v", err)
+	}
+}
+
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("tebis_served_total", "h", nil).Inc()
+	addr, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "tebis_served_total 1") {
+		t.Fatalf("served body %q", body)
+	}
+}

@@ -1,0 +1,360 @@
+// Package obs is the unified observability layer: a concurrency-safe
+// metrics registry with Prometheus-style text exposition, a bounded
+// ring tracer exporting Chrome trace-event JSON, and collectors that
+// wrap the measurement structs in internal/metrics into live metric
+// families.
+//
+// The paper's entire argument is quantitative — Send-Index trades
+// network traffic for backup CPU, read I/O, and memory (§4, Table 3,
+// Figures 7-9) — so every quantity those figures report is exposed here
+// as a scrapeable family: compaction stage durations, writer stalls,
+// failure/eviction state, op latency percentiles, and the I/O and
+// network amplification ratios. The tracer makes one Send-Index
+// compaction visible end to end: merge → build → ship (per backup) →
+// offset rewrite, keyed by the scheduler's job IDs.
+//
+// Everything is nil-safe: a nil *Registry hands out nil instruments and
+// a nil *Tracer drops spans, so the hot path pays only a nil check when
+// observability is off.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"tebis/internal/metrics"
+)
+
+// Labels is one instrument's label set (e.g. {"node": "s0"}).
+type Labels map[string]string
+
+// clone copies ls with extra pairs merged in.
+func (ls Labels) clone(extra Labels) Labels {
+	out := make(Labels, len(ls)+len(extra))
+	for k, v := range ls {
+		out[k] = v
+	}
+	for k, v := range extra {
+		out[k] = v
+	}
+	return out
+}
+
+// render serializes labels in the exposition format, sorted by key so
+// output is deterministic: `{a="x",b="y"}`, or "" when empty.
+func (ls Labels) render(extra string) string {
+	if len(ls) == 0 && extra == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(ls))
+	for k := range ls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(ls[k]))
+		sb.WriteByte('"')
+	}
+	if extra != "" {
+		if len(keys) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extra)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Counter is a monotonically increasing uint64 instrument. A nil
+// *Counter discards updates.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64 instrument. A nil *Gauge discards
+// updates.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// sample is one exposition line of a child: name+suffix{labels,extra} value.
+type sample struct {
+	suffix string // appended to the family name ("", "_count", ...)
+	extra  string // extra rendered label pair (`quantile="0.5"`) or ""
+	value  float64
+	isInt  bool
+}
+
+// child is one labeled instrument inside a family.
+type child struct {
+	labels Labels
+	read   func() []sample
+	// instrument holds the *Counter or *Gauge backing this child so a
+	// second registration under the same name+labels returns the same
+	// instrument instead of a shadowed duplicate.
+	instrument any
+}
+
+// family is one named metric family.
+type family struct {
+	name, help, kind string
+	children         map[string]*child
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. All methods are safe for concurrent use and
+// nil-safe: registration on a nil *Registry returns nil instruments.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// register adds (or finds) the child keyed by labels under name. The
+// first registration of a family fixes its help string and kind. When a
+// child already exists under the same name and labels the existing one
+// is returned untouched, so callers can rebind to its instrument.
+func (r *Registry) register(name, help, kind string, labels Labels, instrument any, read func() []sample) *child {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, children: make(map[string]*child)}
+		r.fams[name] = f
+	}
+	key := labels.render("")
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := &child{labels: labels.clone(nil), read: read, instrument: instrument}
+	f.children[key] = c
+	return c
+}
+
+// Counter registers (or finds) a counter under name with the given
+// labels and returns it. A nil registry returns a nil (discarding)
+// counter.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	ctr := &Counter{}
+	c := r.register(name, help, "counter", labels, ctr, func() []sample {
+		return []sample{{value: float64(ctr.Value()), isInt: true}}
+	})
+	// Re-registration returns the existing instrument so every call site
+	// updates the same series.
+	if existing, ok := c.instrument.(*Counter); ok {
+		return existing
+	}
+	return ctr
+}
+
+// CounterFunc registers a counter whose value is pulled from fn at
+// exposition time — for wrapping monotone snapshot fields
+// (e.g. CompactionSnapshot.Jobs).
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, "counter", labels, nil, func() []sample {
+		return []sample{{value: fn()}}
+	})
+}
+
+// Gauge registers (or finds) a gauge under name with the given labels.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	c := r.register(name, help, "gauge", labels, g, func() []sample {
+		return []sample{{value: g.Value()}}
+	})
+	if existing, ok := c.instrument.(*Gauge); ok {
+		return existing
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is pulled from fn at
+// exposition time.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, "gauge", labels, nil, func() []sample {
+		return []sample{{value: fn()}}
+	})
+}
+
+// SummaryQuantiles are the percentiles a Summary family exposes; the
+// label is pre-rendered so 99.9/100 doesn't pick up float dust.
+var SummaryQuantiles = []struct {
+	Percentile float64
+	Label      string
+}{
+	{50, "0.5"},
+	{90, "0.9"},
+	{99, "0.99"},
+	{99.9, "0.999"},
+}
+
+// Summary registers h as a summary family: one series per quantile in
+// SummaryQuantiles plus a _count series. Percentiles are computed at
+// exposition time from the histogram's current contents; values are in
+// seconds (the Prometheus base unit for time).
+func (r *Registry) Summary(name, help string, labels Labels, h *metrics.Histogram) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, "summary", labels, h, func() []sample {
+		out := make([]sample, 0, len(SummaryQuantiles)+1)
+		for _, q := range SummaryQuantiles {
+			out = append(out, sample{
+				extra: fmt.Sprintf(`quantile="%s"`, q.Label),
+				value: h.Percentile(q.Percentile).Seconds(),
+			})
+		}
+		out = append(out, sample{suffix: "_count", value: float64(h.Count()), isInt: true})
+		return out
+	})
+}
+
+// Families returns the sorted registered family names.
+func (r *Registry) Families() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// sorted by family name and label set so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			c := f.children[k]
+			for _, s := range c.read() {
+				var val string
+				switch {
+				case s.isInt:
+					val = strconv.FormatUint(uint64(s.value), 10)
+				case s.value == math.Trunc(s.value) && math.Abs(s.value) < 1e15:
+					// Integral floats (byte totals, counts pulled through
+					// CounterFunc) read better without an exponent.
+					val = strconv.FormatFloat(s.value, 'f', -1, 64)
+				default:
+					val = strconv.FormatFloat(s.value, 'g', -1, 64)
+				}
+				line := f.name + s.suffix + c.labels.render(s.extra) + " " + val + "\n"
+				if _, err := io.WriteString(w, line); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tebis/internal/metrics"
+	"tebis/internal/storage"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "", nil)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil registry counter retained a value")
+	}
+	g := r.Gauge("x", "", nil)
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil registry gauge retained a value")
+	}
+	r.CounterFunc("y_total", "", nil, func() float64 { return 1 })
+	r.GaugeFunc("y", "", nil, func() float64 { return 1 })
+	r.Summary("z", "", nil, metrics.NewHistogram())
+	r.RegisterCompaction(nil, nil)
+	r.RegisterFailure(nil, nil)
+	r.RegisterCycles(nil, nil)
+	r.RegisterDevice(nil, nil)
+	r.RegisterEndpoint(nil, nil)
+	r.RegisterAmplification(nil, nil, nil, nil)
+	r.RegisterOpLatency(nil, "GET", nil)
+	if got := r.Families(); got != nil {
+		t.Fatalf("nil registry listed families %v", got)
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryRebind(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "h", Labels{"node": "s0"})
+	b := r.Counter("dup_total", "h", Labels{"node": "s0"})
+	a.Add(2)
+	b.Add(3)
+	if a.Value() != 5 || b.Value() != 5 {
+		t.Fatalf("re-registered counter split series: a=%d b=%d", a.Value(), b.Value())
+	}
+	// A distinct label set is a distinct series.
+	c := r.Counter("dup_total", "h", Labels{"node": "s1"})
+	if c.Value() != 0 {
+		t.Fatalf("distinct labels shared the instrument: %d", c.Value())
+	}
+	ga := r.Gauge("dup_gauge", "h", nil)
+	gb := r.Gauge("dup_gauge", "h", nil)
+	ga.Set(7)
+	if gb.Value() != 7 {
+		t.Fatalf("re-registered gauge split series: %v", gb.Value())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("conc_total", "", nil)
+			g := r.Gauge("conc_gauge", "", nil)
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+			}
+		}()
+	}
+	// Scrape concurrently with updates.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	c := r.Counter("conc_total", "", nil)
+	if c.Value() != 8000 {
+		t.Fatalf("lost counter updates: %d", c.Value())
+	}
+	g := r.Gauge("conc_gauge", "", nil)
+	if g.Value() != 8000 {
+		t.Fatalf("lost gauge updates: %v", g.Value())
+	}
+}
+
+// TestExpositionGolden locks the exposition format against
+// testdata/metrics.golden: a registry exercising every instrument kind
+// and every collector must render byte-identically. Run with
+// -update-golden after an intentional format change.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	node := Labels{"node": "s0"}
+
+	c := r.Counter("tebis_test_requests_total", "Requests handled.", node)
+	c.Add(42)
+	g := r.Gauge("tebis_test_queue_depth", "Queued jobs.", node)
+	g.Set(3.5)
+	r.GaugeFunc("tebis_test_pull_gauge", "Pulled at scrape time.", nil,
+		func() float64 { return 1.25 })
+	esc := r.Counter("tebis_test_escaped_total", "Label escaping.",
+		Labels{"path": `a"b\c` + "\n"})
+	esc.Inc()
+
+	h := metrics.NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	r.RegisterOpLatency(node, "GET", h)
+
+	cs := &metrics.CompactionStats{}
+	cs.RecordJob()
+	cs.RecordMerge(100 * time.Millisecond)
+	cs.RecordBuild(200 * time.Millisecond)
+	cs.RecordShip(50*time.Millisecond, true)
+	cs.RecordShip(50*time.Millisecond, false)
+	cs.StallBegin()
+	cs.StallEnd(10 * time.Millisecond)
+	r.RegisterCompaction(node, cs)
+
+	fs := &metrics.FailureStats{}
+	fs.RecordRetry()
+	fs.RecordRetry()
+	fs.RecordEviction()
+	fs.AddResyncBytes(1 << 20)
+	r.RegisterFailure(node, fs)
+
+	cy := &metrics.Cycles{}
+	cy.Charge(metrics.CompCompaction, 12345)
+	cy.Charge(metrics.CompSendIndex, 678)
+	r.RegisterCycles(node, cy)
+
+	dev, err := storage.NewMemDevice(4096, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	seg, err := dev.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if err := dev.WriteAt(dev.Geometry().Pack(seg, 0), buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.ReadAt(dev.Geometry().Pack(seg, 0), buf[:1024]); err != nil {
+		t.Fatal(err)
+	}
+	r.RegisterDevice(node, dev)
+
+	r.RegisterAmplification(node,
+		func() float64 { return float64(dev.Stats().BytesRead + dev.Stats().BytesWritten) },
+		func() float64 { return 2048 },
+		func() float64 { return 1024 })
+
+	var out bytes.Buffer
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("exposition differs from golden file.\n--- got ---\n%s\n--- want ---\n%s", out.Bytes(), want)
+	}
+
+	// Determinism: a second render must be byte-identical.
+	var again bytes.Buffer
+	if err := r.WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), again.Bytes()) {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+func TestRegisterAmplificationZeroDataset(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterAmplification(nil,
+		func() float64 { return 100 },
+		func() float64 { return 100 },
+		func() float64 { return 0 })
+	var out bytes.Buffer
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.HasPrefix(line, "tebis_io_amplification") && !strings.HasSuffix(line, " 0") {
+			t.Fatalf("zero dataset produced non-zero amplification: %q", line)
+		}
+	}
+}

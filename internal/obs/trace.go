@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one completed interval of work in the Send-Index pipeline:
+// a merge, build, ship (per backup), or offset-rewrite stage of one
+// compaction job.
+type Span struct {
+	// Node is the server the work ran on ("" when the tracer is not
+	// node-scoped); it becomes the Chrome trace process.
+	Node string
+	// Cat is the span category ("compaction", "replication").
+	Cat string
+	// Name is the stage name ("merge", "build", "ship", "rewrite").
+	Name string
+	// JobID is the scheduler's compaction job ID; it becomes the Chrome
+	// trace thread, so all stages of one job share a row.
+	JobID uint64
+	// Backup names the destination backup for ship/rewrite spans.
+	Backup string
+	// Bytes is the payload size the span moved, when meaningful.
+	Bytes int64
+	// Start and Dur bound the interval.
+	Start time.Time
+	Dur   time.Duration
+}
+
+// ring is the bounded span buffer shared by all node-scoped views of
+// one Tracer.
+type ring struct {
+	mu      sync.Mutex
+	spans   []Span
+	next    int
+	full    bool
+	dropped uint64
+	// epoch anchors Chrome trace timestamps so ts values stay small.
+	epoch time.Time
+}
+
+// Tracer records spans into a bounded ring. A nil *Tracer drops spans,
+// so unwired code paths pay only a nil check. Node returns views that
+// share the ring but stamp Span.Node, letting every server in a
+// shared-process cluster trace into one timeline.
+type Tracer struct {
+	node string
+	r    *ring
+}
+
+// DefaultTraceCap is the ring capacity NewTracer(0) uses; at five spans
+// per compaction it holds several hundred complete jobs.
+const DefaultTraceCap = 4096
+
+// NewTracer returns a tracer whose ring holds up to capacity spans
+// (DefaultTraceCap when capacity <= 0). Once full, new spans overwrite
+// the oldest.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{r: &ring{spans: make([]Span, capacity), epoch: time.Now()}}
+}
+
+// Node returns a view of t that stamps Span.Node on every recorded
+// span. Nil-safe: a nil tracer returns nil.
+func (t *Tracer) Node(name string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{node: name, r: t.r}
+}
+
+// Record adds one span to the ring, overwriting the oldest when full.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	if s.Node == "" {
+		s.Node = t.node
+	}
+	r := t.r
+	r.mu.Lock()
+	if r.full {
+		r.dropped++
+	}
+	r.spans[r.next] = s
+	r.next++
+	if r.next == len(r.spans) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the buffered spans in recording order.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	r := t.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Span(nil), r.spans[:r.next]...)
+	}
+	out := make([]Span, 0, len(r.spans))
+	out = append(out, r.spans[r.next:]...)
+	out = append(out, r.spans[:r.next]...)
+	return out
+}
+
+// Dropped returns how many spans were overwritten since the last Reset.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.r.mu.Lock()
+	defer t.r.mu.Unlock()
+	return t.r.dropped
+}
+
+// Reset discards all buffered spans.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	r := t.r
+	r.mu.Lock()
+	r.next = 0
+	r.full = false
+	r.dropped = 0
+	r.mu.Unlock()
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (load chrome://tracing or https://ui.perfetto.dev).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`            // microseconds since epoch start
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders the buffered spans as Chrome trace-event
+// JSON. Each node becomes a process (with a process_name metadata
+// event) and each compaction job ID becomes a thread, so the
+// merge/build/ship/rewrite stages of one job line up on one row.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	spans := t.Snapshot()
+	t.r.mu.Lock()
+	epoch := t.r.epoch
+	t.r.mu.Unlock()
+
+	// Assign stable pids per node, sorted for deterministic output.
+	nodes := make(map[string]int)
+	for _, s := range spans {
+		nodes[s.Node] = 0
+	}
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		nodes[n] = i + 1
+	}
+
+	events := make([]chromeEvent, 0, len(spans)+len(names))
+	for _, n := range names {
+		label := n
+		if label == "" {
+			label = "tebis"
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  nodes[n],
+			Args: map[string]any{"name": label},
+		})
+	}
+	for _, s := range spans {
+		args := map[string]any{"job": s.JobID}
+		if s.Backup != "" {
+			args["backup"] = s.Backup
+		}
+		if s.Bytes != 0 {
+			args["bytes"] = s.Bytes
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			Ts:   float64(s.Start.Sub(epoch)) / float64(time.Microsecond),
+			Dur:  float64(s.Dur) / float64(time.Microsecond),
+			Pid:  nodes[s.Node],
+			Tid:  s.JobID,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events})
+}

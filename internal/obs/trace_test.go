@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Span{Name: "merge"})
+	if tr.Node("s0") != nil {
+		t.Fatal("nil tracer returned a non-nil node view")
+	}
+	if tr.Snapshot() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer reported spans")
+	}
+	tr.Reset()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer export is not valid JSON: %v", err)
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 7; i++ {
+		tr.Record(Span{Name: "s", JobID: uint64(i)})
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("ring held %d spans, want 4", len(spans))
+	}
+	// Oldest three were overwritten; order is preserved.
+	for i, s := range spans {
+		if s.JobID != uint64(3+i) {
+			t.Fatalf("span %d has job %d, want %d", i, s.JobID, 3+i)
+		}
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", tr.Dropped())
+	}
+	tr.Reset()
+	if len(tr.Snapshot()) != 0 || tr.Dropped() != 0 {
+		t.Fatal("Reset left spans behind")
+	}
+}
+
+func TestTracerNodeViews(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Node("s0").Record(Span{Name: "merge", JobID: 1})
+	tr.Node("s1").Record(Span{Name: "rewrite", JobID: 1})
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("shared ring held %d spans, want 2", len(spans))
+	}
+	if spans[0].Node != "s0" || spans[1].Node != "s1" {
+		t.Fatalf("node stamps wrong: %q, %q", spans[0].Node, spans[1].Node)
+	}
+}
+
+// TestChromeTraceRoundTrip validates the Chrome trace-event export:
+// valid JSON, one process per node with metadata, spans keyed to their
+// job IDs, and child spans nested inside their parent's interval.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := NewTracer(64)
+	base := time.Now()
+	// One compaction job on the primary: merge then build, with a ship
+	// sub-span inside the build window, and the rewrite on the backup.
+	tr.Node("prim").Record(Span{
+		Cat: "compaction", Name: "merge", JobID: 7,
+		Start: base, Dur: 10 * time.Millisecond,
+	})
+	tr.Node("prim").Record(Span{
+		Cat: "compaction", Name: "build", JobID: 7,
+		Start: base.Add(10 * time.Millisecond), Dur: 20 * time.Millisecond,
+	})
+	tr.Node("prim").Record(Span{
+		Cat: "replication", Name: "ship", JobID: 7, Backup: "back", Bytes: 4096,
+		Start: base.Add(12 * time.Millisecond), Dur: 5 * time.Millisecond,
+	})
+	tr.Node("back").Record(Span{
+		Cat: "replication", Name: "rewrite", JobID: 7, Bytes: 4096,
+		Start: base.Add(18 * time.Millisecond), Dur: 3 * time.Millisecond,
+	})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  uint64         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+
+	pids := map[string]int{}
+	events := map[string]int{} // name -> index into doc.TraceEvents
+	for i, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			pids[e.Args["name"].(string)] = e.Pid
+		case "X":
+			events[e.Name] = i
+			if e.Tid != 7 {
+				t.Errorf("span %q has tid %d, want job ID 7", e.Name, e.Tid)
+			}
+			if job, ok := e.Args["job"].(float64); !ok || uint64(job) != 7 {
+				t.Errorf("span %q args.job = %v, want 7", e.Name, e.Args["job"])
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	for _, name := range []string{"merge", "build", "ship", "rewrite"} {
+		if _, ok := events[name]; !ok {
+			t.Fatalf("export missing %q span", name)
+		}
+	}
+	if len(pids) != 2 {
+		t.Fatalf("expected 2 process_name metadata events, got %v", pids)
+	}
+
+	merge := doc.TraceEvents[events["merge"]]
+	build := doc.TraceEvents[events["build"]]
+	ship := doc.TraceEvents[events["ship"]]
+	rewrite := doc.TraceEvents[events["rewrite"]]
+
+	if merge.Pid != pids["prim"] || build.Pid != pids["prim"] || ship.Pid != pids["prim"] {
+		t.Error("primary-side spans not attributed to the prim process")
+	}
+	if rewrite.Pid != pids["back"] {
+		t.Error("rewrite span not attributed to the back process")
+	}
+	// Stages are ordered and the ship sub-span nests inside the build.
+	if !(merge.Ts+merge.Dur <= build.Ts+1e-6) {
+		t.Errorf("merge [%v+%v] overlaps build start %v", merge.Ts, merge.Dur, build.Ts)
+	}
+	if !(ship.Ts >= build.Ts && ship.Ts+ship.Dur <= build.Ts+build.Dur+1e-6) {
+		t.Errorf("ship [%v+%v] does not nest inside build [%v+%v]",
+			ship.Ts, ship.Dur, build.Ts, build.Dur)
+	}
+	if bts, ok := ship.Args["bytes"].(float64); !ok || int64(bts) != 4096 {
+		t.Errorf("ship args.bytes = %v, want 4096", ship.Args["bytes"])
+	}
+	if ship.Args["backup"] != "back" {
+		t.Errorf("ship args.backup = %v, want back", ship.Args["backup"])
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"tebis/internal/btree"
 	"tebis/internal/lsm"
 	"tebis/internal/metrics"
+	"tebis/internal/obs"
 	"tebis/internal/rdma"
 	"tebis/internal/region"
 	"tebis/internal/storage"
@@ -67,6 +69,9 @@ type BackupConfig struct {
 	// mirrors its tail into. Zero selects the device segment size; it
 	// must not exceed it.
 	LogBufferSize int
+	// Trace records offset-rewrite spans keyed by compaction job ID
+	// (optional).
+	Trace *obs.Tracer
 }
 
 // logBufferSize resolves the configured log-buffer size against the
@@ -466,6 +471,7 @@ func (b *Backup) handleIndexSegment(h wire.Header, req wire.IndexSegment) ([]byt
 	if err := b.idxBuf.ReadAt(0, data); err != nil {
 		return nil, err
 	}
+	rewriteStart := time.Now()
 	pointers, err := btree.RewriteSegment(
 		data, b.cfg.LSM.NodeSize, b.geo,
 		ship.idxMap.Resolve, // child pointers → index map
@@ -484,6 +490,11 @@ func (b *Backup) handleIndexSegment(h wire.Header, req wire.IndexSegment) ([]byt
 		return nil, err
 	}
 	b.charge(metrics.CompRewriteIndex, b.cfg.Cost.WriteIO(len(data)))
+	b.cfg.Trace.Record(obs.Span{
+		Cat: "replication", Name: "rewrite", JobID: req.JobID,
+		Bytes: int64(len(data)),
+		Start: rewriteStart, Dur: time.Since(rewriteStart),
+	})
 	lvl := int(req.DstLevel)
 	ship.pending[lvl] = append(ship.pending[lvl], local)
 	return ackMessage(h, wire.OpIndexSegmentAck), nil

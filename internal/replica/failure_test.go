@@ -32,7 +32,7 @@ func TestBackupFailureMidCompactionEvictsAndCompletes(t *testing.T) {
 	r := newRigCfg(t, SendIndex, 2, nil, func(pc *PrimaryConfig) {
 		pc.Retry = fastRetry()
 		pc.Failures = failures
-	})
+	}, nil)
 
 	// Arm the fault on backup0's NIC: the first IndexSegment command is
 	// delivered, then the node goes silent — every later operation
@@ -141,7 +141,7 @@ func TestBackupCrashEvictsOnNextAppend(t *testing.T) {
 	r := newRigCfg(t, SendIndex, 2, nil, func(pc *PrimaryConfig) {
 		pc.Retry = fastRetry()
 		pc.Failures = failures
-	})
+	}, nil)
 	r.load(500, 20)
 
 	r.backups[0].Crash()
@@ -171,7 +171,7 @@ func TestRPCRetryRecoversFromTransientDrop(t *testing.T) {
 	r := newRigCfg(t, SendIndex, 1, nil, func(pc *PrimaryConfig) {
 		pc.Retry = RetryPolicy{AckTimeout: 40 * time.Millisecond, MaxRetries: 3, Backoff: time.Millisecond}
 		pc.Failures = failures
-	})
+	}, nil)
 
 	// Drop exactly one FlushTail command on its way in.
 	var dropped atomic.Bool

@@ -10,6 +10,7 @@ import (
 	"tebis/internal/btree"
 	"tebis/internal/lsm"
 	"tebis/internal/metrics"
+	"tebis/internal/obs"
 	"tebis/internal/rdma"
 	"tebis/internal/region"
 	"tebis/internal/storage"
@@ -90,6 +91,9 @@ type PrimaryConfig struct {
 	Retry RetryPolicy
 	// Failures collects retry/eviction/degradation metrics (optional).
 	Failures *metrics.FailureStats
+	// Trace records per-backup ship spans keyed by compaction job ID
+	// (optional).
+	Trace *obs.Tracer
 }
 
 // backupHandle is the primary's view of one attached backup.
@@ -511,6 +515,7 @@ func (p *Primary) shipSegment(job lsm.CompactionJob, seg btree.EmittedSegment) {
 	const wrIndexShip = 2
 	for _, h := range p.handles() {
 		h.mu.Lock()
+		shipStart := time.Now()
 		if err := p.writeWithRetry(h, h.backup.IndexBufferRKey(), 0, seg.Data, wrIndexShip); err != nil {
 			h.mu.Unlock()
 			p.evict(h, err)
@@ -532,6 +537,11 @@ func (p *Primary) shipSegment(job lsm.CompactionJob, seg btree.EmittedSegment) {
 			continue
 		}
 		h.mu.Unlock()
+		p.cfg.Trace.Record(obs.Span{
+			Cat: "replication", Name: "ship", JobID: job.ID,
+			Backup: h.backup.cfg.ServerName, Bytes: int64(len(seg.Data)),
+			Start: shipStart, Dur: time.Since(shipStart),
+		})
 	}
 }
 

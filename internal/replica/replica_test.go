@@ -47,12 +47,13 @@ func newRig(t *testing.T, mode Mode, nBackups int) *rig {
 // options (e.g. attach compaction stats or change scheduler knobs).
 func newRigOpts(t *testing.T, mode Mode, nBackups int, tweak func(*lsm.Options)) *rig {
 	t.Helper()
-	return newRigCfg(t, mode, nBackups, tweak, nil)
+	return newRigCfg(t, mode, nBackups, tweak, nil, nil)
 }
 
 // newRigCfg additionally exposes the primary's replica config (failure
-// tests shorten the retry policy and attach failure metrics).
-func newRigCfg(t *testing.T, mode Mode, nBackups int, tweak func(*lsm.Options), ptweak func(*PrimaryConfig)) *rig {
+// tests shorten the retry policy and attach failure metrics) and each
+// backup's config (trace tests attach a tracer).
+func newRigCfg(t *testing.T, mode Mode, nBackups int, tweak func(*lsm.Options), ptweak func(*PrimaryConfig), btweak func(*BackupConfig)) *rig {
 	t.Helper()
 	const segSize = 16 << 10
 	r := &rig{t: t, mode: mode}
@@ -99,7 +100,7 @@ func newRigCfg(t *testing.T, mode Mode, nBackups int, tweak func(*lsm.Options), 
 		}
 		cy := &metrics.Cycles{}
 		ep := rdma.NewEndpoint(fmt.Sprintf("backup%d", i))
-		b, err := NewBackup(BackupConfig{
+		bcfg := BackupConfig{
 			RegionID:   1,
 			ServerName: ep.Name(),
 			Mode:       mode,
@@ -108,7 +109,11 @@ func newRigCfg(t *testing.T, mode Mode, nBackups int, tweak func(*lsm.Options), 
 			Cycles:     cy,
 			Cost:       metrics.DefaultCostModel(),
 			LSM:        lsmOpts(),
-		})
+		}
+		if btweak != nil {
+			btweak(&bcfg)
+		}
+		b, err := NewBackup(bcfg)
 		if err != nil {
 			t.Fatal(err)
 		}

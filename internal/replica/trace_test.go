@@ -1,0 +1,131 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"tebis/internal/lsm"
+	"tebis/internal/obs"
+)
+
+// TestSendIndexPipelineTrace drives a Send-Index rig with a shared
+// tracer on the primary engine, the primary replica, and the backup,
+// then exports the Chrome trace and checks the paper's full pipeline is
+// visible: merge, build, and ship spans on the primary plus rewrite
+// spans on the backup, all keyed by real scheduler job IDs, with
+// per-backup ship sub-spans carrying byte counts.
+func TestSendIndexPipelineTrace(t *testing.T) {
+	tracer := obs.NewTracer(0)
+	r := newRigCfg(t, SendIndex, 1,
+		func(opt *lsm.Options) { opt.Trace = tracer.Node("primary") },
+		func(pc *PrimaryConfig) { pc.Trace = tracer.Node("primary") },
+		func(bc *BackupConfig) { bc.Trace = tracer.Node(bc.ServerName) })
+	r.load(2000, 24)
+
+	// Collect the engine's completed job IDs from the primary's stats.
+	if jobs := r.db.CompactionStats().Jobs; jobs == 0 {
+		t.Fatal("load completed no compaction jobs")
+	}
+	spans := tracer.Snapshot()
+	byName := map[string][]obs.Span{}
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	for _, name := range []string{"merge", "build", "ship", "rewrite"} {
+		if len(byName[name]) == 0 {
+			t.Fatalf("no %q spans recorded (have %v)", name, keys(byName))
+		}
+	}
+
+	// Every span's job ID belongs to a job that also merged — i.e. the
+	// IDs are the scheduler's, not invented by a layer downstream.
+	mergeJobs := map[uint64]bool{}
+	for _, s := range byName["merge"] {
+		mergeJobs[s.JobID] = true
+		if s.Node != "primary" {
+			t.Errorf("merge span on node %q", s.Node)
+		}
+	}
+	for _, name := range []string{"build", "ship", "rewrite"} {
+		for _, s := range byName[name] {
+			if !mergeJobs[s.JobID] {
+				t.Errorf("%s span has job %d with no matching merge span", name, s.JobID)
+			}
+		}
+	}
+
+	// Per-job: merge starts before build ends; ship spans nest inside
+	// the job's wall-clock window; primary-side replication ship spans
+	// carry the backup's name and a byte count.
+	for _, s := range byName["ship"] {
+		if s.Cat == "replication" {
+			if s.Backup != "backup0" {
+				t.Errorf("replication ship span backup = %q", s.Backup)
+			}
+			if s.Bytes <= 0 {
+				t.Errorf("replication ship span has no byte count")
+			}
+		}
+	}
+	for _, s := range byName["rewrite"] {
+		if s.Node != "backup0" {
+			t.Errorf("rewrite span on node %q", s.Node)
+		}
+		if s.Bytes <= 0 {
+			t.Error("rewrite span has no byte count")
+		}
+	}
+
+	// The Chrome export round-trips as JSON and separates the two nodes
+	// into processes while threading by job ID.
+	var buf bytes.Buffer
+	if err := tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  uint64         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	procs := map[string]int{}
+	pidOf := map[string]map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			procs[e.Args["name"].(string)] = e.Pid
+		case "X":
+			if pidOf[e.Name] == nil {
+				pidOf[e.Name] = map[int]bool{}
+			}
+			pidOf[e.Name][e.Pid] = true
+			if !mergeJobs[e.Tid] && e.Name == "merge" {
+				t.Errorf("exported merge span tid %d unknown to the scheduler", e.Tid)
+			}
+		}
+	}
+	if len(procs) != 2 {
+		t.Fatalf("expected primary + backup0 processes, got %v", procs)
+	}
+	if !pidOf["rewrite"][procs["backup0"]] {
+		t.Error("rewrite events not attributed to the backup0 process")
+	}
+	if !pidOf["merge"][procs["primary"]] {
+		t.Error("merge events not attributed to the primary process")
+	}
+}
+
+func keys(m map[string][]obs.Span) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -8,9 +8,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tebis/internal/lsm"
 	"tebis/internal/metrics"
+	"tebis/internal/obs"
 	"tebis/internal/rdma"
 	"tebis/internal/region"
 	"tebis/internal/replica"
@@ -66,6 +68,9 @@ type Config struct {
 	// Failures collects this node's failure metrics (created on demand
 	// when nil).
 	Failures *metrics.FailureStats
+	// Trace records compaction pipeline spans for every hosted region,
+	// stamped with this server's name; may be nil.
+	Trace *obs.Tracer
 }
 
 func (c *Config) applyDefaults() {
@@ -90,6 +95,11 @@ func (c *Config) applyDefaults() {
 	if c.Failures == nil {
 		c.Failures = &metrics.FailureStats{}
 	}
+	if c.LSM.CompactionStats == nil {
+		// Share one sink across all hosted regions so Observe exposes a
+		// per-node compaction family.
+		c.LSM.CompactionStats = &metrics.CompactionStats{}
+	}
 }
 
 // hostedRegion is one region resident on this server.
@@ -103,7 +113,13 @@ type hostedRegion struct {
 
 // Server is a Tebis region server.
 type Server struct {
-	cfg Config
+	cfg   Config
+	trace *obs.Tracer // node-stamped view of cfg.Trace
+
+	// Per-op service latency (Figure 8) and the user bytes ingested —
+	// the denominator of the amplification gauges.
+	opLat   map[string]*metrics.Histogram
+	dataset atomic.Uint64
 
 	mu      sync.Mutex
 	regions map[region.ID]*hostedRegion
@@ -115,6 +131,9 @@ type Server struct {
 	workers []*worker
 	stop    chan struct{}
 }
+
+// opKinds are the request kinds the server tracks latency for.
+var opKinds = []string{"PUT", "DEL", "GET", "SCAN"}
 
 // Errors reported by the server.
 var (
@@ -133,8 +152,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:     cfg,
+		trace:   cfg.Trace.Node(cfg.Name),
+		opLat:   make(map[string]*metrics.Histogram, len(opKinds)),
 		regions: make(map[region.ID]*hostedRegion),
 		stop:    make(chan struct{}),
+	}
+	for _, op := range opKinds {
+		s.opLat[op] = metrics.NewHistogram()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := newWorker(s, i)
@@ -176,6 +200,7 @@ func (s *Server) lsmOptions() lsm.Options {
 	opt.Device = s.cfg.Device
 	opt.Cycles = s.cfg.Cycles
 	opt.Cost = s.cfg.Cost
+	opt.Trace = s.trace
 	s.seed++
 	opt.Seed = s.seed
 	return opt
@@ -201,6 +226,7 @@ func (s *Server) OpenPrimary(r region.Region, mode replica.Mode) (*replica.Prima
 		Cost:       s.cfg.Cost,
 		Retry:      s.cfg.Retry,
 		Failures:   s.cfg.Failures,
+		Trace:      s.trace,
 	})
 	opt := s.lsmOptions()
 	if mode != replica.NoReplication {
@@ -228,6 +254,7 @@ func (s *Server) OpenBackup(r region.Region, mode replica.Mode) (*replica.Backup
 	opt := s.cfg.LSM
 	s.seed++
 	opt.Seed = s.seed
+	opt.Trace = s.trace
 	b, err := replica.NewBackup(replica.BackupConfig{
 		RegionID:   r.ID,
 		ServerName: s.cfg.Name,
@@ -237,6 +264,7 @@ func (s *Server) OpenBackup(r region.Region, mode replica.Mode) (*replica.Backup
 		Cycles:     s.cfg.Cycles,
 		Cost:       s.cfg.Cost,
 		LSM:        opt,
+		Trace:      s.trace,
 	})
 	if err != nil {
 		return nil, err
@@ -268,6 +296,7 @@ func (s *Server) PromoteToPrimary(id region.ID) (*replica.Primary, error) {
 		Cost:       s.cfg.Cost,
 		Retry:      s.cfg.Retry,
 		Failures:   s.cfg.Failures,
+		Trace:      s.trace,
 	})
 	p.SetDB(db)
 	db.SetListener(p)
@@ -297,6 +326,7 @@ func (s *Server) DemoteToBackup(id region.ID, mode replica.Mode, oldToNew map[st
 	opt := s.cfg.LSM
 	s.seed++
 	opt.Seed = s.seed
+	opt.Trace = s.trace
 	b, err := replica.NewBackupFromPrimary(hr.primary, replica.BackupConfig{
 		RegionID:   id,
 		ServerName: s.cfg.Name,
@@ -306,6 +336,7 @@ func (s *Server) DemoteToBackup(id region.ID, mode replica.Mode, oldToNew map[st
 		Cycles:     s.cfg.Cycles,
 		Cost:       s.cfg.Cost,
 		LSM:        opt,
+		Trace:      s.trace,
 	}, oldToNew)
 	if err != nil {
 		return nil, err

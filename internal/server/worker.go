@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"time"
 
 	"tebis/internal/kv"
 	"tebis/internal/metrics"
@@ -35,6 +36,7 @@ func (w *worker) process(t task) {
 		flags   uint8
 		payload []byte
 	)
+	start := time.Now()
 	switch t.hdr.Opcode {
 	case wire.OpNoop:
 		op = wire.OpNoopReply
@@ -53,6 +55,25 @@ func (w *worker) process(t task) {
 		op, flags, payload = wire.OpNoopReply, wire.FlagError, []byte("bad opcode")
 	}
 	w.reply(t, op, flags, payload)
+	if kind := opKind(t.hdr.Opcode); kind != "" {
+		w.s.opLat[kind].Record(time.Since(start))
+	}
+}
+
+// opKind maps request opcodes to the latency-histogram kinds; "" for
+// opcodes not tracked (noop, bad opcodes).
+func opKind(op wire.Op) string {
+	switch op {
+	case wire.OpPut:
+		return "PUT"
+	case wire.OpDelete:
+		return "DEL"
+	case wire.OpGet, wire.OpGetRest:
+		return "GET"
+	case wire.OpScan:
+		return "SCAN"
+	}
+	return ""
 }
 
 // errReply classifies engine errors for the client.
@@ -84,6 +105,10 @@ func (w *worker) doPut(t task, del bool) (wire.Op, uint8, []byte) {
 	}
 	if err != nil {
 		return okOp, wire.FlagError, []byte(err.Error())
+	}
+	if !del {
+		// Dataset size: the denominator of the amplification gauges.
+		w.s.dataset.Add(uint64(len(req.Key) + len(req.Value)))
 	}
 	return okOp, 0, wire.StatusReply{}.Encode(nil)
 }

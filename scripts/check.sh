@@ -27,6 +27,12 @@ go test -race ./...
 # this focused pass re-runs it by name so a gate log shows explicitly
 # that fault injection, eviction/repair, and the failover-path
 # regressions were exercised.
+# obs-smoke boots a real tebis-server with -metrics and -replica and
+# asserts the whole observability surface (Prometheus exposition, Chrome
+# trace export, expvar) works end to end against live compactions.
+echo "== obs smoke"
+go run ./scripts/obssmoke
+
 echo "== failover suite (focused re-run)"
 go test -race -run 'TestBackupFailure|TestBackupCrash|TestRPCRetry|TestSyncPromote|TestPromoteSmallLogBuffer|TestBackupEvictionReplacementAndFailover|TestReplayFromTrimmedSegment|TestRingProperty|TestRingWrap|TestFreeListProperty' \
     ./internal/replica ./internal/cluster ./internal/vlog ./internal/client
