@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race check stress fmt vet bench obs-smoke clean
+.PHONY: all build test race check stress fmt vet bench obs-smoke crash-smoke clean
 
 all: build
 
@@ -38,6 +38,16 @@ bench:
 # observability surface end to end.
 obs-smoke:
 	$(GO) run ./scripts/obssmoke
+
+# crash-smoke runs the crash-consistency suites under the race
+# detector: randomized torn-write recovery (vlog + engine), corrupt-node
+# fuzzing of the index rewriter, the replica scrub-and-repair protocol,
+# the offline fsck, and the cluster corruption acceptance test.
+crash-smoke:
+	$(GO) test -race \
+		-run 'TestRecover|TestCrash|TestVlog|TestScrub|TestRepair|TestFetchSegment|TestTorn|TestCorrupt|TestRun|TestClusterScrub|TestVerify|TestFault' \
+		./internal/vlog ./internal/lsm ./internal/storage ./internal/btree \
+		./internal/replica ./internal/fsck ./internal/cluster
 
 clean:
 	$(GO) clean ./...

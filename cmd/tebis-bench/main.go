@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	tebis-bench [-experiment all|table2,fig6,fig7a,fig7b,fig8,table3,fig9a,fig9b,fig10a,fig10b,sec55,compaction,observability]
+//	tebis-bench [-experiment all|table2,fig6,fig7a,fig7b,fig8,table3,fig9a,fig9b,fig10a,fig10b,sec55,compaction,observability,integrity]
 //	            [-records N] [-ops N] [-l0 N] [-quick] [-compaction-json FILE]
-//	            [-observability-json FILE]
+//	            [-observability-json FILE] [-integrity-json FILE]
 //
 // Each experiment prints rows shaped like the paper's artifact:
 // throughput (Kops/s), efficiency (Kcycles/op), I/O amplification, and
@@ -38,10 +38,13 @@ func main() {
 			"output path for the compaction experiment's JSON report (empty = no file)")
 		obsJSON = flag.String("observability-json", bench.ObservabilityJSONPath,
 			"output path for the observability experiment's JSON report (empty = no file)")
+		intJSON = flag.String("integrity-json", bench.IntegrityJSONPath,
+			"output path for the integrity experiment's JSON report (empty = no file)")
 	)
 	flag.Parse()
 	bench.CompactionJSONPath = *cmpJSON
 	bench.ObservabilityJSONPath = *obsJSON
+	bench.IntegrityJSONPath = *intJSON
 
 	if *list {
 		for _, e := range bench.AllExperiments {

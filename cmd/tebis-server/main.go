@@ -10,7 +10,11 @@
 // Usage:
 //
 //	tebis-server [-addr :7625] [-data /tmp/tebis.img] [-segment 2097152]
-//	             [-metrics 127.0.0.1:7626] [-replica]
+//	             [-metrics 127.0.0.1:7626] [-replica] [-fsck]
+//
+// Every sealed segment is written with a CRC32C frame trailer; -fsck
+// re-verifies an existing image read-only and exits (cmd/tebis-fsck is
+// the standalone version with a -recover mode).
 //
 // With -metrics, an HTTP endpoint serves Prometheus text exposition on
 // /metrics, expvar on /debug/vars, and Chrome trace-event JSON of the
@@ -35,11 +39,13 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"tebis/internal/fsck"
 	"tebis/internal/kv"
 	"tebis/internal/lsm"
 	"tebis/internal/metrics"
@@ -78,14 +84,30 @@ func main() {
 		l0          = flag.Int("l0", lsm.DefaultL0MaxKeys, "L0 capacity in keys")
 		metricsAddr = flag.String("metrics", "", "observability HTTP listen address (empty = off)")
 		withReplica = flag.Bool("replica", false, "attach an in-process Send-Index backup")
+		fsckMode    = flag.Bool("fsck", false, "verify the device image read-only and exit (see cmd/tebis-fsck)")
 	)
 	flag.Parse()
 
-	dev, err := storage.NewFileDevice(*data, *segSize, 0)
+	if *fsckMode {
+		res, err := fsck.Run(fsck.Options{Path: *data, SegmentSize: *segSize, Log: os.Stdout})
+		if err != nil {
+			log.Fatalf("fsck: %v", err)
+		}
+		if !res.Clean() {
+			log.Fatalf("fsck: %s: %d of %d segments corrupt", *data, len(res.Findings), res.Scanned)
+		}
+		log.Printf("fsck: %s: clean (%d segments)", *data, res.Scanned)
+		return
+	}
+
+	fdev, err := storage.NewFileDevice(*data, *segSize, 0)
 	if err != nil {
 		log.Fatalf("open device: %v", err)
 	}
-	defer dev.Close()
+	defer fdev.Close()
+	// Write through the integrity layer so every sealed segment carries
+	// a CRC32C frame and the image is checkable with -fsck (DESIGN.md §7).
+	dev := storage.AsVerifying(fdev)
 
 	var (
 		cycles   metrics.Cycles
@@ -149,7 +171,7 @@ func main() {
 			RegionID:   region.ID(1),
 			ServerName: "backup0",
 			Mode:       replica.SendIndex,
-			Device:     devB,
+			Device:     storage.AsVerifying(devB),
 			Endpoint:   epB,
 			Cycles:     &cyB,
 			Cost:       metrics.DefaultCostModel(),

@@ -196,6 +196,44 @@ func TestRunExperimentObservability(t *testing.T) {
 	}
 }
 
+func TestRunExperimentIntegrity(t *testing.T) {
+	old := IntegrityJSONPath
+	IntegrityJSONPath = filepath.Join(t.TempDir(), "BENCH_integrity.json")
+	defer func() { IntegrityJSONPath = old }()
+
+	var buf bytes.Buffer
+	if err := RunExperiment(ExpIntegrity, tinyScale, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(IntegrityJSONPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep IntegrityReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, data)
+	}
+	if rep.Records != tinyScale.Records {
+		t.Fatalf("records = %d, want %d", rep.Records, tinyScale.Records)
+	}
+	for _, m := range []IntegrityModeResult{rep.Raw, rep.Framed} {
+		if m.NsPerOp <= 0 || m.KOpsPerSec <= 0 || m.PacedKOpsPerSec <= 0 ||
+			m.GetNsPerOp <= 0 || m.Jobs == 0 {
+			t.Fatalf("mode (framed=%v) measured nothing: %+v", m.Framed, m)
+		}
+	}
+	if rep.Raw.Framed || !rep.Framed.Framed {
+		t.Fatalf("mode flags swapped: raw=%+v framed=%+v", rep.Raw, rep.Framed)
+	}
+	// Loose sanity bound: tiny runs are noisy, but checksumming must not
+	// be anywhere near doubling the hot path. The acceptance bound (≤5%
+	// offered load) is checked on the full-scale tebis-bench run.
+	if rep.OverheadNsPerOpPercent > 50 || rep.OverheadOfferedLoadPercent > 50 {
+		t.Fatalf("implausible overhead: ns/op %.1f%%, offered-load %.1f%%",
+			rep.OverheadNsPerOpPercent, rep.OverheadOfferedLoadPercent)
+	}
+}
+
 func TestSetupStringsAndModes(t *testing.T) {
 	if SendIndex.String() != "Send-Index" || BuildIndexRL.String() != "Build-IndexRL" {
 		t.Fatal("setup names")

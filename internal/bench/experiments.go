@@ -51,13 +51,17 @@ const (
 	// cost of the obs layer (registry + tracer + scraping) on the
 	// compaction path and writes BENCH_observability.json.
 	ExpObservability Experiment = "observability"
+	// ExpIntegrity is not a paper artifact: it measures the checksum
+	// tax of the crash-consistency layer (CRC32C framing + read
+	// verification, DESIGN.md §7) and writes BENCH_integrity.json.
+	ExpIntegrity Experiment = "integrity"
 )
 
 // AllExperiments lists every reproducible artifact in paper order.
 var AllExperiments = []Experiment{
 	ExpTable2, ExpFig6, ExpFig7a, ExpFig7b, ExpFig8, ExpTable3,
 	ExpFig9a, ExpFig9b, ExpFig10a, ExpFig10b, ExpSec55, ExpCompaction,
-	ExpObservability,
+	ExpObservability, ExpIntegrity,
 }
 
 // twoWaySetups are the Figure 6/7 configurations.
@@ -96,6 +100,8 @@ func RunExperiment(exp Experiment, sc Scale, w io.Writer) error {
 		return runCompaction(sc, w)
 	case ExpObservability:
 		return runObservability(sc, w)
+	case ExpIntegrity:
+		return runIntegrity(sc, w)
 	}
 	return fmt.Errorf("bench: unknown experiment %q", exp)
 }

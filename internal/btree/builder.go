@@ -3,6 +3,7 @@ package btree
 import (
 	"fmt"
 
+	"tebis/internal/integrity"
 	"tebis/internal/kv"
 	"tebis/internal/storage"
 )
@@ -64,6 +65,7 @@ type Builder struct {
 	dev      storage.Device
 	geo      storage.Geometry
 	nodeSize int
+	slots    int // node slots per segment (framing-aware)
 	emit     EmitFunc
 
 	levels  []*levelBuilder // levels[0] = leaves
@@ -100,7 +102,13 @@ func NewBuilder(dev storage.Device, nodeSize int, emit EmitFunc) (*Builder, erro
 	if emit == nil {
 		emit = func(EmittedSegment) error { return nil }
 	}
-	return &Builder{dev: dev, geo: geo, nodeSize: nodeSize, emit: emit}, nil
+	// A framing device reserves trailer space at the end of each
+	// segment, which costs one node slot (nodeSize >= trailer size).
+	slots := int(storage.UsableCapacity(dev) / int64(nodeSize))
+	if slots < 1 {
+		return nil, fmt.Errorf("btree: node size %d leaves no slots in a framed segment", nodeSize)
+	}
+	return &Builder{dev: dev, geo: geo, nodeSize: nodeSize, slots: slots, emit: emit}, nil
 }
 
 func (b *Builder) newLevel(kind byte) *levelBuilder {
@@ -224,7 +232,7 @@ func (b *Builder) sealNode(level int) error {
 	}
 	copy(lb.segBuf[lb.nodeIdx*b.nodeSize:], lb.nodeBuf)
 	lb.nodeIdx++
-	if int64(lb.nodeIdx*b.nodeSize) == b.geo.SegmentSize() {
+	if lb.nodeIdx == b.slots {
 		if err := b.flushSegment(lb, true); err != nil {
 			return err
 		}
@@ -261,7 +269,7 @@ func (b *Builder) flushSegment(lb *levelBuilder, full bool) error {
 		return nil
 	}
 	data := lb.segBuf[:used]
-	if err := b.dev.WriteAt(b.geo.Pack(lb.seg, 0), data); err != nil {
+	if err := storage.WriteFramed(b.dev, b.geo.Pack(lb.seg, 0), data, integrity.KindIndex); err != nil {
 		return err
 	}
 	kind := SegLeaf

@@ -1,0 +1,171 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tebis/internal/storage"
+)
+
+// corruptReader wraps a fakeLog reader so lookups of mangled value-log
+// offsets fail with an error instead of a test fatal: after byte
+// mangling, any offset a descent produces may be garbage.
+func (f *fakeLog) tolerantReader() FullKeyReader {
+	return func(off storage.Offset) ([]byte, error) {
+		k, ok := f.keys[off]
+		if !ok {
+			return nil, fmt.Errorf("unknown offset %#x", off)
+		}
+		return k, nil
+	}
+}
+
+// TestMangledNodeBlocksNoPanic fuzzes the read path against corrupt
+// node blocks: random bytes of the tree's segments are flipped between
+// rounds (damage accumulates), and every Get / SeekGE / full scan must
+// terminate without panicking — returning either a result or an error.
+// Out-of-range decodes and pointer cycles are the failure modes this
+// guards against (readNode header validation + the maxDepth bound).
+func TestMangledNodeBlocksNoPanic(t *testing.T) {
+	const (
+		segSize  = 4096
+		nodeSize = 512
+		rounds   = 200
+	)
+	rng := rand.New(rand.NewSource(0xBADB10C5))
+	dev := newDev(t, segSize)
+	keys := sortedKeys(2000, "key-%05d")
+	tree, fl, built := buildTree(t, dev, nodeSize, keys, nil)
+	if len(built.Segments) < 3 {
+		t.Fatalf("tree spans %d segments, want >= 3 for meaningful mangling", len(built.Segments))
+	}
+	reader := fl.tolerantReader()
+	geo := dev.Geometry()
+
+	probe := func(round int) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("round %d: read path panicked on mangled tree: %v", round, r)
+			}
+		}()
+		key := []byte(fmt.Sprintf("key-%05d", rng.Intn(2100)))
+		_, _, _, _ = tree.Get(key, reader)
+
+		it, _ := tree.SeekGE(key, reader)
+		for steps := 0; it.Valid() && steps < 100; steps++ {
+			_ = it.Entry()
+			it.Next()
+		}
+
+		full := tree.Iter()
+		for steps := 0; full.Valid() && steps < 5000; steps++ {
+			_ = full.Entry()
+			full.Next()
+		}
+	}
+
+	buf := make([]byte, 1)
+	for round := 0; round < rounds; round++ {
+		// Flip one random byte in a random tree segment each round.
+		seg := built.Segments[rng.Intn(len(built.Segments))]
+		off := geo.Pack(seg, int64(rng.Intn(segSize)))
+		if err := dev.ReadAt(off, buf); err != nil {
+			t.Fatal(err)
+		}
+		buf[0] ^= byte(1 << rng.Intn(8))
+		if err := dev.WriteAt(off, buf); err != nil {
+			t.Fatal(err)
+		}
+		probe(round)
+	}
+}
+
+// TestPointerCycleBounded builds a tiny tree whose root child pointer is
+// redirected back at the root, and checks that descents report
+// ErrCorruptNode instead of spinning forever.
+func TestPointerCycleBounded(t *testing.T) {
+	const (
+		segSize  = 4096
+		nodeSize = 512
+	)
+	dev := newDev(t, segSize)
+	keys := sortedKeys(200, "key-%04d")
+	tree, fl, built := buildTree(t, dev, nodeSize, keys, nil)
+
+	// Read the root block, overwrite its leftmost child pointer with the
+	// root's own offset, and write it back: a 1-node cycle.
+	root := make([]byte, nodeSize)
+	if err := dev.ReadAt(built.Root, root); err != nil {
+		t.Fatal(err)
+	}
+	if root[0] != kindIndex {
+		t.Skip("single-level tree; no index node to corrupt")
+	}
+	putU64(root[nodeHdrSize:], uint64(built.Root))
+	if err := dev.WriteAt(built.Root, root); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keys routed to the leftmost child now descend the cycle.
+	_, _, _, err := tree.Get(keys[0], fl.reader())
+	if err == nil {
+		t.Fatal("Get through a pointer cycle returned no error")
+	}
+	it := tree.Iter()
+	for steps := 0; it.Valid() && steps < 100000; steps++ {
+		it.Next()
+	}
+	if it.Err() == nil {
+		t.Fatal("iterator through a pointer cycle finished without error")
+	}
+}
+
+// TestReadNodeRejectsBadHeaders checks the typed-error surface for
+// directly corrupted node headers: bad kind bytes and impossible leaf
+// counts must yield ErrCorruptNode from every entry point.
+func TestReadNodeRejectsBadHeaders(t *testing.T) {
+	const (
+		segSize  = 4096
+		nodeSize = 512
+	)
+	for _, tc := range []struct {
+		name   string
+		mangle func(block []byte)
+	}{
+		{"badKind", func(block []byte) { block[0] = 0x7F }},
+		{"hugeLeafCount", func(block []byte) {
+			block[0] = kindLeaf
+			block[1] = 0xFF
+			block[2] = 0xFF
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dev := newDev(t, segSize)
+			keys := sortedKeys(50, "key-%03d")
+			tree, fl, built := buildTree(t, dev, nodeSize, keys, nil)
+
+			block := make([]byte, nodeSize)
+			if err := dev.ReadAt(built.Root, block); err != nil {
+				t.Fatal(err)
+			}
+			tc.mangle(block)
+			if err := dev.WriteAt(built.Root, block); err != nil {
+				t.Fatal(err)
+			}
+
+			if _, _, _, err := tree.Get(keys[0], fl.reader()); err == nil {
+				t.Fatal("Get on corrupt root returned no error")
+			} else if !errors.Is(err, ErrCorruptNode) {
+				t.Fatalf("Get error = %v, want ErrCorruptNode", err)
+			}
+			if _, err := tree.SeekGE(keys[0], fl.reader()); err == nil {
+				t.Fatal("SeekGE on corrupt root returned no error")
+			}
+			if it := tree.Iter(); it.Err() == nil {
+				t.Fatal("Iter on corrupt root returned no error")
+			}
+		})
+	}
+}

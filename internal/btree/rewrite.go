@@ -61,6 +61,9 @@ func RewriteSegment(data []byte, nodeSize int, geo storage.Geometry, mapIndex, m
 
 func rewriteLeaf(block []byte, geo storage.Geometry, mapLog SegmentMapper) (int, error) {
 	count := leafCount(block)
+	if count > leafCapacity(len(block)) {
+		return 0, fmt.Errorf("%w: leaf count %d exceeds capacity %d", ErrCorruptNode, count, leafCapacity(len(block)))
+	}
 	for i := 0; i < count; i++ {
 		pos := nodeHdrSize + i*leafEntrySize + kv.PrefixSize
 		if err := rebase(block[pos:pos+8], geo, mapLog); err != nil {

@@ -28,13 +28,28 @@ func NewTree(dev storage.Device, nodeSize int, root storage.Offset) *Tree {
 // Root returns the root device offset.
 func (t *Tree) Root() storage.Offset { return t.root }
 
-// readNode fetches the node block at off from the device.
+// maxDepth bounds any root-to-leaf descent. A healthy tree is a few
+// levels deep; corrupt child pointers can form cycles, and the bound
+// turns those into ErrCorruptNode instead of an infinite loop.
+const maxDepth = 64
+
+// readNode fetches the node block at off from the device and validates
+// its header, so corrupt counts surface here as typed errors instead
+// of out-of-range slice panics in the decoders.
 func (t *Tree) readNode(off storage.Offset) ([]byte, error) {
 	block := make([]byte, t.nodeSize)
 	if err := t.dev.ReadAt(off, block); err != nil {
 		return nil, err
 	}
-	if block[0] != kindLeaf && block[0] != kindIndex {
+	switch block[0] {
+	case kindLeaf:
+		if c := leafCount(block); c > leafCapacity(t.nodeSize) {
+			return nil, fmt.Errorf("%w: leaf count %d exceeds capacity %d at %#x",
+				ErrCorruptNode, c, leafCapacity(t.nodeSize), off)
+		}
+	case kindIndex:
+		// Pivot bounds are checked entry-by-entry in decodeIndexNode.
+	default:
 		return nil, fmt.Errorf("%w: kind %d at %#x", ErrCorruptNode, block[0], off)
 	}
 	return block, nil
@@ -43,7 +58,7 @@ func (t *Tree) readNode(off storage.Offset) ([]byte, error) {
 // findLeaf descends from the root to the leaf covering key.
 func (t *Tree) findLeaf(key []byte) ([]byte, error) {
 	off := t.root
-	for {
+	for depth := 0; depth < maxDepth; depth++ {
 		block, err := t.readNode(off)
 		if err != nil {
 			return nil, err
@@ -57,6 +72,7 @@ func (t *Tree) findLeaf(key []byte) ([]byte, error) {
 		}
 		off = n.children[n.route(key)]
 	}
+	return nil, fmt.Errorf("%w: descent exceeded depth %d (pointer cycle?)", ErrCorruptNode, maxDepth)
 }
 
 // Get looks up key. found reports whether the key is present (a
@@ -145,7 +161,11 @@ func (t *Tree) SeekGE(key []byte, fullKey FullKeyReader) (*Iterator, error) {
 		return it, nil
 	}
 	off := t.root
-	for {
+	for depth := 0; ; depth++ {
+		if depth >= maxDepth {
+			it.err = fmt.Errorf("%w: descent exceeded depth %d (pointer cycle?)", ErrCorruptNode, maxDepth)
+			return it, it.err
+		}
 		block, err := it.t.readNode(off)
 		it.nodesRead++
 		if err != nil {
@@ -195,7 +215,11 @@ func (t *Tree) SeekGE(key []byte, fullKey FullKeyReader) (*Iterator, error) {
 // descend pushes the leftmost path from off onto the stack and loads the
 // first leaf.
 func (it *Iterator) descend(off storage.Offset) {
-	for {
+	for depth := 0; ; depth++ {
+		if depth >= maxDepth || len(it.stack) >= maxDepth {
+			it.err = fmt.Errorf("%w: descent exceeded depth %d (pointer cycle?)", ErrCorruptNode, maxDepth)
+			return
+		}
 		block, err := it.t.readNode(off)
 		it.nodesRead++
 		if err != nil {

@@ -1,0 +1,68 @@
+package integrity
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestTrailerRoundTrip(t *testing.T) {
+	buf := make([]byte, TrailerSize)
+	want := Trailer{Kind: KindIndex, PayloadLen: 65520, CRC: 0xDEADBEEF, Seq: 42}
+	EncodeTrailer(buf, want)
+	got, err := DecodeTrailer(buf, 65536)
+	if err != nil {
+		t.Fatalf("DecodeTrailer: %v", err)
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+}
+
+func TestDecodeTrailerNoFrame(t *testing.T) {
+	buf := make([]byte, TrailerSize)
+	if _, err := DecodeTrailer(buf, 65536); !errors.Is(err, ErrNoFrame) {
+		t.Fatalf("zeroed trailer: got %v want ErrNoFrame", err)
+	}
+	if _, err := DecodeTrailer(buf[:4], 65536); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short trailer: got %v want ErrBadFrame", err)
+	}
+}
+
+func TestDecodeTrailerBadPayloadLen(t *testing.T) {
+	buf := make([]byte, TrailerSize)
+	EncodeTrailer(buf, Trailer{Kind: KindLog, PayloadLen: 65536 - TrailerSize + 1})
+	if _, err := DecodeTrailer(buf, 65536); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized payload: got %v want ErrBadFrame", err)
+	}
+	// Without a segment size the bound is skipped.
+	if _, err := DecodeTrailer(buf, 0); err != nil {
+		t.Fatalf("unbounded decode: %v", err)
+	}
+}
+
+// TestMagicTerminatesLogScan pins the property the package comment
+// relies on: read as a record's key length, the magic exceeds any
+// segment size and differs from the tombstone sentinel.
+func TestMagicTerminatesLogScan(t *testing.T) {
+	buf := make([]byte, TrailerSize)
+	EncodeTrailer(buf, Trailer{})
+	keyLen := binary.LittleEndian.Uint32(buf[0:4])
+	if keyLen != FrameMagic {
+		t.Fatalf("trailer does not start with magic: %#x", keyLen)
+	}
+	if int64(keyLen) <= 1<<30 {
+		t.Fatalf("magic %#x too small to terminate a scan", keyLen)
+	}
+	if keyLen == ^uint32(0) {
+		t.Fatalf("magic collides with the tombstone sentinel")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindOpaque: "opaque", KindLog: "log", KindIndex: "index", Kind(9): "kind(9)"} {
+		if got := k.String(); got != want {
+			t.Fatalf("Kind(%d).String() = %q want %q", k, got, want)
+		}
+	}
+}

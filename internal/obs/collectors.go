@@ -80,6 +80,31 @@ func (r *Registry) RegisterFailure(labels Labels, s *metrics.FailureStats) {
 		func() float64 { return snap().DegradedDuration.Seconds() })
 }
 
+// RegisterScrub exposes the integrity scrub-and-repair counters
+// (DESIGN.md §7): segments verified, checksum failures found, and how
+// many of those a replica could (or could not) repair.
+func (r *Registry) RegisterScrub(labels Labels, s *metrics.ScrubStats) {
+	if r == nil {
+		return
+	}
+	snap := func() metrics.ScrubSnapshot { return s.Snapshot() }
+	r.CounterFunc("tebis_scrub_runs_total",
+		"Completed integrity scrub passes.", labels,
+		func() float64 { return float64(snap().Runs) })
+	r.CounterFunc("tebis_scrub_segments_scanned_total",
+		"Segments checksum-verified by the scrubber.", labels,
+		func() float64 { return float64(snap().SegmentsScanned) })
+	r.CounterFunc("tebis_scrub_corruptions_found_total",
+		"Segments that failed checksum verification.", labels,
+		func() float64 { return float64(snap().CorruptionsFound) })
+	r.CounterFunc("tebis_scrub_segments_repaired_total",
+		"Corrupt segments restored from a replica or local reframe.", labels,
+		func() float64 { return float64(snap().SegmentsRepaired) })
+	r.CounterFunc("tebis_scrub_unrepairable_total",
+		"Corrupt segments no replica could restore.", labels,
+		func() float64 { return float64(snap().Unrepairable) })
+}
+
 // RegisterCycles exposes the Table 3 cycle breakdown, one series per
 // component.
 func (r *Registry) RegisterCycles(labels Labels, cy *metrics.Cycles) {

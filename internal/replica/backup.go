@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"tebis/internal/btree"
+	"tebis/internal/integrity"
 	"tebis/internal/lsm"
 	"tebis/internal/metrics"
 	"tebis/internal/obs"
@@ -107,7 +108,14 @@ type Backup struct {
 	flushed map[storage.SegmentID]bool // primary log segments flushed here
 	ships   map[uint64]*shipJob        // per-compaction staging, keyed by job ID
 	levels  map[int]lsm.LevelState     // installed levels (Send-Index)
-	db      *lsm.DB                    // own engine (Build-Index)
+	// levelMaps retains each installed level's <primary seg, local seg>
+	// index translation after the ship job's map is cleared. Scrub needs
+	// it to name corrupt segments in primary space, and repair needs it
+	// in both directions: inverse to serve a primary-space copy of a
+	// local segment (OpFetchSegment), forward to re-localize a pushed
+	// repair image (OpRepairSegment).
+	levelMaps map[int]map[storage.SegmentID]storage.SegmentID
+	db        *lsm.DB // own engine (Build-Index)
 	// watermarkPrimary is the last compaction watermark in primary
 	// device space.
 	watermarkPrimary storage.Offset
@@ -164,13 +172,14 @@ func NewBackup(cfg BackupConfig) (*Backup, error) {
 		return nil, err
 	}
 	b := &Backup{
-		cfg:    cfg,
-		geo:    geo,
-		logBuf: logBuf,
-		idxBuf: idxBuf,
-		logMap: NewSegMap(cfg.Device),
-		ships:  make(map[uint64]*shipJob),
-		levels: make(map[int]lsm.LevelState),
+		cfg:       cfg,
+		geo:       geo,
+		logBuf:    logBuf,
+		idxBuf:    idxBuf,
+		logMap:    NewSegMap(cfg.Device),
+		ships:     make(map[uint64]*shipJob),
+		levels:    make(map[int]lsm.LevelState),
+		levelMaps: make(map[int]map[storage.SegmentID]storage.SegmentID),
 	}
 	// The backup's value log holds adopted (replicated) segments; it
 	// never appends until promotion.
@@ -355,19 +364,61 @@ func (b *Backup) handle(h wire.Header, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		return b.handleSyncTail(h, req)
+	case wire.OpScrub:
+		req, err := wire.DecodeScrubReq(payload)
+		if err != nil {
+			return nil, err
+		}
+		return b.handleScrub(h, req)
+	case wire.OpFetchSegment:
+		req, err := wire.DecodeFetchSegment(payload)
+		if err != nil {
+			return nil, err
+		}
+		return b.handleFetchSegment(h, req)
+	case wire.OpRepairSegment:
+		req, err := wire.DecodeRepairSegment(payload)
+		if err != nil {
+			return nil, err
+		}
+		return b.handleRepairSegment(h, req)
 	default:
 		return nil, fmt.Errorf("replica: backup got unexpected op %v", h.Opcode)
 	}
 }
 
 func ackMessage(h wire.Header, op wire.Op) []byte {
-	buf := make([]byte, wire.MessageSize(1))
+	return ackWithPayload(h, op, []byte{0})
+}
+
+// ackWithPayload builds a reply message carrying an arbitrary payload
+// (scrub reports and fetched segment images ride the ack path).
+func ackWithPayload(h wire.Header, op wire.Op, payload []byte) []byte {
+	buf := make([]byte, wire.MessageSize(len(payload)))
 	if _, err := wire.EncodeMessage(buf, wire.Header{
 		Opcode:    op,
 		RegionID:  h.RegionID,
 		RequestID: h.RequestID,
-	}, []byte{0}); err != nil {
+	}, payload); err != nil {
 		panic(err) // buffer is sized exactly; cannot fail
+	}
+	return buf
+}
+
+// ackError builds a FlagError reply: the handler failed for this
+// request, but the failure belongs to the request, not the control
+// loop, so the loop keeps serving (a repair attempt on a segment the
+// backup never had must not take the whole replica down).
+func ackError(h wire.Header, op wire.Op, err error) []byte {
+	payload := []byte(err.Error())
+	buf := make([]byte, wire.MessageSize(len(payload)))
+	if _, encErr := wire.EncodeMessage(buf, wire.Header{
+		Opcode:    op,
+		Flags:     wire.FlagError,
+		RegionID:  h.RegionID,
+		RequestID: h.RequestID,
+	}, payload); encErr != nil {
+		panic(encErr) // buffer is sized exactly; cannot fail
 	}
 	return buf
 }
@@ -486,7 +537,7 @@ func (b *Backup) handleIndexSegment(h wire.Header, req wire.IndexSegment) ([]byt
 	if err != nil {
 		return nil, err
 	}
-	if err := b.cfg.Device.WriteAt(b.geo.Pack(local, 0), data); err != nil {
+	if err := storage.WriteFramed(b.cfg.Device, b.geo.Pack(local, 0), data, integrity.KindIndex); err != nil {
 		return nil, err
 	}
 	b.charge(metrics.CompRewriteIndex, b.cfg.Cost.WriteIO(len(data)))
@@ -539,10 +590,15 @@ func (b *Backup) handleCompactionDone(h wire.Header, req wire.CompactionDone) ([
 				}
 			}
 			delete(b.levels, lvl)
+			delete(b.levelMaps, lvl)
 		}
 	}
 	if req.NumKeys > 0 {
 		b.levels[dst] = newState
+		// Retain the job's index translation for the installed level:
+		// scrub and repair need primary<->local segment naming long
+		// after the ship job is gone.
+		b.levelMaps[dst] = ship.idxMap.Snapshot()
 	}
 	b.watermarkPrimary = storage.Offset(req.Watermark)
 	if ship != nil {

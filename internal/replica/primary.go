@@ -262,13 +262,41 @@ func (p *Primary) rpc(h *backupHandle, op wire.Op, payload []byte) error {
 // rpcLocked is rpc for callers that already hold h.mu (segment shipping
 // holds it across the data write and the control message so concurrent
 // jobs cannot interleave on the backup's single staging buffer).
+func (p *Primary) rpcLocked(h *backupHandle, op wire.Op, payload []byte) error {
+	_, err := p.rpcReplyLocked(h, op, payload, ackRecvSize)
+	return err
+}
+
+// ackRecvSize fits every fixed-size ack. Replies that carry data (scrub
+// reports, fetched segments) need a caller-sized receive instead.
+const ackRecvSize = 1024
+
+// RemoteError is a handler failure a backup reported in a FlagError
+// ack: the RPC round trip itself succeeded, so retrying is pointless
+// (the backup would replay the same cached ack) and the backup stays
+// attached — the failure belongs to the request, not the replica.
+type RemoteError struct {
+	// Op is the reply opcode carrying the error.
+	Op wire.Op
+	// Msg is the backup's error text.
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("replica: backup rejected %v: %s", e.Op, e.Msg)
+}
+
+// rpcReplyLocked performs one control round trip and returns the ack's
+// payload. recvSize bounds the reply message the primary is prepared to
+// receive (a fetched segment image needs a segment-sized receive).
 //
 // Each attempt is bounded by the retry policy's ack deadline. Retries
 // resend the SAME RequestID: the backup deduplicates re-deliveries and
 // replays its cached ack, so non-idempotent handlers never run twice
 // even when only the ack was lost. Stale acks of earlier attempts are
 // discarded by RequestID matching.
-func (p *Primary) rpcLocked(h *backupHandle, op wire.Op, payload []byte) error {
+func (p *Primary) rpcReplyLocked(h *backupHandle, op wire.Op, payload []byte, recvSize int) ([]byte, error) {
 	reqID := p.reqID.Add(1)
 	msg := make([]byte, wire.MessageSize(len(payload)))
 	if _, err := wire.EncodeMessage(msg, wire.Header{
@@ -276,7 +304,7 @@ func (p *Primary) rpcLocked(h *backupHandle, op wire.Op, payload []byte) error {
 		RegionID:  uint16(p.cfg.RegionID),
 		RequestID: reqID,
 	}, payload); err != nil {
-		return err
+		return nil, err
 	}
 	pol := p.retry
 	var lastErr error
@@ -285,47 +313,54 @@ func (p *Primary) rpcLocked(h *backupHandle, op wire.Op, payload []byte) error {
 			p.cfg.Failures.RecordRetry()
 			time.Sleep(pol.backoff(attempt))
 		}
-		h.ackRecv.PostRecv(1024)
+		h.ackRecv.PostRecv(recvSize)
 		if err := h.reqSend.SendTimeout(h.backup.reqRecv, msg, pol.AckTimeout); err != nil {
 			if errors.Is(err, rdma.ErrDisconnected) {
-				return err // the QP is gone; retrying cannot help
+				return nil, err // the QP is gone; retrying cannot help
 			}
 			lastErr = err
 			continue
 		}
-		if err := p.awaitAck(h, reqID, pol.AckTimeout); err != nil {
-			if errors.Is(err, rdma.ErrDisconnected) {
-				return err
+		reply, err := p.awaitAck(h, reqID, pol.AckTimeout)
+		if err != nil {
+			var rerr *RemoteError
+			if errors.Is(err, rdma.ErrDisconnected) || errors.As(err, &rerr) {
+				return nil, err
 			}
 			lastErr = err
 			continue
 		}
-		return nil
+		return reply, nil
 	}
-	return fmt.Errorf("replica: backup %s unresponsive to %v after %d attempts: %w",
+	return nil, fmt.Errorf("replica: backup %s unresponsive to %v after %d attempts: %w",
 		h.backup.cfg.ServerName, op, pol.MaxRetries+1, lastErr)
 }
 
 // awaitAck waits for the ack matching reqID, discarding stale acks of
-// earlier attempts (a slow backup may ack after the primary retried).
-func (p *Primary) awaitAck(h *backupHandle, reqID uint64, timeout time.Duration) error {
+// earlier attempts (a slow backup may ack after the primary retried),
+// and returns a copy of the ack's payload.
+func (p *Primary) awaitAck(h *backupHandle, reqID uint64, timeout time.Duration) ([]byte, error) {
 	deadline := time.Now().Add(timeout)
 	for {
 		remain := time.Until(deadline)
 		if remain <= 0 {
-			return rdma.ErrTimeout
+			return nil, rdma.ErrTimeout
 		}
 		ack, err := h.ackRecv.RecvTimeout(remain)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		ah, err := wire.DecodeHeader(ack)
+		ah, payload, err := wire.DecodeMessage(ack)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if ah.RequestID == reqID {
-			return nil
+		if ah.RequestID != reqID {
+			continue
 		}
+		if ah.Flags&wire.FlagError != 0 {
+			return nil, &RemoteError{Op: ah.Opcode, Msg: string(payload)}
+		}
+		return append([]byte(nil), payload...), nil
 	}
 }
 

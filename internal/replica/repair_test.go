@@ -1,0 +1,455 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tebis/internal/integrity"
+	"tebis/internal/lsm"
+	"tebis/internal/metrics"
+	"tebis/internal/storage"
+	"tebis/internal/wire"
+)
+
+// repairRig wraps the standard rig with fault-injection and checksum
+// verification on every device, the setup ScrubAndRepair requires.
+type repairRig struct {
+	*rig
+	pFault *storage.FaultDevice
+	pVer   *storage.VerifyingDevice
+	bFault []*storage.FaultDevice
+	bVer   []*storage.VerifyingDevice
+}
+
+func newRepairRig(t *testing.T, nBackups int) *repairRig {
+	t.Helper()
+	rr := &repairRig{}
+	rr.rig = newRigCfg(t, SendIndex, nBackups,
+		func(o *lsm.Options) {
+			rr.pFault = storage.NewFaultDevice(o.Device)
+			rr.pVer = storage.AsVerifying(rr.pFault)
+			o.Device = rr.pVer
+		},
+		nil,
+		func(c *BackupConfig) {
+			f := storage.NewFaultDevice(c.Device)
+			v := storage.AsVerifying(f)
+			c.Device = v
+			rr.bFault = append(rr.bFault, f)
+			rr.bVer = append(rr.bVer, v)
+		})
+	return rr
+}
+
+// repairTarget is one segment chosen for corruption: its local ID on
+// the owning node, its primary-space name, and its pre-corruption
+// payload for the byte-equivalence check after repair.
+type repairTarget struct {
+	backup  int // index into rr.backups, or -1 for the primary
+	local   storage.SegmentID
+	ref     wire.SegRef
+	payload []byte
+}
+
+// backupTargets enumerates every repairable segment a backup holds, in
+// deterministic order: flushed log segments first, then each installed
+// level's index segments.
+func (rr *repairRig) backupTargets(t *testing.T, bi int) []repairTarget {
+	t.Helper()
+	b := rr.backups[bi]
+	ver := rr.bVer[bi]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []repairTarget
+	invLog := invertSegMap(b.logMap.Snapshot())
+	for _, local := range b.log.Segments() {
+		primary, ok := invLog[local]
+		if !ok {
+			continue
+		}
+		out = append(out, repairTarget{
+			backup: bi, local: local,
+			ref:     wire.SegRef{Kind: uint8(integrity.KindLog), PrimarySeg: uint32(primary)},
+			payload: readPayload(t, ver, local),
+		})
+	}
+	var lvls []int
+	for lvl := range b.levels {
+		lvls = append(lvls, lvl)
+	}
+	sort.Ints(lvls)
+	for _, lvl := range lvls {
+		inv := invertSegMap(b.levelMaps[lvl])
+		for _, local := range b.levels[lvl].Segments {
+			primary, ok := inv[local]
+			if !ok {
+				t.Fatalf("backup %d level %d segment %d has no primary name", bi, lvl, local)
+			}
+			out = append(out, repairTarget{
+				backup: bi, local: local,
+				ref: wire.SegRef{Kind: uint8(integrity.KindIndex), Level: uint8(lvl),
+					PrimarySeg: uint32(primary)},
+				payload: readPayload(t, ver, local),
+			})
+		}
+	}
+	return out
+}
+
+func readPayload(t *testing.T, ver *storage.VerifyingDevice, seg storage.SegmentID) []byte {
+	t.Helper()
+	info, err := ver.SegmentInfo(seg)
+	if err != nil {
+		t.Fatalf("segment %d info: %v", seg, err)
+	}
+	p := make([]byte, info.PayloadLen)
+	if err := ver.ReadAt(ver.Geometry().Pack(seg, 0), p); err != nil {
+		t.Fatalf("segment %d read: %v", seg, err)
+	}
+	return p
+}
+
+// corrupt flips one random payload bit of a target and evicts the
+// verifier's cached state so the damage is visible at the next read.
+func (rr *repairRig) corrupt(t *testing.T, tg repairTarget, rng *rand.Rand) {
+	t.Helper()
+	fault, ver := rr.pFault, rr.pVer
+	if tg.backup >= 0 {
+		fault, ver = rr.bFault[tg.backup], rr.bVer[tg.backup]
+	}
+	within := rng.Int63n(int64(len(tg.payload)))
+	if err := fault.Corrupt(tg.local, within, 1<<uint(rng.Intn(8))); err != nil {
+		t.Fatalf("corrupt segment %d: %v", tg.local, err)
+	}
+	ver.Invalidate(tg.local)
+}
+
+func TestScrubAndRepairCleanPass(t *testing.T) {
+	rr := newRepairRig(t, 2)
+	rr.load(3000, 40)
+	stats := &metrics.ScrubStats{}
+	rep, err := rr.primary.ScrubAndRepair(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean cluster reported corrupt: %+v", rep)
+	}
+	if rep.LocalScanned == 0 || rep.BackupScanned == 0 {
+		t.Fatalf("nothing scanned: %+v", rep)
+	}
+	snap := stats.Snapshot()
+	if snap.Runs != 1 || snap.CorruptionsFound != 0 || snap.SegmentsRepaired != 0 {
+		t.Fatalf("stats = %+v", snap)
+	}
+}
+
+// TestRepairBackupCorruptions is the replica-repair acceptance test:
+// corrupt a dozen randomly chosen segments (log and index) across two
+// backups, run one scrub-and-repair pass, and require every corruption
+// detected, every segment repaired, and every repaired payload
+// byte-identical to its pre-corruption image.
+func TestRepairBackupCorruptions(t *testing.T) {
+	rr := newRepairRig(t, 2)
+	rr.load(6000, 40)
+	rng := rand.New(rand.NewSource(0x4EA1))
+
+	var chosen []repairTarget
+	for bi := range rr.backups {
+		targets := rr.backupTargets(t, bi)
+		logN, idxN := 0, 0
+		for _, tg := range targets {
+			// Three log and three index segments per backup.
+			if integrity.Kind(tg.ref.Kind) == integrity.KindLog && logN < 3 {
+				logN++
+				chosen = append(chosen, tg)
+			} else if integrity.Kind(tg.ref.Kind) == integrity.KindIndex && idxN < 3 {
+				idxN++
+				chosen = append(chosen, tg)
+			}
+		}
+		if logN < 3 || idxN < 3 {
+			t.Fatalf("backup %d: only %d log + %d index targets", bi, logN, idxN)
+		}
+	}
+	if len(chosen) < 10 {
+		t.Fatalf("only %d corruption targets, want >= 10", len(chosen))
+	}
+	for _, tg := range chosen {
+		rr.corrupt(t, tg, rng)
+	}
+
+	stats := &metrics.ScrubStats{}
+	rep, err := rr.primary.ScrubAndRepair(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.checkHealthy()
+	if len(rep.LocalFindings) != 0 {
+		t.Fatalf("primary reported corrupt: %+v", rep.LocalFindings)
+	}
+	if rep.BackupFindings != len(chosen) {
+		t.Fatalf("scrub found %d of %d injected corruptions", rep.BackupFindings, len(chosen))
+	}
+	if rep.BackupRepaired != len(chosen) || rep.Unrepairable != 0 {
+		t.Fatalf("repaired %d, unrepairable %d, want %d/0",
+			rep.BackupRepaired, rep.Unrepairable, len(chosen))
+	}
+	for _, tg := range chosen {
+		ver := rr.bVer[tg.backup]
+		if err := ver.VerifySegment(tg.local); err != nil {
+			t.Fatalf("backup %d segment %d still corrupt after repair: %v", tg.backup, tg.local, err)
+		}
+		if got := readPayload(t, ver, tg.local); !bytes.Equal(got, tg.payload) {
+			t.Fatalf("backup %d segment %d payload not byte-equivalent after repair", tg.backup, tg.local)
+		}
+	}
+	// A second pass over the healed cluster finds nothing.
+	rep, err = rr.primary.ScrubAndRepair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("cluster still corrupt after repair: %+v", rep)
+	}
+	snap := stats.Snapshot()
+	if snap.CorruptionsFound != uint64(len(chosen)) || snap.SegmentsRepaired != uint64(len(chosen)) {
+		t.Fatalf("stats = %+v, want %d found and repaired", snap, len(chosen))
+	}
+}
+
+// TestRepairPrimaryFromBackup corrupts the primary's own segments and
+// requires: reads through the corruption fail with ErrChecksum (never
+// wrong data), the scrub pass heals every segment from a backup copy,
+// and reads return correct values afterwards.
+func TestRepairPrimaryFromBackup(t *testing.T) {
+	rr := newRepairRig(t, 2)
+	rr.load(6000, 40)
+	rng := rand.New(rand.NewSource(0x4EA2))
+
+	wantVal := make([]byte, 40)
+	for i := range wantVal {
+		wantVal[i] = byte('a' + i%26)
+	}
+
+	// Choose primary targets: two log segments and two index segments.
+	var chosen []repairTarget
+	for i, seg := range rr.db.Log().Segments() {
+		if i%2 == 0 && len(chosen) < 2 {
+			chosen = append(chosen, repairTarget{
+				backup: -1, local: seg,
+				ref:     wire.SegRef{Kind: uint8(integrity.KindLog), PrimarySeg: uint32(seg)},
+				payload: readPayload(t, rr.pVer, seg),
+			})
+		}
+	}
+	for li, st := range rr.db.Levels() {
+		for i, seg := range st.Segments {
+			if i%2 == 0 && len(chosen) < 4 {
+				chosen = append(chosen, repairTarget{
+					backup: -1, local: seg,
+					ref: wire.SegRef{Kind: uint8(integrity.KindIndex), Level: uint8(li + 1),
+						PrimarySeg: uint32(seg)},
+					payload: readPayload(t, rr.pVer, seg),
+				})
+			}
+		}
+	}
+	if len(chosen) < 4 {
+		t.Fatalf("only %d primary targets", len(chosen))
+	}
+	for _, tg := range chosen {
+		rr.corrupt(t, tg, rng)
+	}
+
+	// The corruption window: reads must fail typed or return the right
+	// bytes — never silent garbage.
+	sawChecksum := false
+	for i := 0; i < 6000; i += 97 {
+		key := []byte(keyOf(i))
+		val, found, err := rr.db.Get(key)
+		switch {
+		case err != nil:
+			if !errors.Is(err, storage.ErrChecksum) {
+				t.Fatalf("Get(%s) during corruption window: %v", key, err)
+			}
+			sawChecksum = true
+		case found:
+			if !bytes.Equal(val, wantVal) {
+				t.Fatalf("Get(%s) returned wrong bytes during corruption window", key)
+			}
+		default:
+			t.Fatalf("Get(%s) lost a written key without error", key)
+		}
+	}
+	if !sawChecksum {
+		t.Fatal("no read crossed a corrupt segment; widen the probe")
+	}
+
+	stats := &metrics.ScrubStats{}
+	rep, err := rr.primary.ScrubAndRepair(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.LocalFindings) != len(chosen) {
+		t.Fatalf("local scrub found %d of %d injected corruptions", len(rep.LocalFindings), len(chosen))
+	}
+	if rep.LocalRepaired != len(chosen) || rep.Unrepairable != 0 {
+		t.Fatalf("repaired %d, unrepairable %d, want %d/0", rep.LocalRepaired, rep.Unrepairable, len(chosen))
+	}
+	for _, tg := range chosen {
+		if err := rr.pVer.VerifySegment(tg.local); err != nil {
+			t.Fatalf("primary segment %d still corrupt: %v", tg.local, err)
+		}
+		if got := readPayload(t, rr.pVer, tg.local); !bytes.Equal(got, tg.payload) {
+			t.Fatalf("primary segment %d payload not byte-equivalent after repair", tg.local)
+		}
+	}
+	for i := 0; i < 6000; i += 97 {
+		key := []byte(keyOf(i))
+		val, found, err := rr.db.Get(key)
+		if err != nil || !found || !bytes.Equal(val, wantVal) {
+			t.Fatalf("Get(%s) after repair = found=%v err=%v", key, found, err)
+		}
+	}
+}
+
+// TestRepairUnrepairableWhenAllCopiesCorrupt corrupts the same segment
+// on the primary and its only backup: scrub must detect both, repair
+// neither, and count them unrepairable without wedging the group.
+func TestRepairUnrepairableWhenAllCopiesCorrupt(t *testing.T) {
+	rr := newRepairRig(t, 1)
+	rr.load(3000, 40)
+	rng := rand.New(rand.NewSource(0x4EA3))
+
+	targets := rr.backupTargets(t, 0)
+	var logTarget *repairTarget
+	for i := range targets {
+		if integrity.Kind(targets[i].ref.Kind) == integrity.KindLog {
+			logTarget = &targets[i]
+			break
+		}
+	}
+	if logTarget == nil {
+		t.Fatal("no log target on backup")
+	}
+	primarySeg := storage.SegmentID(logTarget.ref.PrimarySeg)
+	rr.corrupt(t, *logTarget, rng)
+	rr.corrupt(t, repairTarget{
+		backup: -1, local: primarySeg, ref: logTarget.ref,
+		payload: readPayload(t, rr.pVer, primarySeg),
+	}, rng)
+
+	stats := &metrics.ScrubStats{}
+	rep, err := rr.primary.ScrubAndRepair(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.checkHealthy()
+	if len(rep.LocalFindings) != 1 || rep.BackupFindings != 1 {
+		t.Fatalf("findings = %d local, %d backup, want 1/1", len(rep.LocalFindings), rep.BackupFindings)
+	}
+	if rep.LocalRepaired != 0 || rep.BackupRepaired != 0 {
+		t.Fatalf("repaired a segment with no clean copy anywhere: %+v", rep)
+	}
+	if rep.Unrepairable != 2 {
+		t.Fatalf("unrepairable = %d, want 2", rep.Unrepairable)
+	}
+	if snap := stats.Snapshot(); snap.Unrepairable != 2 {
+		t.Fatalf("stats unrepairable = %d, want 2", snap.Unrepairable)
+	}
+	// The group survives: the backup's loop still serves and new writes
+	// replicate. No flush — a compaction over the corrupt segment would
+	// rightly fail until the operator restores a copy or accepts the
+	// loss.
+	val := make([]byte, 40)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	for i := 3000; i < 3200; i++ {
+		if err := rr.db.Put([]byte(keyOf(i)), val); err != nil {
+			t.Fatalf("Put after unrepairable scrub: %v", err)
+		}
+	}
+	for i := 3000; i < 3200; i += 31 {
+		got, found, err := rr.db.Get([]byte(keyOf(i)))
+		if err != nil || !found || !bytes.Equal(got, val) {
+			t.Fatalf("Get(%s) = found=%v err=%v", keyOf(i), found, err)
+		}
+	}
+	rr.checkHealthy()
+}
+
+// TestFetchSegmentMisses exercises the benign miss paths: unknown
+// segments and corrupt local copies answer Found=false without
+// disturbing the control loop.
+func TestFetchSegmentMisses(t *testing.T) {
+	rr := newRepairRig(t, 1)
+	rr.load(3000, 40)
+	rng := rand.New(rand.NewSource(0x4EA4))
+	h := rr.primary.handles()[0]
+
+	if _, ok := rr.primary.fetchFrom(h, wire.SegRef{
+		Kind: uint8(integrity.KindLog), PrimarySeg: 1 << 20,
+	}); ok {
+		t.Fatal("fetch of unmapped segment reported Found")
+	}
+	if _, ok := rr.primary.fetchFrom(h, wire.SegRef{Kind: 0x7F, PrimarySeg: 1}); ok {
+		t.Fatal("fetch of unknown kind reported Found")
+	}
+
+	targets := rr.backupTargets(t, 0)
+	tg := targets[0]
+	if data, ok := rr.primary.fetchFrom(h, tg.ref); !ok || !bytes.Equal(data, tg.payload) {
+		t.Fatalf("fetch of clean segment: ok=%v, byte-equal=%v", ok, ok && bytes.Equal(data, tg.payload))
+	}
+	rr.corrupt(t, tg, rng)
+	if _, ok := rr.primary.fetchFrom(h, tg.ref); ok {
+		t.Fatal("backup served a corrupt segment as clean")
+	}
+	rr.checkHealthy()
+}
+
+// TestRepairRejectsBadStagedCRC pushes a repair whose staged bytes do
+// not match the declared CRC: the backup must reject it with a typed
+// remote error and keep serving.
+func TestRepairRejectsBadStagedCRC(t *testing.T) {
+	rr := newRepairRig(t, 1)
+	rr.load(1000, 40)
+	h := rr.primary.handles()[0]
+	targets := rr.backupTargets(t, 0)
+	tg := targets[0]
+
+	data := append([]byte(nil), tg.payload...)
+	req := wire.RepairSegment{
+		RegionID: 1,
+		Ref:      tg.ref,
+		DataLen:  uint32(len(data)),
+		CRC:      integrity.Checksum(data) ^ 0xFFFFFFFF,
+	}
+	h.mu.Lock()
+	err := rr.primary.writeWithRetry(h, h.backup.IndexBufferRKey(), 0, data, 3)
+	if err == nil {
+		_, err = rr.primary.rpcReplyLocked(h, wire.OpRepairSegment, req.Encode(nil), ackRecvSize)
+	}
+	h.mu.Unlock()
+	var rerr *RemoteError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("bad-CRC repair = %v, want RemoteError", err)
+	}
+	rr.checkHealthy()
+	rr.load(200, 40)
+}
+
+func keyOf(i int) string {
+	const prefix = "user"
+	buf := []byte(prefix + "00000000")
+	for p := len(buf) - 1; i > 0; p-- {
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf)
+}

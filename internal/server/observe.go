@@ -19,6 +19,7 @@ func (s *Server) Observe(reg *obs.Registry) {
 	reg.RegisterCycles(labels, s.cfg.Cycles)
 	reg.RegisterCompaction(labels, s.cfg.LSM.CompactionStats)
 	reg.RegisterFailure(labels, s.cfg.Failures)
+	reg.RegisterScrub(labels, s.cfg.Scrub)
 	reg.RegisterDevice(labels, s.cfg.Device)
 	reg.RegisterEndpoint(labels, s.cfg.Endpoint)
 	for _, op := range opKinds {

@@ -68,6 +68,9 @@ type Config struct {
 	// Failures collects this node's failure metrics (created on demand
 	// when nil).
 	Failures *metrics.FailureStats
+	// Scrub collects this node's integrity scrub-and-repair metrics
+	// (created on demand when nil).
+	Scrub *metrics.ScrubStats
 	// Trace records compaction pipeline spans for every hosted region,
 	// stamped with this server's name; may be nil.
 	Trace *obs.Tracer
@@ -94,6 +97,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Failures == nil {
 		c.Failures = &metrics.FailureStats{}
+	}
+	if c.Scrub == nil {
+		c.Scrub = &metrics.ScrubStats{}
 	}
 	if c.LSM.CompactionStats == nil {
 		// Share one sink across all hosted regions so Observe exposes a
@@ -150,6 +156,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Device == nil || cfg.Endpoint == nil {
 		return nil, fmt.Errorf("server: Device and Endpoint are required")
 	}
+	// Every hosted engine and replica writes through the integrity layer:
+	// segment frames with CRC-32C trailers, verified on first read
+	// (DESIGN.md §7). A device that already verifies is left as-is.
+	cfg.Device = storage.AsVerifying(cfg.Device)
 	s := &Server{
 		cfg:     cfg,
 		trace:   cfg.Trace.Node(cfg.Name),
@@ -412,6 +422,41 @@ func (s *Server) primaryDB(id region.ID) (*lsm.DB, error) {
 		}
 	}
 	return hr.db, nil
+}
+
+// ScrubStats returns the node's scrub-and-repair counters.
+func (s *Server) ScrubStats() *metrics.ScrubStats { return s.cfg.Scrub }
+
+// ScrubAndRepair runs one integrity pass over every region this server
+// is primary for: scrub the local engine, heal corrupt segments from
+// backup copies, then drive each backup's scrub and push repairs for
+// what they report (DESIGN.md §7). Regions hosted here as backups are
+// scrubbed by their own primaries. Reports are aggregated; the first
+// hard error (a scrub that cannot even run) aborts the pass.
+func (s *Server) ScrubAndRepair() (replica.RepairReport, error) {
+	s.mu.Lock()
+	prims := make([]*replica.Primary, 0, len(s.regions))
+	for _, hr := range s.regions {
+		if hr.primary != nil && hr.db != nil {
+			prims = append(prims, hr.primary)
+		}
+	}
+	s.mu.Unlock()
+	var total replica.RepairReport
+	for _, p := range prims {
+		rep, err := p.ScrubAndRepair(s.cfg.Scrub)
+		if err != nil {
+			return total, err
+		}
+		total.LocalScanned += rep.LocalScanned
+		total.LocalFindings = append(total.LocalFindings, rep.LocalFindings...)
+		total.LocalRepaired += rep.LocalRepaired
+		total.BackupScanned += rep.BackupScanned
+		total.BackupFindings += rep.BackupFindings
+		total.BackupRepaired += rep.BackupRepaired
+		total.Unrepairable += rep.Unrepairable
+	}
+	return total, nil
 }
 
 // WaitIdle drains compactions of every hosted primary (benchmarks call

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"slices"
 	"sync"
 	"sync/atomic"
 )
@@ -144,7 +145,37 @@ var (
 	ErrBadSegment      = errors.New("storage: segment not allocated")
 	ErrSegmentOverflow = errors.New("storage: I/O crosses segment boundary")
 	ErrClosed          = errors.New("storage: device closed")
+	// ErrDoubleFree reports a Free of a segment that was already freed.
+	// It wraps ErrBadSegment so callers that only distinguish
+	// "not allocated" keep working.
+	ErrDoubleFree = errors.New("storage: segment already freed")
 )
+
+// SegmentLister is implemented by devices that can enumerate their
+// allocated segments; recovery and scrubbing use it to walk a device
+// without an external manifest.
+type SegmentLister interface {
+	// Segments returns the allocated segment IDs in ascending order.
+	Segments() []SegmentID
+}
+
+// CapacityDevice is implemented by devices that reserve part of each
+// segment for their own framing; writers that fill segments must cap
+// payloads at UsableCapacity instead of the geometric segment size.
+type CapacityDevice interface {
+	// UsableCapacity returns the payload bytes available per segment.
+	UsableCapacity() int64
+}
+
+// UsableCapacity returns the per-segment payload capacity of dev: the
+// device's own notion when it reserves framing space, the full segment
+// size otherwise.
+func UsableCapacity(dev Device) int64 {
+	if cd, ok := dev.(CapacityDevice); ok {
+		return cd.UsableCapacity()
+	}
+	return dev.Geometry().SegmentSize()
+}
 
 // MemDevice is an in-memory segment device with byte-accurate traffic
 // accounting. It stands in for the paper's NVMe SSD (DESIGN.md §2).
@@ -209,11 +240,26 @@ func (d *MemDevice) Free(id SegmentID) error {
 		return ErrClosed
 	}
 	if _, ok := d.segments[id]; !ok {
+		if id != NilSegment && id < d.next {
+			return fmt.Errorf("%w: %w: %d", ErrBadSegment, ErrDoubleFree, id)
+		}
 		return fmt.Errorf("%w: %d", ErrBadSegment, id)
 	}
 	delete(d.segments, id)
 	d.free = append(d.free, id)
 	return nil
+}
+
+// Segments implements SegmentLister.
+func (d *MemDevice) Segments() []SegmentID {
+	d.mu.Lock()
+	ids := make([]SegmentID, 0, len(d.segments))
+	for id := range d.segments {
+		ids = append(ids, id)
+	}
+	d.mu.Unlock()
+	slices.Sort(ids)
+	return ids
 }
 
 func (d *MemDevice) segment(off Offset, n int) ([]byte, int64, error) {

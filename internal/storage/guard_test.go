@@ -1,0 +1,109 @@
+package storage
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// Regression tests for the allocator guards: double-free is a typed
+// error and freed segments error on access instead of serving stale
+// bytes.
+
+func TestMemDeviceDoubleFree(t *testing.T) {
+	dev, _ := NewMemDevice(testSegSize, 0)
+	seg, err := dev.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Free(seg); err != nil {
+		t.Fatal(err)
+	}
+	err = dev.Free(seg)
+	if !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("double free: got %v want ErrDoubleFree", err)
+	}
+	if !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("double free should still match ErrBadSegment: %v", err)
+	}
+	// Never-allocated IDs stay plain ErrBadSegment.
+	if err := dev.Free(seg + 100); errors.Is(err, ErrDoubleFree) || !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("free of never-allocated segment: got %v", err)
+	}
+}
+
+func TestMemDeviceUseAfterFree(t *testing.T) {
+	dev, _ := NewMemDevice(testSegSize, 0)
+	seg, _ := dev.Alloc()
+	if err := dev.WriteAt(dev.Geometry().Pack(seg, 0), []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Free(seg); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, 5)
+	if err := dev.ReadAt(dev.Geometry().Pack(seg, 0), p); !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("read after free: got %v want ErrBadSegment", err)
+	}
+	if err := dev.WriteAt(dev.Geometry().Pack(seg, 0), p); !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("write after free: got %v want ErrBadSegment", err)
+	}
+	// Reallocation hands the segment back zeroed, not with stale bytes.
+	seg2, err := dev.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg2 != seg {
+		t.Fatalf("expected free-list reuse, got %d", seg2)
+	}
+	if err := dev.ReadAt(dev.Geometry().Pack(seg2, 0), p); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range p {
+		if b != 0 {
+			t.Fatalf("recycled segment not zeroed: %v", p)
+		}
+	}
+}
+
+func TestFileDeviceDoubleFreeAndSegments(t *testing.T) {
+	dev, err := NewFileDevice(filepath.Join(t.TempDir(), "d.img"), testSegSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	a, _ := dev.Alloc()
+	b, _ := dev.Alloc()
+	if err := dev.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Free(a); !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("double free: got %v", err)
+	}
+	segs := dev.Segments()
+	if len(segs) != 1 || segs[0] != b {
+		t.Fatalf("Segments() = %v, want [%d]", segs, b)
+	}
+}
+
+func TestMemDeviceSegments(t *testing.T) {
+	dev, _ := NewMemDevice(testSegSize, 0)
+	var want []SegmentID
+	for i := 0; i < 4; i++ {
+		seg, _ := dev.Alloc()
+		want = append(want, seg)
+	}
+	if err := dev.Free(want[1]); err != nil {
+		t.Fatal(err)
+	}
+	want = append(want[:1], want[2:]...)
+	got := dev.Segments()
+	if len(got) != len(want) {
+		t.Fatalf("Segments() = %v want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Segments() = %v want %v", got, want)
+		}
+	}
+}

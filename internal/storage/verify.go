@@ -1,0 +1,369 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tebis/internal/integrity"
+)
+
+// ErrChecksum reports a segment whose stored CRC does not match its
+// payload. The error is sticky: once a segment fails verification every
+// read of it fails until the segment is rewritten (repaired) or freed.
+var ErrChecksum = errors.New("storage: segment checksum mismatch")
+
+// FramedWriter is implemented by devices that stamp an integrity frame
+// on each segment write. Writers that know what a segment holds (the
+// value log, the index builder) declare the kind so recovery can
+// classify segments; plain WriteAt through such a device frames the
+// payload as integrity.KindOpaque.
+type FramedWriter interface {
+	WriteFramedAt(off Offset, p []byte, kind integrity.Kind) error
+}
+
+// WriteFramed writes p at off, declaring the frame kind when dev
+// supports framing and degrading to a plain WriteAt otherwise. All
+// engine writers use this helper so the same code runs framed on a
+// VerifyingDevice and unframed on a raw device.
+func WriteFramed(dev Device, off Offset, p []byte, kind integrity.Kind) error {
+	if fw, ok := dev.(FramedWriter); ok {
+		return fw.WriteFramedAt(off, p, kind)
+	}
+	return dev.WriteAt(off, p)
+}
+
+// Verifier is implemented by devices that can check and describe the
+// integrity frame of a segment; the scrubber and recovery depend on it.
+type Verifier interface {
+	// VerifySegment re-checks the stored CRC of seg against its
+	// payload, bypassing any verified-read cache. It returns nil for a
+	// valid frame, integrity.ErrNoFrame (wrapped) for an unframed
+	// segment, and ErrChecksum (wrapped) for a corrupt one.
+	VerifySegment(seg SegmentID) error
+	// SegmentInfo returns the decoded frame trailer of seg.
+	SegmentInfo(seg SegmentID) (integrity.Trailer, error)
+}
+
+// AsVerifier returns dev's Verifier capability, or nil if the device
+// (chain) does not verify.
+func AsVerifier(dev Device) Verifier {
+	v, _ := dev.(Verifier)
+	return v
+}
+
+// segState caches the verification status of one segment.
+type segState struct {
+	mu       sync.Mutex
+	verified bool  // payload CRC checked since the last write
+	unframed bool  // trailer carried no magic at last check
+	err      error // sticky checksum failure
+}
+
+// VerifyingDevice wraps a Device and enforces the integrity frame
+// (DESIGN.md §7): every segment write gains a CRC-32C trailer in the
+// final integrity.TrailerSize bytes, and the first read of a segment
+// after a write (or after open) verifies the stored CRC before any
+// bytes are served. Corruption surfaces as ErrChecksum instead of
+// silent garbage.
+//
+// Writes must target the start of a segment (the engine's writers are
+// whole-segment by construction); the usable payload shrinks to
+// UsableCapacity = segment size − TrailerSize. A full-image write
+// (len == segment size) is re-framed in a single underlying write so a
+// torn write can never leave a stale-but-valid trailer over new bytes;
+// a partial write lands payload first and trailer second, making the
+// trailer the commit point.
+//
+// Reads of unframed segments pass through unverified: a fresh
+// allocation has no frame yet, and after a crash recovery runs before
+// the device serves reads, classifying unframed segments as torn.
+type VerifyingDevice struct {
+	inner Device
+	geo   Geometry
+	seq   atomic.Uint32
+
+	mu    sync.Mutex
+	state map[SegmentID]*segState
+}
+
+// AsVerifying wraps dev in a VerifyingDevice. A device that already
+// verifies is returned unchanged. When dev can list its segments the
+// frame sequence counter resumes after the largest stored seq, so
+// segments written after a reopen sort after the survivors.
+func AsVerifying(dev Device) *VerifyingDevice {
+	if v, ok := dev.(*VerifyingDevice); ok {
+		return v
+	}
+	d := &VerifyingDevice{
+		inner: dev,
+		geo:   dev.Geometry(),
+		state: make(map[SegmentID]*segState),
+	}
+	if sl, ok := dev.(SegmentLister); ok {
+		var maxSeq uint32
+		for _, seg := range sl.Segments() {
+			if t, err := d.SegmentInfo(seg); err == nil && t.Seq > maxSeq {
+				maxSeq = t.Seq
+			}
+		}
+		d.seq.Store(maxSeq)
+	}
+	return d
+}
+
+// Inner returns the wrapped device.
+func (d *VerifyingDevice) Inner() Device { return d.inner }
+
+// Geometry implements Device.
+func (d *VerifyingDevice) Geometry() Geometry { return d.geo }
+
+// UsableCapacity implements CapacityDevice.
+func (d *VerifyingDevice) UsableCapacity() int64 {
+	return integrity.Capacity(d.geo.SegmentSize())
+}
+
+func (d *VerifyingDevice) segState(seg SegmentID) *segState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, ok := d.state[seg]
+	if !ok {
+		st = &segState{}
+		d.state[seg] = st
+	}
+	return st
+}
+
+func (d *VerifyingDevice) dropState(seg SegmentID) {
+	d.mu.Lock()
+	delete(d.state, seg)
+	d.mu.Unlock()
+}
+
+// Alloc implements Device.
+func (d *VerifyingDevice) Alloc() (SegmentID, error) {
+	seg, err := d.inner.Alloc()
+	if err == nil {
+		d.dropState(seg)
+	}
+	return seg, err
+}
+
+// Free implements Device. The trailer region is zeroed before the
+// segment is released so a reopen of a file-backed device does not
+// resurrect the freed segment as allocated.
+func (d *VerifyingDevice) Free(seg SegmentID) error {
+	cap := d.UsableCapacity()
+	if err := d.inner.WriteAt(d.geo.Pack(seg, cap), make([]byte, integrity.TrailerSize)); err != nil {
+		// An unallocated target should report the allocator's typed
+		// error (ErrBadSegment / ErrDoubleFree), which Free produces.
+		if errors.Is(err, ErrBadSegment) || errors.Is(err, ErrClosed) {
+			return d.inner.Free(seg)
+		}
+		return fmt.Errorf("storage: clear frame of freed segment %d: %w", seg, err)
+	}
+	if err := d.inner.Free(seg); err != nil {
+		return err
+	}
+	d.dropState(seg)
+	return nil
+}
+
+// WriteAt implements Device; the payload is framed as KindOpaque.
+func (d *VerifyingDevice) WriteAt(off Offset, p []byte) error {
+	return d.WriteFramedAt(off, p, integrity.KindOpaque)
+}
+
+// WriteFramedAt implements FramedWriter.
+func (d *VerifyingDevice) WriteFramedAt(off Offset, p []byte, kind integrity.Kind) error {
+	if within := d.geo.Within(off); within != 0 {
+		return fmt.Errorf("%w: framed write at in-segment offset %d", ErrSegmentOverflow, within)
+	}
+	seg := d.geo.Segment(off)
+	segSize := d.geo.SegmentSize()
+	cap := integrity.Capacity(segSize)
+
+	payload := p
+	full := int64(len(p)) == segSize
+	if full {
+		payload = p[:cap]
+	} else if int64(len(p)) > cap {
+		return fmt.Errorf("%w: %d-byte payload exceeds framed capacity %d", ErrSegmentOverflow, len(p), cap)
+	}
+	t := integrity.Trailer{
+		Kind:       kind,
+		PayloadLen: uint32(len(payload)),
+		Seq:        d.seq.Add(1),
+	}
+	t.CRC = integrity.FrameChecksum(payload, t)
+	tr := make([]byte, integrity.TrailerSize)
+	integrity.EncodeTrailer(tr, t)
+
+	st := d.segState(seg)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if full {
+		// One underlying write: a full image replaces the old trailer in
+		// the same I/O, so a tear leaves either no magic or a CRC that
+		// cannot cover the mixed bytes.
+		img := make([]byte, segSize)
+		copy(img, payload)
+		copy(img[cap:], tr)
+		if err := d.inner.WriteAt(off, img); err != nil {
+			st.verified, st.unframed, st.err = false, false, nil
+			return err
+		}
+	} else {
+		// Payload first, trailer last: the trailer write is the commit
+		// point, so a tear before it leaves the segment unframed (torn)
+		// rather than framed-but-wrong.
+		if err := d.inner.WriteAt(off, p); err != nil {
+			st.verified, st.unframed, st.err = false, false, nil
+			return err
+		}
+		if err := d.inner.WriteAt(d.geo.Pack(seg, cap), tr); err != nil {
+			st.verified, st.unframed, st.err = false, false, nil
+			return err
+		}
+	}
+	// A successful rewrite repairs: clear any sticky failure and mark
+	// the fresh payload verified (we just computed its CRC).
+	st.verified, st.unframed, st.err = true, false, nil
+	return nil
+}
+
+// ReadAt implements Device. The first read of a segment verifies its
+// payload CRC; later reads are served after a cheap cache check.
+func (d *VerifyingDevice) ReadAt(off Offset, p []byte) error {
+	seg := d.geo.Segment(off)
+	st := d.segState(seg)
+	st.mu.Lock()
+	if st.err != nil {
+		err := st.err
+		st.mu.Unlock()
+		return err
+	}
+	if !st.verified && !st.unframed {
+		if err := d.verifySegmentLocked(seg, st); err != nil {
+			st.mu.Unlock()
+			return err
+		}
+	}
+	st.mu.Unlock()
+	return d.inner.ReadAt(off, p)
+}
+
+// verifySegmentLocked checks seg's frame and updates st (whose mu is
+// held). An unframed segment is recorded as such and passes; a CRC
+// mismatch is recorded sticky and returned.
+func (d *VerifyingDevice) verifySegmentLocked(seg SegmentID, st *segState) error {
+	t, err := d.readTrailer(seg)
+	if errors.Is(err, integrity.ErrNoFrame) {
+		st.unframed = true
+		return nil
+	}
+	if err != nil {
+		if isDeviceErr(err) {
+			return err
+		}
+		st.err = fmt.Errorf("%w: segment %d: %v", ErrChecksum, seg, err)
+		return st.err
+	}
+	if err := d.checkPayload(seg, t); err != nil {
+		if errors.Is(err, ErrChecksum) {
+			st.err = err
+		}
+		return err
+	}
+	st.verified = true
+	return nil
+}
+
+// isDeviceErr reports errors that belong to the allocator/device, not
+// the frame: they must surface as-is and never become sticky checksum
+// failures.
+func isDeviceErr(err error) bool {
+	return errors.Is(err, ErrBadSegment) || errors.Is(err, ErrClosed) ||
+		errors.Is(err, ErrSegmentOverflow) || errors.Is(err, ErrInjected)
+}
+
+func (d *VerifyingDevice) readTrailer(seg SegmentID) (integrity.Trailer, error) {
+	segSize := d.geo.SegmentSize()
+	tr := make([]byte, integrity.TrailerSize)
+	if err := d.inner.ReadAt(d.geo.Pack(seg, integrity.Capacity(segSize)), tr); err != nil {
+		return integrity.Trailer{}, err
+	}
+	return integrity.DecodeTrailer(tr, segSize)
+}
+
+func (d *VerifyingDevice) checkPayload(seg SegmentID, t integrity.Trailer) error {
+	buf := make([]byte, t.PayloadLen)
+	if err := d.inner.ReadAt(d.geo.Pack(seg, 0), buf); err != nil {
+		return err
+	}
+	if got := integrity.FrameChecksum(buf, t); got != t.CRC {
+		return fmt.Errorf("%w: segment %d: stored %08x computed %08x", ErrChecksum, seg, t.CRC, got)
+	}
+	return nil
+}
+
+// VerifySegment implements Verifier. Unlike ReadAt it does not treat
+// an unframed segment as benign — the caller (scrub, recovery) decides
+// what an unframed segment means in context — and it always re-reads
+// the payload, bypassing the verified cache.
+func (d *VerifyingDevice) VerifySegment(seg SegmentID) error {
+	st := d.segState(seg)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	t, err := d.readTrailer(seg)
+	if errors.Is(err, integrity.ErrNoFrame) {
+		st.unframed = true
+		return fmt.Errorf("segment %d: %w", seg, err)
+	}
+	if err != nil {
+		if isDeviceErr(err) {
+			return err
+		}
+		st.err = fmt.Errorf("%w: segment %d: %v", ErrChecksum, seg, err)
+		return st.err
+	}
+	if err := d.checkPayload(seg, t); err != nil {
+		if errors.Is(err, ErrChecksum) {
+			st.err = err
+		}
+		return err
+	}
+	st.verified, st.err = true, nil
+	return nil
+}
+
+// SegmentInfo implements Verifier.
+func (d *VerifyingDevice) SegmentInfo(seg SegmentID) (integrity.Trailer, error) {
+	return d.readTrailer(seg)
+}
+
+// Invalidate drops the cached verification state of seg, forcing the
+// next read to re-check the stored CRC. Verification is cached per
+// segment between writes, so corruption that lands on the medium after
+// a segment was verified is only caught at the next cold read, a
+// scrub, or after Invalidate — fault-injection tests call it to model
+// the cache eviction any real page cache eventually performs.
+func (d *VerifyingDevice) Invalidate(seg SegmentID) { d.dropState(seg) }
+
+// Segments implements SegmentLister when the wrapped device does.
+func (d *VerifyingDevice) Segments() []SegmentID {
+	if sl, ok := d.inner.(SegmentLister); ok {
+		return sl.Segments()
+	}
+	return nil
+}
+
+// Stats implements Device.
+func (d *VerifyingDevice) Stats() Stats { return d.inner.Stats() }
+
+// ResetStats implements Device.
+func (d *VerifyingDevice) ResetStats() { d.inner.ResetStats() }
+
+// Close implements Device.
+func (d *VerifyingDevice) Close() error { return d.inner.Close() }

@@ -3,6 +3,7 @@ package vlog
 import (
 	"fmt"
 
+	"tebis/internal/integrity"
 	"tebis/internal/storage"
 )
 
@@ -22,7 +23,7 @@ func (l *Log) AdoptSegment(data []byte) (storage.SegmentID, error) {
 	if err != nil {
 		return storage.NilSegment, err
 	}
-	if err := l.dev.WriteAt(l.geo.Pack(seg, 0), data); err != nil {
+	if err := storage.WriteFramed(l.dev, l.geo.Pack(seg, 0), data, integrity.KindLog); err != nil {
 		return storage.NilSegment, err
 	}
 	l.mu.Lock()
@@ -37,7 +38,7 @@ func (l *Log) AdoptSegmentAs(seg storage.SegmentID, data []byte) error {
 	if int64(len(data)) != l.geo.SegmentSize() {
 		return fmt.Errorf("vlog: adopt segment of %d bytes, want %d", len(data), l.geo.SegmentSize())
 	}
-	if err := l.dev.WriteAt(l.geo.Pack(seg, 0), data); err != nil {
+	if err := storage.WriteFramed(l.dev, l.geo.Pack(seg, 0), data, integrity.KindLog); err != nil {
 		return err
 	}
 	l.mu.Lock()

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"tebis/internal/integrity"
 	"tebis/internal/kv"
 	"tebis/internal/storage"
 )
@@ -30,6 +31,9 @@ const tombstoneLen = ^uint32(0)
 var (
 	ErrRecordTooLarge = errors.New("vlog: record larger than a segment")
 	ErrBadOffset      = errors.New("vlog: invalid record offset")
+	// ErrCorruptRecord reports a record whose header decodes to an
+	// impossible length — corrupt log bytes rather than a bad pointer.
+	ErrCorruptRecord = errors.New("vlog: corrupt record")
 )
 
 // Sealed describes a tail segment that has just been filled, flushed to
@@ -61,6 +65,7 @@ type AppendResult struct {
 type Log struct {
 	dev storage.Device
 	geo storage.Geometry
+	cap int64 // usable payload bytes per segment (framing-aware)
 
 	mu      sync.Mutex
 	segs    []storage.SegmentID // sealed segments, oldest first
@@ -75,7 +80,7 @@ type Log struct {
 // allocated eagerly so every record has a valid device offset at append
 // time (Send-Index may ship leaves pointing at the unflushed tail).
 func New(dev storage.Device) (*Log, error) {
-	l := &Log{dev: dev, geo: dev.Geometry()}
+	l := &Log{dev: dev, geo: dev.Geometry(), cap: storage.UsableCapacity(dev)}
 	if err := l.rollTail(); err != nil {
 		return nil, err
 	}
@@ -112,15 +117,15 @@ func (l *Log) Append(key, value []byte, tombstone bool) (AppendResult, error) {
 		return AppendResult{}, fmt.Errorf("vlog: empty key")
 	}
 	need := encodedLen(key, value)
-	if need > l.geo.SegmentSize() {
-		return AppendResult{}, fmt.Errorf("%w: %d > %d", ErrRecordTooLarge, need, l.geo.SegmentSize())
+	if need > l.cap {
+		return AppendResult{}, fmt.Errorf("%w: %d > %d", ErrRecordTooLarge, need, l.cap)
 	}
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
 
 	var res AppendResult
-	if l.tailLen+need > l.geo.SegmentSize() {
+	if l.tailLen+need > l.cap {
 		sealed, err := l.sealLocked()
 		if err != nil {
 			return AppendResult{}, err
@@ -150,7 +155,7 @@ func (l *Log) Append(key, value []byte, tombstone bool) (AppendResult, error) {
 
 // sealLocked flushes the current tail to the device and starts a new one.
 func (l *Log) sealLocked() (*Sealed, error) {
-	if err := l.dev.WriteAt(l.geo.Pack(l.tailSeg, 0), l.tailBuf); err != nil {
+	if err := storage.WriteFramed(l.dev, l.geo.Pack(l.tailSeg, 0), l.tailBuf, integrity.KindLog); err != nil {
 		return nil, err
 	}
 	sealed := &Sealed{
@@ -211,6 +216,13 @@ func (l *Log) Get(off storage.Offset) (pair kv.Pair, tombstone bool, err error) 
 	if tomb {
 		vl = 0
 	}
+	// Length sanity before allocating: a record never crosses its
+	// segment, so an impossible length means corrupt log bytes (this is
+	// also what stops a decoded frame trailer or flipped bit from
+	// triggering a giant allocation).
+	if l.geo.Within(off)+recHdrSize+int64(keyLen)+int64(vl) > l.geo.SegmentSize() {
+		return kv.Pair{}, false, fmt.Errorf("%w: %d+%d byte record at %#x", ErrCorruptRecord, keyLen, vl, off)
+	}
 	buf := make([]byte, int(keyLen)+int(vl))
 	if err = l.readAt(off+recHdrSize, buf); err != nil {
 		return kv.Pair{}, false, err
@@ -228,6 +240,9 @@ func (l *Log) GetKey(off storage.Offset) ([]byte, error) {
 	keyLen := binary.LittleEndian.Uint32(hdr[0:4])
 	if keyLen == 0 {
 		return nil, fmt.Errorf("%w: zero key length at %#x", ErrBadOffset, off)
+	}
+	if l.geo.Within(off)+recHdrSize+int64(keyLen) > l.geo.SegmentSize() {
+		return nil, fmt.Errorf("%w: %d byte key at %#x", ErrCorruptRecord, keyLen, off)
 	}
 	key := make([]byte, keyLen)
 	if err := l.readAt(off+recHdrSize, key); err != nil {

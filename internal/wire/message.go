@@ -64,6 +64,17 @@ const (
 	OpTrimLogAck
 	OpSyncTail
 	OpSyncTailAck
+
+	// Scrub-and-repair plane (DESIGN.md §7). A primary asks its backups
+	// to verify their replicated segments (OpScrub), pulls a clean copy
+	// of a corrupt segment from a peer (OpFetchSegment), and pushes a
+	// repaired image to a corrupt backup (OpRepairSegment).
+	OpScrub
+	OpScrubReply
+	OpFetchSegment
+	OpFetchSegmentReply
+	OpRepairSegment
+	OpRepairSegmentAck
 )
 
 // String implements fmt.Stringer.
@@ -75,6 +86,8 @@ func (o Op) String() string {
 		"compaction-start", "compaction-done", "compaction-done-ack",
 		"get-buffer", "get-buffer-reply", "trim-log", "trim-log-ack",
 		"sync-tail", "sync-tail-ack",
+		"scrub", "scrub-reply", "fetch-segment", "fetch-segment-reply",
+		"repair-segment", "repair-segment-ack",
 	}
 	if int(o) < len(names) {
 		return names[o]

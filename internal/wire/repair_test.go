@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestRepairOpNames(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpScrub:             "scrub",
+		OpScrubReply:        "scrub-reply",
+		OpFetchSegment:      "fetch-segment",
+		OpFetchSegmentReply: "fetch-segment-reply",
+		OpRepairSegment:     "repair-segment",
+		OpRepairSegmentAck:  "repair-segment-ack",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestScrubRoundTrip(t *testing.T) {
+	req := ScrubReq{RegionID: 7}
+	got, err := DecodeScrubReq(req.Encode(nil))
+	if err != nil || got != req {
+		t.Fatalf("ScrubReq round trip = %+v, %v", got, err)
+	}
+
+	reply := ScrubReply{
+		Scanned: 42,
+		Corrupt: []SegRef{
+			{Kind: 1, Level: 0, PrimarySeg: 3},
+			{Kind: 2, Level: 2, PrimarySeg: 17},
+		},
+	}
+	back, err := DecodeScrubReply(reply.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, reply) {
+		t.Fatalf("ScrubReply round trip = %+v, want %+v", back, reply)
+	}
+
+	empty := ScrubReply{Scanned: 9, Corrupt: []SegRef{}}
+	back, err = DecodeScrubReply(empty.Encode(nil))
+	if err != nil || back.Scanned != 9 || len(back.Corrupt) != 0 {
+		t.Fatalf("empty ScrubReply round trip = %+v, %v", back, err)
+	}
+}
+
+func TestScrubReplyRejectsHugeCount(t *testing.T) {
+	p := appendU32(nil, 1)
+	p = appendU32(p, 1<<30) // claims a billion refs in an empty payload
+	if _, err := DecodeScrubReply(p); err == nil {
+		t.Fatal("huge corrupt-count decoded without error")
+	}
+}
+
+func TestFetchSegmentRoundTrip(t *testing.T) {
+	req := FetchSegment{RegionID: 3, Ref: SegRef{Kind: 2, Level: 1, PrimarySeg: 99}}
+	got, err := DecodeFetchSegment(req.Encode(nil))
+	if err != nil || got != req {
+		t.Fatalf("FetchSegment round trip = %+v, %v", got, err)
+	}
+
+	reply := FetchSegmentReply{Found: true, Data: []byte("segment image bytes")}
+	back, err := DecodeFetchSegmentReply(reply.Encode(nil))
+	if err != nil || back.Found != reply.Found || !bytes.Equal(back.Data, reply.Data) {
+		t.Fatalf("FetchSegmentReply round trip = %+v, %v", back, err)
+	}
+
+	miss := FetchSegmentReply{Found: false}
+	back, err = DecodeFetchSegmentReply(miss.Encode(nil))
+	if err != nil || back.Found || len(back.Data) != 0 {
+		t.Fatalf("miss FetchSegmentReply round trip = %+v, %v", back, err)
+	}
+}
+
+func TestRepairSegmentRoundTrip(t *testing.T) {
+	req := RepairSegment{
+		RegionID: 5,
+		Ref:      SegRef{Kind: 1, Level: 0, PrimarySeg: 12},
+		DataLen:  4080,
+		CRC:      0xDEADBEEF,
+	}
+	got, err := DecodeRepairSegment(req.Encode(nil))
+	if err != nil || got != req {
+		t.Fatalf("RepairSegment round trip = %+v, %v", got, err)
+	}
+}
+
+func TestRepairPayloadsTruncated(t *testing.T) {
+	full := RepairSegment{RegionID: 1, Ref: SegRef{Kind: 1, PrimarySeg: 2}, DataLen: 3, CRC: 4}.Encode(nil)
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodeRepairSegment(full[:i]); err == nil {
+			t.Fatalf("truncated RepairSegment at %d decoded without error", i)
+		}
+	}
+	fullFetch := FetchSegment{RegionID: 1, Ref: SegRef{Kind: 2, PrimarySeg: 9}}.Encode(nil)
+	for i := 0; i < len(fullFetch); i++ {
+		if _, err := DecodeFetchSegment(fullFetch[:i]); err == nil {
+			t.Fatalf("truncated FetchSegment at %d decoded without error", i)
+		}
+	}
+}

@@ -33,6 +33,12 @@ go test -race ./...
 echo "== obs smoke"
 go run ./scripts/obssmoke
 
+# crash-smoke re-runs the crash-consistency suites by name under -race
+# so a gate log shows explicitly that torn-write recovery, corrupt-node
+# hardening, scrub-and-repair, and fsck were exercised.
+echo "== crash smoke"
+make crash-smoke
+
 echo "== failover suite (focused re-run)"
 go test -race -run 'TestBackupFailure|TestBackupCrash|TestRPCRetry|TestSyncPromote|TestPromoteSmallLogBuffer|TestBackupEvictionReplacementAndFailover|TestReplayFromTrimmedSegment|TestRingProperty|TestRingWrap|TestFreeListProperty' \
     ./internal/replica ./internal/cluster ./internal/vlog ./internal/client
