@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race check stress fmt vet bench obs-smoke crash-smoke clean
+.PHONY: all build test race check stress fmt vet bench figures obs-smoke crash-smoke clean
 
 all: build
 
@@ -32,6 +32,12 @@ vet:
 
 bench:
 	$(GO) run ./cmd/tebis-bench -quick
+
+# figures replays YCSB Load A / Run A / Run C through a replicated
+# Send-Index cluster with the metrics sampler on and writes
+# BENCH_figures.json + BENCH_fig{6,7,8}_*.csv time series (DESIGN.md §8).
+figures:
+	$(GO) run ./cmd/tebis-bench -experiment figures
 
 # obs-smoke boots tebis-server with -metrics and -replica, drives load,
 # and asserts /metrics, /debug/trace, and /debug/vars all serve the

@@ -3,9 +3,16 @@
 //
 // Usage:
 //
-//	tebis-bench [-experiment all|table2,fig6,fig7a,fig7b,fig8,table3,fig9a,fig9b,fig10a,fig10b,sec55,compaction,observability,integrity]
+//	tebis-bench [-experiment all|table2,fig6,fig7a,fig7b,fig8,table3,fig9a,fig9b,fig10a,fig10b,sec55,compaction,observability,integrity,figures]
 //	            [-records N] [-ops N] [-l0 N] [-quick] [-compaction-json FILE]
 //	            [-observability-json FILE] [-integrity-json FILE]
+//	            [-figures-json FILE] [-figures-csv-dir DIR]
+//
+// The figures experiment replays YCSB Load A / Run A / Run C against a
+// replicated Send-Index cluster with the metrics sampler on and writes
+// BENCH_figures.json plus per-figure CSV time series (throughput over
+// time, I/O and network amplification, latency percentiles) shaped
+// like the paper's Fig. 6-8.
 //
 // Each experiment prints rows shaped like the paper's artifact:
 // throughput (Kops/s), efficiency (Kcycles/op), I/O amplification, and
@@ -40,11 +47,17 @@ func main() {
 			"output path for the observability experiment's JSON report (empty = no file)")
 		intJSON = flag.String("integrity-json", bench.IntegrityJSONPath,
 			"output path for the integrity experiment's JSON report (empty = no file)")
+		figJSON = flag.String("figures-json", bench.FiguresJSONPath,
+			"output path for the figures experiment's JSON report (empty = no file)")
+		figCSV = flag.String("figures-csv-dir", bench.FiguresCSVDir,
+			"directory for the figures experiment's per-figure CSVs (empty = no files)")
 	)
 	flag.Parse()
 	bench.CompactionJSONPath = *cmpJSON
 	bench.ObservabilityJSONPath = *obsJSON
 	bench.IntegrityJSONPath = *intJSON
+	bench.FiguresJSONPath = *figJSON
+	bench.FiguresCSVDir = *figCSV
 
 	if *list {
 		for _, e := range bench.AllExperiments {

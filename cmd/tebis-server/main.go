@@ -17,9 +17,12 @@
 // the standalone version with a -recover mode).
 //
 // With -metrics, an HTTP endpoint serves Prometheus text exposition on
-// /metrics, expvar on /debug/vars, and Chrome trace-event JSON of the
-// compaction pipeline on /debug/trace (load it in chrome://tracing or
-// https://ui.perfetto.dev).
+// /metrics, sampled time-series history on /metrics/history, expvar on
+// /debug/vars, Chrome trace-event JSON of the compaction pipeline on
+// /debug/trace (load it in chrome://tracing or https://ui.perfetto.dev),
+// net/http/pprof on /debug/pprof/, and the watchdog profiler's capture
+// log on /debug/profiler. The watchdog grabs heap+CPU profiles when
+// writer stalls spike or the history sampler wedges.
 //
 // Protocol (one request per line, space-separated, values hex-escaped
 // via Go %q):
@@ -83,6 +86,7 @@ func main() {
 		segSize     = flag.Int64("segment", 2<<20, "segment size in bytes (power of two)")
 		l0          = flag.Int("l0", lsm.DefaultL0MaxKeys, "L0 capacity in keys")
 		metricsAddr = flag.String("metrics", "", "observability HTTP listen address (empty = off)")
+		profileDir  = flag.String("profile-dir", "", "watchdog profile output directory (empty = OS temp)")
 		withReplica = flag.Bool("replica", false, "attach an in-process Send-Index backup")
 		fsckMode    = flag.Bool("fsck", false, "verify the device image read-only and exit (see cmd/tebis-fsck)")
 	)
@@ -214,11 +218,27 @@ func main() {
 			},
 			netTraffic, dataset)
 
-		got, err := obs.Serve(*metricsAddr, reg, tracer)
+		reg.RegisterTracer(nil, tracer)
+
+		// Continuous profiling: the watchdog captures heap+CPU profiles
+		// when writer stalls spike (the paper's §5.1 backpressure
+		// pathology) or when the history sampler itself stops ticking.
+		prof, err := obs.NewProfiler(*profileDir)
+		if err != nil {
+			log.Fatalf("profiler: %v", err)
+		}
+		samp := obs.NewSampler(reg, 0, 0)
+		samp.Start()
+		prof.Watch(time.Second,
+			obs.StallCondition("writer-stall", 250*time.Millisecond,
+				func() time.Duration { return cstats.Snapshot().WriterStallTime }),
+			obs.ScrapeStallCondition(samp, 5*obs.DefaultSampleInterval))
+
+		got, err := obs.Serve(*metricsAddr, reg, tracer, prof, samp)
 		if err != nil {
 			log.Fatalf("metrics listen: %v", err)
 		}
-		log.Printf("tebis-server metrics on http://%s/metrics (trace on /debug/trace)", got)
+		log.Printf("tebis-server metrics on http://%s/metrics (trace on /debug/trace, history on /metrics/history, pprof on /debug/pprof/)", got)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

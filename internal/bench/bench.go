@@ -208,7 +208,7 @@ func Run(p Params) (Result, error) {
 
 	if p.Workload == ycsb.LoadA {
 		// Measured load phase.
-		stats, err := runLoad(c, clients, p, res.Latency)
+		stats, err := runLoad(c, clients, p, nil, res.Latency, nil)
 		if err != nil {
 			return Result{}, err
 		}
@@ -217,14 +217,14 @@ func Run(p Params) (Result, error) {
 	}
 
 	// Unmeasured load, then measured run phase.
-	if _, err := runLoad(c, clients, p, nil); err != nil {
+	if _, err := runLoad(c, clients, p, nil, nil, nil); err != nil {
 		return Result{}, err
 	}
 	if err := c.WaitIdle(); err != nil {
 		return Result{}, err
 	}
 	c.ResetCounters()
-	stats, err := runPhase(c, clients, p, res.Latency)
+	stats, err := runPhase(c, clients, p, nil, res.Latency, nil)
 	if err != nil {
 		return Result{}, err
 	}
@@ -239,9 +239,15 @@ type phaseStats struct {
 	elapsed time.Duration
 }
 
-// runLoad executes Load A, sharded across client threads.
-func runLoad(c *cluster.Cluster, clients []*client.Client, p Params, lat map[ycsb.OpKind]*metrics.Histogram) (*phaseStats, error) {
-	stats := &phaseStats{}
+// runLoad executes Load A, sharded across client threads. stats, when
+// non-nil, is the externally owned accumulator (the figures experiment
+// exposes it as live registry gauges); onOp, when non-nil, runs after
+// every completed op (the figures experiment ticks its time-series
+// sampler from there for deterministic sample density).
+func runLoad(c *cluster.Cluster, clients []*client.Client, p Params, stats *phaseStats, lat map[ycsb.OpKind]*metrics.Histogram, onOp func()) (*phaseStats, error) {
+	if stats == nil {
+		stats = &phaseStats{}
+	}
 	threads := p.ClientThreads
 	per := p.Records / uint64(threads)
 	var wg sync.WaitGroup
@@ -264,7 +270,7 @@ func runLoad(c *cluster.Cluster, clients []*client.Client, p Params, lat map[ycs
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := execStream(cl, g, 0, stats, lat); err != nil {
+			if err := execStream(cl, g, 0, stats, lat, onOp); err != nil {
 				errCh <- err
 			}
 		}()
@@ -279,9 +285,12 @@ func runLoad(c *cluster.Cluster, clients []*client.Client, p Params, lat map[ycs
 	return stats, nil
 }
 
-// runPhase executes a bounded Run A-D phase across client threads.
-func runPhase(c *cluster.Cluster, clients []*client.Client, p Params, lat map[ycsb.OpKind]*metrics.Histogram) (*phaseStats, error) {
-	stats := &phaseStats{}
+// runPhase executes a bounded Run A-D phase across client threads; see
+// runLoad for the stats and onOp parameters.
+func runPhase(c *cluster.Cluster, clients []*client.Client, p Params, stats *phaseStats, lat map[ycsb.OpKind]*metrics.Histogram, onOp func()) (*phaseStats, error) {
+	if stats == nil {
+		stats = &phaseStats{}
+	}
 	threads := p.ClientThreads
 	per := p.Ops / uint64(threads)
 	var wg sync.WaitGroup
@@ -302,7 +311,7 @@ func runPhase(c *cluster.Cluster, clients []*client.Client, p Params, lat map[yc
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := execStream(cl, g, n, stats, lat); err != nil {
+			if err := execStream(cl, g, n, stats, lat, onOp); err != nil {
 				errCh <- err
 			}
 		}()
@@ -318,8 +327,8 @@ func runPhase(c *cluster.Cluster, clients []*client.Client, p Params, lat map[yc
 }
 
 // execStream issues ops from g through cl; n bounds the count (0 =
-// until the generator ends).
-func execStream(cl *client.Client, g *ycsb.Generator, n uint64, stats *phaseStats, lat map[ycsb.OpKind]*metrics.Histogram) error {
+// until the generator ends). onOp, when non-nil, runs after every op.
+func execStream(cl *client.Client, g *ycsb.Generator, n uint64, stats *phaseStats, lat map[ycsb.OpKind]*metrics.Histogram, onOp func()) error {
 	var done uint64
 	for n == 0 || done < n {
 		op, ok := g.Next()
@@ -354,6 +363,9 @@ func execStream(cl *client.Client, g *ycsb.Generator, n uint64, stats *phaseStat
 			}
 		}
 		stats.ops.Add(1)
+		if onOp != nil {
+			onOp()
+		}
 		done++
 	}
 	return nil

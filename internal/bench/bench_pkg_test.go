@@ -245,3 +245,69 @@ func TestSetupStringsAndModes(t *testing.T) {
 		t.Fatal("RL must share Build-Index mode")
 	}
 }
+
+func TestRunExperimentFigures(t *testing.T) {
+	oldJSON, oldCSV := FiguresJSONPath, FiguresCSVDir
+	dir := t.TempDir()
+	FiguresJSONPath = filepath.Join(dir, "BENCH_figures.json")
+	FiguresCSVDir = dir
+	defer func() { FiguresJSONPath, FiguresCSVDir = oldJSON, oldCSV }()
+
+	var buf bytes.Buffer
+	if err := RunExperiment(ExpFigures, tinyScale, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(FiguresJSONPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep FiguresReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, data)
+	}
+	if len(rep.Runs) != 3 {
+		t.Fatalf("runs = %d, want 3 (Load A, Run A, Run C)", len(rep.Runs))
+	}
+	for _, r := range rep.Runs {
+		if r.Ops == 0 || r.KOpsPerSec <= 0 {
+			t.Fatalf("run %q measured nothing: %+v", r.Workload, r)
+		}
+		// The acceptance floor: every run carries >= 20 time-series
+		// samples and a non-trivial throughput curve.
+		if r.Samples < 20 {
+			t.Fatalf("run %q has %d samples, want >= 20", r.Workload, r.Samples)
+		}
+		if len(r.Throughput) < 10 {
+			t.Fatalf("run %q throughput series has %d points", r.Workload, len(r.Throughput))
+		}
+		if len(r.NetBytesSeries) == 0 || r.NetBytesSeries[len(r.NetBytesSeries)-1].V <= 0 {
+			t.Fatalf("run %q recorded no replication network bytes", r.Workload)
+		}
+		if len(r.Latency) == 0 {
+			t.Fatalf("run %q has no latency summary", r.Workload)
+		}
+		for op, l := range r.Latency {
+			if l.Count == 0 || l.P50Us <= 0 || l.P99Us < l.P50Us || l.P999Us < l.P99Us {
+				t.Fatalf("run %q op %q latency implausible: %+v", r.Workload, op, l)
+			}
+		}
+	}
+	// The run phases replicate through Send-Index, so tracing at the
+	// default rate must have produced request spans.
+	if rep.TraceSpans == 0 {
+		t.Fatal("figures run recorded no trace spans")
+	}
+	if len(rep.CSVs) != 3 {
+		t.Fatalf("CSVs = %v, want 3 files", rep.CSVs)
+	}
+	for _, f := range rep.CSVs {
+		csv, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := bytes.Count(csv, []byte("\n"))
+		if lines < 4 {
+			t.Fatalf("CSV %s has only %d lines", f, lines)
+		}
+	}
+}

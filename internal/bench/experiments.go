@@ -55,13 +55,18 @@ const (
 	// tax of the crash-consistency layer (CRC32C framing + read
 	// verification, DESIGN.md §7) and writes BENCH_integrity.json.
 	ExpIntegrity Experiment = "integrity"
+	// ExpFigures drives YCSB Load A / Run A / Run C through a replicated
+	// Send-Index cluster with the registry sampler on and emits
+	// BENCH_figures.json plus per-figure CSV time series shaped like the
+	// paper's Fig. 6-8 (DESIGN.md §8).
+	ExpFigures Experiment = "figures"
 )
 
 // AllExperiments lists every reproducible artifact in paper order.
 var AllExperiments = []Experiment{
 	ExpTable2, ExpFig6, ExpFig7a, ExpFig7b, ExpFig8, ExpTable3,
 	ExpFig9a, ExpFig9b, ExpFig10a, ExpFig10b, ExpSec55, ExpCompaction,
-	ExpObservability, ExpIntegrity,
+	ExpObservability, ExpIntegrity, ExpFigures,
 }
 
 // twoWaySetups are the Figure 6/7 configurations.
@@ -102,6 +107,8 @@ func RunExperiment(exp Experiment, sc Scale, w io.Writer) error {
 		return runObservability(sc, w)
 	case ExpIntegrity:
 		return runIntegrity(sc, w)
+	case ExpFigures:
+		return runFigures(sc, w)
 	}
 	return fmt.Errorf("bench: unknown experiment %q", exp)
 }

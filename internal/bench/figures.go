@@ -1,0 +1,443 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"tebis/internal/client"
+	"tebis/internal/cluster"
+	"tebis/internal/lsm"
+	"tebis/internal/metrics"
+	"tebis/internal/obs"
+	"tebis/internal/ycsb"
+)
+
+// FiguresJSONPath is where the figures experiment writes its
+// machine-readable report; empty disables the file.
+var FiguresJSONPath = "BENCH_figures.json"
+
+// FiguresCSVDir is where the figures experiment writes its per-figure
+// CSVs; empty disables them.
+var FiguresCSVDir = "."
+
+// figureSampleTicks is the minimum time-series density per measured
+// run. The sampler is ticked from the op stream (not a wall-clock
+// ticker), so even a smoke-scale run yields at least this many points.
+const figureSampleTicks = 24
+
+// FigurePoint is one time-series sample in a figure CSV: a value at a
+// millisecond offset from the start of the measured phase.
+type FigurePoint struct {
+	TMS float64 `json:"t_ms"`
+	V   float64 `json:"v"`
+}
+
+// FigureLatency is one op kind's tail summary (Figure 8).
+type FigureLatency struct {
+	Count  uint64  `json:"count"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
+}
+
+// FigureRun is one measured workload phase of the figures experiment.
+type FigureRun struct {
+	Workload   string  `json:"workload"`
+	Ops        uint64  `json:"ops"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	KOpsPerSec float64 `json:"kops_per_sec"`
+	IOAmp      float64 `json:"io_amp"`
+	NetAmp     float64 `json:"net_amp"`
+	// NetServerBytes is the replication-network traffic (server NIC
+	// tx+rx) of the measured phase.
+	NetServerBytes uint64 `json:"net_server_bytes"`
+	// Samples is the time-series tick count for this run (>= 20 by
+	// construction, see figureSampleTicks).
+	Samples int `json:"samples"`
+
+	// Throughput is ops/s over time (Fig. 6's x-axis unrolled).
+	Throughput []FigurePoint `json:"throughput_kops"`
+	// IOAmpSeries and NetAmpSeries are the amplification ratios over
+	// time (Fig. 7).
+	IOAmpSeries  []FigurePoint `json:"io_amp_series"`
+	NetAmpSeries []FigurePoint `json:"net_amp_series"`
+	// NetBytesSeries is cumulative replication-network bytes over time.
+	NetBytesSeries []FigurePoint `json:"net_bytes_series"`
+
+	// Latency maps op kind to its tail summary (Fig. 8).
+	Latency map[string]FigureLatency `json:"latency"`
+}
+
+// FiguresReport is the BENCH_figures.json document.
+type FiguresReport struct {
+	Setup      string      `json:"setup"`
+	Replicas   int         `json:"replicas"`
+	Records    uint64      `json:"records"`
+	RunOps     uint64      `json:"run_ops"`
+	TraceSpans int         `json:"trace_spans"`
+	Runs       []FigureRun `json:"runs"`
+	CSVs       []string    `json:"csvs"`
+}
+
+// figFamily strips a ReadSeries key down to its family name (the part
+// before the label set).
+func figFamily(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// sumSeries adds, tick by tick, every history series whose family name
+// is one of names (summing across node labels). All series ticked from
+// the same sampler share offsets, so index alignment is exact.
+func sumSeries(hist map[string][]obs.Point, names ...string) []obs.Point {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []obs.Point
+	for key, pts := range hist {
+		if !want[figFamily(key)] {
+			continue
+		}
+		if out == nil {
+			out = make([]obs.Point, len(pts))
+			for i := range pts {
+				out[i].T = pts[i].T
+			}
+		}
+		n := len(out)
+		if len(pts) < n {
+			n = len(pts)
+		}
+		for i := 0; i < n; i++ {
+			out[i].V += pts[i].V
+		}
+	}
+	return out
+}
+
+// toFigurePoints converts sampler points to millisecond-offset rows.
+func toFigurePoints(pts []obs.Point) []FigurePoint {
+	out := make([]FigurePoint, len(pts))
+	for i, p := range pts {
+		out[i] = FigurePoint{TMS: float64(p.T) / float64(time.Millisecond), V: p.V}
+	}
+	return out
+}
+
+// rateSeries differentiates a cumulative op count into interval
+// throughput (Kops/s between consecutive ticks).
+func rateSeries(pts []obs.Point) []FigurePoint {
+	var out []FigurePoint
+	for i := 1; i < len(pts); i++ {
+		dt := pts[i].T - pts[i-1].T
+		if dt <= 0 {
+			continue
+		}
+		kops := (pts[i].V - pts[i-1].V) / dt.Seconds() / 1000
+		out = append(out, FigurePoint{TMS: float64(pts[i].T) / float64(time.Millisecond), V: kops})
+	}
+	return out
+}
+
+// ratioSeries divides two aligned cumulative series point by point
+// (amplification over time); zero denominators yield zero.
+func ratioSeries(num, den []obs.Point) []FigurePoint {
+	n := len(num)
+	if len(den) < n {
+		n = len(den)
+	}
+	out := make([]FigurePoint, 0, n)
+	for i := 0; i < n; i++ {
+		v := 0.0
+		if den[i].V > 0 {
+			v = num[i].V / den[i].V
+		}
+		out = append(out, FigurePoint{TMS: float64(num[i].T) / float64(time.Millisecond), V: v})
+	}
+	return out
+}
+
+// figureLatency summarizes one histogram as the Fig. 8 percentiles.
+func figureLatency(h *metrics.Histogram) FigureLatency {
+	return FigureLatency{
+		Count:  h.Count(),
+		P50Us:  float64(h.Percentile(50).Nanoseconds()) / 1e3,
+		P99Us:  float64(h.Percentile(99).Nanoseconds()) / 1e3,
+		P999Us: float64(h.Percentile(99.9).Nanoseconds()) / 1e3,
+	}
+}
+
+// runFigures reproduces the paper's Fig. 6-8 data products as
+// time-series: YCSB Load A, Run A, and Run C against a replicated
+// Send-Index cluster with the registry sampler on, emitting
+// BENCH_figures.json plus one CSV per figure. Unlike runFig6/7/8 —
+// which report one scalar per configuration — this harness samples the
+// live registry throughout each phase so throughput, amplification,
+// and network traffic are plotted over time, and it runs with request
+// tracing at the default sample rate so the figures reflect the
+// instrumented system.
+func runFigures(sc Scale, w io.Writer) error {
+	p := params(SendIndex, ycsb.LoadA, ycsb.MixSD, sc, 1)
+	p.applyDefaults()
+
+	tracer := obs.NewTracer(0)
+	c, err := cluster.New(cluster.Config{
+		Servers:     p.Servers,
+		Regions:     p.Regions,
+		Replicas:    p.Replicas,
+		Mode:        p.Setup.Mode(),
+		SegmentSize: p.SegmentSize,
+		LSM: lsm.Options{
+			NodeSize:     p.NodeSize,
+			GrowthFactor: p.GrowthFactor,
+			L0MaxKeys:    p.L0MaxKeys,
+			MaxLevels:    7,
+		},
+		Trace: tracer,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	clients := make([]*client.Client, 2)
+	for i := range clients {
+		if clients[i], err = c.NewClient(); err != nil {
+			return err
+		}
+		defer clients[i].Close()
+	}
+
+	// One registry covers the whole cluster; the client-side op and
+	// dataset counters join it so the sampler sees offered load next to
+	// the server-side traffic counters it divides by.
+	reg := obs.NewRegistry()
+	c.Observe(reg)
+	var cur atomic.Pointer[phaseStats]
+	cur.Store(&phaseStats{})
+	reg.GaugeFunc("tebis_bench_ops",
+		"Client ops completed in the current measured phase.", nil,
+		func() float64 { return float64(cur.Load().ops.Load()) })
+	reg.GaugeFunc("tebis_bench_dataset_bytes",
+		"User bytes moved by the current measured phase.", nil,
+		func() float64 { return float64(cur.Load().dataset.Load()) })
+
+	phase := func(wl ycsb.Workload) (FigureRun, error) {
+		run := FigureRun{Workload: wl.String()}
+		pp := p
+		pp.Workload = wl
+
+		stats := &phaseStats{}
+		cur.Store(stats)
+		c.ResetCounters()
+
+		lat := map[ycsb.OpKind]*metrics.Histogram{
+			ycsb.OpInsert: metrics.NewHistogram(),
+			ycsb.OpRead:   metrics.NewHistogram(),
+			ycsb.OpUpdate: metrics.NewHistogram(),
+		}
+
+		// A fresh sampler per phase, ticked from the op stream every
+		// tickEvery completed ops: sample density is deterministic in the
+		// op count, not the host's speed, so even smoke runs plot.
+		samp := obs.NewSampler(reg, obs.DefaultSampleInterval, 4*figureSampleTicks)
+		total := pp.Records
+		if wl != ycsb.LoadA {
+			total = pp.Ops
+		}
+		tickEvery := total / figureSampleTicks
+		if tickEvery == 0 {
+			tickEvery = 1
+		}
+		var opCount atomic.Uint64
+		onOp := func() {
+			if opCount.Add(1)%tickEvery == 0 {
+				samp.Tick()
+			}
+		}
+
+		samp.Tick() // t=0 baseline
+		var err error
+		if wl == ycsb.LoadA {
+			_, err = runLoad(c, clients, pp, stats, lat, onOp)
+		} else {
+			_, err = runPhase(c, clients, pp, stats, lat, onOp)
+		}
+		if err != nil {
+			return run, err
+		}
+		if err := c.FlushAll(); err != nil {
+			return run, err
+		}
+		samp.Tick() // post-drain totals
+		// Degenerate op counts (smoke runs smaller than the tick budget)
+		// still deliver the guaranteed sample floor, as a flat tail.
+		for samp.Ticks() < figureSampleTicks {
+			samp.Tick()
+		}
+
+		tot := c.Totals()
+		run.Ops = stats.ops.Load()
+		run.ElapsedMS = float64(stats.elapsed) / float64(time.Millisecond)
+		if stats.elapsed > 0 {
+			run.KOpsPerSec = float64(run.Ops) / stats.elapsed.Seconds() / 1000
+		}
+		dataset := stats.dataset.Load()
+		run.IOAmp = metrics.Amplification(tot.DeviceBytes, dataset)
+		run.NetAmp = metrics.Amplification(tot.NetServerBytes, dataset)
+		run.NetServerBytes = tot.NetServerBytes
+		run.Samples = int(samp.Ticks())
+
+		hist := samp.History()
+		ops := sumSeries(hist, "tebis_bench_ops")
+		ds := sumSeries(hist, "tebis_bench_dataset_bytes")
+		dev := sumSeries(hist, "tebis_device_read_bytes_total", "tebis_device_write_bytes_total")
+		net := sumSeries(hist, "tebis_net_tx_bytes_total", "tebis_net_rx_bytes_total")
+		run.Throughput = rateSeries(ops)
+		run.IOAmpSeries = ratioSeries(dev, ds)
+		run.NetAmpSeries = ratioSeries(net, ds)
+		run.NetBytesSeries = toFigurePoints(net)
+
+		run.Latency = map[string]FigureLatency{}
+		for kind, h := range lat {
+			if h.Count() > 0 {
+				run.Latency[kind.String()] = figureLatency(h)
+			}
+		}
+		return run, nil
+	}
+
+	report := FiguresReport{
+		Setup:    p.Setup.String(),
+		Replicas: p.Replicas,
+		Records:  p.Records,
+		RunOps:   p.Ops,
+	}
+	for _, wl := range []ycsb.Workload{ycsb.LoadA, ycsb.RunA, ycsb.RunC} {
+		run, err := phase(wl)
+		if err != nil {
+			return fmt.Errorf("bench: figures %s: %w", wl, err)
+		}
+		report.Runs = append(report.Runs, run)
+		if wl == ycsb.LoadA {
+			// Run phases start from drained, loaded data, as Run() does.
+			if err := c.WaitIdle(); err != nil {
+				return err
+			}
+		}
+	}
+	report.TraceSpans = len(tracer.Snapshot())
+
+	fmt.Fprintf(w, "Figures harness: Send-Index, two-way, SD mix (records=%d, ops=%d)\n",
+		p.Records, p.Ops)
+	fmt.Fprintf(w, "%-10s %10s %12s %8s %8s %8s %12s\n",
+		"Run", "Ops", "Kops/s", "I/O-amp", "Net-amp", "Samples", "p99 µs")
+	for _, r := range report.Runs {
+		p99 := 0.0
+		for _, l := range r.Latency {
+			if l.P99Us > p99 {
+				p99 = l.P99Us
+			}
+		}
+		fmt.Fprintf(w, "%-10s %10d %12.1f %8.2f %8.2f %8d %12.1f\n",
+			r.Workload, r.Ops, r.KOpsPerSec, r.IOAmp, r.NetAmp, r.Samples, p99)
+	}
+	fmt.Fprintf(w, "trace spans recorded: %d\n", report.TraceSpans)
+
+	if FiguresCSVDir != "" {
+		csvs, err := writeFigureCSVs(FiguresCSVDir, report.Runs)
+		if err != nil {
+			return err
+		}
+		report.CSVs = csvs
+		for _, f := range csvs {
+			fmt.Fprintf(w, "wrote %s\n", f)
+		}
+	}
+	if FiguresJSONPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(FiguresJSONPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", FiguresJSONPath)
+	}
+	return nil
+}
+
+// writeFigureCSVs renders the per-figure CSVs next to the JSON report:
+// Fig. 6 throughput-over-time, Fig. 7 amplification + network bytes
+// over time, Fig. 8 latency percentiles.
+func writeFigureCSVs(dir string, runs []FigureRun) ([]string, error) {
+	var files []string
+	write := func(name, content string) error {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		files = append(files, path)
+		return nil
+	}
+
+	var fig6 strings.Builder
+	fig6.WriteString("run,t_ms,kops_per_sec\n")
+	for _, r := range runs {
+		for _, pt := range r.Throughput {
+			fmt.Fprintf(&fig6, "%s,%.3f,%.3f\n", r.Workload, pt.TMS, pt.V)
+		}
+	}
+	if err := write("BENCH_fig6_throughput.csv", fig6.String()); err != nil {
+		return nil, err
+	}
+
+	var fig7 strings.Builder
+	fig7.WriteString("run,t_ms,io_amp,net_amp,net_bytes\n")
+	for _, r := range runs {
+		n := len(r.IOAmpSeries)
+		for i := 0; i < n; i++ {
+			netAmp, netBytes := 0.0, 0.0
+			if i < len(r.NetAmpSeries) {
+				netAmp = r.NetAmpSeries[i].V
+			}
+			if i < len(r.NetBytesSeries) {
+				netBytes = r.NetBytesSeries[i].V
+			}
+			fmt.Fprintf(&fig7, "%s,%.3f,%.4f,%.4f,%.0f\n",
+				r.Workload, r.IOAmpSeries[i].TMS, r.IOAmpSeries[i].V, netAmp, netBytes)
+		}
+	}
+	if err := write("BENCH_fig7_amplification.csv", fig7.String()); err != nil {
+		return nil, err
+	}
+
+	var fig8 strings.Builder
+	fig8.WriteString("run,op,count,p50_us,p99_us,p999_us\n")
+	for _, r := range runs {
+		ops := make([]string, 0, len(r.Latency))
+		for op := range r.Latency {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			l := r.Latency[op]
+			fmt.Fprintf(&fig8, "%s,%s,%d,%.1f,%.1f,%.1f\n",
+				r.Workload, op, l.Count, l.P50Us, l.P99Us, l.P999Us)
+		}
+	}
+	if err := write("BENCH_fig8_latency.csv", fig8.String()); err != nil {
+		return nil, err
+	}
+	return files, nil
+}

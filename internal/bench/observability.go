@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"time"
 
+	"tebis/internal/client"
 	"tebis/internal/lsm"
 	"tebis/internal/metrics"
 	"tebis/internal/obs"
@@ -79,14 +81,16 @@ func runObservabilityMode(sc Scale, instrumented bool, opsPerSec float64) (Obser
 	var (
 		reg    *obs.Registry
 		tracer *obs.Tracer
+		nodeTr *obs.Tracer
 		stop   chan struct{}
 		done   chan uint64
 	)
 	if instrumented {
 		stats := &metrics.CompactionStats{}
 		tracer = obs.NewTracer(0)
+		nodeTr = tracer.Node("bench")
 		opt.CompactionStats = stats
-		opt.Trace = tracer.Node("bench")
+		opt.Trace = nodeTr
 		reg = obs.NewRegistry()
 		reg.RegisterCompaction(obs.Labels{"node": "bench"}, stats)
 		reg.RegisterDevice(obs.Labels{"node": "bench"}, dev)
@@ -127,6 +131,10 @@ func runObservabilityMode(sc Scale, instrumented bool, opsPerSec float64) (Obser
 	if opsPerSec > 0 {
 		interval = time.Duration(float64(time.Second) / opsPerSec)
 	}
+	// The instrumented run also pays for request-scoped tracing at the
+	// client default head-sampling rate, so the overhead gate covers the
+	// traced-put hot path, not just registry scraping.
+	traceEvery := uint64(math.Round(1 / client.DefaultTraceSampleRate))
 	hist := metrics.NewHistogram()
 	start := time.Now()
 	next := start
@@ -138,7 +146,15 @@ func runObservabilityMode(sc Scale, instrumented bool, opsPerSec float64) (Obser
 			waitUntil(next)
 			t0 = next
 		}
-		if err := db.Put(key, val); err != nil {
+		if instrumented && i%traceEvery == 0 {
+			rt := nodeTr.Request(i + 1)
+			reqStart := time.Now()
+			if err := db.PutTraced(key, val, rt); err != nil {
+				return res, err
+			}
+			rt.Record(obs.Span{Cat: "request", Name: "put",
+				Bytes: int64(len(key) + len(val)), Start: reqStart, Dur: time.Since(reqStart)})
+		} else if err := db.Put(key, val); err != nil {
 			return res, err
 		}
 		hist.Record(time.Since(t0))

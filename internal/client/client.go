@@ -3,12 +3,15 @@ package client
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"tebis/internal/kv"
+	"tebis/internal/obs"
 	"tebis/internal/rdma"
 	"tebis/internal/region"
 	"tebis/internal/server"
@@ -38,7 +41,22 @@ type Config struct {
 	// ReplySlot is the default reply slot size for get/scan
 	// (grows after partial replies). Defaults to 1 KiB.
 	ReplySlot int
+	// Trace receives request-scoped spans for sampled operations; nil
+	// disables request tracing entirely.
+	Trace *obs.Tracer
+	// TraceSampleRate is the head-based sampling probability applied
+	// per operation when Trace is set: 0 selects
+	// DefaultTraceSampleRate, negative disables sampling, values >= 1
+	// trace every operation. Sampling is deterministic (every
+	// round(1/rate)-th op), so low rates still trace steadily under
+	// load.
+	TraceSampleRate float64
 }
+
+// DefaultTraceSampleRate traces ~1 in 128 operations — frequent enough
+// to populate the ring quickly, rare enough to stay inside the ≤5%
+// observability overhead gate.
+const DefaultTraceSampleRate = 1.0 / 128
 
 // Errors reported by the client.
 var (
@@ -59,6 +77,14 @@ type Client struct {
 	replySlot atomic.Int64
 	reqID     atomic.Uint64
 	closed    bool
+
+	// Request tracing (nil trace / sampleEvery 0 = off). opCtr drives
+	// the deterministic head-based sampling decision; traceBase spreads
+	// trace IDs so concurrent clients don't collide.
+	trace       *obs.Tracer
+	sampleEvery uint64
+	opCtr       atomic.Uint64
+	traceBase   uint64
 }
 
 // serverConn is one client↔server connection pair of buffers.
@@ -87,6 +113,25 @@ func New(cfg Config) (*Client, error) {
 		conns: map[string]*serverConn{},
 	}
 	c.replySlot.Store(int64(cfg.ReplySlot))
+	if cfg.Trace != nil {
+		rate := cfg.TraceSampleRate
+		if rate == 0 {
+			rate = DefaultTraceSampleRate
+		}
+		if rate > 0 {
+			if rate > 1 {
+				rate = 1
+			}
+			c.trace = cfg.Trace.Node(cfg.Name)
+			c.sampleEvery = uint64(math.Round(1 / rate))
+			if c.sampleEvery == 0 {
+				c.sampleEvery = 1
+			}
+			h := fnv.New64a()
+			_, _ = h.Write([]byte(cfg.Name))
+			c.traceBase = h.Sum64()
+		}
+	}
 	for name, h := range cfg.Servers {
 		conn, err := c.dial(name, h)
 		if err != nil {
@@ -219,8 +264,10 @@ func (sc *serverConn) sendNoop(e *extent) error {
 	return nil
 }
 
-// call performs one synchronous request-reply round trip.
-func (sc *serverConn) call(op wire.Op, regionID region.ID, payload []byte, replySize int) (wire.Header, []byte, error) {
+// call performs one synchronous request-reply round trip. traceID is
+// the sampled request's trace context (0 = unsampled), carried in the
+// header so every server-side hop records spans under it.
+func (sc *serverConn) call(op wire.Op, regionID region.ID, payload []byte, replySize int, traceID uint64) (wire.Header, []byte, error) {
 	total := wire.MessageSize(len(payload))
 	// Allocate the reply slot before the request extent: the server
 	// consumes requests in ring order, so a request written to the ring
@@ -243,6 +290,7 @@ func (sc *serverConn) call(op wire.Op, regionID region.ID, payload []byte, reply
 		RequestID:   sc.c.reqID.Add(1),
 		ReplyOffset: uint32(replyOff),
 		ReplySize:   uint32(replySize),
+		TraceID:     traceID,
 	}
 	msg := make([]byte, total)
 	if _, err := wire.EncodeMessage(msg, hdr, payload); err != nil {
@@ -312,17 +360,57 @@ func (sc *serverConn) awaitReply(off int, reqID uint64) (wire.Header, []byte, er
 	}
 }
 
+// sampleTrace makes the head-based sampling decision for one client
+// operation: every sampleEvery-th op gets a fresh non-zero trace ID,
+// the rest get 0 (unsampled). The unsampled path costs one atomic add.
+func (c *Client) sampleTrace() uint64 {
+	if c.sampleEvery == 0 {
+		return 0
+	}
+	n := c.opCtr.Add(1)
+	if (n-1)%c.sampleEvery != 0 {
+		return 0
+	}
+	// Spread sequential sample numbers over the ID space so traces from
+	// different clients stay distinct; fnv(name) separates clients.
+	id := c.traceBase ^ (n * 0x9e3779b97f4a7c15)
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
 // do routes and executes an op. Stale-map replies (FlagWrongRegion) and
 // broken connections (the target crashed) both trigger a region-map
-// refresh and a retry against the new primary (§3.1, §3.5).
+// refresh and a retry against the new primary (§3.1, §3.5). When the
+// op is sampled, the whole routing/retry envelope is recorded as the
+// request's client-side span.
 func (c *Client) do(key []byte, op wire.Op, payload []byte, replySize int) (wire.Header, []byte, error) {
+	traceID := c.sampleTrace()
+	if traceID == 0 {
+		return c.doAttempts(key, op, payload, replySize, 0)
+	}
+	start := time.Now()
+	h, body, err := c.doAttempts(key, op, payload, replySize, traceID)
+	c.trace.Record(obs.Span{
+		Cat:   "request",
+		Name:  op.String(),
+		Req:   traceID,
+		Bytes: int64(len(payload)),
+		Start: start,
+		Dur:   time.Since(start),
+	})
+	return h, body, err
+}
+
+func (c *Client) doAttempts(key []byte, op wire.Op, payload []byte, replySize int, traceID uint64) (wire.Header, []byte, error) {
 	const maxAttempts = 6
 	for attempt := 0; ; attempt++ {
 		conn, rid, err := c.route(key)
 		if err != nil {
 			return wire.Header{}, nil, err
 		}
-		h, body, err := conn.call(op, rid, payload, replySize)
+		h, body, err := conn.call(op, rid, payload, replySize, traceID)
 		if err != nil {
 			if isTransportErr(err) && attempt < maxAttempts {
 				time.Sleep(2 * time.Millisecond)

@@ -48,7 +48,12 @@ type Config struct {
 	Retry replica.RetryPolicy
 	// Trace records compaction pipeline spans across all nodes into one
 	// shared ring, each stamped with its server's name; may be nil.
+	// Clients built via NewClient share it for request-scoped tracing.
 	Trace *obs.Tracer
+	// TraceSampleRate is passed to clients built via NewClient: the
+	// per-operation head-based sampling probability (0 selects
+	// client.DefaultTraceSampleRate, negative disables).
+	TraceSampleRate float64
 }
 
 func (c *Config) applyDefaults() {
@@ -215,10 +220,12 @@ func (c *Cluster) NewClient() (*client.Client, error) {
 	}
 	c.clientSeq++
 	return client.New(client.Config{
-		Name:    fmt.Sprintf("client%d", c.clientSeq),
-		Servers: servers,
-		Map:     rmap,
-		Refresh: c.Map,
+		Name:            fmt.Sprintf("client%d", c.clientSeq),
+		Servers:         servers,
+		Map:             rmap,
+		Refresh:         c.Map,
+		Trace:           c.cfg.Trace,
+		TraceSampleRate: c.cfg.TraceSampleRate,
 	})
 }
 

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"testing"
+
+	"tebis/internal/obs"
+	"tebis/internal/replica"
+)
+
+// TestRequestTraceFanOut is the request-tracing acceptance test: one
+// sampled put against a 1-primary/2-backup Send-Index cluster must
+// yield a trace whose client, server-dispatch, primary-apply, and
+// per-backup ship/ack spans all share one request ID — the full
+// replication fan-out of a single op on one Chrome trace row.
+func TestRequestTraceFanOut(t *testing.T) {
+	cfg := testConfig(replica.SendIndex, 2)
+	cfg.Trace = obs.NewTracer(0)
+	cfg.TraceSampleRate = 1 // sample every op
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Put([]byte("trace-me-0001"), []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Collect the request spans; exactly one trace ID must appear.
+	byName := map[string]int{}
+	backups := map[string]bool{}
+	var req uint64
+	for _, s := range cfg.Trace.Snapshot() {
+		if s.Cat != "request" {
+			continue
+		}
+		if s.Req == 0 {
+			t.Fatalf("request span %q has no trace ID", s.Name)
+		}
+		if req == 0 {
+			req = s.Req
+		}
+		if s.Req != req {
+			t.Fatalf("span %q has trace ID %#x, want %#x", s.Name, s.Req, req)
+		}
+		byName[s.Name]++
+		if s.Name == "ship" || s.Name == "ack" {
+			if s.Backup == "" {
+				t.Fatalf("%s span names no backup", s.Name)
+			}
+			backups[s.Backup] = true
+		}
+	}
+	if req == 0 {
+		t.Fatal("no request spans recorded")
+	}
+	if byName["put"] != 1 {
+		t.Fatalf("client put spans = %d, want 1", byName["put"])
+	}
+	if byName["dispatch"] != 1 {
+		t.Fatalf("dispatch spans = %d, want 1", byName["dispatch"])
+	}
+	if byName["apply"] != 1 {
+		t.Fatalf("apply spans = %d, want 1", byName["apply"])
+	}
+	if byName["ship"] != 2 || byName["ack"] != 2 {
+		t.Fatalf("ship/ack spans = %d/%d, want 2/2 (one per backup)",
+			byName["ship"], byName["ack"])
+	}
+	if len(backups) != 2 {
+		t.Fatalf("ship/ack spans covered backups %v, want both", backups)
+	}
+
+	// The Chrome export threads all of them onto the request's row.
+	var buf bytes.Buffer
+	if err := cfg.Trace.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  uint64         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	// Trace IDs use the full 64 bits; decode numbers as json.Number so
+	// the comparison is not truncated through float64.
+	dec := json.NewDecoder(&buf)
+	dec.UseNumber()
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	want := strconv.FormatUint(req, 10)
+	rows := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		if r, ok := e.Args["req"].(json.Number); ok && r.String() == want {
+			if e.Tid != req {
+				t.Errorf("span %q tid = %d, want request ID %d", e.Name, e.Tid, req)
+			}
+			rows[e.Name]++
+		}
+	}
+	for _, name := range []string{"put", "dispatch", "apply", "ship", "ack"} {
+		if rows[name] == 0 {
+			t.Errorf("Chrome export missing %q span for request %#x", name, req)
+		}
+	}
+}
+
+// TestRequestTraceSampling: at a 1/N sample rate only every N-th op is
+// traced, and unsampled ops leave no request spans behind.
+func TestRequestTraceSampling(t *testing.T) {
+	cfg := testConfig(replica.SendIndex, 1)
+	cfg.Trace = obs.NewTracer(0)
+	cfg.TraceSampleRate = 1.0 / 8
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const n = 64
+	for i := 0; i < n; i++ {
+		key := []byte{byte('a' + i%26), byte('0' + i%10), 'k', 'e', 'y', byte(i)}
+		if err := cl.Put(key, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ids := map[uint64]bool{}
+	var clientSpans int
+	for _, s := range cfg.Trace.Snapshot() {
+		if s.Cat != "request" {
+			continue
+		}
+		ids[s.Req] = true
+		if s.Name == "put" {
+			clientSpans++
+		}
+	}
+	if clientSpans != n/8 {
+		t.Fatalf("client spans = %d, want %d (1/8 of %d ops)", clientSpans, n/8, n)
+	}
+	if len(ids) != n/8 {
+		t.Fatalf("distinct trace IDs = %d, want %d", len(ids), n/8)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"tebis/internal/btree"
 	"tebis/internal/kv"
 	"tebis/internal/metrics"
+	"tebis/internal/obs"
 	"tebis/internal/storage"
 	"tebis/internal/vlog"
 )
@@ -34,7 +35,7 @@ func newDurabilityTracker() *durabilityTracker {
 	return &durabilityTracker{durable: make(map[string][]byte)}
 }
 
-func (d *durabilityTracker) OnAppend(res vlog.AppendResult) {
+func (d *durabilityTracker) OnAppend(res vlog.AppendResult, _ *obs.ReqTrace) {
 	if res.Sealed != nil {
 		for _, op := range d.pending {
 			d.durable[op.key] = op.val

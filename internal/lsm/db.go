@@ -202,15 +202,27 @@ func (db *DB) capacity(i int) int {
 
 // Put inserts or overwrites a key.
 func (db *DB) Put(key, value []byte) error {
-	return db.mutate(key, value, false)
+	return db.mutate(key, value, false, nil)
 }
 
 // Delete tombstones a key.
 func (db *DB) Delete(key []byte) error {
-	return db.mutate(key, nil, true)
+	return db.mutate(key, nil, true, nil)
 }
 
-func (db *DB) mutate(key, value []byte, tombstone bool) error {
+// PutTraced is Put carrying a sampled request's span context; the
+// listener (replication) records per-backup ship/ack spans under it.
+// rt may be nil, making it identical to Put.
+func (db *DB) PutTraced(key, value []byte, rt *obs.ReqTrace) error {
+	return db.mutate(key, value, false, rt)
+}
+
+// DeleteTraced is Delete carrying a sampled request's span context.
+func (db *DB) DeleteTraced(key []byte, rt *obs.ReqTrace) error {
+	return db.mutate(key, nil, true, rt)
+}
+
+func (db *DB) mutate(key, value []byte, tombstone bool, rt *obs.ReqTrace) error {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
@@ -236,7 +248,7 @@ func (db *DB) mutate(key, value []byte, tombstone bool) error {
 	if l := db.getListener(); l != nil {
 		// Replication runs under the engine lock so backups observe
 		// appends in log order.
-		l.OnAppend(res)
+		l.OnAppend(res, rt)
 	}
 
 	db.l0.Insert(key, res.Off, tombstone)

@@ -62,7 +62,7 @@ func (db *DB) GCLog(maxSegments int) (GCStats, error) {
 			}
 			// Re-append the live record at the tail; this replicates
 			// and re-indexes it like any other write.
-			if err := db.mutate(key, value, false); err != nil {
+			if err := db.mutate(key, value, false, nil); err != nil {
 				moveErr = err
 				return false
 			}

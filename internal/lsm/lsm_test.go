@@ -10,6 +10,7 @@ import (
 	"tebis/internal/btree"
 	"tebis/internal/kv"
 	"tebis/internal/metrics"
+	"tebis/internal/obs"
 	"tebis/internal/storage"
 	"tebis/internal/vlog"
 )
@@ -340,7 +341,7 @@ type recordingListener struct {
 	trims    int
 }
 
-func (r *recordingListener) OnAppend(res vlog.AppendResult) {
+func (r *recordingListener) OnAppend(res vlog.AppendResult, _ *obs.ReqTrace) {
 	r.mu.Lock()
 	r.appends++
 	if res.Sealed != nil {

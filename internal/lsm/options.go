@@ -84,7 +84,10 @@ type Listener interface {
 	// it is inserted into L0 — the point where the primary RDMA-writes
 	// the record into each backup's buffer (§3.2 step 1) and, when
 	// res.Sealed is non-nil, first tells backups to flush (step 2b).
-	OnAppend(res vlog.AppendResult)
+	// rt is the sampled request's span context (nil for unsampled
+	// writes); the replication layer records per-backup ship/ack spans
+	// under it.
+	OnAppend(res vlog.AppendResult, rt *obs.ReqTrace)
 	// OnCompactionStart fires before a compaction job begins merging.
 	OnCompactionStart(job CompactionJob)
 	// OnIndexSegment fires for every sealed index/leaf segment of the

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"tebis/internal/btree"
+	"tebis/internal/obs"
 	"tebis/internal/storage"
 	"tebis/internal/vlog"
 )
@@ -132,7 +133,7 @@ type gateListener struct {
 	started atomic.Bool // a gated job reached OnCompactionStart
 }
 
-func (g *gateListener) OnAppend(vlog.AppendResult) {}
+func (g *gateListener) OnAppend(vlog.AppendResult, *obs.ReqTrace) {}
 func (g *gateListener) OnCompactionStart(job CompactionJob) {
 	if job.SrcLevel >= 1 {
 		g.started.Store(true)
@@ -334,7 +335,7 @@ func (r *jobRecorder) errf(format string, args ...any) {
 	r.errs = append(r.errs, fmt.Sprintf(format, args...))
 }
 
-func (r *jobRecorder) OnAppend(vlog.AppendResult) {}
+func (r *jobRecorder) OnAppend(vlog.AppendResult, *obs.ReqTrace) {}
 
 func (r *jobRecorder) OnCompactionStart(job CompactionJob) {
 	r.mu.Lock()

@@ -186,6 +186,24 @@ func (r *Registry) RegisterAmplification(labels Labels, ioTraffic, netTraffic, d
 	}
 }
 
+// RegisterTracer exposes the span ring's occupancy and eviction
+// counters, so trace loss under load (spans dropped to stay inside the
+// ring's span-count and byte bounds) is visible on /metrics.
+func (r *Registry) RegisterTracer(labels Labels, tr *Tracer) {
+	if r == nil || tr == nil {
+		return
+	}
+	r.CounterFunc("tebis_trace_dropped_spans_total",
+		"Spans evicted from the trace ring to stay within its bounds.", labels,
+		func() float64 { return float64(tr.Dropped()) })
+	r.GaugeFunc("tebis_trace_spans",
+		"Spans currently buffered in the trace ring.", labels,
+		func() float64 { return float64(tr.Len()) })
+	r.GaugeFunc("tebis_trace_bytes",
+		"Approximate resident bytes of the buffered trace spans.", labels,
+		func() float64 { return float64(tr.Bytes()) })
+}
+
 // RegisterOpLatency exposes one op kind's latency histogram as a
 // summary family plus an ops counter — the Figure 8 tail-latency view.
 func (r *Registry) RegisterOpLatency(labels Labels, op string, h *metrics.Histogram) {

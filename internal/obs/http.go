@@ -1,9 +1,12 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 )
 
 // Handler serves the registry in Prometheus text exposition format.
@@ -22,15 +25,67 @@ func (t *Tracer) Handler() http.Handler {
 	})
 }
 
+// Handler serves the sampler's buffered time series as JSON.
+func (s *Sampler) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.WriteJSON(w)
+	})
+}
+
+// Handler serves the profiler's capture log as JSON.
+func (p *Profiler) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		caps := p.Captures()
+		if caps == nil {
+			caps = []Capture{}
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"dir":      p.Dir(),
+			"captures": caps,
+		})
+	})
+}
+
+// muxIndex lists the mounted endpoints, served at exactly "/".
+const muxIndex = `tebis observability endpoints:
+  /metrics            Prometheus text exposition
+  /metrics/history    sampled time series (JSON)
+  /debug/trace        Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev)
+  /debug/vars         expvar JSON
+  /debug/profiler     captured profile log (JSON)
+  /debug/pprof/       interactive pprof index
+`
+
 // NewMux mounts the observability endpoints: /metrics (Prometheus
-// text), /debug/vars (expvar JSON), and /debug/trace (Chrome
-// trace-event JSON). reg and tr may each be nil; the endpoints then
-// serve empty documents.
-func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
+// text), /metrics/history (sampled time series), /debug/vars (expvar
+// JSON), /debug/trace (Chrome trace-event JSON), /debug/profiler
+// (capture log), and /debug/pprof/* (net/http/pprof, registered
+// explicitly rather than relying on its DefaultServeMux side effects).
+// Every argument may be nil; the endpoints then serve empty documents.
+// "/" serves a plain-text index, and any other unknown path gets an
+// explicit 404 instead of silently falling through to the index.
+func NewMux(reg *Registry, tr *Tracer, prof *Profiler, samp *Sampler) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/metrics/history", samp.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/debug/trace", tr.Handler())
+	mux.Handle("/debug/profiler", prof.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, muxIndex)
+	})
 	return mux
 }
 
@@ -39,12 +94,12 @@ func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
 // listen address so callers can use port 0. The server runs until the
 // process exits; tebis-server's lifetime is the process lifetime, so no
 // shutdown plumbing is needed.
-func Serve(addr string, reg *Registry, tr *Tracer) (string, error) {
+func Serve(addr string, reg *Registry, tr *Tracer, prof *Profiler, samp *Sampler) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: NewMux(reg, tr)}
+	srv := &http.Server{Handler: NewMux(reg, tr, prof, samp)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), nil
 }

@@ -23,7 +23,9 @@ func TestMuxEndpoints(t *testing.T) {
 	reg.Counter("tebis_test_total", "h", nil).Add(9)
 	tr := NewTracer(8)
 	tr.Record(Span{Name: "merge", JobID: 1, Start: time.Now(), Dur: time.Millisecond})
-	mux := NewMux(reg, tr)
+	samp := NewSampler(reg, time.Hour, 4)
+	samp.Tick()
+	mux := NewMux(reg, tr, nil, samp)
 
 	code, body := get(t, mux, "/metrics")
 	if code != http.StatusOK || !strings.Contains(body, "tebis_test_total 9") {
@@ -52,10 +54,49 @@ func TestMuxEndpoints(t *testing.T) {
 	if len(doc.TraceEvents) == 0 {
 		t.Fatal("/debug/trace exported no events")
 	}
+
+	code, body = get(t, mux, "/metrics/history")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics/history: code=%d", code)
+	}
+	var hist struct {
+		Ticks  uint64                      `json:"ticks"`
+		Series map[string]map[string][]any `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &hist); err != nil {
+		t.Fatalf("/metrics/history is not JSON: %v", err)
+	}
+	if hist.Ticks != 1 || len(hist.Series) == 0 {
+		t.Fatalf("/metrics/history: ticks=%d series=%d", hist.Ticks, len(hist.Series))
+	}
+
+	code, body = get(t, mux, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+	if code, _ = get(t, mux, "/debug/pprof/symbol"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/symbol: code=%d", code)
+	}
+}
+
+// Unknown paths must 404 instead of silently serving something, and
+// "/" itself serves an index of the mounted endpoints.
+func TestMuxUnknownPath404(t *testing.T) {
+	mux := NewMux(NewRegistry(), NewTracer(8), nil, nil)
+	if code, _ := get(t, mux, "/nope"); code != http.StatusNotFound {
+		t.Fatalf("/nope: code=%d, want 404", code)
+	}
+	if code, _ := get(t, mux, "/metricsx"); code != http.StatusNotFound {
+		t.Fatalf("/metricsx: code=%d, want 404", code)
+	}
+	code, body := get(t, mux, "/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("/: code=%d body=%q", code, body)
+	}
 }
 
 func TestMuxNilComponents(t *testing.T) {
-	mux := NewMux(nil, nil)
+	mux := NewMux(nil, nil, nil, nil)
 	if code, _ := get(t, mux, "/metrics"); code != http.StatusOK {
 		t.Fatalf("/metrics with nil registry: code=%d", code)
 	}
@@ -67,12 +108,26 @@ func TestMuxNilComponents(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &doc); err != nil {
 		t.Fatalf("nil tracer trace is not JSON: %v", err)
 	}
+	code, body = get(t, mux, "/metrics/history")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics/history with nil sampler: code=%d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("nil sampler history is not JSON: %v", err)
+	}
+	code, body = get(t, mux, "/debug/profiler")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/profiler with nil profiler: code=%d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("nil profiler log is not JSON: %v", err)
+	}
 }
 
 func TestServe(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("tebis_served_total", "h", nil).Inc()
-	addr, err := Serve("127.0.0.1:0", reg, nil)
+	addr, err := Serve("127.0.0.1:0", reg, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

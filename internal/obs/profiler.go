@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// Capture records one profile the Profiler wrote to disk.
+type Capture struct {
+	// Kind is "cpu" or "heap".
+	Kind string `json:"kind"`
+	// Path is the profile file's location.
+	Path string `json:"path"`
+	// Reason says why the capture happened ("on-demand", or the
+	// watchdog condition that tripped).
+	Reason string `json:"reason"`
+	// At is the capture start time.
+	At time.Time `json:"at"`
+}
+
+// Profiler captures CPU and heap profiles to a directory, on demand or
+// when a watchdog condition trips — the continuous-profiling layer
+// complementing the interactive /debug/pprof endpoints. A nil
+// *Profiler is inert.
+type Profiler struct {
+	dir string
+
+	mu       sync.Mutex
+	seq      int
+	cpuBusy  bool
+	captures []Capture
+	tripped  map[string]bool
+	watchers []chan struct{}
+}
+
+// NewProfiler returns a profiler writing profiles into dir (created if
+// missing; "" means the OS temp directory).
+func NewProfiler(dir string) (*Profiler, error) {
+	if dir == "" {
+		dir = filepath.Join(os.TempDir(), "tebis-profiles")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Profiler{dir: dir, tripped: make(map[string]bool)}, nil
+}
+
+// Dir returns the profile output directory.
+func (p *Profiler) Dir() string {
+	if p == nil {
+		return ""
+	}
+	return p.dir
+}
+
+func (p *Profiler) nextPath(kind string) string {
+	p.mu.Lock()
+	p.seq++
+	n := p.seq
+	p.mu.Unlock()
+	return filepath.Join(p.dir, fmt.Sprintf("%s-%04d.pprof", kind, n))
+}
+
+func (p *Profiler) record(c Capture) {
+	p.mu.Lock()
+	p.captures = append(p.captures, c)
+	p.mu.Unlock()
+}
+
+// CaptureCPU profiles CPU for d (1s when <= 0) and writes the result.
+// It blocks for the duration. Only one CPU profile can run at a time
+// (a runtime/pprof limitation); a concurrent call returns an error.
+func (p *Profiler) CaptureCPU(d time.Duration, reason string) (string, error) {
+	if p == nil {
+		return "", nil
+	}
+	if d <= 0 {
+		d = time.Second
+	}
+	p.mu.Lock()
+	if p.cpuBusy {
+		p.mu.Unlock()
+		return "", fmt.Errorf("obs: cpu profile already in progress")
+	}
+	p.cpuBusy = true
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.cpuBusy = false
+		p.mu.Unlock()
+	}()
+
+	path := p.nextPath("cpu")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	start := time.Now()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return "", err
+	}
+	time.Sleep(d)
+	pprof.StopCPUProfile()
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	p.record(Capture{Kind: "cpu", Path: path, Reason: reason, At: start})
+	return path, nil
+}
+
+// CaptureHeap writes a heap profile (after a GC, so the numbers
+// reflect live memory) and returns its path.
+func (p *Profiler) CaptureHeap(reason string) (string, error) {
+	if p == nil {
+		return "", nil
+	}
+	path := p.nextPath("heap")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	start := time.Now()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	p.record(Capture{Kind: "heap", Path: path, Reason: reason, At: start})
+	return path, nil
+}
+
+// Captures returns every profile captured so far, oldest first.
+func (p *Profiler) Captures() []Capture {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Capture(nil), p.captures...)
+}
+
+// WatchCondition is one watchdog trigger: Trip is polled every
+// interval, and the first true return captures a heap profile plus a
+// short CPU profile tagged with Name. The condition then latches so a
+// persistently-bad signal does not fill the disk; it re-arms when Trip
+// returns false again.
+type WatchCondition struct {
+	Name string
+	Trip func() bool
+}
+
+// StallCondition trips when fn (cumulative writer-stall seconds, per
+// metrics.CompactionStats) grows by more than threshold between polls
+// — the paper's L0 backpressure signal (§5.1).
+func StallCondition(name string, threshold time.Duration, fn func() time.Duration) WatchCondition {
+	var last time.Duration
+	var init bool
+	return WatchCondition{Name: name, Trip: func() bool {
+		cur := fn()
+		if !init {
+			init = true
+			last = cur
+			return false
+		}
+		grew := cur - last
+		last = cur
+		return grew > threshold
+	}}
+}
+
+// ScrapeStallCondition trips when the sampler has not ticked for more
+// than threshold — the observability plane itself wedged.
+func ScrapeStallCondition(s *Sampler, threshold time.Duration) WatchCondition {
+	return WatchCondition{Name: "scrape-stall", Trip: func() bool {
+		last := s.LastTick()
+		return !last.IsZero() && time.Since(last) > threshold
+	}}
+}
+
+// Watch polls the conditions every interval in a background goroutine,
+// capturing profiles when one trips. It returns a stop function that
+// halts the watchdog and waits for it to exit. Nil-safe: a nil
+// profiler returns a no-op stop.
+func (p *Profiler) Watch(interval time.Duration, conds ...WatchCondition) (stop func()) {
+	if p == nil || len(conds) == 0 {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-t.C:
+				for _, c := range conds {
+					p.poll(c)
+				}
+			}
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-done
+	}
+}
+
+func (p *Profiler) poll(c WatchCondition) {
+	tripped := c.Trip()
+	p.mu.Lock()
+	was := p.tripped[c.Name]
+	p.tripped[c.Name] = tripped
+	p.mu.Unlock()
+	if !tripped || was {
+		return
+	}
+	reason := "watchdog:" + c.Name
+	_, _ = p.CaptureHeap(reason)
+	// A short CPU window shows what the process was doing when the
+	// condition tripped; errors (e.g. a concurrent on-demand profile)
+	// are non-fatal.
+	_, _ = p.CaptureCPU(250*time.Millisecond, reason)
+}

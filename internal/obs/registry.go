@@ -307,6 +307,45 @@ func (r *Registry) Families() []string {
 	return out
 }
 
+// ReadSeries returns the current value of every series in the named
+// families — all families when names is empty. Keys are full series
+// identifiers as they appear in the exposition output (family name,
+// suffix, rendered labels), so history samples line up with scraped
+// lines. Reader funcs run outside the registry lock, matching
+// WritePrometheus.
+func (r *Registry) ReadSeries(names ...string) map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	type pending struct {
+		name   string
+		labels Labels
+		read   func() []sample
+	}
+	r.mu.Lock()
+	var ps []pending
+	for _, f := range r.fams {
+		if len(want) > 0 && !want[f.name] {
+			continue
+		}
+		for _, c := range f.children {
+			ps = append(ps, pending{name: f.name, labels: c.labels, read: c.read})
+		}
+	}
+	r.mu.Unlock()
+	out := make(map[string]float64, len(ps))
+	for _, p := range ps {
+		for _, s := range p.read() {
+			out[p.name+s.suffix+p.labels.render(s.extra)] = s.value
+		}
+	}
+	return out
+}
+
 // WritePrometheus renders every family in the text exposition format,
 // sorted by family name and label set so output is deterministic.
 func (r *Registry) WritePrometheus(w io.Writer) error {

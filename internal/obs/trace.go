@@ -8,21 +8,27 @@ import (
 	"time"
 )
 
-// Span is one completed interval of work in the Send-Index pipeline:
-// a merge, build, ship (per backup), or offset-rewrite stage of one
-// compaction job.
+// Span is one completed interval of work: a merge, build, ship (per
+// backup), or offset-rewrite stage of one compaction job, or one hop of
+// a sampled client request (client op, server dispatch, primary apply,
+// per-backup ship/ack).
 type Span struct {
 	// Node is the server the work ran on ("" when the tracer is not
 	// node-scoped); it becomes the Chrome trace process.
 	Node string
-	// Cat is the span category ("compaction", "replication").
+	// Cat is the span category ("compaction", "replication", "request").
 	Cat string
-	// Name is the stage name ("merge", "build", "ship", "rewrite").
+	// Name is the stage name ("merge", "build", "ship", "rewrite",
+	// "put", "dispatch", "apply", "ack").
 	Name string
 	// JobID is the scheduler's compaction job ID; it becomes the Chrome
 	// trace thread, so all stages of one job share a row.
 	JobID uint64
-	// Backup names the destination backup for ship/rewrite spans.
+	// Req is the sampled request's trace ID. Request spans share it
+	// across client, server, and backups, so one Chrome trace row shows
+	// a put's whole replication fan-out.
+	Req uint64
+	// Backup names the destination backup for ship/rewrite/ack spans.
 	Backup string
 	// Bytes is the payload size the span moved, when meaningful.
 	Bytes int64
@@ -31,14 +37,30 @@ type Span struct {
 	Dur   time.Duration
 }
 
+// spanFixedBytes approximates the in-memory size of a Span's fixed
+// part (string headers, ints, time fields) for the ring's byte budget.
+const spanFixedBytes = 112
+
+// bytes approximates the resident size of s, fixed part plus string
+// payloads. Span strings are usually shared constants, so this
+// overcounts — the budget errs toward dropping early, never OOM.
+func (s *Span) bytes() int {
+	return spanFixedBytes + len(s.Node) + len(s.Cat) + len(s.Name) + len(s.Backup)
+}
+
 // ring is the bounded span buffer shared by all node-scoped views of
-// one Tracer.
+// one Tracer. It is a deque over a fixed slice: head indexes the
+// oldest span, size counts the live ones, and bytes tracks their
+// approximate resident memory so the ring is bounded in bytes as well
+// as span count.
 type ring struct {
-	mu      sync.Mutex
-	spans   []Span
-	next    int
-	full    bool
-	dropped uint64
+	mu       sync.Mutex
+	spans    []Span
+	head     int
+	size     int
+	bytes    int
+	maxBytes int
+	dropped  uint64
 	// epoch anchors Chrome trace timestamps so ts values stay small.
 	epoch time.Time
 }
@@ -56,14 +78,35 @@ type Tracer struct {
 // per compaction it holds several hundred complete jobs.
 const DefaultTraceCap = 4096
 
+// DefaultTraceMaxBytes is the ring's byte budget when NewTracer is
+// given none: enough for DefaultTraceCap spans with typical string
+// payloads, and a hard ceiling on tracer memory regardless of span
+// size.
+const DefaultTraceMaxBytes = 1 << 20
+
 // NewTracer returns a tracer whose ring holds up to capacity spans
-// (DefaultTraceCap when capacity <= 0). Once full, new spans overwrite
-// the oldest.
+// (DefaultTraceCap when capacity <= 0) within DefaultTraceMaxBytes.
+// Once either bound is hit, new spans evict the oldest.
 func NewTracer(capacity int) *Tracer {
+	return NewTracerBytes(capacity, 0)
+}
+
+// NewTracerBytes is NewTracer with an explicit byte budget
+// (DefaultTraceMaxBytes when maxBytes <= 0). The ring evicts oldest
+// spans while over either the span-count or the byte bound; evictions
+// count toward Dropped.
+func NewTracerBytes(capacity, maxBytes int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceCap
 	}
-	return &Tracer{r: &ring{spans: make([]Span, capacity), epoch: time.Now()}}
+	if maxBytes <= 0 {
+		maxBytes = DefaultTraceMaxBytes
+	}
+	return &Tracer{r: &ring{
+		spans:    make([]Span, capacity),
+		maxBytes: maxBytes,
+		epoch:    time.Now(),
+	}}
 }
 
 // Node returns a view of t that stamps Span.Node on every recorded
@@ -75,7 +118,8 @@ func (t *Tracer) Node(name string) *Tracer {
 	return &Tracer{node: name, r: t.r}
 }
 
-// Record adds one span to the ring, overwriting the oldest when full.
+// Record adds one span to the ring, evicting the oldest spans while
+// the ring is over its span-count or byte bound.
 func (t *Tracer) Record(s Span) {
 	if t == nil {
 		return
@@ -83,17 +127,26 @@ func (t *Tracer) Record(s Span) {
 	if s.Node == "" {
 		s.Node = t.node
 	}
+	nb := s.bytes()
 	r := t.r
 	r.mu.Lock()
-	if r.full {
+	for r.size > 0 && (r.size == len(r.spans) || r.bytes+nb > r.maxBytes) {
+		r.bytes -= r.spans[r.head].bytes()
+		r.spans[r.head] = Span{}
+		r.head++
+		if r.head == len(r.spans) {
+			r.head = 0
+		}
+		r.size--
 		r.dropped++
 	}
-	r.spans[r.next] = s
-	r.next++
-	if r.next == len(r.spans) {
-		r.next = 0
-		r.full = true
+	tail := r.head + r.size
+	if tail >= len(r.spans) {
+		tail -= len(r.spans)
 	}
+	r.spans[tail] = s
+	r.size++
+	r.bytes += nb
 	r.mu.Unlock()
 }
 
@@ -105,16 +158,19 @@ func (t *Tracer) Snapshot() []Span {
 	r := t.r
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if !r.full {
-		return append([]Span(nil), r.spans[:r.next]...)
+	out := make([]Span, 0, r.size)
+	for i := 0; i < r.size; i++ {
+		j := r.head + i
+		if j >= len(r.spans) {
+			j -= len(r.spans)
+		}
+		out = append(out, r.spans[j])
 	}
-	out := make([]Span, 0, len(r.spans))
-	out = append(out, r.spans[r.next:]...)
-	out = append(out, r.spans[:r.next]...)
 	return out
 }
 
-// Dropped returns how many spans were overwritten since the last Reset.
+// Dropped returns how many spans were evicted since the last Reset —
+// the sampling loss the tebis_trace_dropped_spans_total family exposes.
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0
@@ -124,6 +180,34 @@ func (t *Tracer) Dropped() uint64 {
 	return t.r.dropped
 }
 
+// Len returns the number of buffered spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.r.mu.Lock()
+	defer t.r.mu.Unlock()
+	return t.r.size
+}
+
+// Bytes returns the approximate resident memory of the buffered spans.
+func (t *Tracer) Bytes() int {
+	if t == nil {
+		return 0
+	}
+	t.r.mu.Lock()
+	defer t.r.mu.Unlock()
+	return t.r.bytes
+}
+
+// MaxBytes returns the ring's byte budget.
+func (t *Tracer) MaxBytes() int {
+	if t == nil {
+		return 0
+	}
+	return t.r.maxBytes
+}
+
 // Reset discards all buffered spans.
 func (t *Tracer) Reset() {
 	if t == nil {
@@ -131,10 +215,52 @@ func (t *Tracer) Reset() {
 	}
 	r := t.r
 	r.mu.Lock()
-	r.next = 0
-	r.full = false
+	for i := range r.spans {
+		r.spans[i] = Span{}
+	}
+	r.head = 0
+	r.size = 0
+	r.bytes = 0
 	r.dropped = 0
 	r.mu.Unlock()
+}
+
+// ReqTrace is the span context of one sampled client request: the
+// trace ID that ties the request's spans together across nodes, bound
+// to the local node's tracer view. Each hop (client, server, backup)
+// builds its own ReqTrace from the wire header's trace ID via
+// Tracer.Request. A nil *ReqTrace records nothing, so unsampled
+// requests pay only a nil check.
+type ReqTrace struct {
+	t  *Tracer
+	id uint64
+}
+
+// Request returns a span context for trace id on t. Nil-safe: a nil
+// tracer, or id 0 (the wire encoding of "unsampled"), returns nil.
+func (t *Tracer) Request(id uint64) *ReqTrace {
+	if t == nil || id == 0 {
+		return nil
+	}
+	return &ReqTrace{t: t, id: id}
+}
+
+// ID returns the trace ID, or 0 when rt is nil — the value to put in
+// an outgoing wire header.
+func (rt *ReqTrace) ID() uint64 {
+	if rt == nil {
+		return 0
+	}
+	return rt.id
+}
+
+// Record stamps s with the request's trace ID and records it.
+func (rt *ReqTrace) Record(s Span) {
+	if rt == nil {
+		return
+	}
+	s.Req = rt.id
+	rt.t.Record(s)
 }
 
 // chromeEvent is one entry of the Chrome trace-event JSON format
@@ -156,8 +282,10 @@ type chromeTrace struct {
 
 // WriteChromeTrace renders the buffered spans as Chrome trace-event
 // JSON. Each node becomes a process (with a process_name metadata
-// event) and each compaction job ID becomes a thread, so the
-// merge/build/ship/rewrite stages of one job line up on one row.
+// event); compaction spans thread by job ID and request spans by trace
+// ID, so the merge/build/ship/rewrite stages of one job — and the
+// dispatch/apply/ship/ack hops of one sampled request — each line up
+// on one row.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	if t == nil {
 		_, err := io.WriteString(w, `{"traceEvents":[]}`)
@@ -196,7 +324,17 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		})
 	}
 	for _, s := range spans {
-		args := map[string]any{"job": s.JobID}
+		args := map[string]any{}
+		tid := s.JobID
+		if s.JobID != 0 {
+			args["job"] = s.JobID
+		}
+		if s.Req != 0 {
+			args["req"] = s.Req
+			if tid == 0 {
+				tid = s.Req
+			}
+		}
 		if s.Backup != "" {
 			args["backup"] = s.Backup
 		}
@@ -210,7 +348,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Ts:   float64(s.Start.Sub(epoch)) / float64(time.Microsecond),
 			Dur:  float64(s.Dur) / float64(time.Microsecond),
 			Pid:  nodes[s.Node],
-			Tid:  s.JobID,
+			Tid:  tid,
 			Args: args,
 		})
 	}

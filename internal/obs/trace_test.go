@@ -161,3 +161,127 @@ func TestChromeTraceRoundTrip(t *testing.T) {
 		t.Errorf("ship args.backup = %v, want back", ship.Args["backup"])
 	}
 }
+
+// TestTracerByteBound: the ring is bounded in bytes as well as span
+// count — oversized string payloads evict oldest spans, evictions count
+// as dropped, and occupancy accounting stays consistent.
+func TestTracerByteBound(t *testing.T) {
+	big := string(make([]byte, 200)) // each span ~312 bytes
+	tr := NewTracerBytes(1024, 1000)
+	if tr.MaxBytes() != 1000 {
+		t.Fatalf("MaxBytes = %d, want 1000", tr.MaxBytes())
+	}
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Name: big, JobID: uint64(i)})
+	}
+	if tr.Bytes() > tr.MaxBytes() {
+		t.Fatalf("ring holds %d bytes, budget %d", tr.Bytes(), tr.MaxBytes())
+	}
+	spans := tr.Snapshot()
+	if len(spans) != tr.Len() || len(spans) >= 10 {
+		t.Fatalf("len(Snapshot)=%d Len()=%d, want equal and < 10", len(spans), tr.Len())
+	}
+	if got := tr.Dropped(); got != uint64(10-len(spans)) {
+		t.Fatalf("Dropped = %d, want %d", got, 10-len(spans))
+	}
+	// Survivors are the newest, in order.
+	first := spans[0].JobID
+	for i, s := range spans {
+		if s.JobID != first+uint64(i) {
+			t.Fatalf("span %d has job %d, want %d", i, s.JobID, first+uint64(i))
+		}
+	}
+	if spans[len(spans)-1].JobID != 9 {
+		t.Fatalf("newest span is job %d, want 9", spans[len(spans)-1].JobID)
+	}
+	// The accounted bytes match the live spans exactly.
+	var want int
+	for i := range spans {
+		want += spans[i].bytes()
+	}
+	if tr.Bytes() != want {
+		t.Fatalf("Bytes = %d, want %d", tr.Bytes(), want)
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Bytes() != 0 || tr.Dropped() != 0 {
+		t.Fatal("Reset left ring state behind")
+	}
+}
+
+// TestReqTrace: the per-request span context stamps trace IDs and node
+// names, and every nil path (nil tracer, unsampled ID, nil context) is
+// a silent no-op.
+func TestReqTrace(t *testing.T) {
+	var nilTr *Tracer
+	if nilTr.Request(7) != nil {
+		t.Fatal("nil tracer returned a span context")
+	}
+	tr := NewTracer(8)
+	if tr.Request(0) != nil {
+		t.Fatal("trace ID 0 (unsampled) returned a span context")
+	}
+	var nilRT *ReqTrace
+	if nilRT.ID() != 0 {
+		t.Fatal("nil context reported a trace ID")
+	}
+	nilRT.Record(Span{Name: "apply"}) // must not panic
+
+	rt := tr.Node("s0").Request(42)
+	if rt.ID() != 42 {
+		t.Fatalf("ID = %d, want 42", rt.ID())
+	}
+	rt.Record(Span{Cat: "request", Name: "apply"})
+	spans := tr.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(spans))
+	}
+	if spans[0].Req != 42 || spans[0].Node != "s0" || spans[0].Name != "apply" {
+		t.Fatalf("span = %+v, want Req=42 Node=s0 Name=apply", spans[0])
+	}
+}
+
+// TestChromeTraceRequestRows: request spans thread by trace ID — spans
+// without a job ID take the request ID as their Chrome tid and carry it
+// in args.req, so one row shows a put's whole fan-out.
+func TestChromeTraceRequestRows(t *testing.T) {
+	tr := NewTracer(16)
+	base := time.Now()
+	rt := tr.Node("client0").Request(77)
+	rt.Record(Span{Cat: "request", Name: "put", Start: base, Dur: time.Millisecond})
+	tr.Node("s0").Request(77).Record(Span{
+		Cat: "request", Name: "ship", Backup: "s1",
+		Start: base, Dur: time.Millisecond,
+	})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  uint64         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var seen int
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		seen++
+		if e.Tid != 77 {
+			t.Errorf("span %q tid = %d, want trace ID 77", e.Name, e.Tid)
+		}
+		if req, ok := e.Args["req"].(float64); !ok || uint64(req) != 77 {
+			t.Errorf("span %q args.req = %v, want 77", e.Name, e.Args["req"])
+		}
+	}
+	if seen != 2 {
+		t.Fatalf("exported %d request spans, want 2", seen)
+	}
+}

@@ -369,6 +369,12 @@ func (p *Primary) awaitAck(h *backupHandle, reqID uint64, timeout time.Duration)
 // so the completion deadline doubles as the liveness check; re-issuing
 // the identical write is idempotent.
 func (p *Primary) writeWithRetry(h *backupHandle, rkey uint32, off int, data []byte, wrID uint64) error {
+	return p.writeWithRetryTraced(h, rkey, off, data, wrID, nil)
+}
+
+// writeWithRetryTraced is writeWithRetry recording the completion wait
+// as a per-backup "ack" request span when rt is non-nil.
+func (p *Primary) writeWithRetryTraced(h *backupHandle, rkey uint32, off int, data []byte, wrID uint64, rt *obs.ReqTrace) error {
 	pol := p.retry
 	var lastErr error
 	for attempt := 0; attempt <= pol.MaxRetries; attempt++ {
@@ -383,6 +389,7 @@ func (p *Primary) writeWithRetry(h *backupHandle, rkey uint32, off int, data []b
 			lastErr = err
 			continue
 		}
+		ackStart := time.Now()
 		if _, err := h.dataQP.WaitCompletionTimeout(pol.AckTimeout); err != nil {
 			if errors.Is(err, rdma.ErrDisconnected) {
 				return err
@@ -390,6 +397,14 @@ func (p *Primary) writeWithRetry(h *backupHandle, rkey uint32, off int, data []b
 			lastErr = err
 			continue
 		}
+		rt.Record(obs.Span{
+			Node:   p.cfg.ServerName,
+			Cat:    "request",
+			Name:   "ack",
+			Backup: h.backup.cfg.ServerName,
+			Start:  ackStart,
+			Dur:    time.Since(ackStart),
+		})
 		return nil
 	}
 	return fmt.Errorf("replica: backup %s write unacknowledged after %d attempts: %w",
@@ -459,8 +474,11 @@ func (p *Primary) Degraded() bool {
 // OnAppend replicates one value-log record: flush-tail handshake when
 // the previous tail sealed, then a one-sided RDMA write of the record
 // into every backup's log buffer at the same offset, then wait for the
-// work completions (§3.2).
-func (p *Primary) OnAppend(res vlog.AppendResult) {
+// work completions (§3.2). When the append belongs to a sampled
+// request, rt records one "ship" span per backup (the whole record
+// transfer) with a nested "ack" span for the completion wait, so the
+// request's Chrome trace shows its full replication fan-out.
+func (p *Primary) OnAppend(res vlog.AppendResult, rt *obs.ReqTrace) {
 	handles := p.handles()
 	if len(handles) == 0 {
 		return
@@ -485,10 +503,20 @@ func (p *Primary) OnAppend(res vlog.AppendResult) {
 				continue
 			}
 		}
-		if err := p.writeWithRetry(h, h.backup.LogBufferRKey(), int(res.TailPos), res.Rec, wrLogAppend); err != nil {
+		shipStart := time.Now()
+		if err := p.writeWithRetryTraced(h, h.backup.LogBufferRKey(), int(res.TailPos), res.Rec, wrLogAppend, rt); err != nil {
 			p.evict(h, err)
 			continue
 		}
+		rt.Record(obs.Span{
+			Node:   p.cfg.ServerName,
+			Cat:    "request",
+			Name:   "ship",
+			Backup: h.backup.cfg.ServerName,
+			Bytes:  int64(len(res.Rec)),
+			Start:  shipStart,
+			Dur:    time.Since(shipStart),
+		})
 		p.charge(metrics.CompLogReplication, p.cfg.Cost.RDMAWrite(len(res.Rec)))
 	}
 }

@@ -76,6 +76,10 @@ type task struct {
 	conn *clientConn
 	hdr  wire.Header
 	body []byte // payload copy (the buffer slot is zeroed on detection)
+	// recvAt is when the spinning thread detected the message; the
+	// worker's dispatch span starts here, so queue wait is visible in a
+	// sampled request's trace.
+	recvAt time.Time
 }
 
 // spin is one spinning thread: it polls the rendezvous points of its
@@ -208,7 +212,11 @@ func (s *Server) detect(conn *clientConn, hdr []byte) (task, bool, error) {
 		// rendezvous point automatically.
 		conn.pos = 0
 	}
-	return task{conn: conn, hdr: h, body: body}, true, nil
+	t := task{conn: conn, hdr: h, body: body}
+	if h.TraceID != 0 {
+		t.recvAt = time.Now()
+	}
+	return t, true, nil
 }
 
 // dispatch places a task on a worker queue: stay on the current worker

@@ -25,6 +25,10 @@ func (s *Server) Observe(reg *obs.Registry) {
 	for _, op := range opKinds {
 		reg.RegisterOpLatency(labels, op, s.opLat[op])
 	}
+	// The span ring is shared by every node view, so its occupancy and
+	// drop counters register unlabeled: all servers dedupe onto one
+	// ring-global series.
+	reg.RegisterTracer(nil, s.trace)
 
 	dataset := func() float64 { return float64(s.dataset.Load()) }
 	reg.RegisterAmplification(labels,

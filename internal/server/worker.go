@@ -6,6 +6,7 @@ import (
 
 	"tebis/internal/kv"
 	"tebis/internal/metrics"
+	"tebis/internal/obs"
 	"tebis/internal/region"
 	"tebis/internal/wire"
 )
@@ -37,14 +38,22 @@ func (w *worker) process(t task) {
 		payload []byte
 	)
 	start := time.Now()
+	// rt is the sampled request's span context (nil for the common
+	// unsampled case, so the hot path pays one compare). The dispatch
+	// span covers detection-to-worker-pickup: the queue wait a loaded
+	// server adds before any engine work starts.
+	rt := w.s.trace.Request(t.hdr.TraceID)
+	if rt != nil && !t.recvAt.IsZero() {
+		rt.Record(obs.Span{Cat: "request", Name: "dispatch", Start: t.recvAt, Dur: start.Sub(t.recvAt)})
+	}
 	switch t.hdr.Opcode {
 	case wire.OpNoop:
 		op = wire.OpNoopReply
 		payload = wire.StatusReply{}.Encode(nil)
 	case wire.OpPut:
-		op, flags, payload = w.doPut(t, false)
+		op, flags, payload = w.doPut(t, false, rt)
 	case wire.OpDelete:
-		op, flags, payload = w.doPut(t, true)
+		op, flags, payload = w.doPut(t, true, rt)
 	case wire.OpGet:
 		op, flags, payload = w.doGet(t)
 	case wire.OpGetRest:
@@ -85,7 +94,7 @@ func errReply(err error, okOp wire.Op) (wire.Op, uint8, []byte) {
 	return okOp, wire.FlagError, []byte(err.Error())
 }
 
-func (w *worker) doPut(t task, del bool) (wire.Op, uint8, []byte) {
+func (w *worker) doPut(t task, del bool, rt *obs.ReqTrace) (wire.Op, uint8, []byte) {
 	okOp := wire.OpPutReply
 	if del {
 		okOp = wire.OpDeleteReply
@@ -98,10 +107,18 @@ func (w *worker) doPut(t task, del bool) (wire.Op, uint8, []byte) {
 	if err != nil {
 		return errReply(err, okOp)
 	}
+	var applyStart time.Time
+	if rt != nil {
+		applyStart = time.Now()
+	}
 	if del {
-		err = db.Delete(req.Key)
+		err = db.DeleteTraced(req.Key, rt)
 	} else {
-		err = db.Put(req.Key, req.Value)
+		err = db.PutTraced(req.Key, req.Value, rt)
+	}
+	if rt != nil {
+		rt.Record(obs.Span{Cat: "request", Name: "apply", Bytes: int64(len(req.Key) + len(req.Value)),
+			Start: applyStart, Dur: time.Since(applyStart)})
 	}
 	if err != nil {
 		return okOp, wire.FlagError, []byte(err.Error())

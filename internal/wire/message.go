@@ -123,6 +123,13 @@ type Header struct {
 	ReplyOffset uint32
 	// ReplySize is the size of the reply slot the client allocated.
 	ReplySize uint32
+	// TraceID carries the request-scoped trace context: non-zero only
+	// for sampled client operations, propagated so every hop (server
+	// dispatch, primary apply, backup ship/ack) records spans under one
+	// ID. It occupies header bytes previously reserved-as-zero, so old
+	// encoders produce TraceID 0 (unsampled) and old decoders ignore the
+	// field — forward and backward compatible by construction.
+	TraceID uint64
 }
 
 // Errors reported by the codec.
@@ -168,6 +175,7 @@ func EncodeHeader(buf []byte, h Header) error {
 	binary.LittleEndian.PutUint64(buf[8:16], h.RequestID)
 	binary.LittleEndian.PutUint32(buf[16:20], h.ReplyOffset)
 	binary.LittleEndian.PutUint32(buf[20:24], h.ReplySize)
+	binary.LittleEndian.PutUint64(buf[24:32], h.TraceID)
 	binary.LittleEndian.PutUint32(buf[HeaderSize-4:HeaderSize], Magic)
 	return nil
 }
@@ -189,6 +197,7 @@ func DecodeHeader(buf []byte) (Header, error) {
 		RequestID:   binary.LittleEndian.Uint64(buf[8:16]),
 		ReplyOffset: binary.LittleEndian.Uint32(buf[16:20]),
 		ReplySize:   binary.LittleEndian.Uint32(buf[20:24]),
+		TraceID:     binary.LittleEndian.Uint64(buf[24:32]),
 	}
 	if h.Opcode == OpInvalid {
 		return Header{}, ErrBadHeader

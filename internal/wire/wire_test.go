@@ -293,6 +293,94 @@ func TestDecodeRobustnessRandomBytes(t *testing.T) {
 	}
 }
 
+func TestHeaderTraceIDRoundTrip(t *testing.T) {
+	h := Header{
+		PayloadSize: 12,
+		Opcode:      OpPut,
+		RegionID:    7,
+		RequestID:   99,
+		TraceID:     0x1122334455667788,
+	}
+	buf := make([]byte, HeaderSize)
+	if err := EncodeHeader(buf, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip = %+v, want %+v", got, h)
+	}
+	if id := binary.LittleEndian.Uint64(buf[24:32]); id != h.TraceID {
+		t.Fatalf("trace ID encoded at [24:32] = %#x, want %#x", id, h.TraceID)
+	}
+}
+
+// TestTraceIDFrameCompat pins the wire-compatibility argument for the
+// trace-context header field: it lives in bytes the old format left
+// zero, so old-format frames decode as unsampled (TraceID 0) and
+// new-format frames differ from old ones only in bytes an old decoder
+// never read.
+func TestTraceIDFrameCompat(t *testing.T) {
+	h := Header{
+		PayloadSize: 300,
+		Opcode:      OpGet,
+		Flags:       FlagPartial,
+		RegionID:    11,
+		RequestID:   0xfeedface,
+		ReplyOffset: 2048,
+		ReplySize:   256,
+	}
+
+	// Backward: an old-format frame (trace bytes zero) decodes on the
+	// new side with TraceID 0 and every other field intact.
+	old := make([]byte, HeaderSize)
+	if err := EncodeHeader(old, h); err != nil {
+		t.Fatal(err)
+	}
+	for i := 24; i < 32; i++ {
+		old[i] = 0 // what a pre-trace encoder wrote
+	}
+	got, err := DecodeHeader(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 0 {
+		t.Fatalf("old frame decoded TraceID %#x, want 0", got.TraceID)
+	}
+	if got != h {
+		t.Fatalf("old frame decode = %+v, want %+v", got, h)
+	}
+
+	// Forward: a new frame carrying a trace ID differs from the old
+	// encoding only inside [24:32), so an old decoder (which never reads
+	// those bytes) sees an identical header.
+	traced := h
+	traced.TraceID = 0xabcdef
+	neu := make([]byte, HeaderSize)
+	if err := EncodeHeader(neu, traced); err != nil {
+		t.Fatal(err)
+	}
+	for i := range neu {
+		if i >= 24 && i < 32 {
+			continue
+		}
+		if neu[i] != old[i] {
+			t.Fatalf("traced frame differs from old frame at byte %d (%#x vs %#x)",
+				i, neu[i], old[i])
+		}
+	}
+	// And a sampled frame still round-trips all legacy fields.
+	got, err = DecodeHeader(neu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != traced {
+		t.Fatalf("traced decode = %+v, want %+v", got, traced)
+	}
+}
+
 func TestTrimLogRoundTrip(t *testing.T) {
 	got, err := DecodeTrimLog(TrimLog{RegionID: 7, Keep: 1 << 45}.Encode(nil))
 	if err != nil || got.RegionID != 7 || got.Keep != 1<<45 {

@@ -39,6 +39,44 @@ go run ./scripts/obssmoke
 echo "== crash smoke"
 make crash-smoke
 
+# figures-smoke runs the paper-figure harness at a tiny scale and
+# asserts it emits BENCH_figures.json plus the three per-figure CSVs,
+# each run carrying the >= 20 time-series samples the harness
+# guarantees.
+echo "== figures smoke"
+figdir=$(mktemp -d)
+go run ./cmd/tebis-bench -experiment figures -records 3000 -ops 1500 -l0 256 \
+    -figures-json "$figdir/BENCH_figures.json" -figures-csv-dir "$figdir" >/dev/null
+for f in BENCH_figures.json BENCH_fig6_throughput.csv \
+         BENCH_fig7_amplification.csv BENCH_fig8_latency.csv; do
+    if [ ! -s "$figdir/$f" ]; then
+        echo "figures smoke: missing $f" >&2
+        exit 1
+    fi
+done
+awk '/"samples":/ { v=$2; gsub(/[^0-9]/, "", v); if (v+0 < 20) {
+        print "figures smoke: a run has " v " samples (< 20)" > "/dev/stderr"; exit 1 } }' \
+    "$figdir/BENCH_figures.json"
+rm -rf "$figdir"
+
+# The observability overhead gate: the instrumented hot path (registry
+# scraping + request tracing at the default sample rate) must cost at
+# most 5% of offered-load throughput versus instrumentation off.
+echo "== observability overhead gate"
+obsdir=$(mktemp -d)
+go run ./cmd/tebis-bench -experiment observability -quick \
+    -observability-json "$obsdir/BENCH_observability.json" >/dev/null
+overhead=$(sed -n 's/.*"overhead_offered_load_percent": \([0-9.eE+-]*\).*/\1/p' \
+    "$obsdir/BENCH_observability.json")
+if [ -z "$overhead" ]; then
+    echo "observability gate: no overhead_offered_load_percent in report" >&2
+    exit 1
+fi
+awk -v o="$overhead" 'BEGIN { if (o + 0 > 5) {
+    print "observability overhead " o "% exceeds the 5% budget" > "/dev/stderr"; exit 1 } }'
+echo "   offered-load overhead: ${overhead}%"
+rm -rf "$obsdir"
+
 echo "== failover suite (focused re-run)"
 go test -race -run 'TestBackupFailure|TestBackupCrash|TestRPCRetry|TestSyncPromote|TestPromoteSmallLogBuffer|TestBackupEvictionReplacementAndFailover|TestReplayFromTrimmedSegment|TestRingProperty|TestRingWrap|TestFreeListProperty' \
     ./internal/replica ./internal/cluster ./internal/vlog ./internal/client

@@ -8,7 +8,10 @@
 //     I/O and network amplification);
 //   - /debug/trace exports Chrome trace-event JSON containing the full
 //     paper pipeline: merge, build, ship, and rewrite spans;
-//   - /debug/vars serves valid expvar JSON.
+//   - /debug/vars serves valid expvar JSON;
+//   - /metrics/history serves sampled time-series JSON with non-zero
+//     ticks;
+//   - /debug/pprof/ serves the profile index and unknown paths 404.
 //
 // It exits 0 on success and 1 with a diagnostic on any failure.
 package main
@@ -39,6 +42,8 @@ var requiredFamilies = []string{
 	"tebis_net_amplification",
 	"tebis_device_write_bytes_total",
 	"tebis_net_tx_bytes_total",
+	"tebis_trace_dropped_spans_total",
+	"tebis_trace_spans",
 }
 
 var requiredSpans = []string{"merge", "build", "ship", "rewrite"}
@@ -108,7 +113,13 @@ func run() error {
 	if err := checkTrace(metricsAddr); err != nil {
 		return err
 	}
-	return checkVars(metricsAddr)
+	if err := checkVars(metricsAddr); err != nil {
+		return err
+	}
+	if err := checkHistory(metricsAddr); err != nil {
+		return err
+	}
+	return checkMuxPaths(metricsAddr)
 }
 
 // parseAddrs reads the server's startup log lines until both listen
@@ -249,6 +260,57 @@ func checkTrace(addr string) error {
 		}
 	}
 	fmt.Println("obs-smoke: /debug/trace exports the full pipeline (merge/build/ship/rewrite)")
+	return nil
+}
+
+// checkHistory polls /metrics/history until the background sampler has
+// ticked and buffered series (it runs on a wall-clock interval).
+func checkHistory(addr string) error {
+	deadline := time.Now().Add(10 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		body, err := get(addr, "/metrics/history")
+		if err != nil {
+			lastErr = err
+		} else {
+			var doc struct {
+				Ticks  uint64                    `json:"ticks"`
+				Series map[string]map[string]any `json:"series"`
+			}
+			if err := json.Unmarshal(body, &doc); err != nil {
+				return fmt.Errorf("/metrics/history is not valid JSON: %w", err)
+			}
+			if doc.Ticks > 0 && len(doc.Series) > 0 {
+				fmt.Printf("obs-smoke: /metrics/history buffered %d series over %d ticks\n",
+					len(doc.Series), doc.Ticks)
+				return nil
+			}
+			lastErr = fmt.Errorf("history empty: ticks=%d series=%d", doc.Ticks, len(doc.Series))
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	return fmt.Errorf("/metrics/history never filled: %w", lastErr)
+}
+
+// checkMuxPaths asserts the pprof index is mounted and unknown paths
+// 404 instead of silently serving something.
+func checkMuxPaths(addr string) error {
+	body, err := get(addr, "/debug/pprof/")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		return fmt.Errorf("/debug/pprof/ does not list profiles")
+	}
+	resp, err := http.Get("http://" + addr + "/definitely-not-a-route")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("unknown path served status %s, want 404", resp.Status)
+	}
+	fmt.Println("obs-smoke: /debug/pprof/ mounted, unknown paths 404")
 	return nil
 }
 
