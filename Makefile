@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race check stress fmt vet bench figures obs-smoke crash-smoke clean
+.PHONY: all build test race check stress fmt vet bench figures obs-smoke crash-smoke rebalance-smoke clean
 
 all: build
 
@@ -54,6 +54,16 @@ crash-smoke:
 		-run 'TestRecover|TestCrash|TestVlog|TestScrub|TestRepair|TestFetchSegment|TestTorn|TestCorrupt|TestRun|TestClusterScrub|TestVerify|TestFault' \
 		./internal/vlog ./internal/lsm ./internal/storage ./internal/btree \
 		./internal/replica ./internal/fsck ./internal/cluster
+
+# rebalance-smoke runs the dynamic-region suites under the race
+# detector: online split/merge round trips, index-shipped live
+# migration, master failover mid-reconfiguration, and the skewed-load
+# acceptance test where a hot region is split and its child migrated to
+# an idle server under sustained writes with zero lost acks.
+rebalance-smoke:
+	$(GO) test -race \
+		-run 'TestSplit|TestMerge|TestMigrate|TestRebalance|TestMasterFailoverMid|TestLookup|TestRegionMap' \
+		./internal/region ./internal/master ./internal/server ./internal/cluster
 
 clean:
 	$(GO) clean ./...

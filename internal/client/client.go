@@ -78,6 +78,11 @@ type Client struct {
 	reqID     atomic.Uint64
 	closed    bool
 
+	// refreshMu single-flights region-map refreshes: concurrent stale
+	// ops coalesce onto one master fetch instead of a thundering herd.
+	refreshMu    sync.Mutex
+	staleRetries atomic.Uint64
+
 	// Request tracing (nil trace / sampleEvery 0 = off). opCtr drives
 	// the deterministic head-based sampling decision; traceBase spreads
 	// trace IDs so concurrent clients don't collide.
@@ -169,35 +174,70 @@ func (c *Client) Map() *region.Map {
 	return c.rmap
 }
 
-// route returns the connection for the primary of key's region.
-func (c *Client) route(key []byte) (*serverConn, region.ID, error) {
+// routeInfo is one routing decision: the region (with the epoch the op
+// must carry) and the map version it came from, so a failed attempt can
+// tell the refresher which map it found stale.
+type routeInfo struct {
+	conn    *serverConn
+	id      region.ID
+	epoch   uint32
+	version uint64
+}
+
+// route resolves the connection for the primary of key's region.
+func (c *Client) route(key []byte) (routeInfo, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return nil, 0, ErrClosed
+		return routeInfo{}, ErrClosed
 	}
 	r, err := c.rmap.Lookup(key)
 	if err != nil {
-		return nil, 0, err
+		return routeInfo{}, err
 	}
 	conn, ok := c.conns[r.Primary]
 	if !ok {
-		return nil, 0, fmt.Errorf("%w: %s", ErrNoServer, r.Primary)
+		return routeInfo{}, fmt.Errorf("%w: %s", ErrNoServer, r.Primary)
 	}
-	return conn, r.ID, nil
+	return routeInfo{conn: conn, id: r.ID, epoch: r.Epoch, version: c.rmap.Version}, nil
+}
+
+// StaleRetries returns how many ops were retried after a wrong-region
+// or wrong-epoch reply — the convergence cost a reconfiguration imposes
+// on this client.
+func (c *Client) StaleRetries() uint64 {
+	return c.staleRetries.Load()
 }
 
 // refreshMap re-reads the region map after a wrong-region reply.
-func (c *Client) refreshMap() error {
+// Single-flight: concurrent stale ops serialize here, and a refresh
+// that already superseded staleVersion is not repeated, so a
+// reconfiguration triggers one map fetch per client rather than one per
+// parked op.
+func (c *Client) refreshMap(staleVersion uint64) error {
 	if c.cfg.Refresh == nil {
 		return fmt.Errorf("client: stale region map and no refresh source")
+	}
+	c.refreshMu.Lock()
+	defer c.refreshMu.Unlock()
+	c.mu.Lock()
+	cur := c.rmap.Version
+	c.mu.Unlock()
+	if cur > staleVersion {
+		// A concurrent op already refreshed past the map we found stale.
+		return nil
 	}
 	m, err := c.cfg.Refresh()
 	if err != nil {
 		return err
 	}
 	c.mu.Lock()
-	c.rmap = m.Clone()
+	// >= not >: a refresh source may legitimately hand back a same-version
+	// map with different contents (static topologies rebuild their map);
+	// only a strictly older map is rejected.
+	if m.Version >= c.rmap.Version {
+		c.rmap = m.Clone()
+	}
 	c.mu.Unlock()
 	return nil
 }
@@ -267,7 +307,7 @@ func (sc *serverConn) sendNoop(e *extent) error {
 // call performs one synchronous request-reply round trip. traceID is
 // the sampled request's trace context (0 = unsampled), carried in the
 // header so every server-side hop records spans under it.
-func (sc *serverConn) call(op wire.Op, regionID region.ID, payload []byte, replySize int, traceID uint64) (wire.Header, []byte, error) {
+func (sc *serverConn) call(op wire.Op, regionID region.ID, epoch uint32, payload []byte, replySize int, traceID uint64) (wire.Header, []byte, error) {
 	total := wire.MessageSize(len(payload))
 	// Allocate the reply slot before the request extent: the server
 	// consumes requests in ring order, so a request written to the ring
@@ -287,6 +327,7 @@ func (sc *serverConn) call(op wire.Op, regionID region.ID, payload []byte, reply
 	hdr := wire.Header{
 		Opcode:      op,
 		RegionID:    uint16(regionID),
+		Epoch:       epoch,
 		RequestID:   sc.c.reqID.Add(1),
 		ReplyOffset: uint32(replyOff),
 		ReplySize:   uint32(replySize),
@@ -388,49 +429,58 @@ func (c *Client) sampleTrace() uint64 {
 func (c *Client) do(key []byte, op wire.Op, payload []byte, replySize int) (wire.Header, []byte, error) {
 	traceID := c.sampleTrace()
 	if traceID == 0 {
-		return c.doAttempts(key, op, payload, replySize, 0)
+		h, body, _, err := c.doAttempts(key, op, payload, replySize, 0)
+		return h, body, err
 	}
 	start := time.Now()
-	h, body, err := c.doAttempts(key, op, payload, replySize, traceID)
+	h, body, rid, err := c.doAttempts(key, op, payload, replySize, traceID)
 	c.trace.Record(obs.Span{
-		Cat:   "request",
-		Name:  op.String(),
-		Req:   traceID,
-		Bytes: int64(len(payload)),
-		Start: start,
-		Dur:   time.Since(start),
+		Cat:       "request",
+		Name:      op.String(),
+		Req:       traceID,
+		Region:    uint16(rid),
+		HasRegion: true,
+		Bytes:     int64(len(payload)),
+		Start:     start,
+		Dur:       time.Since(start),
 	})
 	return h, body, err
 }
 
-func (c *Client) doAttempts(key []byte, op wire.Op, payload []byte, replySize int, traceID uint64) (wire.Header, []byte, error) {
+func (c *Client) doAttempts(key []byte, op wire.Op, payload []byte, replySize int, traceID uint64) (wire.Header, []byte, region.ID, error) {
 	const maxAttempts = 6
+	var rid region.ID
 	for attempt := 0; ; attempt++ {
-		conn, rid, err := c.route(key)
+		rt, err := c.route(key)
 		if err != nil {
-			return wire.Header{}, nil, err
+			return wire.Header{}, nil, rid, err
 		}
-		h, body, err := conn.call(op, rid, payload, replySize, traceID)
+		rid = rt.id
+		h, body, err := rt.conn.call(op, rt.id, rt.epoch, payload, replySize, traceID)
 		if err != nil {
 			if isTransportErr(err) && attempt < maxAttempts {
 				time.Sleep(2 * time.Millisecond)
-				if rerr := c.refreshMap(); rerr != nil {
-					return wire.Header{}, nil, rerr
+				if rerr := c.refreshMap(rt.version); rerr != nil {
+					return wire.Header{}, nil, rid, rerr
 				}
 				continue
 			}
-			return wire.Header{}, nil, err
+			return wire.Header{}, nil, rid, err
 		}
 		if h.Flags&wire.FlagWrongRegion != 0 && attempt < maxAttempts {
-			if err := c.refreshMap(); err != nil {
-				return wire.Header{}, nil, err
+			// Stale map — plain wrong-region or the epoch refinement
+			// (FlagWrongEpoch): refresh and re-route. The single-flight
+			// refresher keeps a reconfiguration from stampeding the master.
+			c.staleRetries.Add(1)
+			if err := c.refreshMap(rt.version); err != nil {
+				return wire.Header{}, nil, rid, err
 			}
 			continue
 		}
 		if h.Flags&wire.FlagError != 0 {
-			return h, nil, fmt.Errorf("%w: %s", ErrServer, body)
+			return h, nil, rid, fmt.Errorf("%w: %s", ErrServer, body)
 		}
-		return h, body, nil
+		return h, body, rid, nil
 	}
 }
 

@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tebis/internal/client"
+	"tebis/internal/lsm"
+	"tebis/internal/obs"
+	"tebis/internal/replica"
+	"tebis/internal/ycsb"
+)
+
+// TestRebalanceUnderSkewedLoad is the dynamic-regions acceptance test:
+// under a sustained zipfian-style skewed write stream (every ordered key
+// lands in region 0), one Rebalance round must detect the hot region,
+// split it at its sampled median, and live-migrate the new child to the
+// idle server — with zero lost acked writes, zero wrong reads, and
+// clients converging through stale-epoch retries. The destination is
+// seeded over the index-ship path, observable as shipped bytes.
+func TestRebalanceUnderSkewedLoad(t *testing.T) {
+	c, err := New(Config{
+		Servers:     3,
+		Regions:     2,
+		Replicas:    1,
+		Mode:        replica.SendIndex,
+		SegmentSize: 16 << 10,
+		LSM: lsm.Options{
+			NodeSize:     512,
+			GrowthFactor: 4,
+			L0MaxKeys:    192,
+			MaxLevels:    5,
+		},
+		Workers:          4,
+		SpinThreads:      2,
+		MasterCandidates: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := c.Close(); err != nil {
+			t.Errorf("cluster close: %v", err)
+		}
+		if err := c.RunErr(); err != nil {
+			t.Errorf("master loop: %v", err)
+		}
+	}()
+
+	// With 2 regions over (s0,s1,s2): region 0 = [,0x8000) primary s0,
+	// region 1 = [0x8000,) primary s1. Ordered keys all start with a
+	// zero byte, so the whole write stream hammers region 0. Warm
+	// region 1 with a little traffic so s1 is measurably busier than
+	// s2 and the rebalancer picks the truly idle server.
+	seed, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+	warm := make(map[string]string)
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("\xffwarm%04d", i)
+		v := fmt.Sprintf("warm-%d", i)
+		if err := seed.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatalf("warm put: %v", err)
+		}
+		warm[k] = v
+	}
+
+	// Skewed writers: each draws zipfian-distributed indices within its
+	// own disjoint ordered-key stripe — every key lands in region 0,
+	// with the zipfian head concentrating the traffic further. One
+	// client each (clients are created up front; NewClient is not
+	// goroutine-safe).
+	const (
+		writers   = 4
+		perWriter = 1500
+	)
+	type writerState struct {
+		cl    *client.Client
+		acked map[string]string
+	}
+	ws := make([]*writerState, writers)
+	for w := 0; w < writers; w++ {
+		cl, err := c.NewClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		ws[w] = &writerState{cl: cl, acked: make(map[string]string, perWriter)}
+	}
+
+	var (
+		wg         sync.WaitGroup
+		total      atomic.Uint64
+		wrongReads atomic.Uint64
+	)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := ws[w]
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			zipf := ycsb.NewZipfian(perWriter)
+			var lastKey []byte
+			for i := 0; i < perWriter; i++ {
+				k := ycsb.OrderedKey(uint64(w)*perWriter + zipf.Next(rng))
+				v := fmt.Sprintf("w%d-%d", w, i)
+				if err := st.cl.Put(k, []byte(v)); err != nil {
+					t.Errorf("writer %d put %d: %v", w, i, err)
+					return
+				}
+				st.acked[string(k)] = v
+				total.Add(1)
+				// Read-your-writes spot check while the region is
+				// splitting and migrating underneath us.
+				if i%64 == 63 && lastKey != nil {
+					got, found, err := st.cl.Get(lastKey)
+					if err != nil {
+						t.Errorf("writer %d get: %v", w, err)
+						return
+					}
+					// Zipfian draws repeat keys, so compare against the
+					// latest acked write, not the one from last round.
+					if !found || string(got) != st.acked[string(lastKey)] {
+						wrongReads.Add(1)
+					}
+				}
+				lastKey = k
+			}
+		}(w)
+	}
+
+	// Wait until the skew is established, then rebalance mid-stream.
+	deadline := time.Now().Add(30 * time.Second)
+	for total.Load() < writers*perWriter/4 {
+		if time.Now().After(deadline) {
+			t.Fatal("writers made no progress")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rep, err := c.Rebalance()
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if rep.Action != "split+migrate" {
+		t.Fatalf("rebalance action = %q (report %+v), want split+migrate", rep.Action, rep)
+	}
+	if rep.Region != 0 {
+		t.Fatalf("hot region = %d, want 0", rep.Region)
+	}
+	if rep.To != "s2" {
+		t.Fatalf("migration target = %q, want idle server s2", rep.To)
+	}
+	if rep.ShipBytes <= 0 {
+		t.Fatalf("destination was not seeded over the ship path: %+v", rep)
+	}
+
+	wg.Wait()
+	if wrongReads.Load() != 0 {
+		t.Fatalf("%d wrong reads during reconfiguration", wrongReads.Load())
+	}
+
+	// The published map converged: three regions, and the split child
+	// now lives on the idle server.
+	rm, err := c.Map()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.Validate(); err != nil {
+		t.Fatalf("published map invalid: %v", err)
+	}
+	if len(rm.Regions) != 3 {
+		t.Fatalf("got %d regions, want 3 after split", len(rm.Regions))
+	}
+	moved, err := rm.ByID(rep.NewRegion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Primary != "s2" {
+		t.Fatalf("migrated region %d primary = %q, want s2", moved.ID, moved.Primary)
+	}
+
+	// Clients chased the move via stale-epoch retries rather than
+	// erroring out.
+	var stale uint64
+	for _, st := range ws {
+		stale += st.cl.StaleRetries()
+	}
+	if stale == 0 {
+		t.Fatal("no client observed a stale epoch across a live split+migration")
+	}
+
+	// Zero lost acked writes: every acknowledged key is readable with
+	// its exact value through a fresh client on the new topology.
+	check, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer check.Close()
+	verify := func(k, want string) {
+		t.Helper()
+		got, found, err := check.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("verify get %q: %v", k, err)
+		}
+		if !found {
+			t.Fatalf("acked key %q lost after rebalance", k)
+		}
+		if string(got) != want {
+			t.Fatalf("acked key %q = %q, want %q", k, got, want)
+		}
+	}
+	for _, st := range ws {
+		for k, v := range st.acked {
+			verify(k, v)
+		}
+	}
+	for k, v := range warm {
+		verify(k, v)
+	}
+
+	// The ship-path seeding is observable: the master exports nonzero
+	// tebis_region_ship_bytes_total for the migrated region.
+	reg := obs.NewRegistry()
+	c.Observe(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exposition := buf.String()
+	var shipped float64
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, "tebis_region_ship_bytes_total{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("bad metric line %q: %v", line, err)
+		}
+		shipped += v
+	}
+	if shipped <= 0 {
+		t.Fatalf("tebis_region_ship_bytes_total missing or zero in exposition:\n%s", exposition)
+	}
+	if !strings.Contains(exposition, "tebis_region_splits_total") ||
+		!strings.Contains(exposition, "tebis_region_migrations_total") {
+		t.Fatal("master reconfiguration counters missing from exposition")
+	}
+}

@@ -38,6 +38,18 @@ type Host interface {
 	Backup(id region.ID) (*replica.Backup, bool)
 	Primary(id region.ID) (*replica.Primary, bool)
 	DropRegion(id region.ID) error
+
+	// Reconfiguration surface: freeze windows, logical splits and merges
+	// of hosted regions, and the load/split-point signals the rebalancer
+	// reads.
+	Freeze(id region.ID) error
+	Unfreeze(r region.Region, l region.Lease) error
+	Frozen(id region.ID) bool
+	SplitHosted(left, right region.Region) error
+	MergeHosted(merged region.Region, rightID region.ID) error
+	AliasChildren(owner region.ID) []region.ID
+	RegionLoads() map[region.ID]region.Load
+	SplitKey(id region.ID) ([]byte, error)
 }
 
 // Errors reported by the master.
@@ -54,11 +66,26 @@ type Master struct {
 	elec *zklite.Election
 	mode replica.Mode
 
-	mu       sync.Mutex
-	hosts    map[string]Host
-	live     map[string]bool
-	rmap     *region.Map
-	replicas int
+	// ReconfigHook, when non-nil, runs at each durable phase point of a
+	// reconfiguration (see beginPhase/hookPoint). Returning an error
+	// abandons the operation exactly where a master crash would — state is
+	// left as-is for a successor's TakeOver to complete or abort. Tests
+	// use it to kill the master mid-handoff; set it before driving any
+	// reconfiguration.
+	ReconfigHook func(op, phase string) error
+
+	mu            sync.Mutex
+	hosts         map[string]Host
+	live          map[string]bool
+	rmap          *region.Map
+	replicas      int
+	reconfiguring bool
+	lastLoads     map[region.ID]uint64
+	shipBytes     map[region.ID]int64
+	splits        uint64
+	merges        uint64
+	migrations    uint64
+	reconfAborts  uint64
 
 	stop chan struct{}
 	done chan struct{}
@@ -82,14 +109,16 @@ func New(cfg Config) (*Master, error) {
 		return nil, err
 	}
 	m := &Master{
-		name:  cfg.Name,
-		sess:  cfg.Session,
-		elec:  elec,
-		mode:  cfg.Mode,
-		hosts: map[string]Host{},
-		live:  map[string]bool{},
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		name:      cfg.Name,
+		sess:      cfg.Session,
+		elec:      elec,
+		mode:      cfg.Mode,
+		hosts:     map[string]Host{},
+		live:      map[string]bool{},
+		lastLoads: map[region.ID]uint64{},
+		shipBytes: map[region.ID]int64{},
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 	return m, nil
 }
@@ -188,7 +217,9 @@ func (m *Master) openRegion(r region.Region) error {
 }
 
 // TakeOver loads the published region map (a successor master resumes
-// from coordination-service state after winning the election).
+// from coordination-service state after winning the election) and then
+// finishes or rolls back any reconfiguration the previous master left
+// in flight.
 func (m *Master) TakeOver() error {
 	if lead, _, err := m.elec.IsLeader(); err != nil || !lead {
 		if err != nil {
@@ -208,7 +239,7 @@ func (m *Master) TakeOver() error {
 	m.rmap = rmap
 	m.replicas = maxBackups(rmap)
 	m.mu.Unlock()
-	return nil
+	return m.resumeReconfig()
 }
 
 // maxBackups infers the cluster replication factor from a region map.
@@ -369,7 +400,15 @@ func (m *Master) SwitchPrimary(id region.ID, to string) error {
 		m.mu.Unlock()
 		return err
 	}
+	updated, _ := m.rmap.ByID(id)
 	m.mu.Unlock()
+	// Install the current descriptor and a serving lease on the new
+	// primary (its backup-era descriptor may lag the region's epoch).
+	if err := newHost.Unfreeze(updated, region.Lease{
+		Region: id, Epoch: updated.Epoch, Holder: to,
+	}); err != nil {
+		return err
+	}
 	return m.publishMap()
 }
 
@@ -385,6 +424,13 @@ func (m *Master) HandleServerFailure(name string) error {
 	m.mu.Unlock()
 
 	for _, r := range rmap.Regions {
+		if r.HasParent {
+			// Split children have no replica state of their own: they serve
+			// from the parent's engine and mirror its backup list. The
+			// engine owner's failover below carries them; their alias
+			// entries are recreated on the new primary afterwards.
+			continue
+		}
 		if r.Primary == name {
 			if err := m.failPrimary(r); err != nil {
 				return err
@@ -400,7 +446,64 @@ func (m *Master) HandleServerFailure(name string) error {
 			}
 		}
 	}
+	if err := m.reparentAliases(); err != nil {
+		return err
+	}
 	return m.publishMap()
+}
+
+// reparentAliases realigns every split child with its engine owner's
+// placement: after a failover moved the owner's primary, the child's
+// alias entry is recreated on the new primary (the failed host took the
+// old entries down with it) and its map row re-points there.
+func (m *Master) reparentAliases() error {
+	m.mu.Lock()
+	snap := m.rmap.Clone()
+	m.mu.Unlock()
+	for _, r := range snap.Regions {
+		if !r.HasParent {
+			continue
+		}
+		root, err := rootOwner(snap, r)
+		if err != nil {
+			return err
+		}
+		if r.Primary == root.Primary {
+			continue
+		}
+		m.mu.Lock()
+		host := m.hosts[root.Primary]
+		m.mu.Unlock()
+		if host == nil {
+			return fmt.Errorf("%w: %s", ErrNoHost, root.Primary)
+		}
+		if err := host.SplitHosted(root, r); err != nil {
+			return err
+		}
+		nr := r.Clone()
+		nr.Primary = root.Primary
+		nr.Backups = append([]string(nil), root.Backups...)
+		m.mu.Lock()
+		err = m.rmap.SetRegion(nr)
+		m.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rootOwner follows a split child's parent chain to the region that
+// actually owns the shared engine.
+func rootOwner(rm *region.Map, r region.Region) (region.Region, error) {
+	for r.HasParent {
+		p, err := rm.ByID(r.Parent)
+		if err != nil {
+			return region.Region{}, err
+		}
+		r = p
+	}
+	return r, nil
 }
 
 // failPrimary promotes the first live backup of r to primary, rewires
@@ -466,6 +569,15 @@ func (m *Master) failPrimary(r region.Region) error {
 	}
 	updated, _ := m.rmap.ByID(r.ID)
 	m.mu.Unlock()
+
+	// The promoted backup's hosted descriptor predates any splits of the
+	// region (backups don't track epoch bumps); install the current one
+	// with a serving lease.
+	if err := host.Unfreeze(updated, region.Lease{
+		Region: r.ID, Epoch: updated.Epoch, Holder: promoteTo,
+	}); err != nil {
+		return err
+	}
 
 	// The failed server also vacated a replica slot: refill it.
 	return m.refillBackup(updated, r.Primary)
@@ -563,7 +675,7 @@ func (m *Master) refillBackup(r region.Region, avoid string) error {
 			return fmt.Errorf("master: %s lost primary of region %d", r.Primary, r.ID)
 		}
 		replica.Attach(p, b)
-		if err := p.Sync(b); err != nil {
+		if _, err := p.Sync(b); err != nil {
 			return err
 		}
 		m.mu.Lock()

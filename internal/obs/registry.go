@@ -259,6 +259,32 @@ func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64
 	})
 }
 
+// FamilyFunc registers a metric family whose children are produced at
+// exposition time: fn returns a map from a rendered extra-label string
+// (e.g. `region="3",kind="read"`) to the child's current value. Dynamic
+// label sets — per-region families whose members appear when the master
+// splits a region — cannot pre-register children, so the whole family is
+// re-enumerated on every scrape. Children render sorted by label string,
+// keeping output deterministic. kind is "counter" or "gauge".
+func (r *Registry) FamilyFunc(name, help, kind string, base Labels, fn func() map[string]float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kind, base, nil, func() []sample {
+		vals := fn()
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := make([]sample, 0, len(keys))
+		for _, k := range keys {
+			out = append(out, sample{extra: k, value: vals[k]})
+		}
+		return out
+	})
+}
+
 // SummaryQuantiles are the percentiles a Summary family exposes; the
 // label is pre-rendered so 99.9/100 doesn't pick up float dust.
 var SummaryQuantiles = []struct {

@@ -224,3 +224,60 @@ func TestRegisterAmplificationZeroDataset(t *testing.T) {
 		}
 	}
 }
+
+func TestFamilyFunc(t *testing.T) {
+	r := NewRegistry()
+	vals := map[string]float64{
+		`region="1",kind="read"`:  7,
+		`region="0",kind="write"`: 3,
+	}
+	r.FamilyFunc("tebis_region_ops_total", "per-region ops", "counter",
+		Labels{"node": "s0"}, func() map[string]float64 { return vals })
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE tebis_region_ops_total counter",
+		`tebis_region_ops_total{node="s0",region="0",kind="write"} 3`,
+		`tebis_region_ops_total{node="s0",region="1",kind="read"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Children render sorted by label string for deterministic scrapes.
+	if strings.Index(out, `region="0"`) > strings.Index(out, `region="1"`) {
+		t.Fatalf("children not sorted:\n%s", out)
+	}
+	// Dynamic families grow: a new key appears on the next scrape.
+	vals[`region="2",kind="read"`] = 1
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `region="2"`) {
+		t.Fatal("new child not exposed on re-scrape")
+	}
+	series := r.ReadSeries("tebis_region_ops_total")
+	if series[`tebis_region_ops_total{node="s0",region="1",kind="read"}`] != 7 {
+		t.Fatalf("ReadSeries keys: %v", series)
+	}
+	// Nil-safe like every other registration path.
+	var nilReg *Registry
+	nilReg.FamilyFunc("x", "", "gauge", nil, func() map[string]float64 { return nil })
+}
+
+func TestSpanRegionInChromeTrace(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Node("s0").Record(Span{Cat: "request", Name: "dispatch", Req: 9,
+		Region: 5, HasRegion: true, Start: time.Now(), Dur: time.Millisecond})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"region":5`) {
+		t.Fatalf("chrome trace missing region arg:\n%s", buf.String())
+	}
+}

@@ -30,6 +30,11 @@ type Span struct {
 	Req uint64
 	// Backup names the destination backup for ship/rewrite/ack spans.
 	Backup string
+	// Region is the region the span's work addressed (server dispatch,
+	// primary apply, client op). HasRegion distinguishes region 0 from
+	// "not region-scoped" — compaction stage spans, for example.
+	Region    uint16
+	HasRegion bool
 	// Bytes is the payload size the span moved, when meaningful.
 	Bytes int64
 	// Start and Dur bound the interval.
@@ -340,6 +345,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		}
 		if s.Bytes != 0 {
 			args["bytes"] = s.Bytes
+		}
+		if s.HasRegion {
+			args["region"] = s.Region
 		}
 		events = append(events, chromeEvent{
 			Name: s.Name,

@@ -1,0 +1,229 @@
+package region
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// tiling renders the map's range structure for equality checks: the
+// ordered (ID, Start, End, Primary) tuples, ignoring epochs.
+func tiling(m *Map) string {
+	var sb bytes.Buffer
+	for _, r := range m.Regions {
+		end := "+inf"
+		if r.End != nil {
+			end = fmt.Sprintf("%x", r.End)
+		}
+		fmt.Fprintf(&sb, "%d:[%x,%s)@%s;", r.ID, r.Start, end, r.Primary)
+	}
+	return sb.String()
+}
+
+func TestSplitBasics(t *testing.T) {
+	m, _ := Partition(2, threeServers(), 1)
+	r0, _ := m.ByID(0)
+	mid := []byte{0x40, 0x00}
+	v := m.Version
+	newID := m.NextID()
+	if newID != 2 {
+		t.Fatalf("NextID = %d", newID)
+	}
+	if err := m.Split(0, mid, newID); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("post-split map invalid: %v", err)
+	}
+	if m.Version <= v {
+		t.Fatal("version not bumped")
+	}
+	left, _ := m.ByID(0)
+	right, _ := m.ByID(newID)
+	if !bytes.Equal(left.End, mid) || !bytes.Equal(right.Start, mid) {
+		t.Fatalf("split bounds: left end %x, right start %x", left.End, right.Start)
+	}
+	if !bytes.Equal(right.End, r0.End) {
+		t.Fatalf("right end %x, want %x", right.End, r0.End)
+	}
+	if left.Epoch <= r0.Epoch || right.Epoch <= r0.Epoch {
+		t.Fatalf("epochs not advanced: left %d right %d parent %d", left.Epoch, right.Epoch, r0.Epoch)
+	}
+	if !right.HasParent || right.Parent != 0 {
+		t.Fatalf("right parent = %v/%d", right.HasParent, right.Parent)
+	}
+	if right.Primary != r0.Primary || fmt.Sprint(right.Backups) != fmt.Sprint(r0.Backups) {
+		t.Fatal("right child not colocated with parent")
+	}
+}
+
+func TestSplitRejectsBadKeys(t *testing.T) {
+	m, _ := Partition(2, threeServers(), 1)
+	r0, _ := m.ByID(0)
+	for _, mid := range [][]byte{nil, {}, r0.Start, r0.End, {0xff, 0xff}} {
+		if err := m.Split(0, mid, m.NextID()); err == nil {
+			t.Fatalf("split at %x accepted", mid)
+		}
+	}
+	if err := m.Split(0, []byte{0x10}, 1); err == nil {
+		t.Fatal("split onto existing ID accepted")
+	}
+	if err := m.Split(9, []byte{0x10}, m.NextID()); err == nil {
+		t.Fatal("split of unknown region accepted")
+	}
+}
+
+func TestMergeRequiresSiblings(t *testing.T) {
+	m, _ := Partition(2, threeServers(), 1)
+	// Adjacent but not split siblings: must refuse.
+	if err := m.Merge(0, 1); err == nil {
+		t.Fatal("merge of non-siblings accepted")
+	}
+	if err := m.Split(0, []byte{0x20}, m.NextID()); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong order: right into left only.
+	if err := m.Merge(2, 0); err == nil {
+		t.Fatal("reversed merge accepted")
+	}
+}
+
+// TestSplitMergeRoundTrip is the satellite property test: repeatedly
+// split a random region at a random interior key, then merge it back,
+// and require the tiling to return to exactly the pre-split state with
+// the map still valid and every boundary key routing correctly.
+func TestSplitMergeRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rnd.Intn(6)
+		m, err := Partition(n, threeServers(), rnd.Intn(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A few pre-splits so round trips run on non-pristine maps too.
+		for i := 0; i < rnd.Intn(3); i++ {
+			id := m.Regions[rnd.Intn(len(m.Regions))].ID
+			if mid, ok := interiorKey(m, id, rnd); ok {
+				if err := m.Split(id, mid, m.NextID()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		before := tiling(m)
+		id := m.Regions[rnd.Intn(len(m.Regions))].ID
+		mid, ok := interiorKey(m, id, rnd)
+		if !ok {
+			continue
+		}
+		newID := m.NextID()
+		if err := m.Split(id, mid, newID); err != nil {
+			t.Fatalf("trial %d: split: %v", trial, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: post-split invalid: %v", trial, err)
+		}
+		checkBoundaryLookups(t, m)
+		if err := m.Merge(id, newID); err != nil {
+			t.Fatalf("trial %d: merge: %v", trial, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: post-merge invalid: %v", trial, err)
+		}
+		if got := tiling(m); got != before {
+			t.Fatalf("trial %d: tiling not restored:\n  before %s\n  after  %s", trial, before, got)
+		}
+		checkBoundaryLookups(t, m)
+	}
+}
+
+// interiorKey picks a key strictly inside region id, if one exists.
+func interiorKey(m *Map, id ID, rnd *rand.Rand) ([]byte, bool) {
+	r, err := m.ByID(id)
+	if err != nil {
+		return nil, false
+	}
+	// Candidate: Start extended by a random byte is always > Start; check
+	// it stays below End.
+	mid := append(append([]byte(nil), r.Start...), byte(1+rnd.Intn(255)))
+	if r.End != nil && bytes.Compare(mid, r.End) >= 0 {
+		return nil, false
+	}
+	return mid, true
+}
+
+// checkBoundaryLookups asserts the satellite's boundary property:
+// lookups at every region's exact Start land in that region, and
+// lookups at every region's exact End land in the following region —
+// never "between" regions, never erroring on a tiled map.
+func checkBoundaryLookups(t *testing.T, m *Map) {
+	t.Helper()
+	for i, r := range m.Regions {
+		got, err := m.Lookup(r.Start)
+		if err != nil {
+			t.Fatalf("Lookup(start of %d): %v", r.ID, err)
+		}
+		if got.ID != r.ID {
+			t.Fatalf("Lookup(start of %d) = region %d", r.ID, got.ID)
+		}
+		if r.End == nil {
+			continue
+		}
+		next, err := m.Lookup(r.End)
+		if err != nil {
+			t.Fatalf("Lookup(end of %d): %v", r.ID, err)
+		}
+		if i+1 >= len(m.Regions) || next.ID != m.Regions[i+1].ID {
+			t.Fatalf("Lookup(end of %d) = region %d, want %d", r.ID, next.ID, m.Regions[i+1].ID)
+		}
+	}
+}
+
+func TestSetRegion(t *testing.T) {
+	m, _ := Partition(2, threeServers(), 1)
+	r, _ := m.ByID(1)
+	r.Primary = "s9"
+	r.Epoch = 42
+	v := m.Version
+	if err := m.SetRegion(r); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ByID(1)
+	if got.Primary != "s9" || got.Epoch != 42 || m.Version <= v {
+		t.Fatalf("SetRegion: %+v v%d", got, m.Version)
+	}
+	r.ID = 77
+	if err := m.SetRegion(r); err == nil {
+		t.Fatal("SetRegion of unknown id accepted")
+	}
+}
+
+func TestEncodeDecodeEpochsAndParents(t *testing.T) {
+	m, _ := Partition(3, threeServers(), 1)
+	if err := m.Split(1, []byte{0x60}, m.NextID()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range m.Regions {
+		g := got.Regions[i]
+		if g.Epoch != r.Epoch || g.HasParent != r.HasParent || g.Parent != r.Parent {
+			t.Fatalf("region %d epoch/parent mismatch: %+v vs %+v", r.ID, g, r)
+		}
+	}
+}
+
+func TestLeaseValidity(t *testing.T) {
+	l := Lease{Region: 3, Epoch: 5, Holder: "s1"}
+	if !l.Valid(5) {
+		t.Fatal("matching lease invalid")
+	}
+	if l.Valid(6) {
+		t.Fatal("stale-epoch lease valid")
+	}
+	if (Lease{}).Valid(0) {
+		t.Fatal("zero lease valid")
+	}
+}

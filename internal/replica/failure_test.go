@@ -101,7 +101,7 @@ func TestBackupFailureMidCompactionEvictsAndCompletes(t *testing.T) {
 	// The master's repair: attach a replacement and Sync. The degraded
 	// window closes and the replacement holds identical data.
 	nb := r.addEmptyBackup(SendIndex)
-	if err := r.primary.Sync(nb); err != nil {
+	if _, err := r.primary.Sync(nb); err != nil {
 		t.Fatal(err)
 	}
 	if r.primary.Degraded() {
@@ -231,7 +231,7 @@ func testSyncPromoteRoundTrip(t *testing.T, mode Mode) {
 	}
 
 	nb := r.addEmptyBackup(mode)
-	if err := r.primary.Sync(nb); err != nil {
+	if _, err := r.primary.Sync(nb); err != nil {
 		t.Fatal(err)
 	}
 	if mode == BuildIndex {

@@ -24,7 +24,13 @@ import (
 // transfer (the master performs transfers on regions whose primary just
 // changed, before re-admitting client traffic). An incremental catch-up
 // protocol is future work, as in the paper.
-func (p *Primary) Sync(b *Backup) error {
+//
+// Sync returns the number of payload bytes it shipped — log segments,
+// tail, and built index segments — which region migration reports
+// through the tebis_region_ship_bytes_total family: the evidence the
+// destination was seeded by shipping, not by re-compacting.
+func (p *Primary) Sync(b *Backup) (int64, error) {
+	var shipped int64
 	var h *backupHandle
 	for _, cand := range p.handles() {
 		if cand.backup == b {
@@ -33,11 +39,11 @@ func (p *Primary) Sync(b *Backup) error {
 		}
 	}
 	if h == nil {
-		return fmt.Errorf("replica: Sync target not attached")
+		return 0, fmt.Errorf("replica: Sync target not attached")
 	}
 	db := p.DB()
 	if db == nil {
-		return fmt.Errorf("replica: Sync without engine")
+		return 0, fmt.Errorf("replica: Sync without engine")
 	}
 	log := db.Log()
 	geo := db.Log().Geometry()
@@ -46,19 +52,20 @@ func (p *Primary) Sync(b *Backup) error {
 	segImage := make([]byte, geo.SegmentSize())
 	for _, seg := range log.Segments() {
 		if err := log.ReadSegmentImage(seg, segImage); err != nil {
-			return err
+			return shipped, err
 		}
 		if err := p.writeWithRetry(h, b.LogBufferRKey(), 0, segImage, 0); err != nil {
-			return err
+			return shipped, err
 		}
 		p.charge(metrics.CompLogReplication, p.cfg.Cost.RDMAWrite(len(segImage)))
 		p.cfg.Failures.AddResyncBytes(len(segImage))
+		shipped += int64(len(segImage))
 		payload := wire.FlushTail{
 			RegionID:   uint16(p.cfg.RegionID),
 			PrimarySeg: uint32(seg),
 		}.Encode(nil)
 		if err := p.rpc(h, wire.OpFlushTail, payload); err != nil {
-			return err
+			return shipped, err
 		}
 	}
 
@@ -72,16 +79,17 @@ func (p *Primary) Sync(b *Backup) error {
 	tailSeg, tailData, tailLen := log.TailSnapshot()
 	if tailLen > 0 {
 		if err := p.writeWithRetry(h, b.LogBufferRKey(), 0, tailData, 0); err != nil {
-			return err
+			return shipped, err
 		}
 		p.charge(metrics.CompLogReplication, p.cfg.Cost.RDMAWrite(len(tailData)))
 		p.cfg.Failures.AddResyncBytes(len(tailData))
+		shipped += int64(len(tailData))
 		payload := wire.FlushTail{
 			RegionID:   uint16(p.cfg.RegionID),
 			PrimarySeg: uint32(tailSeg),
 		}.Encode(nil)
 		if err := p.rpc(h, wire.OpSyncTail, payload); err != nil {
-			return err
+			return shipped, err
 		}
 	}
 
@@ -104,11 +112,13 @@ func (p *Primary) Sync(b *Backup) error {
 				DstLevel: uint8(lvl),
 			}.Encode(nil)
 			if err := p.rpc(h, wire.OpCompactionStart, start); err != nil {
-				return err
+				return shipped, err
 			}
 			for _, seg := range st.Segments {
-				if err := p.shipSegmentImage(h, jobID, lvl, seg, geo); err != nil {
-					return err
+				n, err := p.shipSegmentImage(h, jobID, lvl, seg, geo)
+				shipped += n
+				if err != nil {
+					return shipped, err
 				}
 			}
 			done := wire.CompactionDone{
@@ -121,17 +131,17 @@ func (p *Primary) Sync(b *Backup) error {
 				Watermark: uint64(watermark),
 			}.Encode(nil)
 			if err := p.rpc(h, wire.OpCompactionDone, done); err != nil {
-				return err
+				return shipped, err
 			}
 		}
 	}
 	if err := b.Err(); err != nil {
-		return err
+		return shipped, err
 	}
 	// The replica slot is whole again: close the degraded window this
 	// transfer repairs, if one was open.
 	p.repaired()
-	return nil
+	return shipped, nil
 }
 
 // syncJobBase marks the pseudo job IDs Sync ships whole levels under.
@@ -140,13 +150,13 @@ const syncJobBase = uint64(1) << 63
 // shipSegmentImage sends one full level segment image through the
 // Send-Index path (the backup's rewrite stops at the first free node
 // slot, so full images of partially used segments are safe).
-func (p *Primary) shipSegmentImage(h *backupHandle, jobID uint64, lvl int, seg storage.SegmentID, geo storage.Geometry) error {
+func (p *Primary) shipSegmentImage(h *backupHandle, jobID uint64, lvl int, seg storage.SegmentID, geo storage.Geometry) (int64, error) {
 	data := make([]byte, geo.SegmentSize())
 	if err := p.DB().Log().ReadSegmentImage(seg, data); err != nil {
-		return err
+		return 0, err
 	}
 	if err := p.writeWithRetry(h, h.backup.IndexBufferRKey(), 0, data, 0); err != nil {
-		return err
+		return 0, err
 	}
 	p.charge(metrics.CompSendIndex, p.cfg.Cost.RDMAWrite(len(data)))
 	p.cfg.Failures.AddResyncBytes(len(data))
@@ -157,5 +167,5 @@ func (p *Primary) shipSegmentImage(h *backupHandle, jobID uint64, lvl int, seg s
 		PrimarySeg: uint32(seg),
 		DataLen:    uint32(len(data)),
 	}.Encode(nil)
-	return p.rpc(h, wire.OpIndexSegment, payload)
+	return int64(len(data)), p.rpc(h, wire.OpIndexSegment, payload)
 }

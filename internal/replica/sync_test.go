@@ -54,7 +54,7 @@ func testSyncNewBackup(t *testing.T, mode Mode) {
 
 	// A backup "failed": attach a fresh empty one and transfer state.
 	nb := r.addEmptyBackup(mode)
-	if err := r.primary.Sync(nb); err != nil {
+	if _, err := r.primary.Sync(nb); err != nil {
 		t.Fatal(err)
 	}
 	if mode == BuildIndex {
@@ -95,7 +95,7 @@ func TestSyncRequiresAttachment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.primary.Sync(orphan); err == nil {
+	if _, err := r.primary.Sync(orphan); err == nil {
 		t.Fatal("Sync of unattached backup succeeded")
 	}
 }

@@ -1,0 +1,416 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"tebis/internal/kv"
+	"tebis/internal/lsm"
+	"tebis/internal/metrics"
+	"tebis/internal/region"
+	"tebis/internal/wire"
+)
+
+// Freeze-window bounds. A freeze is meant to last milliseconds — the
+// time to ship a log tail and flip the map — so both limits are only
+// backstops against a master that died mid-reconfiguration.
+const (
+	// freezeDrainTimeout bounds how long Freeze waits for admitted ops to
+	// finish before giving up.
+	freezeDrainTimeout = 10 * time.Second
+	// freezeWaitTimeout bounds how long a parked op waits for Unfreeze
+	// before failing back to the client.
+	freezeWaitTimeout = 30 * time.Second
+)
+
+// regionStats is one hosted region's cumulative traffic counters and
+// service-latency histogram — the load signal the master's rebalancer
+// diffs, and the source of the tebis_region_* metric families.
+type regionStats struct {
+	reads, writes, scans, bytes atomic.Uint64
+	lat                         *metrics.Histogram
+}
+
+func newRegionStats() *regionStats {
+	return &regionStats{lat: metrics.NewHistogram()}
+}
+
+// record accounts one completed op addressed to the region.
+func (st *regionStats) record(op wire.Op, payloadBytes int, d time.Duration) {
+	if st == nil {
+		return
+	}
+	switch op {
+	case wire.OpPut, wire.OpDelete:
+		st.writes.Add(1)
+	case wire.OpGet, wire.OpGetRest:
+		st.reads.Add(1)
+	case wire.OpScan:
+		st.scans.Add(1)
+	default:
+		return
+	}
+	st.bytes.Add(uint64(payloadBytes))
+	st.lat.Record(d)
+}
+
+func (st *regionStats) load() region.Load {
+	return region.Load{
+		Reads:  st.reads.Load(),
+		Writes: st.writes.Load(),
+		Scans:  st.scans.Load(),
+		Bytes:  st.bytes.Load(),
+	}
+}
+
+// acquire resolves the engine serving region id for one op, enforcing
+// the epoch check (epoch 0 means unchecked) and, for writes, the lease.
+// Ops arriving during a freeze window park until the window ends, then
+// re-resolve against the post-reconfiguration state — a parked write
+// routed with the old epoch bounces back as wrong-epoch instead of
+// landing on a range the region no longer covers. On success the
+// region's inflight count is held; the caller must invoke release when
+// the op completes. end is the addressed region's exclusive upper bound
+// (nil for +inf): split children share the parent's engine, so range
+// reads must stop there rather than run into a sibling's keys.
+func (s *Server) acquire(id region.ID, epoch uint32, write bool) (db *lsm.DB, end []byte, release func(), err error) {
+	for {
+		db, end, release, wait, err := s.tryAcquire(id, epoch, write)
+		if err == nil {
+			return db, end, release, nil
+		}
+		if wait == nil {
+			return nil, nil, nil, err
+		}
+		select {
+		case <-wait:
+			// Freeze window ended; re-resolve.
+		case <-s.stop:
+			return nil, nil, nil, ErrClosed
+		case <-time.After(freezeWaitTimeout):
+			return nil, nil, nil, err
+		}
+	}
+}
+
+// tryAcquire is one resolution attempt; a non-nil wait channel means the
+// region (or its engine owner) is frozen and the caller should block on
+// it and retry.
+func (s *Server) tryAcquire(id region.ID, epoch uint32, write bool) (*lsm.DB, []byte, func(), chan struct{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, nil, nil, ErrClosed
+	}
+	hr, ok := s.regions[id]
+	if !ok {
+		return nil, nil, nil, nil, ErrUnknownRegion
+	}
+	if hr.frozen {
+		return nil, nil, nil, hr.freezeCh, fmt.Errorf("server: region %d frozen for reconfiguration", id)
+	}
+	if epoch != 0 && epoch != hr.info.Epoch {
+		return nil, nil, nil, nil, fmt.Errorf("%w: region %d is at epoch %d, request routed with %d",
+			ErrWrongEpoch, id, hr.info.Epoch, epoch)
+	}
+	eng := hr
+	if hr.isAlias {
+		eng = s.regions[hr.owner]
+		if eng == nil {
+			return nil, nil, nil, nil, ErrUnknownRegion
+		}
+		if eng.frozen {
+			return nil, nil, nil, eng.freezeCh, fmt.Errorf("server: region %d frozen for reconfiguration", hr.owner)
+		}
+	}
+	if eng.db == nil {
+		return nil, nil, nil, nil, ErrNotPrimary
+	}
+	if write && !hr.lease.Valid(hr.info.Epoch) {
+		return nil, nil, nil, nil, fmt.Errorf("%w: region %d at epoch %d", ErrNoLease, id, hr.info.Epoch)
+	}
+	end := append([]byte(nil), hr.info.End...)
+	hr.inflight.Add(1)
+	if eng != hr {
+		// Hold the owner too: freezing the owner must drain alias ops that
+		// run on its engine.
+		eng.inflight.Add(1)
+	}
+	release := func() {
+		hr.inflight.Add(-1)
+		if eng != hr {
+			eng.inflight.Add(-1)
+		}
+	}
+	return eng.db, end, release, nil, nil
+}
+
+// Freeze begins a reconfiguration freeze window on one hosted region:
+// the lease is revoked, new ops (reads and writes both) park until
+// Unfreeze, and already-admitted ops are drained before Freeze returns —
+// so every acknowledged write strictly precedes the transfer that
+// follows, and no read can observe the region mid-handoff. The frozen
+// flag lives here on the host, not on the master: if the master dies
+// mid-reconfiguration the region stays safely unserved until a new
+// master completes or aborts the handoff.
+func (s *Server) Freeze(id region.ID) error {
+	s.mu.Lock()
+	hr, ok := s.regions[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrUnknownRegion, id)
+	}
+	if !hr.frozen {
+		hr.frozen = true
+		hr.freezeCh = make(chan struct{})
+	}
+	hr.lease = region.Lease{}
+	s.mu.Unlock()
+
+	deadline := time.Now().Add(freezeDrainTimeout)
+	for hr.inflight.Load() != 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server: freeze of region %d: in-flight ops did not drain", id)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+	return nil
+}
+
+// Unfreeze ends a freeze window: the region takes its
+// post-reconfiguration descriptor and lease, and parked ops re-resolve
+// against the new state (ops routed with the old epoch bounce to the
+// client as wrong-epoch replies, forcing a map refresh).
+func (s *Server) Unfreeze(r region.Region, l region.Lease) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hr, ok := s.regions[r.ID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownRegion, r.ID)
+	}
+	hr.info = r.Clone()
+	hr.lease = l
+	if hr.frozen {
+		hr.frozen = false
+		close(hr.freezeCh)
+		hr.freezeCh = nil
+	}
+	return nil
+}
+
+// Frozen reports whether a hosted region is inside a freeze window.
+func (s *Server) Frozen(id region.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hr, ok := s.regions[id]
+	return ok && hr.frozen
+}
+
+// SplitHosted installs the post-split state of a region this server
+// serves: the left child keeps the engine, and the right child becomes
+// an alias entry resolving to the same engine until a migration
+// separates it. The master also calls this after a failover to recreate
+// alias entries on a freshly promoted primary. Alias children can be
+// split again; the new entry aliases the root engine owner.
+func (s *Server) SplitHosted(left, right region.Region) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	hr, ok := s.regions[left.ID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownRegion, left.ID)
+	}
+	owner := left.ID
+	if hr.isAlias {
+		owner = hr.owner
+	}
+	if ex, ok := s.regions[right.ID]; ok {
+		if !ex.isAlias || ex.owner != owner {
+			return fmt.Errorf("%w: %d", ErrRegionExists, right.ID)
+		}
+		// Idempotent re-ensure (a successor master replays the split it
+		// found in flight): refresh both descriptors and leases.
+		hr.info = left.Clone()
+		if hr.lease.Holder != "" {
+			hr.lease = region.Lease{Region: left.ID, Epoch: left.Epoch, Holder: s.cfg.Name}
+		}
+		ex.info = right.Clone()
+		if ex.lease.Holder != "" {
+			ex.lease = region.Lease{Region: right.ID, Epoch: right.Epoch, Holder: s.cfg.Name}
+		}
+		return nil
+	}
+	hr.info = left.Clone()
+	if hr.lease.Holder != "" {
+		hr.lease = region.Lease{Region: left.ID, Epoch: left.Epoch, Holder: s.cfg.Name}
+	}
+	s.regions[right.ID] = &hostedRegion{
+		info:    right.Clone(),
+		mode:    hr.mode,
+		isAlias: true,
+		owner:   owner,
+		lease:   region.Lease{Region: right.ID, Epoch: right.Epoch, Holder: s.cfg.Name},
+		stats:   newRegionStats(),
+	}
+	return nil
+}
+
+// MergeHosted collapses a hosted split pair back into one region after a
+// map-level Merge: the right child's alias entry is removed and the
+// surviving region takes the merged bounds and epoch.
+func (s *Server) MergeHosted(merged region.Region, rightID region.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	left, ok := s.regions[merged.ID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownRegion, merged.ID)
+	}
+	right, ok := s.regions[rightID]
+	if !ok || !right.isAlias {
+		return fmt.Errorf("%w: %d is not a hosted alias", ErrUnknownRegion, rightID)
+	}
+	if right.frozen {
+		right.frozen = false
+		close(right.freezeCh)
+		right.freezeCh = nil
+	}
+	delete(s.regions, rightID)
+	left.info = merged.Clone()
+	if left.lease.Holder != "" {
+		left.lease = region.Lease{Region: merged.ID, Epoch: merged.Epoch, Holder: s.cfg.Name}
+	}
+	return nil
+}
+
+// AliasChildren lists the hosted alias entries resolving to owner's
+// engine — the split children that must move (or merge back) before the
+// owner itself can migrate.
+func (s *Server) AliasChildren(owner region.ID) []region.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []region.ID
+	for id, hr := range s.regions {
+		if hr.isAlias && hr.owner == owner {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// RegionLoads snapshots the cumulative traffic counters of every region
+// this server is serving (primaries and alias children; backups take no
+// client ops). The master diffs successive snapshots to find hot
+// regions.
+func (s *Server) RegionLoads() map[region.ID]region.Load {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[region.ID]region.Load, len(s.regions))
+	for id, hr := range s.regions {
+		if hr.db == nil && !hr.isAlias {
+			continue
+		}
+		out[id] = hr.stats.load()
+	}
+	return out
+}
+
+// SplitKey proposes a median split key for a hosted region by sampling
+// keys from its serving engine within the region's bounds. The sample is
+// decimated on the fly so memory stays bounded on arbitrarily large
+// regions.
+func (s *Server) SplitKey(id region.ID) ([]byte, error) {
+	s.mu.Lock()
+	hr, ok := s.regions[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d", ErrUnknownRegion, id)
+	}
+	eng := hr
+	if hr.isAlias {
+		eng = s.regions[hr.owner]
+	}
+	var db *lsm.DB
+	if eng != nil {
+		db = eng.db
+	}
+	start, end := hr.info.Start, hr.info.End
+	s.mu.Unlock()
+	if db == nil {
+		return nil, fmt.Errorf("%w: %d", ErrNotPrimary, id)
+	}
+
+	const maxSample = 4096
+	keys := make([][]byte, 0, maxSample)
+	stride, seen := 1, 0
+	err := db.Scan(start, func(p kv.Pair) bool {
+		if end != nil && kv.Compare(p.Key, end) >= 0 {
+			return false
+		}
+		if seen%stride == 0 {
+			keys = append(keys, append([]byte(nil), p.Key...))
+			if len(keys) == maxSample {
+				// Keep every other sample and double the stride.
+				half := keys[:0]
+				for i := 0; i < maxSample; i += 2 {
+					half = append(half, keys[i])
+				}
+				keys = half
+				stride *= 2
+			}
+		}
+		seen++
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(keys) < 2 {
+		return nil, fmt.Errorf("server: region %d has too few keys to split", id)
+	}
+	// keys are ascending and distinct, and index len/2 >= 1, so the
+	// median is strictly inside (Start, End) as Map.Split requires.
+	return keys[len(keys)/2], nil
+}
+
+// statsFor returns the stats sink of a hosted region, nil when the
+// region is unknown. Stats belong to the addressed region ID: an alias
+// child accounts separately from its engine owner, which is what lets
+// the rebalancer see which half of a split is hot.
+func (s *Server) statsFor(id region.ID) *regionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if hr, ok := s.regions[id]; ok {
+		return hr.stats
+	}
+	return nil
+}
+
+// servingStats snapshots the stats sinks of every serving region — the
+// iteration backing the per-region metric families.
+func (s *Server) servingStats() map[region.ID]*regionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[region.ID]*regionStats, len(s.regions))
+	for id, hr := range s.regions {
+		if hr.db == nil && !hr.isAlias {
+			continue
+		}
+		out[id] = hr.stats
+	}
+	return out
+}
+
+// regionEpochs snapshots the epoch of every hosted region (serving or
+// backup), for the tebis_region_epoch gauge family.
+func (s *Server) regionEpochs() map[region.ID]uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[region.ID]uint32, len(s.regions))
+	for id, hr := range s.regions {
+		out[id] = hr.info.Epoch
+	}
+	return out
+}

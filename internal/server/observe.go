@@ -1,6 +1,8 @@
 package server
 
 import (
+	"fmt"
+
 	"tebis/internal/lsm"
 	"tebis/internal/obs"
 )
@@ -59,6 +61,51 @@ func (s *Server) Observe(reg *obs.Registry) {
 			}
 			return total
 		})
+	// Per-region families are dynamic: children appear when the master
+	// splits a region or migrates one here, so the whole family is
+	// re-enumerated from the hosted-region table at scrape time.
+	reg.FamilyFunc("tebis_region_ops_total",
+		"Operations served per hosted region, by kind.",
+		"counter", labels, func() map[string]float64 {
+			out := make(map[string]float64)
+			for id, l := range s.RegionLoads() {
+				out[fmt.Sprintf(`kind="read",region="%d"`, id)] = float64(l.Reads)
+				out[fmt.Sprintf(`kind="scan",region="%d"`, id)] = float64(l.Scans)
+				out[fmt.Sprintf(`kind="write",region="%d"`, id)] = float64(l.Writes)
+			}
+			return out
+		})
+	reg.FamilyFunc("tebis_region_bytes_total",
+		"Request payload bytes absorbed per hosted region.",
+		"counter", labels, func() map[string]float64 {
+			out := make(map[string]float64)
+			for id, l := range s.RegionLoads() {
+				out[fmt.Sprintf(`region="%d"`, id)] = float64(l.Bytes)
+			}
+			return out
+		})
+	reg.FamilyFunc("tebis_region_epoch",
+		"Current epoch of every hosted region; a jump marks a split, merge, or migration.",
+		"gauge", labels, func() map[string]float64 {
+			out := make(map[string]float64)
+			for id, e := range s.regionEpochs() {
+				out[fmt.Sprintf(`region="%d"`, id)] = float64(e)
+			}
+			return out
+		})
+	reg.FamilyFunc("tebis_region_op_latency_seconds",
+		"Per-region service latency quantiles over the region's lifetime.",
+		"gauge", labels, func() map[string]float64 {
+			out := make(map[string]float64)
+			for id, st := range s.servingStats() {
+				for _, q := range obs.SummaryQuantiles {
+					out[fmt.Sprintf(`quantile="%s",region="%d"`, q.Label, id)] =
+						st.lat.Percentile(q.Percentile).Seconds()
+				}
+			}
+			return out
+		})
+
 	reg.GaugeFunc("tebis_compaction_queue_depth",
 		"Frozen L0 tables waiting plus compaction jobs in flight.",
 		labels, func() float64 {

@@ -115,6 +115,26 @@ type hostedRegion struct {
 	primary *replica.Primary // non-nil when this server is the primary
 	db      *lsm.DB          // the engine (primary role only)
 	backup  *replica.Backup  // non-nil when this server is a backup
+
+	// isAlias marks a split child that still shares its parent's engine:
+	// the entry resolves ops to the owner's engine until a migration
+	// separates the child onto its own server (DESIGN.md §9).
+	isAlias bool
+	owner   region.ID // engine-owning region when isAlias
+
+	// lease authorizes serving writes at info.Epoch; Freeze revokes it,
+	// the master re-grants it with the post-reconfiguration epoch.
+	lease region.Lease
+
+	// frozen parks new ops during a reconfiguration freeze window;
+	// waiters block on freezeCh until Unfreeze (or DropRegion) closes it.
+	frozen   bool
+	freezeCh chan struct{}
+	// inflight counts admitted ops so Freeze can drain them: every
+	// acknowledged write completes before the transfer starts.
+	inflight atomic.Int64
+
+	stats *regionStats
 }
 
 // Server is a Tebis region server.
@@ -147,6 +167,13 @@ var (
 	ErrUnknownRegion = errors.New("server: region not hosted here")
 	ErrNotPrimary    = errors.New("server: not primary for region")
 	ErrRegionExists  = errors.New("server: region already hosted")
+	// ErrWrongEpoch rejects an op routed with a stale region map: the
+	// region is hosted here but was split, merged, or migrated since the
+	// client fetched its map. Replies carry FlagWrongEpoch.
+	ErrWrongEpoch = errors.New("server: region epoch mismatch")
+	// ErrNoLease rejects a write on a region whose lease was revoked or
+	// outdated by a reconfiguration; clients recover like wrong-epoch.
+	ErrNoLease = errors.New("server: no valid lease for region")
 )
 
 // New creates a region server and starts its spinning threads and
@@ -247,7 +274,13 @@ func (s *Server) OpenPrimary(r region.Region, mode replica.Mode) (*replica.Prima
 		return nil, err
 	}
 	p.SetDB(db)
-	s.regions[r.ID] = &hostedRegion{info: r.Clone(), mode: mode, primary: p, db: db}
+	s.regions[r.ID] = &hostedRegion{
+		info: r.Clone(), mode: mode, primary: p, db: db,
+		// The master only places a primary where it means it to serve, so
+		// opening self-grants the lease at the region's current epoch.
+		lease: region.Lease{Region: r.ID, Epoch: r.Epoch, Holder: s.cfg.Name},
+		stats: newRegionStats(),
+	}
 	return p, nil
 }
 
@@ -279,7 +312,7 @@ func (s *Server) OpenBackup(r region.Region, mode replica.Mode) (*replica.Backup
 	if err != nil {
 		return nil, err
 	}
-	s.regions[r.ID] = &hostedRegion{info: r.Clone(), mode: mode, backup: b}
+	s.regions[r.ID] = &hostedRegion{info: r.Clone(), mode: mode, backup: b, stats: newRegionStats()}
 	return b, nil
 }
 
@@ -316,6 +349,7 @@ func (s *Server) PromoteToPrimary(id region.ID) (*replica.Primary, error) {
 	hr.db = db
 	hr.info.Primary = s.cfg.Name
 	hr.backup = nil
+	hr.lease = region.Lease{Region: id, Epoch: hr.info.Epoch, Holder: s.cfg.Name}
 	s.mu.Unlock()
 	return p, nil
 }
@@ -355,6 +389,7 @@ func (s *Server) DemoteToBackup(id region.ID, mode replica.Mode, oldToNew map[st
 	hr.backup = b
 	hr.primary = nil
 	hr.db = nil
+	hr.lease = region.Lease{}
 	s.mu.Unlock()
 	return b, nil
 }
@@ -386,11 +421,18 @@ func (s *Server) DropRegion(id region.ID) error {
 	s.mu.Lock()
 	hr, ok := s.regions[id]
 	delete(s.regions, id)
+	if ok && hr.frozen {
+		// Release parked ops; they re-resolve to unknown-region and bounce
+		// the client to a map refresh.
+		hr.frozen = false
+		close(hr.freezeCh)
+		hr.freezeCh = nil
+	}
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownRegion, id)
 	}
-	if hr.db != nil {
+	if hr.db != nil && !hr.isAlias {
 		return hr.db.Close()
 	}
 	return nil
@@ -407,21 +449,16 @@ func (s *Server) Regions() []region.ID {
 	return out
 }
 
-// primaryDB resolves the engine serving a region, or an error reply
-// reason.
+// primaryDB resolves the engine serving a region without epoch or lease
+// checks — the pre-epoch resolution path, kept for direct engine access
+// in tests and tools.
 func (s *Server) primaryDB(id region.ID) (*lsm.DB, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	hr, ok := s.regions[id]
-	if !ok {
-		return nil, ErrUnknownRegion
+	db, _, release, err := s.acquire(id, 0, false)
+	if err != nil {
+		return nil, err
 	}
-	if hr.db == nil || hr.primary == nil && hr.mode != replica.NoReplication {
-		if hr.db == nil {
-			return nil, ErrNotPrimary
-		}
-	}
-	return hr.db, nil
+	release()
+	return db, nil
 }
 
 // ScrubStats returns the node's scrub-and-repair counters.

@@ -44,7 +44,9 @@ func (w *worker) process(t task) {
 	// server adds before any engine work starts.
 	rt := w.s.trace.Request(t.hdr.TraceID)
 	if rt != nil && !t.recvAt.IsZero() {
-		rt.Record(obs.Span{Cat: "request", Name: "dispatch", Start: t.recvAt, Dur: start.Sub(t.recvAt)})
+		rt.Record(obs.Span{Cat: "request", Name: "dispatch",
+			Region: t.hdr.RegionID, HasRegion: true,
+			Start: t.recvAt, Dur: start.Sub(t.recvAt)})
 	}
 	switch t.hdr.Opcode {
 	case wire.OpNoop:
@@ -65,7 +67,9 @@ func (w *worker) process(t task) {
 	}
 	w.reply(t, op, flags, payload)
 	if kind := opKind(t.hdr.Opcode); kind != "" {
-		w.s.opLat[kind].Record(time.Since(start))
+		elapsed := time.Since(start)
+		w.s.opLat[kind].Record(elapsed)
+		w.s.statsFor(region.ID(t.hdr.RegionID)).record(t.hdr.Opcode, len(t.body), elapsed)
 	}
 }
 
@@ -87,6 +91,12 @@ func opKind(op wire.Op) string {
 
 // errReply classifies engine errors for the client.
 func errReply(err error, okOp wire.Op) (wire.Op, uint8, []byte) {
+	if errors.Is(err, ErrWrongEpoch) || errors.Is(err, ErrNoLease) {
+		// The region is hosted here but moved on: wrong-epoch refines
+		// wrong-region, and both flags are set so pre-epoch clients still
+		// take the refresh path.
+		return okOp, wire.FlagError | wire.FlagWrongRegion | wire.FlagWrongEpoch, []byte(err.Error())
+	}
 	if errors.Is(err, ErrUnknownRegion) || errors.Is(err, ErrNotPrimary) {
 		// Stale region map: tell the client to refresh (§3.1).
 		return okOp, wire.FlagError | wire.FlagWrongRegion, []byte(err.Error())
@@ -103,10 +113,11 @@ func (w *worker) doPut(t task, del bool, rt *obs.ReqTrace) (wire.Op, uint8, []by
 	if err != nil {
 		return okOp, wire.FlagError, []byte(err.Error())
 	}
-	db, err := w.s.primaryDB(region.ID(t.hdr.RegionID))
+	db, _, release, err := w.s.acquire(region.ID(t.hdr.RegionID), t.hdr.Epoch, true)
 	if err != nil {
 		return errReply(err, okOp)
 	}
+	defer release()
 	var applyStart time.Time
 	if rt != nil {
 		applyStart = time.Now()
@@ -118,6 +129,7 @@ func (w *worker) doPut(t task, del bool, rt *obs.ReqTrace) (wire.Op, uint8, []by
 	}
 	if rt != nil {
 		rt.Record(obs.Span{Cat: "request", Name: "apply", Bytes: int64(len(req.Key) + len(req.Value)),
+			Region: t.hdr.RegionID, HasRegion: true,
 			Start: applyStart, Dur: time.Since(applyStart)})
 	}
 	if err != nil {
@@ -148,10 +160,11 @@ func (w *worker) doGet(t task) (wire.Op, uint8, []byte) {
 	if err != nil {
 		return wire.OpGetReply, wire.FlagError, []byte(err.Error())
 	}
-	db, err := w.s.primaryDB(region.ID(t.hdr.RegionID))
+	db, _, release, err := w.s.acquire(region.ID(t.hdr.RegionID), t.hdr.Epoch, false)
 	if err != nil {
 		return errReply(err, wire.OpGetReply)
 	}
+	defer release()
 	val, found, err := db.Get(req.Key)
 	if err != nil {
 		return wire.OpGetReply, wire.FlagError, []byte(err.Error())
@@ -172,10 +185,11 @@ func (w *worker) doGetRest(t task) (wire.Op, uint8, []byte) {
 	if err != nil {
 		return wire.OpGetReply, wire.FlagError, []byte(err.Error())
 	}
-	db, err := w.s.primaryDB(region.ID(t.hdr.RegionID))
+	db, _, release, err := w.s.acquire(region.ID(t.hdr.RegionID), t.hdr.Epoch, false)
 	if err != nil {
 		return errReply(err, wire.OpGetReply)
 	}
+	defer release()
 	val, found, err := db.Get(req.Key)
 	if err != nil {
 		return wire.OpGetReply, wire.FlagError, []byte(err.Error())
@@ -198,14 +212,21 @@ func (w *worker) doScan(t task) (wire.Op, uint8, []byte) {
 	if err != nil {
 		return wire.OpScanReply, wire.FlagError, []byte(err.Error())
 	}
-	db, err := w.s.primaryDB(region.ID(t.hdr.RegionID))
+	db, end, release, err := w.s.acquire(region.ID(t.hdr.RegionID), t.hdr.Epoch, false)
 	if err != nil {
 		return errReply(err, wire.OpScanReply)
 	}
+	defer release()
 	budget := int(t.hdr.ReplySize) - wire.HeaderSize - 64
 	var pairs []kv.Pair
 	size := 0
 	err = db.Scan(req.Start, func(p kv.Pair) bool {
+		// Split children share the parent's engine, so the iteration must
+		// stop at the addressed region's bound instead of walking into a
+		// sibling's (or a migrated-away child's stale) keys.
+		if end != nil && kv.Compare(p.Key, end) >= 0 {
+			return false
+		}
 		size += p.Size() + 8
 		if size > budget && len(pairs) > 0 {
 			return false

@@ -104,6 +104,12 @@ const (
 	FlagError = 1 << 1
 	// FlagWrongRegion tells the client its region map is stale (§3.1).
 	FlagWrongRegion = 1 << 2
+	// FlagWrongEpoch refines FlagWrongRegion: the server still hosts the
+	// region but at a newer epoch (it was split, merged, or migrated), so
+	// the client must refresh its map before retrying. Servers set it
+	// together with FlagWrongRegion so old clients fall back to the same
+	// refresh path.
+	FlagWrongEpoch = 1 << 3
 )
 
 // Header is the decoded fixed-size message header.
@@ -130,6 +136,13 @@ type Header struct {
 	// encoders produce TraceID 0 (unsampled) and old decoders ignore the
 	// field — forward and backward compatible by construction.
 	TraceID uint64
+	// Epoch is the region epoch the client routed with. Servers compare
+	// it against the hosted region's epoch and reject mismatches with
+	// FlagWrongEpoch, so a request routed with a pre-split or
+	// pre-migration map can never read or write the wrong range. Like
+	// TraceID it lives in previously reserved-as-zero bytes; epoch 0
+	// means "unchecked" (old encoders), preserving compatibility.
+	Epoch uint32
 }
 
 // Errors reported by the codec.
@@ -176,6 +189,7 @@ func EncodeHeader(buf []byte, h Header) error {
 	binary.LittleEndian.PutUint32(buf[16:20], h.ReplyOffset)
 	binary.LittleEndian.PutUint32(buf[20:24], h.ReplySize)
 	binary.LittleEndian.PutUint64(buf[24:32], h.TraceID)
+	binary.LittleEndian.PutUint32(buf[32:36], h.Epoch)
 	binary.LittleEndian.PutUint32(buf[HeaderSize-4:HeaderSize], Magic)
 	return nil
 }
@@ -198,6 +212,7 @@ func DecodeHeader(buf []byte) (Header, error) {
 		ReplyOffset: binary.LittleEndian.Uint32(buf[16:20]),
 		ReplySize:   binary.LittleEndian.Uint32(buf[20:24]),
 		TraceID:     binary.LittleEndian.Uint64(buf[24:32]),
+		Epoch:       binary.LittleEndian.Uint32(buf[32:36]),
 	}
 	if h.Opcode == OpInvalid {
 		return Header{}, ErrBadHeader

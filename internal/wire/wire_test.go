@@ -387,3 +387,40 @@ func TestTrimLogRoundTrip(t *testing.T) {
 		t.Fatalf("trim = %+v %v", got, err)
 	}
 }
+
+func TestHeaderEpochRoundTrip(t *testing.T) {
+	h := Header{
+		PayloadSize: 8,
+		Opcode:      OpPut,
+		Flags:       FlagWrongRegion | FlagWrongEpoch,
+		RegionID:    5,
+		RequestID:   123,
+		Epoch:       0xa1b2c3d4,
+	}
+	buf := make([]byte, HeaderSize)
+	if err := EncodeHeader(buf, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip = %+v, want %+v", got, h)
+	}
+	if e := binary.LittleEndian.Uint32(buf[32:36]); e != h.Epoch {
+		t.Fatalf("epoch encoded at [32:36] = %#x, want %#x", e, h.Epoch)
+	}
+	// Epoch 0 (old encoders) must survive as "unchecked".
+	buf2 := make([]byte, HeaderSize)
+	if err := EncodeHeader(buf2, Header{Opcode: OpGet, RequestID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := DecodeHeader(buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Epoch != 0 {
+		t.Fatalf("zero epoch decoded as %d", got2.Epoch)
+	}
+}

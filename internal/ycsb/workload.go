@@ -51,6 +51,12 @@ const (
 	// paper's evaluation stops at Run D; Run E is included because the
 	// Tebis protocol supports scans (§3.4.1) and YCSB defines it.
 	RunE
+	// RunASkew is Run A (50% reads, 50% updates) with UNscrambled Zipfian
+	// ranks over ordered keys: hot ranks map to adjacent keys at the
+	// bottom of the keyspace, so one region absorbs nearly all traffic.
+	// It exists to trigger hot-region detection — the skewed workload the
+	// master's split/migrate rebalancing is tested against.
+	RunASkew
 )
 
 // String implements fmt.Stringer.
@@ -68,6 +74,8 @@ func (w Workload) String() string {
 		return "Run D"
 	case RunE:
 		return "Run E"
+	case RunASkew:
+		return "Run A (skewed)"
 	}
 	return fmt.Sprintf("Workload(%d)", int(w))
 }
@@ -163,6 +171,18 @@ func Key(i uint64) []byte {
 	return k
 }
 
+// OrderedKey builds the ordered key of record i: big-endian record
+// number first, so record order IS key order. Under a prefix-partitioned
+// region map every ordered key lands in the first region, which is
+// exactly what RunASkew wants: a workload whose heat concentrates on one
+// region until the master splits it.
+func OrderedKey(i uint64) []byte {
+	k := make([]byte, KeySize)
+	binary.BigEndian.PutUint64(k[0:8], i)
+	copy(k[8:], fmt.Sprintf("%016d", i))
+	return k
+}
+
 // Op is one generated operation.
 type Op struct {
 	Kind  OpKind
@@ -180,6 +200,10 @@ type Config struct {
 	Mix SizeMix
 	// Seed makes the stream deterministic.
 	Seed int64
+	// Ordered switches key construction from hashed (Key) to ordered
+	// (OrderedKey). RunASkew implies it, and a Load A phase that feeds a
+	// RunASkew phase must set it so both phases address the same records.
+	Ordered bool
 }
 
 // Generator produces the operation stream of one workload phase. Not
@@ -189,6 +213,7 @@ type Generator struct {
 	cfg Config
 	rnd *rand.Rand
 	zip *ScrambledZipfian
+	raw *Zipfian // RunASkew: unscrambled, hot ranks stay adjacent
 	lat *Latest
 
 	loadNext uint64 // next record to insert (Load A)
@@ -207,10 +232,21 @@ func NewGenerator(cfg Config) *Generator {
 	switch cfg.Workload {
 	case RunA, RunB, RunC, RunE:
 		g.zip = NewScrambledZipfian(cfg.Records)
+	case RunASkew:
+		g.cfg.Ordered = true
+		g.raw = NewZipfian(cfg.Records)
 	case RunD:
 		g.lat = NewLatest(cfg.Records)
 	}
 	return g
+}
+
+// key builds record i's key under the configured key order.
+func (g *Generator) key(i uint64) []byte {
+	if g.cfg.Ordered {
+		return OrderedKey(i)
+	}
+	return Key(i)
 }
 
 // SetLoadRange restricts Load A generation to records [from, to) — used
@@ -242,33 +278,43 @@ func (g *Generator) Next() (Op, bool) {
 		}
 		i := g.loadNext
 		g.loadNext++
-		return Op{Kind: OpInsert, Key: Key(i), Value: g.value(i)}, true
+		return Op{Kind: OpInsert, Key: g.key(i), Value: g.value(i)}, true
 
 	case RunA, RunB, RunC:
 		readPct := map[Workload]int{RunA: 50, RunB: 95, RunC: 100}[g.cfg.Workload]
 		i := g.zip.Next(g.rnd)
 		if g.rnd.Intn(100) < readPct {
-			return Op{Kind: OpRead, Key: Key(i)}, true
+			return Op{Kind: OpRead, Key: g.key(i)}, true
 		}
-		return Op{Kind: OpUpdate, Key: Key(i), Value: g.value(i)}, true
+		return Op{Kind: OpUpdate, Key: g.key(i), Value: g.value(i)}, true
+
+	case RunASkew:
+		i := g.raw.Next(g.rnd)
+		if i >= g.cfg.Records {
+			i = g.cfg.Records - 1
+		}
+		if g.rnd.Intn(100) < 50 {
+			return Op{Kind: OpRead, Key: g.key(i)}, true
+		}
+		return Op{Kind: OpUpdate, Key: g.key(i), Value: g.value(i)}, true
 
 	case RunD:
 		if g.rnd.Intn(100) < 95 {
 			i := g.lat.Next(g.rnd, g.inserted)
-			return Op{Kind: OpRead, Key: Key(i)}, true
+			return Op{Kind: OpRead, Key: g.key(i)}, true
 		}
 		i := g.inserted
 		g.inserted++
-		return Op{Kind: OpInsert, Key: Key(i), Value: g.value(i)}, true
+		return Op{Kind: OpInsert, Key: g.key(i), Value: g.value(i)}, true
 
 	case RunE:
 		if g.rnd.Intn(100) < 95 {
 			i := g.zip.Next(g.rnd)
-			return Op{Kind: OpScan, Key: Key(i)}, true
+			return Op{Kind: OpScan, Key: g.key(i)}, true
 		}
 		i := g.inserted
 		g.inserted++
-		return Op{Kind: OpInsert, Key: Key(i), Value: g.value(i)}, true
+		return Op{Kind: OpInsert, Key: g.key(i), Value: g.value(i)}, true
 	}
 	return Op{}, false
 }

@@ -303,3 +303,66 @@ func TestRunEMix(t *testing.T) {
 		t.Fatal("name")
 	}
 }
+
+func TestRunASkewConcentratesTraffic(t *testing.T) {
+	const records = 10_000
+	g := NewGenerator(Config{Workload: RunASkew, Records: records, Mix: MixS, Seed: 11})
+	boundary := OrderedKey(records / 10)
+	const ops = 20_000
+	var low, reads int
+	for i := 0; i < ops; i++ {
+		op, ok := g.Next()
+		if !ok {
+			t.Fatal("RunASkew ended")
+		}
+		if op.Kind == OpRead {
+			reads++
+		} else if op.Kind != OpUpdate {
+			t.Fatalf("unexpected op kind %v", op.Kind)
+		}
+		if bytes.Compare(op.Key, boundary) < 0 {
+			low++
+		}
+	}
+	// Zipfian(0.99) puts the bulk of accesses on the lowest-ranked items,
+	// and unscrambled ranks over ordered keys keep them contiguous: the
+	// bottom tenth of the keyspace must absorb most of the traffic.
+	if frac := float64(low) / ops; frac < 0.70 {
+		t.Fatalf("bottom 10%% of keyspace got only %.0f%% of ops", frac*100)
+	}
+	if frac := float64(reads) / ops; frac < 0.45 || frac > 0.55 {
+		t.Fatalf("read fraction %.2f, want ~0.50", frac)
+	}
+}
+
+func TestOrderedKeysSortLikeRecords(t *testing.T) {
+	prev := OrderedKey(0)
+	for i := uint64(1); i < 1000; i++ {
+		k := OrderedKey(i)
+		if len(k) != KeySize {
+			t.Fatalf("key size %d", len(k))
+		}
+		if bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("OrderedKey(%d) not > OrderedKey(%d)", i, i-1)
+		}
+		prev = k
+	}
+}
+
+func TestLoadAOrderedKeys(t *testing.T) {
+	g := NewGenerator(Config{Workload: LoadA, Records: 10, Mix: MixS, Ordered: true})
+	var prev []byte
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		if prev != nil && bytes.Compare(prev, op.Key) >= 0 {
+			t.Fatal("ordered load phase emitted out-of-order keys")
+		}
+		prev = op.Key
+	}
+	if !bytes.Equal(prev, OrderedKey(9)) {
+		t.Fatalf("last key %x", prev)
+	}
+}

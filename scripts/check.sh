@@ -77,6 +77,13 @@ awk -v o="$overhead" 'BEGIN { if (o + 0 > 5) {
 echo "   offered-load overhead: ${overhead}%"
 rm -rf "$obsdir"
 
+# rebalance-smoke re-runs the dynamic-region suites by name under -race
+# so a gate log shows explicitly that online split/merge, index-shipped
+# live migration, failover mid-reconfiguration, and the skewed-load
+# split+migrate acceptance test were exercised.
+echo "== rebalance smoke"
+make rebalance-smoke
+
 echo "== failover suite (focused re-run)"
 go test -race -run 'TestBackupFailure|TestBackupCrash|TestRPCRetry|TestSyncPromote|TestPromoteSmallLogBuffer|TestBackupEvictionReplacementAndFailover|TestReplayFromTrimmedSegment|TestRingProperty|TestRingWrap|TestFreeListProperty' \
     ./internal/replica ./internal/cluster ./internal/vlog ./internal/client
