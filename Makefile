@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race check stress fmt vet bench figures obs-smoke crash-smoke rebalance-smoke clean
+.PHONY: all build test race check stress fmt vet bench figures obs-smoke crash-smoke rebalance-smoke ship-smoke clean
 
 all: build
 
@@ -54,6 +54,17 @@ crash-smoke:
 		-run 'TestRecover|TestCrash|TestVlog|TestScrub|TestRepair|TestFetchSegment|TestTorn|TestCorrupt|TestRun|TestClusterScrub|TestVerify|TestFault' \
 		./internal/vlog ./internal/lsm ./internal/storage ./internal/btree \
 		./internal/replica ./internal/fsck ./internal/cluster
+
+# ship-smoke runs the ship-codec suites under the race detector: codec
+# and delta round trips, wire-frame compatibility with pre-codec
+# payloads, the replica-level delta ship/fallback protocol, and the
+# cluster acceptance test where a replicated Send-Index cluster runs
+# with compression + delta on (the default) and a full scrub proves
+# byte convergence.
+ship-smoke:
+	$(GO) test -race \
+		-run 'TestShip|TestCrashLeavesNoGoroutines' \
+		./internal/shipcodec ./internal/wire ./internal/replica ./internal/cluster
 
 # rebalance-smoke runs the dynamic-region suites under the race
 # detector: online split/merge round trips, index-shipped live

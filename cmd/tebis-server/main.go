@@ -56,6 +56,7 @@ import (
 	"tebis/internal/rdma"
 	"tebis/internal/region"
 	"tebis/internal/replica"
+	"tebis/internal/shipcodec"
 	"tebis/internal/storage"
 )
 
@@ -88,6 +89,7 @@ func main() {
 		metricsAddr = flag.String("metrics", "", "observability HTTP listen address (empty = off)")
 		profileDir  = flag.String("profile-dir", "", "watchdog profile output directory (empty = OS temp)")
 		withReplica = flag.Bool("replica", false, "attach an in-process Send-Index backup")
+		shipRaw     = flag.Bool("ship-uncompressed", false, "ship raw index segments (disable the DESIGN.md §10 wire codec)")
 		fsckMode    = flag.Bool("fsck", false, "verify the device image read-only and exit (see cmd/tebis-fsck)")
 	)
 	flag.Parse()
@@ -142,6 +144,7 @@ func main() {
 		epB     *rdma.Endpoint
 		devB    *storage.MemDevice
 	)
+	shipStats := &metrics.ShipStats{}
 	if *withReplica {
 		epP = rdma.NewEndpoint("primary")
 		epB = rdma.NewEndpoint("backup0")
@@ -150,15 +153,23 @@ func main() {
 			log.Fatalf("open backup device: %v", err)
 		}
 		defer devB.Close()
+		shipCodec := shipcodec.Flate
+		if *shipRaw {
+			shipCodec = shipcodec.None
+		}
 		primary = replica.NewPrimary(replica.PrimaryConfig{
-			RegionID:   region.ID(1),
-			ServerName: "primary",
-			Mode:       replica.SendIndex,
-			Endpoint:   epP,
-			Cycles:     &cycles,
-			Cost:       metrics.DefaultCostModel(),
-			Failures:   &failures,
-			Trace:      tracer.Node("primary"),
+			RegionID:     region.ID(1),
+			ServerName:   "primary",
+			Mode:         replica.SendIndex,
+			Endpoint:     epP,
+			Cycles:       &cycles,
+			Cost:         metrics.DefaultCostModel(),
+			Failures:     &failures,
+			Trace:        tracer.Node("primary"),
+			ShipCodec:    shipCodec,
+			ShipDelta:    !*shipRaw,
+			ShipPageSize: lsm.DefaultNodeSize,
+			Ship:         shipStats,
 		})
 		opt.Listener = primary
 	}
@@ -202,6 +213,7 @@ func main() {
 		reg.RegisterCycles(labels, &cycles)
 		reg.RegisterCompaction(labels, &cstats)
 		reg.RegisterFailure(labels, &failures)
+		reg.RegisterShip(labels, shipStats)
 		for op, h := range st.opLat {
 			reg.RegisterOpLatency(labels, op, h)
 		}

@@ -31,6 +31,10 @@ func run(mode replica.Mode) cluster.Totals {
 			L0MaxKeys:    512,
 			MaxLevels:    6,
 		},
+		// This example demonstrates the paper's raw-shipping trade-off;
+		// the default ship codec (DESIGN.md §10) would shrink the
+		// network column and add delta-base reads to the device column.
+		ShipUncompressed: true,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -184,6 +184,10 @@ func Run(p Params) (Result, error) {
 			L0MaxKeys:    l0,
 			MaxLevels:    7,
 		},
+		// The classic experiments reproduce the paper's prototype, which
+		// ships raw segment images; the figures harness measures the
+		// ship codec against this baseline (Fig. 10).
+		ShipUncompressed: true,
 	})
 	if err != nil {
 		return Result{}, err

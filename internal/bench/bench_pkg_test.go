@@ -297,8 +297,29 @@ func TestRunExperimentFigures(t *testing.T) {
 	if rep.TraceSpans == 0 {
 		t.Fatal("figures run recorded no trace spans")
 	}
-	if len(rep.CSVs) != 3 {
-		t.Fatalf("CSVs = %v, want 3 files", rep.CSVs)
+	if len(rep.CSVs) != 4 {
+		t.Fatalf("CSVs = %v, want 4 files", rep.CSVs)
+	}
+	// Fig. 10: the compressed default must move fewer ship bytes than
+	// raw images, and index shipping with the codec on must inflate
+	// replication network by at most 1.1x over log replication alone.
+	if rep.Fig10 == nil {
+		t.Fatal("report has no fig10 section")
+	}
+	loadA := rep.Runs[0]
+	if loadA.ShipWireBytes == 0 || loadA.ShipWireBytes >= loadA.ShipRawBytes {
+		t.Fatalf("compression saved nothing: raw=%d wire=%d", loadA.ShipRawBytes, loadA.ShipWireBytes)
+	}
+	base := rep.Fig10.Baseline
+	if base.ShipWireBytes != base.ShipRawBytes || base.ShipWireBytes == 0 {
+		t.Fatalf("baseline shipped framed bytes: raw=%d wire=%d", base.ShipRawBytes, base.ShipWireBytes)
+	}
+	if rep.Fig10.NetAmpRatio <= 1 || rep.Fig10.NetAmpRatio > 1.1 {
+		t.Fatalf("net-amp ratio = %.3f, want (1, 1.1]", rep.Fig10.NetAmpRatio)
+	}
+	if rep.Fig10.NetAmpRatio >= rep.Fig10.BaselineNetAmpRatio {
+		t.Fatalf("compression did not reduce net amplification: %.3f >= %.3f",
+			rep.Fig10.NetAmpRatio, rep.Fig10.BaselineNetAmpRatio)
 	}
 	for _, f := range rep.CSVs {
 		csv, err := os.ReadFile(f)

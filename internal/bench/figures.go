@@ -58,6 +58,11 @@ type FigureRun struct {
 	// NetServerBytes is the replication-network traffic (server NIC
 	// tx+rx) of the measured phase.
 	NetServerBytes uint64 `json:"net_server_bytes"`
+	// ShipRawBytes and ShipWireBytes are the phase's index-shipping
+	// totals: raw segment-image bytes versus what actually crossed the
+	// wire after the ship codec (equal when the codec is off). Fig. 10.
+	ShipRawBytes  uint64 `json:"ship_raw_bytes"`
+	ShipWireBytes uint64 `json:"ship_wire_bytes"`
 	// Samples is the time-series tick count for this run (>= 20 by
 	// construction, see figureSampleTicks).
 	Samples int `json:"samples"`
@@ -70,20 +75,47 @@ type FigureRun struct {
 	NetAmpSeries []FigurePoint `json:"net_amp_series"`
 	// NetBytesSeries is cumulative replication-network bytes over time.
 	NetBytesSeries []FigurePoint `json:"net_bytes_series"`
+	// ShipRawSeries and ShipWireSeries are cumulative index-shipping
+	// bytes over time (Fig. 10).
+	ShipRawSeries  []FigurePoint `json:"ship_raw_series"`
+	ShipWireSeries []FigurePoint `json:"ship_wire_series"`
 
 	// Latency maps op kind to its tail summary (Fig. 8).
 	Latency map[string]FigureLatency `json:"latency"`
 }
 
+// FigureNetAmp is the Fig. 10 data product: the replication-network
+// cost of Send-Index shipping with the ship codec on (the default)
+// versus the uncompressed baseline, measured over identical Load A
+// phases on two otherwise-equal clusters.
+type FigureNetAmp struct {
+	// Baseline is the uncompressed cluster's Load A run.
+	Baseline FigureRun `json:"baseline"`
+	// NetAmpRatio is net / (net - ship wire traffic) for the compressed
+	// cluster: how much the index-ship traffic inflates replication
+	// network over log replication alone. Every shipped byte shows up
+	// twice in the summed NIC counters (sender tx + receiver rx).
+	NetAmpRatio float64 `json:"net_amp_ratio"`
+	// BaselineNetAmpRatio is the same ratio with the codec off — the
+	// paper's 1.09-1.82x Send-Index overhead regime.
+	BaselineNetAmpRatio float64 `json:"baseline_net_amp_ratio"`
+	// CompressionRatio is ship raw/wire bytes on the compressed cluster.
+	CompressionRatio float64 `json:"compression_ratio"`
+	// ThroughputDeltaPercent is the compressed cluster's Load A
+	// throughput relative to the baseline's (negative = slower).
+	ThroughputDeltaPercent float64 `json:"throughput_delta_percent"`
+}
+
 // FiguresReport is the BENCH_figures.json document.
 type FiguresReport struct {
-	Setup      string      `json:"setup"`
-	Replicas   int         `json:"replicas"`
-	Records    uint64      `json:"records"`
-	RunOps     uint64      `json:"run_ops"`
-	TraceSpans int         `json:"trace_spans"`
-	Runs       []FigureRun `json:"runs"`
-	CSVs       []string    `json:"csvs"`
+	Setup      string        `json:"setup"`
+	Replicas   int           `json:"replicas"`
+	Records    uint64        `json:"records"`
+	RunOps     uint64        `json:"run_ops"`
+	TraceSpans int           `json:"trace_spans"`
+	Runs       []FigureRun   `json:"runs"`
+	Fig10      *FigureNetAmp `json:"fig10,omitempty"`
+	CSVs       []string      `json:"csvs"`
 }
 
 // figFamily strips a ReadSeries key down to its family name (the part
@@ -150,7 +182,10 @@ func rateSeries(pts []obs.Point) []FigurePoint {
 }
 
 // ratioSeries divides two aligned cumulative series point by point
-// (amplification over time); zero denominators yield zero.
+// (amplification over time). Ticks with a zero denominator — the
+// baseline sample before any user bytes moved — are dropped rather
+// than plotted as a bogus 0x ratio; since the denominator is
+// cumulative, the dropped ticks are always a prefix.
 func ratioSeries(num, den []obs.Point) []FigurePoint {
 	n := len(num)
 	if len(den) < n {
@@ -158,11 +193,13 @@ func ratioSeries(num, den []obs.Point) []FigurePoint {
 	}
 	out := make([]FigurePoint, 0, n)
 	for i := 0; i < n; i++ {
-		v := 0.0
-		if den[i].V > 0 {
-			v = num[i].V / den[i].V
+		if den[i].V <= 0 {
+			continue
 		}
-		out = append(out, FigurePoint{TMS: float64(num[i].T) / float64(time.Millisecond), V: v})
+		out = append(out, FigurePoint{
+			TMS: float64(num[i].T) / float64(time.Millisecond),
+			V:   num[i].V / den[i].V,
+		})
 	}
 	return out
 }
@@ -177,21 +214,33 @@ func figureLatency(h *metrics.Histogram) FigureLatency {
 	}
 }
 
-// runFigures reproduces the paper's Fig. 6-8 data products as
-// time-series: YCSB Load A, Run A, and Run C against a replicated
-// Send-Index cluster with the registry sampler on, emitting
-// BENCH_figures.json plus one CSV per figure. Unlike runFig6/7/8 —
-// which report one scalar per configuration — this harness samples the
-// live registry throughout each phase so throughput, amplification,
-// and network traffic are plotted over time, and it runs with request
-// tracing at the default sample rate so the figures reflect the
-// instrumented system.
-func runFigures(sc Scale, w io.Writer) error {
-	p := params(SendIndex, ycsb.LoadA, ycsb.MixSD, sc, 1)
-	p.applyDefaults()
+// shipOverhead is net / (net - ship wire traffic): the factor by which
+// index shipping inflates replication network. Each shipped byte is
+// counted twice in the summed per-node NIC totals (tx on the primary,
+// rx on the backup). Returns 0 when undefined.
+func shipOverhead(netBytes, shipWire float64) float64 {
+	den := netBytes - 2*shipWire
+	if den <= 0 {
+		return 0
+	}
+	return netBytes / den
+}
 
-	tracer := obs.NewTracer(0)
-	c, err := cluster.New(cluster.Config{
+// figCluster is one instrumented cluster the figures harness measures:
+// the cluster, its clients, and a registry joining the server-side
+// counters with the client-side offered-load gauges.
+type figCluster struct {
+	p       Params
+	c       *cluster.Cluster
+	clients []*client.Client
+	reg     *obs.Registry
+	cur     atomic.Pointer[phaseStats]
+}
+
+func newFigCluster(p Params, tracer *obs.Tracer, shipUncompressed bool) (*figCluster, error) {
+	fc := &figCluster{p: p}
+	var err error
+	fc.c, err = cluster.New(cluster.Config{
 		Servers:     p.Servers,
 		Regions:     p.Regions,
 		Replicas:    p.Replicas,
@@ -203,119 +252,159 @@ func runFigures(sc Scale, w io.Writer) error {
 			L0MaxKeys:    p.L0MaxKeys,
 			MaxLevels:    7,
 		},
-		Trace: tracer,
+		Trace:            tracer,
+		ShipUncompressed: shipUncompressed,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	defer c.Close()
-
-	clients := make([]*client.Client, 2)
-	for i := range clients {
-		if clients[i], err = c.NewClient(); err != nil {
-			return err
+	fc.clients = make([]*client.Client, 2)
+	for i := range fc.clients {
+		if fc.clients[i], err = fc.c.NewClient(); err != nil {
+			fc.Close()
+			return nil, err
 		}
-		defer clients[i].Close()
 	}
 
 	// One registry covers the whole cluster; the client-side op and
 	// dataset counters join it so the sampler sees offered load next to
 	// the server-side traffic counters it divides by.
-	reg := obs.NewRegistry()
-	c.Observe(reg)
-	var cur atomic.Pointer[phaseStats]
-	cur.Store(&phaseStats{})
-	reg.GaugeFunc("tebis_bench_ops",
+	fc.reg = obs.NewRegistry()
+	fc.c.Observe(fc.reg)
+	fc.cur.Store(&phaseStats{})
+	fc.reg.GaugeFunc("tebis_bench_ops",
 		"Client ops completed in the current measured phase.", nil,
-		func() float64 { return float64(cur.Load().ops.Load()) })
-	reg.GaugeFunc("tebis_bench_dataset_bytes",
+		func() float64 { return float64(fc.cur.Load().ops.Load()) })
+	fc.reg.GaugeFunc("tebis_bench_dataset_bytes",
 		"User bytes moved by the current measured phase.", nil,
-		func() float64 { return float64(cur.Load().dataset.Load()) })
+		func() float64 { return float64(fc.cur.Load().dataset.Load()) })
+	return fc, nil
+}
 
-	phase := func(wl ycsb.Workload) (FigureRun, error) {
-		run := FigureRun{Workload: wl.String()}
-		pp := p
-		pp.Workload = wl
+func (fc *figCluster) Close() {
+	for _, cl := range fc.clients {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+	fc.c.Close()
+}
 
-		stats := &phaseStats{}
-		cur.Store(stats)
-		c.ResetCounters()
+// phase runs one workload phase against the cluster with a fresh
+// sampler and returns its FigureRun.
+func (fc *figCluster) phase(wl ycsb.Workload) (FigureRun, error) {
+	run := FigureRun{Workload: wl.String()}
+	pp := fc.p
+	pp.Workload = wl
 
-		lat := map[ycsb.OpKind]*metrics.Histogram{
-			ycsb.OpInsert: metrics.NewHistogram(),
-			ycsb.OpRead:   metrics.NewHistogram(),
-			ycsb.OpUpdate: metrics.NewHistogram(),
-		}
+	stats := &phaseStats{}
+	fc.cur.Store(stats)
+	fc.c.ResetCounters()
 
-		// A fresh sampler per phase, ticked from the op stream every
-		// tickEvery completed ops: sample density is deterministic in the
-		// op count, not the host's speed, so even smoke runs plot.
-		samp := obs.NewSampler(reg, obs.DefaultSampleInterval, 4*figureSampleTicks)
-		total := pp.Records
-		if wl != ycsb.LoadA {
-			total = pp.Ops
-		}
-		tickEvery := total / figureSampleTicks
-		if tickEvery == 0 {
-			tickEvery = 1
-		}
-		var opCount atomic.Uint64
-		onOp := func() {
-			if opCount.Add(1)%tickEvery == 0 {
-				samp.Tick()
-			}
-		}
+	lat := map[ycsb.OpKind]*metrics.Histogram{
+		ycsb.OpInsert: metrics.NewHistogram(),
+		ycsb.OpRead:   metrics.NewHistogram(),
+		ycsb.OpUpdate: metrics.NewHistogram(),
+	}
 
-		samp.Tick() // t=0 baseline
-		var err error
-		if wl == ycsb.LoadA {
-			_, err = runLoad(c, clients, pp, stats, lat, onOp)
-		} else {
-			_, err = runPhase(c, clients, pp, stats, lat, onOp)
-		}
-		if err != nil {
-			return run, err
-		}
-		if err := c.FlushAll(); err != nil {
-			return run, err
-		}
-		samp.Tick() // post-drain totals
-		// Degenerate op counts (smoke runs smaller than the tick budget)
-		// still deliver the guaranteed sample floor, as a flat tail.
-		for samp.Ticks() < figureSampleTicks {
+	// A fresh sampler per phase, ticked from the op stream every
+	// tickEvery completed ops: sample density is deterministic in the
+	// op count, not the host's speed, so even smoke runs plot.
+	samp := obs.NewSampler(fc.reg, obs.DefaultSampleInterval, 4*figureSampleTicks)
+	total := pp.Records
+	if wl != ycsb.LoadA {
+		total = pp.Ops
+	}
+	tickEvery := total / figureSampleTicks
+	if tickEvery == 0 {
+		tickEvery = 1
+	}
+	var opCount atomic.Uint64
+	onOp := func() {
+		if opCount.Add(1)%tickEvery == 0 {
 			samp.Tick()
 		}
-
-		tot := c.Totals()
-		run.Ops = stats.ops.Load()
-		run.ElapsedMS = float64(stats.elapsed) / float64(time.Millisecond)
-		if stats.elapsed > 0 {
-			run.KOpsPerSec = float64(run.Ops) / stats.elapsed.Seconds() / 1000
-		}
-		dataset := stats.dataset.Load()
-		run.IOAmp = metrics.Amplification(tot.DeviceBytes, dataset)
-		run.NetAmp = metrics.Amplification(tot.NetServerBytes, dataset)
-		run.NetServerBytes = tot.NetServerBytes
-		run.Samples = int(samp.Ticks())
-
-		hist := samp.History()
-		ops := sumSeries(hist, "tebis_bench_ops")
-		ds := sumSeries(hist, "tebis_bench_dataset_bytes")
-		dev := sumSeries(hist, "tebis_device_read_bytes_total", "tebis_device_write_bytes_total")
-		net := sumSeries(hist, "tebis_net_tx_bytes_total", "tebis_net_rx_bytes_total")
-		run.Throughput = rateSeries(ops)
-		run.IOAmpSeries = ratioSeries(dev, ds)
-		run.NetAmpSeries = ratioSeries(net, ds)
-		run.NetBytesSeries = toFigurePoints(net)
-
-		run.Latency = map[string]FigureLatency{}
-		for kind, h := range lat {
-			if h.Count() > 0 {
-				run.Latency[kind.String()] = figureLatency(h)
-			}
-		}
-		return run, nil
 	}
+
+	samp.Tick() // t=0 baseline
+	var err error
+	if wl == ycsb.LoadA {
+		_, err = runLoad(fc.c, fc.clients, pp, stats, lat, onOp)
+	} else {
+		_, err = runPhase(fc.c, fc.clients, pp, stats, lat, onOp)
+	}
+	if err != nil {
+		return run, err
+	}
+	if err := fc.c.FlushAll(); err != nil {
+		return run, err
+	}
+	samp.Tick() // post-drain totals
+	// Degenerate op counts (smoke runs smaller than the tick budget)
+	// still deliver the guaranteed sample floor, as a flat tail.
+	for samp.Ticks() < figureSampleTicks {
+		samp.Tick()
+	}
+
+	tot := fc.c.Totals()
+	run.Ops = stats.ops.Load()
+	run.ElapsedMS = float64(stats.elapsed) / float64(time.Millisecond)
+	if stats.elapsed > 0 {
+		run.KOpsPerSec = float64(run.Ops) / stats.elapsed.Seconds() / 1000
+	}
+	dataset := stats.dataset.Load()
+	run.IOAmp = metrics.Amplification(tot.DeviceBytes, dataset)
+	run.NetAmp = metrics.Amplification(tot.NetServerBytes, dataset)
+	run.NetServerBytes = tot.NetServerBytes
+	for _, n := range fc.c.Nodes {
+		s := n.Server.ShipStats().Snapshot()
+		run.ShipRawBytes += s.RawBytes
+		run.ShipWireBytes += s.WireBytes
+	}
+	run.Samples = int(samp.Ticks())
+
+	hist := samp.History()
+	ops := sumSeries(hist, "tebis_bench_ops")
+	ds := sumSeries(hist, "tebis_bench_dataset_bytes")
+	dev := sumSeries(hist, "tebis_device_read_bytes_total", "tebis_device_write_bytes_total")
+	net := sumSeries(hist, "tebis_net_tx_bytes_total", "tebis_net_rx_bytes_total")
+	run.Throughput = rateSeries(ops)
+	run.IOAmpSeries = ratioSeries(dev, ds)
+	run.NetAmpSeries = ratioSeries(net, ds)
+	run.NetBytesSeries = toFigurePoints(net)
+	run.ShipRawSeries = toFigurePoints(sumSeries(hist, "tebis_ship_raw_bytes_total"))
+	run.ShipWireSeries = toFigurePoints(sumSeries(hist, "tebis_ship_wire_bytes_total"))
+
+	run.Latency = map[string]FigureLatency{}
+	for kind, h := range lat {
+		if h.Count() > 0 {
+			run.Latency[kind.String()] = figureLatency(h)
+		}
+	}
+	return run, nil
+}
+
+// runFigures reproduces the paper's Fig. 6-8 data products as
+// time-series — YCSB Load A, Run A, and Run C against a replicated
+// Send-Index cluster with the registry sampler on — plus the Fig. 10
+// net-amplification comparison: the same Load A repeated on a second
+// cluster with the ship codec off, so the report quantifies what
+// compression and delta shipping save. Emits BENCH_figures.json plus
+// one CSV per figure. Unlike runFig6/7/8 — which report one scalar per
+// configuration — this harness samples the live registry throughout
+// each phase so throughput, amplification, and network traffic are
+// plotted over time, and it runs with request tracing at the default
+// sample rate so the figures reflect the instrumented system.
+func runFigures(sc Scale, w io.Writer) error {
+	p := params(SendIndex, ycsb.LoadA, ycsb.MixSD, sc, 1)
+	p.applyDefaults()
+
+	tracer := obs.NewTracer(0)
+	fc, err := newFigCluster(p, tracer, false)
+	if err != nil {
+		return err
+	}
+	defer fc.Close()
 
 	report := FiguresReport{
 		Setup:    p.Setup.String(),
@@ -324,19 +413,46 @@ func runFigures(sc Scale, w io.Writer) error {
 		RunOps:   p.Ops,
 	}
 	for _, wl := range []ycsb.Workload{ycsb.LoadA, ycsb.RunA, ycsb.RunC} {
-		run, err := phase(wl)
+		run, err := fc.phase(wl)
 		if err != nil {
 			return fmt.Errorf("bench: figures %s: %w", wl, err)
 		}
 		report.Runs = append(report.Runs, run)
 		if wl == ycsb.LoadA {
 			// Run phases start from drained, loaded data, as Run() does.
-			if err := c.WaitIdle(); err != nil {
+			if err := fc.c.WaitIdle(); err != nil {
 				return err
 			}
 		}
 	}
 	report.TraceSpans = len(tracer.Snapshot())
+
+	// Fig. 10 baseline: an identical cluster shipping raw segment
+	// images (the paper's prototype), driven through the same Load A.
+	// It gets its own tracer so both sides carry the same
+	// instrumentation and the throughput comparison is ship-codec-only.
+	fb, err := newFigCluster(p, obs.NewTracer(0), true)
+	if err != nil {
+		return err
+	}
+	base, err := fb.phase(ycsb.LoadA)
+	fb.Close()
+	if err != nil {
+		return fmt.Errorf("bench: figures baseline: %w", err)
+	}
+	loadA := report.Runs[0]
+	fig10 := &FigureNetAmp{
+		Baseline:            base,
+		NetAmpRatio:         shipOverhead(float64(loadA.NetServerBytes), float64(loadA.ShipWireBytes)),
+		BaselineNetAmpRatio: shipOverhead(float64(base.NetServerBytes), float64(base.ShipWireBytes)),
+	}
+	if loadA.ShipWireBytes > 0 {
+		fig10.CompressionRatio = float64(loadA.ShipRawBytes) / float64(loadA.ShipWireBytes)
+	}
+	if base.KOpsPerSec > 0 {
+		fig10.ThroughputDeltaPercent = (loadA.KOpsPerSec - base.KOpsPerSec) / base.KOpsPerSec * 100
+	}
+	report.Fig10 = fig10
 
 	fmt.Fprintf(w, "Figures harness: Send-Index, two-way, SD mix (records=%d, ops=%d)\n",
 		p.Records, p.Ops)
@@ -352,10 +468,13 @@ func runFigures(sc Scale, w io.Writer) error {
 		fmt.Fprintf(w, "%-10s %10d %12.1f %8.2f %8.2f %8d %12.1f\n",
 			r.Workload, r.Ops, r.KOpsPerSec, r.IOAmp, r.NetAmp, r.Samples, p99)
 	}
+	fmt.Fprintf(w, "Fig10: ship raw=%d wire=%d (%.2fx), net-amp ratio %.3f (uncompressed baseline %.3f), load throughput %+.1f%% vs baseline\n",
+		loadA.ShipRawBytes, loadA.ShipWireBytes, fig10.CompressionRatio,
+		fig10.NetAmpRatio, fig10.BaselineNetAmpRatio, fig10.ThroughputDeltaPercent)
 	fmt.Fprintf(w, "trace spans recorded: %d\n", report.TraceSpans)
 
 	if FiguresCSVDir != "" {
-		csvs, err := writeFigureCSVs(FiguresCSVDir, report.Runs)
+		csvs, err := writeFigureCSVs(FiguresCSVDir, &report)
 		if err != nil {
 			return err
 		}
@@ -379,8 +498,10 @@ func runFigures(sc Scale, w io.Writer) error {
 
 // writeFigureCSVs renders the per-figure CSVs next to the JSON report:
 // Fig. 6 throughput-over-time, Fig. 7 amplification + network bytes
-// over time, Fig. 8 latency percentiles.
-func writeFigureCSVs(dir string, runs []FigureRun) ([]string, error) {
+// over time, Fig. 8 latency percentiles, Fig. 10 ship-traffic
+// comparison against the uncompressed baseline.
+func writeFigureCSVs(dir string, report *FiguresReport) ([]string, error) {
+	runs := report.Runs
 	var files []string
 	write := func(name, content string) error {
 		path := filepath.Join(dir, name)
@@ -405,14 +526,18 @@ func writeFigureCSVs(dir string, runs []FigureRun) ([]string, error) {
 	var fig7 strings.Builder
 	fig7.WriteString("run,t_ms,io_amp,net_amp,net_bytes\n")
 	for _, r := range runs {
+		// The amp series drop zero-denominator prefix ticks; net_bytes
+		// keeps every tick. Aligning from the tail pairs each amp row
+		// with the net_bytes sample from the same tick.
+		skip := len(r.NetBytesSeries) - len(r.IOAmpSeries)
 		n := len(r.IOAmpSeries)
 		for i := 0; i < n; i++ {
 			netAmp, netBytes := 0.0, 0.0
 			if i < len(r.NetAmpSeries) {
 				netAmp = r.NetAmpSeries[i].V
 			}
-			if i < len(r.NetBytesSeries) {
-				netBytes = r.NetBytesSeries[i].V
+			if j := i + skip; j >= 0 && j < len(r.NetBytesSeries) {
+				netBytes = r.NetBytesSeries[j].V
 			}
 			fmt.Fprintf(&fig7, "%s,%.3f,%.4f,%.4f,%.0f\n",
 				r.Workload, r.IOAmpSeries[i].TMS, r.IOAmpSeries[i].V, netAmp, netBytes)
@@ -438,6 +563,32 @@ func writeFigureCSVs(dir string, runs []FigureRun) ([]string, error) {
 	}
 	if err := write("BENCH_fig8_latency.csv", fig8.String()); err != nil {
 		return nil, err
+	}
+
+	if report.Fig10 != nil {
+		var fig10 strings.Builder
+		fig10.WriteString("config,t_ms,raw_bytes,wire_bytes,net_bytes,ratio\n")
+		emit := func(config string, r FigureRun) {
+			n := len(r.ShipWireSeries)
+			for i := 0; i < n; i++ {
+				raw, net := 0.0, 0.0
+				if i < len(r.ShipRawSeries) {
+					raw = r.ShipRawSeries[i].V
+				}
+				if i < len(r.NetBytesSeries) {
+					net = r.NetBytesSeries[i].V
+				}
+				wire := r.ShipWireSeries[i].V
+				fmt.Fprintf(&fig10, "%s,%.3f,%.0f,%.0f,%.0f,%.4f\n",
+					config, r.ShipWireSeries[i].TMS, raw, wire, net,
+					shipOverhead(net, wire))
+			}
+		}
+		emit("compressed", runs[0])
+		emit("uncompressed", report.Fig10.Baseline)
+		if err := write("BENCH_fig10_netamp.csv", fig10.String()); err != nil {
+			return nil, err
+		}
 	}
 	return files, nil
 }

@@ -18,6 +18,7 @@ import (
 	"tebis/internal/region"
 	"tebis/internal/replica"
 	"tebis/internal/server"
+	"tebis/internal/shipcodec"
 	"tebis/internal/storage"
 	"tebis/internal/zklite"
 )
@@ -54,6 +55,13 @@ type Config struct {
 	// per-operation head-based sampling probability (0 selects
 	// client.DefaultTraceSampleRate, negative disables).
 	TraceSampleRate float64
+	// ShipUncompressed disables the Send-Index ship codec, shipping raw
+	// segment images as the paper's Tebis prototype does. The zero value
+	// turns compression and delta shipping ON — the wire frames decode
+	// back to identical bytes before the offset rewrite, so byte
+	// convergence is unaffected (DESIGN.md §10). Benchmarks set this to
+	// measure the uncompressed baseline.
+	ShipUncompressed bool
 }
 
 func (c *Config) applyDefaults() {
@@ -128,6 +136,10 @@ func New(cfg Config) (*Cluster, error) {
 	// Region servers, each with a device, NIC, cycle account, and an
 	// ephemeral liveness node.
 	names := ServerNames(cfg.Servers)
+	shipCodec := shipcodec.Flate
+	if cfg.ShipUncompressed {
+		shipCodec = shipcodec.None
+	}
 	for _, name := range names {
 		dev, err := storage.NewMemDevice(cfg.SegmentSize, 0)
 		if err != nil {
@@ -147,6 +159,8 @@ func New(cfg Config) (*Cluster, error) {
 			Retry:       cfg.Retry,
 			Failures:    failures,
 			Trace:       cfg.Trace,
+			ShipCodec:   shipCodec,
+			ShipDelta:   !cfg.ShipUncompressed,
 		})
 		if err != nil {
 			return nil, err
@@ -471,6 +485,7 @@ func (c *Cluster) ResetCounters() {
 		n.Device.ResetStats()
 		n.Server.Endpoint().ResetCounters()
 		n.Cycles.Reset()
+		n.Server.ShipStats().Reset()
 	}
 }
 

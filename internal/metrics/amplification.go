@@ -9,6 +9,11 @@ package metrics
 // requests issued during the experiment, device_traffic is the total
 // bytes read+written on all storage devices, and network_traffic is the
 // total bytes sent+received by all servers.
+//
+// A zero dataset makes the ratio undefined; this scalar helper returns
+// 0 so report structs stay JSON-encodable, and the live /metrics gauges
+// (obs.RegisterAmplification) report NaN instead — which every sink
+// skips — so early scrapes never chart a bogus 0× ratio.
 func Amplification(traffic, datasetSize uint64) float64 {
 	if datasetSize == 0 {
 		return 0

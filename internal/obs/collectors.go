@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"math"
+
 	"tebis/internal/metrics"
 	"tebis/internal/storage"
 )
@@ -161,8 +163,11 @@ func (r *Registry) RegisterEndpoint(labels Labels, ep NetCounters) {
 
 // RegisterAmplification exposes the paper's two amplification ratios
 // (Figure 7): traffic fns return cumulative device or network bytes,
-// dataset returns the user bytes ingested so far. Gauges read 0 until
-// the dataset is non-empty.
+// dataset returns the user bytes ingested so far. Until the dataset is
+// non-empty the ratio is undefined, so the gauges report NaN — which
+// every sink (Prometheus exposition, the sampler rings, JSON export)
+// skips — rather than charting a bogus perfect 0× ratio on early
+// scrapes.
 func (r *Registry) RegisterAmplification(labels Labels, ioTraffic, netTraffic, dataset func() float64) {
 	if r == nil {
 		return
@@ -171,7 +176,7 @@ func (r *Registry) RegisterAmplification(labels Labels, ioTraffic, netTraffic, d
 		return func() float64 {
 			d := dataset()
 			if d <= 0 {
-				return 0
+				return math.NaN()
 			}
 			return traffic() / d
 		}
@@ -184,6 +189,42 @@ func (r *Registry) RegisterAmplification(labels Labels, ioTraffic, netTraffic, d
 		r.GaugeFunc("tebis_net_amplification",
 			"Network traffic divided by dataset size (Figure 7).", labels, ratio(netTraffic))
 	}
+}
+
+// RegisterShip exposes the ship-codec counters (DESIGN.md §10): raw
+// versus wire bytes for shipped index segments, the full/delta transfer
+// split, rejected-delta fallbacks, and the resulting compression ratio.
+// The ratio gauge reports NaN until any bytes have shipped.
+func (r *Registry) RegisterShip(labels Labels, s *metrics.ShipStats) {
+	if r == nil || s == nil {
+		return
+	}
+	snap := func() metrics.ShipSnapshot { return s.Snapshot() }
+	r.CounterFunc("tebis_ship_raw_bytes_total",
+		"Index-segment bytes handed to the ship path, before the codec.", labels,
+		func() float64 { return float64(snap().RawBytes) })
+	r.CounterFunc("tebis_ship_wire_bytes_total",
+		"Index-segment bytes actually staged over the wire, after the codec.", labels,
+		func() float64 { return float64(snap().WireBytes) })
+	r.CounterFunc("tebis_ship_segments_total",
+		"Index-segment transfers to backups, by transfer mode.",
+		labels.clone(Labels{"mode": "full"}),
+		func() float64 { return float64(snap().FullSegments) })
+	r.CounterFunc("tebis_ship_segments_total", "",
+		labels.clone(Labels{"mode": "delta"}),
+		func() float64 { return float64(snap().DeltaSegments) })
+	r.CounterFunc("tebis_ship_delta_fallbacks_total",
+		"Delta transfers a backup rejected and the primary re-shipped in full.", labels,
+		func() float64 { return float64(snap().Fallbacks) })
+	r.GaugeFunc("tebis_ship_compression_ratio",
+		"Raw bytes divided by wire bytes for shipped index segments (NaN until bytes ship).", labels,
+		func() float64 {
+			sn := snap()
+			if sn.RawBytes == 0 || sn.WireBytes == 0 {
+				return math.NaN()
+			}
+			return float64(sn.RawBytes) / float64(sn.WireBytes)
+		})
 }
 
 // RegisterTracer exposes the span ring's occupancy and eviction

@@ -403,6 +403,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		for _, k := range keys {
 			c := f.children[k]
 			for _, s := range c.read() {
+				if math.IsNaN(s.value) {
+					// An undefined sample (e.g. an amplification ratio
+					// before any user bytes): omit the series rather
+					// than exposing a bogus value.
+					continue
+				}
 				var val string
 				switch {
 				case s.isInt:

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -178,6 +179,11 @@ func (s *Sampler) Tick() {
 	}
 	off := now.Sub(s.start)
 	for name, v := range vals {
+		if math.IsNaN(v) {
+			// Undefined gauges (ratios before any user bytes) are not
+			// samples; recording them would also break JSON export.
+			continue
+		}
 		sr := s.series[name]
 		if sr == nil {
 			sr = &seriesRing{pts: make([]Point, s.capacity)}

@@ -14,6 +14,7 @@ import (
 	"tebis/internal/obs"
 	"tebis/internal/rdma"
 	"tebis/internal/region"
+	"tebis/internal/shipcodec"
 	"tebis/internal/storage"
 	"tebis/internal/vlog"
 	"tebis/internal/wire"
@@ -167,7 +168,9 @@ func NewBackup(cfg BackupConfig) (*Backup, error) {
 	if err != nil {
 		return nil, err
 	}
-	idxBuf, err := cfg.Endpoint.Register(int(geo.SegmentSize()))
+	// The staging buffer holds one shipped frame; a codec frame can
+	// exceed the raw segment image by its header.
+	idxBuf, err := cfg.Endpoint.Register(int(geo.SegmentSize()) + shipcodec.MaxOverhead)
 	if err != nil {
 		return nil, err
 	}
@@ -200,19 +203,28 @@ func NewBackup(cfg BackupConfig) (*Backup, error) {
 		b.db = db
 		b.idxQueue = make(chan idxWork, 4)
 		b.idxDone = make(chan struct{})
-		go b.indexWorker()
+		go b.indexWorker(b.idxQueue)
 	}
 	return b, nil
 }
 
 // indexWorker drains flushed segments into the backup's own LSM
-// (Build-Index mode only).
-func (b *Backup) indexWorker() {
+// (Build-Index mode only). After a failure it records the error and
+// keeps draining (without indexing) instead of exiting: handleFlushTail
+// blocks sending into the queue, so an exited worker would wedge the
+// control loop on the next flush. The queue is a parameter, not a
+// field read: Crash and Promote nil the field under b.mu, which this
+// goroutine does not hold.
+func (b *Backup) indexWorker(queue chan idxWork) {
 	defer close(b.idxDone)
-	for w := range b.idxQueue {
+	failed := false
+	for w := range queue {
+		if failed {
+			continue
+		}
 		if err := b.indexFlushedSegment(w.local, w.data); err != nil {
 			b.fail(err)
-			return
+			failed = true
 		}
 	}
 }
@@ -296,10 +308,16 @@ func (b *Backup) cacheAck(reqID uint64, ack []byte) {
 
 func (b *Backup) fail(err error) {
 	b.mu.Lock()
+	b.failLocked(err)
+	b.mu.Unlock()
+}
+
+// failLocked is fail for callers already holding b.mu (handlers that
+// must record an error without killing the control loop).
+func (b *Backup) failLocked(err error) {
 	if b.loopErr == nil {
 		b.loopErr = err
 	}
-	b.mu.Unlock()
 }
 
 // Err returns the first control-loop error, if any.
@@ -315,6 +333,12 @@ func (b *Backup) Err() error {
 // "machine" is gone (§3.5). A crashed server calls this for each
 // hosted backup; without it the primary would keep replicating into a
 // dead node's memory.
+//
+// The "machine" dies, but this process lives on: Crash also reaps the
+// backup's goroutines — it waits for the control loop to exit on the
+// closed QPs, then shuts down the Build-Index worker — so repeated
+// crash/failover tests do not accumulate leaked workers (or wedge a
+// later flush on a queue nobody drains).
 func (b *Backup) Crash() {
 	b.cfg.Endpoint.Deregister(b.logBuf)
 	b.cfg.Endpoint.Deregister(b.idxBuf)
@@ -323,6 +347,19 @@ func (b *Backup) Crash() {
 	}
 	if b.ackSend != nil {
 		b.ackSend.Close()
+	}
+	// Waiting on the control loop first guarantees no handler is still
+	// queueing index work when the queue closes.
+	if b.loopDone != nil {
+		<-b.loopDone
+	}
+	b.mu.Lock()
+	q := b.idxQueue
+	b.idxQueue = nil
+	b.mu.Unlock()
+	if q != nil {
+		close(q)
+		<-b.idxDone
 	}
 }
 
@@ -451,8 +488,11 @@ func (b *Backup) handleFlushTail(h wire.Header, req wire.FlushTail) ([]byte, err
 
 	if b.cfg.Mode == BuildIndex && b.db != nil {
 		// Build-Index: hand the flushed records to the indexing worker.
+		// Capture the channel under b.mu — Crash and Promote nil the
+		// field — then send unlocked so the worker can take the lock.
+		q := b.idxQueue
 		b.mu.Unlock()
-		b.idxQueue <- idxWork{local: local, data: data}
+		q <- idxWork{local: local, data: data}
 		b.mu.Lock()
 	}
 
@@ -493,9 +533,12 @@ func (b *Backup) handleCompactionStart(h wire.Header, req wire.CompactionStart) 
 	defer b.mu.Unlock()
 	if old, ok := b.ships[req.JobID]; ok {
 		// The same job never completed (primary retry); discard its
-		// partial segments.
+		// partial segments. A failed free leaks segments rather than
+		// corrupting anything, so record it where Backup.Err() surfaces
+		// it instead of silently swallowing it — or killing the control
+		// loop over a bookkeeping leak.
 		if err := old.idxMap.FreeAll(); err != nil {
-			return nil, err
+			b.failLocked(fmt.Errorf("replica: freeing stale ship job %d: %w", req.JobID, err))
 		}
 	}
 	b.ships[req.JobID] = &shipJob{
@@ -515,12 +558,22 @@ func (b *Backup) handleIndexSegment(h wire.Header, req wire.IndexSegment) ([]byt
 	if !ok {
 		return nil, fmt.Errorf("replica: index segment for unknown job %d", req.JobID)
 	}
-	if int64(req.DataLen) > b.geo.SegmentSize() {
+	if int64(req.DataLen) > b.geo.SegmentSize()+int64(shipcodec.MaxOverhead) {
 		return nil, fmt.Errorf("replica: index segment of %d bytes", req.DataLen)
 	}
 	data := make([]byte, req.DataLen)
 	if err := b.idxBuf.ReadAt(0, data); err != nil {
 		return nil, err
+	}
+	if req.Codec != 0 {
+		raw, err := b.decodeShippedLocked(req, data)
+		if err != nil {
+			// Request-scoped failure (corrupt frame, missing or
+			// mismatched delta base): a FlagError ack keeps the loop
+			// alive and tells the primary to re-ship the full frame.
+			return ackError(h, wire.OpIndexSegmentAck, err), nil
+		}
+		data = raw
 	}
 	rewriteStart := time.Now()
 	pointers, err := btree.RewriteSegment(
@@ -549,6 +602,47 @@ func (b *Backup) handleIndexSegment(h wire.Header, req wire.IndexSegment) ([]byt
 	lvl := int(req.DstLevel)
 	ship.pending[lvl] = append(ship.pending[lvl], local)
 	return ackMessage(h, wire.OpIndexSegmentAck), nil
+}
+
+// decodeShippedLocked inverts the ship codec on one staged frame
+// (DESIGN.md §10). For delta frames it reconstructs the base: the
+// destination level's retained translation map names the base segment
+// in primary space, its stored (local-space) bytes are read back and
+// run through the inverse offset rewrite — the same inversion the fetch
+// path uses — recovering the exact primary-space image the encoder
+// diffed against. The codec's raw CRC then proves the reconstruction
+// matched. Caller holds b.mu.
+func (b *Backup) decodeShippedLocked(req wire.IndexSegment, frame []byte) ([]byte, error) {
+	var base []byte
+	if req.DeltaBase != 0 {
+		lvl := int(req.DstLevel)
+		local, ok := b.levelMaps[lvl][storage.SegmentID(req.DeltaBase)]
+		if !ok {
+			return nil, fmt.Errorf("replica: delta base segment %d not held at level %d", req.DeltaBase, lvl)
+		}
+		ver := storage.AsVerifier(b.cfg.Device)
+		if ver == nil {
+			return nil, lsm.ErrUnverifiedDevice
+		}
+		if err := ver.VerifySegment(local); err != nil {
+			return nil, err
+		}
+		t, err := ver.SegmentInfo(local)
+		if err != nil {
+			return nil, err
+		}
+		base = make([]byte, t.PayloadLen)
+		if err := b.cfg.Device.ReadAt(b.geo.Pack(local, 0), base); err != nil {
+			return nil, err
+		}
+		b.charge(metrics.CompOther, b.cfg.Cost.ReadIO(len(base)))
+		if _, err := btree.RewriteSegment(base, b.cfg.LSM.NodeSize, b.geo,
+			strictMapper(invertSegMap(b.levelMaps[lvl])),
+			strictMapper(invertSegMap(b.logMap.Snapshot()))); err != nil {
+			return nil, err
+		}
+	}
+	return shipcodec.Decode(frame, base, b.cfg.LSM.NodeSize)
 }
 
 // handleCompactionDone installs the shipped level: translate the root

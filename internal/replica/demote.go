@@ -5,6 +5,7 @@ import (
 
 	"tebis/internal/lsm"
 	"tebis/internal/metrics"
+	"tebis/internal/shipcodec"
 	"tebis/internal/storage"
 	"tebis/internal/wire"
 )
@@ -67,7 +68,7 @@ func NewBackupFromPrimary(p *Primary, cfg BackupConfig, oldToNew map[storage.Seg
 	if err != nil {
 		return nil, err
 	}
-	idxBuf, err := cfg.Endpoint.Register(int(geo.SegmentSize()))
+	idxBuf, err := cfg.Endpoint.Register(int(geo.SegmentSize()) + shipcodec.MaxOverhead)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +108,7 @@ func NewBackupFromPrimary(p *Primary, cfg BackupConfig, oldToNew map[storage.Seg
 		b.db = db
 		b.idxQueue = make(chan idxWork, 4)
 		b.idxDone = make(chan struct{})
-		go b.indexWorker()
+		go b.indexWorker(b.idxQueue)
 	default:
 		return nil, fmt.Errorf("replica: cannot demote to mode %v", cfg.Mode)
 	}

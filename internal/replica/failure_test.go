@@ -3,6 +3,7 @@ package replica
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -358,5 +359,39 @@ func TestRetryPolicyDefaults(t *testing.T) {
 	pol := RetryPolicy{Backoff: 2 * time.Millisecond, AckTimeout: time.Second, MaxRetries: 5}
 	if pol.backoff(1) != 2*time.Millisecond || pol.backoff(3) != 8*time.Millisecond {
 		t.Fatalf("backoff progression wrong: %v %v", pol.backoff(1), pol.backoff(3))
+	}
+}
+
+// TestCrashLeavesNoGoroutines asserts that Crash tears down every
+// goroutine the backup owns: the control loop and, in Build-Index mode,
+// the index worker draining idxQueue. A leaked worker would pin the
+// backup's engine (and its memory) for the life of the process — the
+// exact bug where Crash closed the QPs but never closed idxQueue.
+func TestCrashLeavesNoGoroutines(t *testing.T) {
+	for _, mode := range []Mode{SendIndex, BuildIndex} {
+		t.Run(mode.String(), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			r := newRig(t, mode, 2)
+			r.load(1500, 40)
+			if err := r.db.WaitIdle(); err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range r.backups {
+				b.Crash()
+				b.Crash() // idempotent: a second crash must not panic or hang
+			}
+			// Compaction-pipeline goroutines are per-job and already
+			// drained by WaitIdle; only leaked backup goroutines can keep
+			// the count above the baseline.
+			deadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(deadline) {
+				if runtime.NumGoroutine() <= before {
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			t.Fatalf("goroutines: %d before rig, %d after Crash — backup goroutine leaked",
+				before, runtime.NumGoroutine())
+		})
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"tebis/internal/obs"
 	"tebis/internal/rdma"
 	"tebis/internal/region"
+	"tebis/internal/shipcodec"
 	"tebis/internal/storage"
 	"tebis/internal/vlog"
 	"tebis/internal/wire"
@@ -86,6 +87,19 @@ type PrimaryConfig struct {
 	// The default (false) is the paper's incremental design; the
 	// deferred variant exists for the DESIGN.md §4.1 ablation.
 	ShipAtCompactionEnd bool
+	// ShipCodec compresses index-segment images on the wire before they
+	// are staged in a backup's buffer (DESIGN.md §10). Zero (None) ships
+	// raw bytes — the paper's baseline.
+	ShipCodec shipcodec.Codec
+	// ShipDelta additionally delta-encodes compaction-shipped segments
+	// against the destination level's previous image when the backup
+	// still holds it. Requires a nonzero ShipCodec.
+	ShipDelta bool
+	// ShipPageSize is the delta page size; it must match the backups'
+	// B+-tree node size. Zero selects shipcodec.DefaultPageSize.
+	ShipPageSize int
+	// Ship collects raw-vs-wire ship traffic metrics (optional).
+	Ship *metrics.ShipStats
 	// Retry bounds how long the primary waits on an unresponsive backup
 	// before evicting it (zero selects DefaultRetryPolicy).
 	Retry RetryPolicy
@@ -129,6 +143,13 @@ type Primary struct {
 	// deferred buffers emitted segments per compaction job when
 	// ShipAtCompactionEnd is set (ablation only).
 	deferred map[uint64][]btree.EmittedSegment
+
+	// deltaBases holds, per in-flight compaction job, the destination
+	// level's segments as they were when the job started — the images
+	// delta-shipped segments are diffed against. The engine frees those
+	// segments only after the job's ship stage completes, so they stay
+	// readable for the job's lifetime.
+	deltaBases map[uint64][]storage.SegmentID
 }
 
 // Eviction records one backup the primary declared dead.
@@ -527,6 +548,21 @@ func (p *Primary) OnCompactionStart(job lsm.CompactionJob) {
 	if p.cfg.Mode != SendIndex {
 		return
 	}
+	if p.cfg.ShipDelta && p.cfg.ShipCodec != shipcodec.None && job.DstLevel >= 1 && p.db != nil {
+		// Snapshot the destination level's current segments: the k-th
+		// segment this job ships will be diffed against the k-th old
+		// one (same builder, sorted key order, so fronts tend to align;
+		// EncodeDelta falls back to a full frame when they don't).
+		if lvls := p.db.Levels(); job.DstLevel-1 < len(lvls) {
+			segs := append([]storage.SegmentID(nil), lvls[job.DstLevel-1].Segments...)
+			p.mu.Lock()
+			if p.deltaBases == nil {
+				p.deltaBases = make(map[uint64][]storage.SegmentID)
+			}
+			p.deltaBases[job.ID] = segs
+			p.mu.Unlock()
+		}
+	}
 	payload := wire.CompactionStart{
 		RegionID: uint16(p.cfg.RegionID),
 		JobID:    job.ID,
@@ -566,46 +602,155 @@ func (p *Primary) OnIndexSegment(job lsm.CompactionJob, seg btree.EmittedSegment
 	p.shipSegment(job, seg)
 }
 
+// shipFrame is one encoded transfer the ship path stages: the bytes to
+// write plus the codec metadata the IndexSegment message must carry.
+type shipFrame struct {
+	data      []byte
+	codec     uint8
+	deltaBase uint32
+}
+
+// encodeShip runs the ship codec over one emitted segment: the full
+// frame always, plus a delta frame against the job's next base segment
+// when delta shipping is on and a usable base exists. A nil error with
+// delta.data == nil means "ship the full frame only".
+func (p *Primary) encodeShip(job lsm.CompactionJob, seg btree.EmittedSegment) (full, delta shipFrame, err error) {
+	if p.cfg.ShipCodec == shipcodec.None {
+		return shipFrame{data: seg.Data}, shipFrame{}, nil
+	}
+	frame, err := shipcodec.Encode(p.cfg.ShipCodec, seg.Data)
+	if err != nil {
+		return shipFrame{}, shipFrame{}, err
+	}
+	full = shipFrame{data: frame, codec: uint8(p.cfg.ShipCodec)}
+	if !p.cfg.ShipDelta {
+		return full, shipFrame{}, nil
+	}
+	// Consume the job's next delta base (one per shipped segment, in
+	// ship order).
+	p.mu.Lock()
+	bases := p.deltaBases[job.ID]
+	var base storage.SegmentID
+	haveBase := len(bases) > 0
+	if haveBase {
+		base = bases[0]
+		p.deltaBases[job.ID] = bases[1:]
+	}
+	p.mu.Unlock()
+	if !haveBase {
+		return full, shipFrame{}, nil
+	}
+	baseRaw, ok := p.readSegmentPayload(base)
+	if !ok {
+		return full, shipFrame{}, nil
+	}
+	dframe, ok, err := shipcodec.EncodeDelta(p.cfg.ShipCodec, seg.Data, baseRaw, p.cfg.ShipPageSize)
+	if err != nil || !ok || len(dframe) >= len(full.data) {
+		return full, shipFrame{}, nil
+	}
+	return full, shipFrame{data: dframe, codec: uint8(p.cfg.ShipCodec), deltaBase: uint32(base)}, nil
+}
+
+// readSegmentPayload reads the used (framed) payload bytes of one local
+// segment, verifying its stored CRC first — a delta diffed against a
+// corrupt base would be rejected by every backup.
+func (p *Primary) readSegmentPayload(seg storage.SegmentID) ([]byte, bool) {
+	db := p.db
+	if db == nil {
+		return nil, false
+	}
+	dev := db.Device()
+	ver := storage.AsVerifier(dev)
+	if ver == nil {
+		return nil, false
+	}
+	if err := ver.VerifySegment(seg); err != nil {
+		return nil, false
+	}
+	t, err := ver.SegmentInfo(seg)
+	if err != nil {
+		return nil, false
+	}
+	data := make([]byte, t.PayloadLen)
+	if err := dev.ReadAt(dev.Geometry().Pack(seg, 0), data); err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
 // shipSegment performs the actual transfer of one segment. It holds the
 // backup handle's control lock across the staging-buffer write and the
 // metadata message: the backup stages one segment at a time, so two
 // concurrent jobs must not interleave their writes.
+//
+// The codec runs once per segment, not per backup: every backup
+// receives the same frame. A backup that rejects a delta frame (its
+// base is missing or mismatched) answers with a FlagError ack and the
+// primary re-ships that backup the full frame — a per-request fallback
+// that leaves the replica attached.
 //
 // A backup that stops responding mid-ship is evicted and the remaining
 // backups still receive the segment — the compaction job must complete
 // on the survivors rather than wedge in the scheduler's ship stage.
 func (p *Primary) shipSegment(job lsm.CompactionJob, seg btree.EmittedSegment) {
 	const wrIndexShip = 2
+	full, delta, err := p.encodeShip(job, seg)
+	if err != nil {
+		p.setErr(err)
+		return
+	}
 	for _, h := range p.handles() {
 		h.mu.Lock()
 		shipStart := time.Now()
-		if err := p.writeWithRetry(h, h.backup.IndexBufferRKey(), 0, seg.Data, wrIndexShip); err != nil {
-			h.mu.Unlock()
-			p.evict(h, err)
-			continue
+		frame := full
+		isDelta := delta.data != nil
+		if isDelta {
+			frame = delta
 		}
-		p.charge(metrics.CompSendIndex, p.cfg.Cost.RDMAWrite(len(seg.Data)))
-		payload := wire.IndexSegment{
-			RegionID:   uint16(p.cfg.RegionID),
-			JobID:      job.ID,
-			DstLevel:   uint8(job.DstLevel),
-			Kind:       uint8(seg.Kind),
-			PrimarySeg: uint32(seg.Seg),
-			DataLen:    uint32(len(seg.Data)),
-		}.Encode(nil)
-		p.charge(metrics.CompSendIndex, p.cfg.Cost.RDMAWrite(wire.MessageSize(len(payload))))
-		if err := p.rpcLocked(h, wire.OpIndexSegment, payload); err != nil {
+		err := p.shipFrameLocked(h, job, seg, frame, wrIndexShip)
+		var rerr *RemoteError
+		if err != nil && isDelta && errors.As(err, &rerr) {
+			// The backup could not reconstruct the delta; re-ship in
+			// full on the same handle lock so nothing interleaves.
+			p.cfg.Ship.RecordFallback()
+			isDelta = false
+			frame = full
+			err = p.shipFrameLocked(h, job, seg, frame, wrIndexShip)
+		}
+		if err != nil {
 			h.mu.Unlock()
 			p.evict(h, err)
 			continue
 		}
 		h.mu.Unlock()
+		p.cfg.Ship.RecordShip(len(seg.Data), len(frame.data), isDelta)
 		p.cfg.Trace.Record(obs.Span{
 			Cat: "replication", Name: "ship", JobID: job.ID,
-			Backup: h.backup.cfg.ServerName, Bytes: int64(len(seg.Data)),
+			Backup: h.backup.cfg.ServerName, Bytes: int64(len(frame.data)),
 			Start: shipStart, Dur: time.Since(shipStart),
 		})
 	}
+}
+
+// shipFrameLocked stages one encoded frame in a backup's index buffer
+// and sends the IndexSegment control message. Caller holds h.mu.
+func (p *Primary) shipFrameLocked(h *backupHandle, job lsm.CompactionJob, seg btree.EmittedSegment, frame shipFrame, wrID uint64) error {
+	if err := p.writeWithRetry(h, h.backup.IndexBufferRKey(), 0, frame.data, wrID); err != nil {
+		return err
+	}
+	p.charge(metrics.CompSendIndex, p.cfg.Cost.RDMAWrite(len(frame.data)))
+	payload := wire.IndexSegment{
+		RegionID:   uint16(p.cfg.RegionID),
+		JobID:      job.ID,
+		DstLevel:   uint8(job.DstLevel),
+		Kind:       uint8(seg.Kind),
+		PrimarySeg: uint32(seg.Seg),
+		DataLen:    uint32(len(frame.data)),
+		Codec:      frame.codec,
+		DeltaBase:  frame.deltaBase,
+	}.Encode(nil)
+	p.charge(metrics.CompSendIndex, p.cfg.Cost.RDMAWrite(wire.MessageSize(len(payload))))
+	return p.rpcLocked(h, wire.OpIndexSegment, payload)
 }
 
 // OnTrim propagates a GC trim: backups release the same log prefix
@@ -632,6 +777,11 @@ func (p *Primary) OnCompactionDone(res lsm.CompactionResult) {
 	if p.cfg.Mode != SendIndex {
 		return
 	}
+	defer func() {
+		p.mu.Lock()
+		delete(p.deltaBases, res.JobID)
+		p.mu.Unlock()
+	}()
 	if p.cfg.ShipAtCompactionEnd {
 		p.mu.Lock()
 		segs := p.deferred[res.JobID]

@@ -21,6 +21,7 @@ import (
 	"tebis/internal/integrity"
 	"tebis/internal/lsm"
 	"tebis/internal/metrics"
+	"tebis/internal/shipcodec"
 	"tebis/internal/storage"
 	"tebis/internal/wire"
 )
@@ -146,6 +147,17 @@ func (b *Backup) handleFetchSegment(h wire.Header, req wire.FetchSegment) ([]byt
 		}
 	}
 	reply := wire.FetchSegmentReply{Found: true, Data: data}
+	if req.Codec != 0 {
+		// The codec is the outermost wire layer: compress AFTER the
+		// rewrite inversion, so the requester's decode yields the
+		// primary-space payload directly.
+		frame, err := shipcodec.Encode(shipcodec.Codec(req.Codec), data)
+		if err != nil {
+			return miss, nil
+		}
+		reply.Data = frame
+		reply.Codec = req.Codec
+	}
 	return ackWithPayload(h, wire.OpFetchSegmentReply, reply.Encode(nil)), nil
 }
 
@@ -160,7 +172,7 @@ func (b *Backup) handleRepairSegment(h wire.Header, req wire.RepairSegment) ([]b
 	fail := func(err error) ([]byte, error) {
 		return ackError(h, wire.OpRepairSegmentAck, err), nil
 	}
-	if int64(req.DataLen) > b.geo.SegmentSize() {
+	if int64(req.DataLen) > b.geo.SegmentSize()+int64(shipcodec.MaxOverhead) {
 		return fail(fmt.Errorf("replica: repair image of %d bytes", req.DataLen))
 	}
 	data := make([]byte, req.DataLen)
@@ -169,6 +181,17 @@ func (b *Backup) handleRepairSegment(h wire.Header, req wire.RepairSegment) ([]b
 	}
 	if got := integrity.Checksum(data); got != req.CRC {
 		return fail(fmt.Errorf("replica: repair image checksum %08x, want %08x", got, req.CRC))
+	}
+	if req.Codec != 0 {
+		// Invert the codec first (the transfer CRC above covered the
+		// framed bytes), then the forward rewrite below re-localizes
+		// the decoded primary-space image — the inverse of the fetch
+		// path's rewrite-then-compress order.
+		raw, err := shipcodec.Decode(data, nil, b.cfg.LSM.NodeSize)
+		if err != nil {
+			return fail(err)
+		}
+		data = raw
 	}
 	switch integrity.Kind(req.Ref.Kind) {
 	case integrity.KindLog:
@@ -294,9 +317,11 @@ func (p *Primary) scrubBackup(h *backupHandle) (wire.ScrubReply, error) {
 
 // segmentRecvSize bounds reply messages that may carry a full segment
 // payload (fetch replies; scrub replies are far smaller but share it).
+// A codec frame can exceed the raw image by its header, so the bound
+// includes that overhead.
 func (p *Primary) segmentRecvSize() int {
 	segSize := int(p.db.Device().Geometry().SegmentSize())
-	return wire.MessageSize(segSize + 64)
+	return wire.MessageSize(segSize + shipcodec.MaxOverhead + 64)
 }
 
 // repairLocal restores one corrupt primary segment from the first
@@ -325,8 +350,16 @@ func (p *Primary) repairLocal(ref wire.SegRef) bool {
 }
 
 // fetchFrom pulls a primary-space copy of one segment from a backup.
+// The request advertises the primary's ship codec; a codec-aware backup
+// answers with a compressed frame the primary inverts here, after the
+// backup already inverted the offset rewrite (DESIGN.md §10 — the codec
+// is the outermost layer on the wire).
 func (p *Primary) fetchFrom(h *backupHandle, ref wire.SegRef) ([]byte, bool) {
-	payload := wire.FetchSegment{RegionID: uint16(p.cfg.RegionID), Ref: ref}.Encode(nil)
+	payload := wire.FetchSegment{
+		RegionID: uint16(p.cfg.RegionID),
+		Ref:      ref,
+		Codec:    uint8(p.cfg.ShipCodec),
+	}.Encode(nil)
 	h.mu.Lock()
 	re, err := p.rpcReplyLocked(h, wire.OpFetchSegment, payload, p.segmentRecvSize())
 	h.mu.Unlock()
@@ -338,6 +371,13 @@ func (p *Primary) fetchFrom(h *backupHandle, ref wire.SegRef) ([]byte, bool) {
 		return nil, false
 	}
 	p.charge(metrics.CompOther, p.cfg.Cost.RDMAWrite(len(reply.Data)))
+	if reply.Codec != 0 {
+		raw, err := shipcodec.Decode(reply.Data, nil, p.cfg.ShipPageSize)
+		if err != nil {
+			return nil, false
+		}
+		return raw, true
+	}
 	return reply.Data, true
 }
 
@@ -367,11 +407,24 @@ func (p *Primary) repairBackup(h *backupHandle, ref wire.SegRef) bool {
 	if err := dev.ReadAt(dev.Geometry().Pack(seg, 0), data); err != nil {
 		return false
 	}
+	// Compress the repair image like a regular ship; the transfer CRC
+	// covers the staged (framed) bytes, so the backup checks the wire
+	// transfer before inverting the codec (and only then rewrites).
+	var codec uint8
+	if p.cfg.ShipCodec != shipcodec.None {
+		frame, err := shipcodec.Encode(p.cfg.ShipCodec, data)
+		if err != nil {
+			return false
+		}
+		data = frame
+		codec = uint8(p.cfg.ShipCodec)
+	}
 	req := wire.RepairSegment{
 		RegionID: uint16(p.cfg.RegionID),
 		Ref:      ref,
 		DataLen:  uint32(len(data)),
 		CRC:      integrity.Checksum(data),
+		Codec:    codec,
 	}
 	const wrRepair = 3
 	h.mu.Lock()

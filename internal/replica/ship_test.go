@@ -1,0 +1,172 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+
+	"tebis/internal/lsm"
+	"tebis/internal/metrics"
+	"tebis/internal/shipcodec"
+	"tebis/internal/storage"
+)
+
+// newShipRig builds a Send-Index rig with checksum verification on
+// every device (delta shipping needs it: the primary verifies bases
+// before diffing, the backup verifies them before reconstructing) and
+// the ship codec + delta encoder enabled.
+func newShipRig(t *testing.T, ship *metrics.ShipStats) (*rig, *storage.VerifyingDevice) {
+	t.Helper()
+	var bVer *storage.VerifyingDevice
+	r := newRigCfg(t, SendIndex, 1,
+		func(o *lsm.Options) {
+			o.Device = storage.AsVerifying(o.Device)
+		},
+		func(pc *PrimaryConfig) {
+			pc.ShipCodec = shipcodec.Flate
+			pc.ShipDelta = true
+			pc.ShipPageSize = lsmOpts().NodeSize
+			pc.Ship = ship
+		},
+		func(c *BackupConfig) {
+			bVer = storage.AsVerifying(c.Device)
+			c.Device = bVer
+		})
+	return r, bVer
+}
+
+// TestShipDeltaShipsAndReconverges drives the delta path end to end:
+// after a base load settles the tree, a second batch of keys sorting
+// after every existing key forces compactions whose outputs share a
+// page-aligned prefix with the replaced destination-level segments, so
+// the encoder's page diff wins. The backup must reconstruct each base
+// through the inverse offset rewrite and land byte-identical segments —
+// proven by promoting it and reading everything back.
+func TestShipDeltaShipsAndReconverges(t *testing.T) {
+	ship := &metrics.ShipStats{}
+	r, _ := newShipRig(t, ship)
+
+	const n = 2500
+	r.load(n, 40)
+
+	// Keys past the existing keyspace: merged output preserves the old
+	// entries' order and value offsets, keeping early leaves identical.
+	const extra = 1200
+	for i := 0; i < extra; i++ {
+		if err := r.db.Put([]byte(fmt.Sprintf("zz%08d", i)), []byte(fmt.Sprintf("late-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	r.checkHealthy()
+
+	snap := ship.Snapshot()
+	t.Logf("ship: raw=%d wire=%d full=%d delta=%d fallbacks=%d",
+		snap.RawBytes, snap.WireBytes, snap.FullSegments, snap.DeltaSegments, snap.Fallbacks)
+	if snap.FullSegments+snap.DeltaSegments == 0 {
+		t.Fatal("nothing shipped")
+	}
+	if snap.DeltaSegments == 0 {
+		t.Fatal("append-only growth shipped no delta segments; delta encoder never won")
+	}
+	if snap.Fallbacks != 0 {
+		t.Fatalf("%d delta ships were rejected by the backup", snap.Fallbacks)
+	}
+	if snap.WireBytes >= snap.RawBytes {
+		t.Fatalf("compression saved nothing: raw=%d wire=%d", snap.RawBytes, snap.WireBytes)
+	}
+
+	// Byte convergence: the promoted backup serves every key.
+	b := r.backups[0]
+	r.primary.Detach(b)
+	db2, err := b.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < n; i += 17 {
+		k := fmt.Sprintf("user%08d", i)
+		if _, found, err := db2.Get([]byte(k)); err != nil || !found {
+			t.Fatalf("promoted Get(%s) = %v, %v", k, found, err)
+		}
+	}
+	for i := 0; i < extra; i += 13 {
+		k := fmt.Sprintf("zz%08d", i)
+		v, found, err := db2.Get([]byte(k))
+		if err != nil || !found || string(v) != fmt.Sprintf("late-%d", i) {
+			t.Fatalf("promoted Get(%s) = %q, %v, %v", k, v, found, err)
+		}
+	}
+}
+
+// TestShipDeltaBaseMismatchFallsBack corrupts the backup's stored copy
+// of every installed index segment, then drives more compactions. Each
+// delta the primary ships now references a base the backup cannot
+// verify, so the backup must answer with a request-scoped error — not
+// die — and the primary must fall back to re-shipping the full frame
+// on the same connection: no retries-to-eviction, no degraded window.
+func TestShipDeltaBaseMismatchFallsBack(t *testing.T) {
+	ship := &metrics.ShipStats{}
+	r, bVer := newShipRig(t, ship)
+
+	const n = 2500
+	r.load(n, 40)
+
+	// Flip a bit in every index segment the backup has installed, below
+	// the verifier.
+	b := r.backups[0]
+	b.mu.Lock()
+	var locals []storage.SegmentID
+	for _, st := range b.levels {
+		locals = append(locals, st.Segments...)
+	}
+	b.mu.Unlock()
+	if len(locals) == 0 {
+		t.Fatal("backup installed no index segments")
+	}
+	geo := r.devB[0].Geometry()
+	for _, seg := range locals {
+		var byt [1]byte
+		off := geo.Pack(seg, 64)
+		if err := r.devB[0].ReadAt(off, byt[:]); err != nil {
+			t.Fatal(err)
+		}
+		byt[0] ^= 0x40
+		if err := r.devB[0].WriteAt(off, byt[:]); err != nil {
+			t.Fatal(err)
+		}
+		bVer.Invalidate(seg)
+	}
+
+	const extra = 1200
+	for i := 0; i < extra; i++ {
+		if err := r.db.Put([]byte(fmt.Sprintf("zz%08d", i)), []byte(fmt.Sprintf("late-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := ship.Snapshot()
+	t.Logf("ship: full=%d delta=%d fallbacks=%d", snap.FullSegments, snap.DeltaSegments, snap.Fallbacks)
+	if snap.Fallbacks == 0 {
+		t.Fatal("corrupted bases produced no delta fallbacks")
+	}
+	if err := r.primary.Err(); err != nil {
+		t.Fatalf("fallback poisoned the primary: %v", err)
+	}
+	if evs := r.primary.Evictions(); len(evs) != 0 {
+		t.Fatalf("fallback evicted the backup: %+v", evs)
+	}
+	if r.primary.Degraded() {
+		t.Fatal("primary degraded after delta fallback")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tebis/internal/metrics"
+	"tebis/internal/shipcodec"
 	"tebis/internal/storage"
 	"tebis/internal/wire"
 )
@@ -149,23 +150,38 @@ const syncJobBase = uint64(1) << 63
 
 // shipSegmentImage sends one full level segment image through the
 // Send-Index path (the backup's rewrite stops at the first free node
-// slot, so full images of partially used segments are safe).
+// slot, so full images of partially used segments are safe). With a
+// ship codec configured the image crosses the wire as a compressed full
+// frame — never a delta: a Sync target is empty, so there is no prior
+// level image to diff against.
 func (p *Primary) shipSegmentImage(h *backupHandle, jobID uint64, lvl int, seg storage.SegmentID, geo storage.Geometry) (int64, error) {
 	data := make([]byte, geo.SegmentSize())
 	if err := p.DB().Log().ReadSegmentImage(seg, data); err != nil {
 		return 0, err
+	}
+	raw := len(data)
+	var codec uint8
+	if p.cfg.ShipCodec != shipcodec.None {
+		frame, err := shipcodec.Encode(p.cfg.ShipCodec, data)
+		if err != nil {
+			return 0, err
+		}
+		data = frame
+		codec = uint8(p.cfg.ShipCodec)
 	}
 	if err := p.writeWithRetry(h, h.backup.IndexBufferRKey(), 0, data, 0); err != nil {
 		return 0, err
 	}
 	p.charge(metrics.CompSendIndex, p.cfg.Cost.RDMAWrite(len(data)))
 	p.cfg.Failures.AddResyncBytes(len(data))
+	p.cfg.Ship.RecordShip(raw, len(data), false)
 	payload := wire.IndexSegment{
 		RegionID:   uint16(p.cfg.RegionID),
 		JobID:      jobID,
 		DstLevel:   uint8(lvl),
 		PrimarySeg: uint32(seg),
 		DataLen:    uint32(len(data)),
+		Codec:      codec,
 	}.Encode(nil)
 	return int64(len(data)), p.rpc(h, wire.OpIndexSegment, payload)
 }

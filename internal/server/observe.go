@@ -22,6 +22,7 @@ func (s *Server) Observe(reg *obs.Registry) {
 	reg.RegisterCompaction(labels, s.cfg.LSM.CompactionStats)
 	reg.RegisterFailure(labels, s.cfg.Failures)
 	reg.RegisterScrub(labels, s.cfg.Scrub)
+	reg.RegisterShip(labels, s.cfg.Ship)
 	reg.RegisterDevice(labels, s.cfg.Device)
 	reg.RegisterEndpoint(labels, s.cfg.Endpoint)
 	for _, op := range opKinds {

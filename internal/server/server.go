@@ -16,6 +16,7 @@ import (
 	"tebis/internal/rdma"
 	"tebis/internal/region"
 	"tebis/internal/replica"
+	"tebis/internal/shipcodec"
 	"tebis/internal/storage"
 )
 
@@ -62,6 +63,15 @@ type Config struct {
 	// BufferSize is the per-client RDMA buffer size (DefaultBufferSize
 	// if zero).
 	BufferSize int
+	// ShipCodec compresses shipped index segments on the wire
+	// (DESIGN.md §10); zero ships raw bytes.
+	ShipCodec shipcodec.Codec
+	// ShipDelta delta-encodes compaction ships against the destination
+	// level's previous image (requires a nonzero ShipCodec).
+	ShipDelta bool
+	// Ship collects raw-vs-wire ship traffic metrics (created on demand
+	// when nil).
+	Ship *metrics.ShipStats
 	// Retry bounds hosted primaries' patience with unresponsive backups
 	// (zero selects replica.DefaultRetryPolicy).
 	Retry replica.RetryPolicy
@@ -100,6 +110,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Scrub == nil {
 		c.Scrub = &metrics.ScrubStats{}
+	}
+	if c.Ship == nil {
+		c.Ship = &metrics.ShipStats{}
 	}
 	if c.LSM.CompactionStats == nil {
 		// Share one sink across all hosted regions so Observe exposes a
@@ -255,15 +268,19 @@ func (s *Server) OpenPrimary(r region.Region, mode replica.Mode) (*replica.Prima
 		return nil, fmt.Errorf("%w: %d", ErrRegionExists, r.ID)
 	}
 	p := replica.NewPrimary(replica.PrimaryConfig{
-		RegionID:   r.ID,
-		ServerName: s.cfg.Name,
-		Mode:       mode,
-		Endpoint:   s.cfg.Endpoint,
-		Cycles:     s.cfg.Cycles,
-		Cost:       s.cfg.Cost,
-		Retry:      s.cfg.Retry,
-		Failures:   s.cfg.Failures,
-		Trace:      s.trace,
+		RegionID:     r.ID,
+		ServerName:   s.cfg.Name,
+		Mode:         mode,
+		Endpoint:     s.cfg.Endpoint,
+		Cycles:       s.cfg.Cycles,
+		Cost:         s.cfg.Cost,
+		ShipCodec:    s.cfg.ShipCodec,
+		ShipDelta:    s.cfg.ShipDelta,
+		ShipPageSize: s.cfg.LSM.NodeSize,
+		Ship:         s.cfg.Ship,
+		Retry:        s.cfg.Retry,
+		Failures:     s.cfg.Failures,
+		Trace:        s.trace,
 	})
 	opt := s.lsmOptions()
 	if mode != replica.NoReplication {
@@ -331,15 +348,19 @@ func (s *Server) PromoteToPrimary(id region.ID) (*replica.Primary, error) {
 		return nil, err
 	}
 	p := replica.NewPrimary(replica.PrimaryConfig{
-		RegionID:   id,
-		ServerName: s.cfg.Name,
-		Mode:       hr.mode,
-		Endpoint:   s.cfg.Endpoint,
-		Cycles:     s.cfg.Cycles,
-		Cost:       s.cfg.Cost,
-		Retry:      s.cfg.Retry,
-		Failures:   s.cfg.Failures,
-		Trace:      s.trace,
+		RegionID:     id,
+		ServerName:   s.cfg.Name,
+		Mode:         hr.mode,
+		Endpoint:     s.cfg.Endpoint,
+		Cycles:       s.cfg.Cycles,
+		Cost:         s.cfg.Cost,
+		ShipCodec:    s.cfg.ShipCodec,
+		ShipDelta:    s.cfg.ShipDelta,
+		ShipPageSize: s.cfg.LSM.NodeSize,
+		Ship:         s.cfg.Ship,
+		Retry:        s.cfg.Retry,
+		Failures:     s.cfg.Failures,
+		Trace:        s.trace,
 	})
 	p.SetDB(db)
 	db.SetListener(p)
@@ -463,6 +484,9 @@ func (s *Server) primaryDB(id region.ID) (*lsm.DB, error) {
 
 // ScrubStats returns the node's scrub-and-repair counters.
 func (s *Server) ScrubStats() *metrics.ScrubStats { return s.cfg.Scrub }
+
+// ShipStats returns the node's ship-codec traffic counters.
+func (s *Server) ShipStats() *metrics.ShipStats { return s.cfg.Ship }
 
 // ScrubAndRepair runs one integrity pass over every region this server
 // is primary for: scrub the local engine, heal corrupt segments from

@@ -1,0 +1,316 @@
+// Package shipcodec is the wire codec for shipped index segments
+// (DESIGN.md §10). Send-Index trades network traffic for backup CPU —
+// the one metric where the paper loses to Build-Index (Fig. 7/10,
+// 1.09–1.82× network amplification) — so the primary compresses, and
+// when possible delta-encodes, every segment image before it is staged
+// in a backup's RDMA buffer.
+//
+// The codec is wire-only: the backup decodes the frame back to the raw
+// segment bytes before the offset rewrite, so the bytes that reach the
+// device are identical to an uncompressed ship and the integrity layer's
+// byte-convergence guarantees (scrub, fetch, repair — DESIGN.md §7) are
+// untouched.
+//
+// A frame is self-describing:
+//
+//	[magic u16][codec u8][flags u8][rawLen u32][payloadLen u32][rawCRC u32]
+//
+// followed by payloadLen payload bytes. rawCRC is a CRC-32C over the
+// DECODED bytes, not the payload: it catches transport corruption and —
+// crucially for delta frames — a base image that does not match the one
+// the encoder diffed against, which would otherwise reconstruct silently
+// wrong bytes. Frames whose compressed payload would exceed the raw
+// bytes are stored verbatim (codec byte Stored), so a frame never grows
+// a segment by more than MaxOverhead.
+//
+// Delta frames (FlagDelta) carry a page patch stream instead of the
+// image: the pages (fixed-size blocks, the B+-tree builder's node size)
+// that differ from a base image both sides hold. The stream is itself
+// flate-compressed when that helps.
+package shipcodec
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Codec identifies the payload encoding requested by a shipper. The
+// zero value disables the codec layer entirely (the paper's baseline:
+// raw bytes on the wire, no frame).
+type Codec uint8
+
+// Codecs.
+const (
+	// None ships raw bytes with no frame (legacy / baseline).
+	None Codec = 0
+	// Flate compresses frames with DEFLATE at BestSpeed.
+	Flate Codec = 1
+)
+
+// String implements fmt.Stringer.
+func (c Codec) String() string {
+	switch c {
+	case None:
+		return "none"
+	case Flate:
+		return "flate"
+	}
+	return fmt.Sprintf("codec(%d)", uint8(c))
+}
+
+// Frame flags.
+const (
+	// FlagDelta marks a frame whose payload is a page patch stream
+	// against a base image instead of a whole segment.
+	FlagDelta = 1 << 0
+)
+
+// codec bytes stored inside a frame. stored marks a payload kept
+// verbatim because compression did not help; the frame-level Codec a
+// shipper announces on the wire stays Flate.
+const (
+	codecStored = 0
+	codecFlate  = 1
+)
+
+// Frame layout.
+const (
+	frameMagic = 0x5343 // "SC"
+	// HeaderSize is the fixed frame header size.
+	HeaderSize = 16
+	// MaxOverhead bounds how much larger than the raw bytes a frame can
+	// be — stored-mode fallback caps the payload at rawLen — so staging
+	// buffers sized segment+MaxOverhead always fit a frame.
+	MaxOverhead = HeaderSize
+	// DefaultPageSize is the delta page size when a caller passes none;
+	// it matches the default B+-tree node size.
+	DefaultPageSize = 4096
+)
+
+// Errors reported by the codec. All decode failures are typed — a
+// corrupt or hostile frame must surface as an error, never a panic.
+var (
+	// ErrCorrupt marks a frame that fails structural validation or whose
+	// decoded bytes miss the frame's raw CRC (transport damage, or a
+	// delta applied over a mismatched base).
+	ErrCorrupt = errors.New("shipcodec: corrupt frame")
+	// ErrUnknownCodec marks a frame (or ship request) naming a codec this
+	// build does not implement.
+	ErrUnknownCodec = errors.New("shipcodec: unknown codec")
+	// ErrNeedBase marks a delta frame decoded without its base image.
+	ErrNeedBase = errors.New("shipcodec: delta frame needs base image")
+)
+
+// crcTable is the Castagnoli table, matching internal/integrity.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Header is the decoded frame header.
+type Header struct {
+	// Codec is the payload encoding (codecStored or codecFlate).
+	Codec uint8
+	// Flags carries FlagDelta.
+	Flags uint8
+	// RawLen is the decoded (original) byte count.
+	RawLen uint32
+	// PayloadLen is the encoded payload byte count following the header.
+	PayloadLen uint32
+	// RawCRC is the CRC-32C of the decoded bytes.
+	RawCRC uint32
+}
+
+// IsDelta reports whether the frame carries a patch stream.
+func (h Header) IsDelta() bool { return h.Flags&FlagDelta != 0 }
+
+// Peek decodes and validates a frame header without touching the
+// payload. frame may be longer than the frame itself (a staging buffer).
+func Peek(frame []byte) (Header, error) {
+	if len(frame) < HeaderSize {
+		return Header{}, fmt.Errorf("%w: %d-byte frame", ErrCorrupt, len(frame))
+	}
+	if binary.LittleEndian.Uint16(frame[0:2]) != frameMagic {
+		return Header{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	h := Header{
+		Codec:      frame[2],
+		Flags:      frame[3],
+		RawLen:     binary.LittleEndian.Uint32(frame[4:8]),
+		PayloadLen: binary.LittleEndian.Uint32(frame[8:12]),
+		RawCRC:     binary.LittleEndian.Uint32(frame[12:16]),
+	}
+	if h.Codec != codecStored && h.Codec != codecFlate {
+		return Header{}, fmt.Errorf("%w: %d", ErrUnknownCodec, h.Codec)
+	}
+	if int64(h.PayloadLen) > int64(len(frame))-HeaderSize {
+		return Header{}, fmt.Errorf("%w: payload %d exceeds frame", ErrCorrupt, h.PayloadLen)
+	}
+	return h, nil
+}
+
+// encodeFrame assembles header+payload, choosing stored mode when the
+// encoded payload is not smaller than the plain one.
+func encodeFrame(codec Codec, flags uint8, raw []byte, plain []byte) ([]byte, error) {
+	payload := plain
+	cbyte := uint8(codecStored)
+	if codec == Flate {
+		var buf bytes.Buffer
+		zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := zw.Write(plain); err != nil {
+			return nil, err
+		}
+		if err := zw.Close(); err != nil {
+			return nil, err
+		}
+		if buf.Len() < len(plain) {
+			payload = buf.Bytes()
+			cbyte = codecFlate
+		}
+	} else if codec != None {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownCodec, codec)
+	}
+	out := make([]byte, HeaderSize+len(payload))
+	binary.LittleEndian.PutUint16(out[0:2], frameMagic)
+	out[2] = cbyte
+	out[3] = flags
+	binary.LittleEndian.PutUint32(out[4:8], uint32(len(raw)))
+	binary.LittleEndian.PutUint32(out[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[12:16], crc32.Checksum(raw, crcTable))
+	copy(out[HeaderSize:], payload)
+	return out, nil
+}
+
+// Encode frames raw as a full (non-delta) segment image under codec.
+func Encode(codec Codec, raw []byte) ([]byte, error) {
+	return encodeFrame(codec, 0, raw, raw)
+}
+
+// EncodeDelta frames raw as a page patch stream against base. pageSize
+// defaults to DefaultPageSize when <= 0. The second return is false when
+// a delta would not be smaller than a full frame's payload (too little
+// in common with the base) — the caller should Encode a full frame
+// instead.
+func EncodeDelta(codec Codec, raw, base []byte, pageSize int) ([]byte, bool, error) {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	patch := diffPages(raw, base, pageSize)
+	if len(patch) >= len(raw) {
+		return nil, false, nil
+	}
+	frame, err := encodeFrame(codec, FlagDelta, raw, patch)
+	if err != nil {
+		return nil, false, err
+	}
+	return frame, true, nil
+}
+
+// diffPages builds the patch stream: for every pageSize-aligned page of
+// raw that differs from the same page of base (or lies past base's end),
+// append [pageIdx u32][pageLen u32][bytes]. The final page may be short.
+func diffPages(raw, base []byte, pageSize int) []byte {
+	var out []byte
+	var hdr [8]byte
+	for idx, off := 0, 0; off < len(raw); idx, off = idx+1, off+pageSize {
+		end := off + pageSize
+		if end > len(raw) {
+			end = len(raw)
+		}
+		page := raw[off:end]
+		if off < len(base) {
+			bend := off + len(page)
+			if bend <= len(base) && bytes.Equal(page, base[off:bend]) {
+				continue
+			}
+		}
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(idx))
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(page)))
+		out = append(out, hdr[:]...)
+		out = append(out, page...)
+	}
+	return out
+}
+
+// applyPatch reconstructs rawLen bytes from base plus the patch stream.
+// Pages not named in the patch are copied from base; a page the base
+// cannot supply must appear in the patch.
+func applyPatch(patch, base []byte, rawLen int, pageSize int) ([]byte, error) {
+	out := make([]byte, rawLen)
+	copy(out, base)
+	for len(patch) > 0 {
+		if len(patch) < 8 {
+			return nil, fmt.Errorf("%w: truncated patch entry", ErrCorrupt)
+		}
+		idx := int(binary.LittleEndian.Uint32(patch[0:4]))
+		plen := int(binary.LittleEndian.Uint32(patch[4:8]))
+		patch = patch[8:]
+		if plen < 0 || plen > len(patch) || plen > pageSize {
+			return nil, fmt.Errorf("%w: patch page of %d bytes", ErrCorrupt, plen)
+		}
+		off := idx * pageSize
+		if off < 0 || off+plen > rawLen {
+			return nil, fmt.Errorf("%w: patch page %d outside image", ErrCorrupt, idx)
+		}
+		copy(out[off:off+plen], patch[:plen])
+		patch = patch[plen:]
+	}
+	return out, nil
+}
+
+// Decode reverses Encode/EncodeDelta: it validates the frame, inflates
+// the payload, applies the patch over base for delta frames (base may be
+// nil otherwise), and verifies the decoded bytes against the frame's raw
+// CRC. pageSize must match the encoder's for delta frames (<= 0 selects
+// DefaultPageSize).
+func Decode(frame, base []byte, pageSize int) ([]byte, error) {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	h, err := Peek(frame)
+	if err != nil {
+		return nil, err
+	}
+	if h.IsDelta() && base == nil {
+		return nil, ErrNeedBase
+	}
+	payload := frame[HeaderSize : HeaderSize+int(h.PayloadLen)]
+	if h.Codec == codecFlate {
+		zr := flate.NewReader(bytes.NewReader(payload))
+		// A hostile rawLen cannot balloon the allocation: inflate output
+		// is bounded by rawLen+1 and over-long streams fail below.
+		limit := int64(h.RawLen) + int64(pageSize) + 16
+		inflated, err := io.ReadAll(io.LimitReader(zr, limit+1))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if int64(len(inflated)) > limit {
+			return nil, fmt.Errorf("%w: inflated payload exceeds declared size", ErrCorrupt)
+		}
+		payload = inflated
+	}
+	var raw []byte
+	if h.IsDelta() {
+		raw, err = applyPatch(payload, base, int(h.RawLen), pageSize)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if len(payload) != int(h.RawLen) {
+			return nil, fmt.Errorf("%w: payload %d bytes, declared %d", ErrCorrupt, len(payload), h.RawLen)
+		}
+		raw = payload
+	}
+	if crc32.Checksum(raw, crcTable) != h.RawCRC {
+		if h.IsDelta() {
+			return nil, fmt.Errorf("%w: decoded bytes miss raw CRC (base mismatch?)", ErrCorrupt)
+		}
+		return nil, fmt.Errorf("%w: decoded bytes miss raw CRC", ErrCorrupt)
+	}
+	return raw, nil
+}

@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// oldIndexSegmentEncode reproduces the pre-codec IndexSegment payload:
+// it stops after DataLen (no Codec/DeltaBase trailer).
+func oldIndexSegmentEncode(r IndexSegment) []byte {
+	var dst []byte
+	dst = appendU32(dst, uint32(r.RegionID))
+	dst = appendU64(dst, r.JobID)
+	dst = append(dst, r.DstLevel, r.Kind)
+	dst = appendU32(dst, r.PrimarySeg)
+	return appendU32(dst, r.DataLen)
+}
+
+// TestShipCodecFrameCompat pins the wire-compatibility argument for the
+// ship-codec payload fields (mirroring TestTraceIDFrameCompat): the new
+// fields ride at the END of each payload, so old-format payloads decode
+// with Codec 0 — raw, uncompressed bytes, the legacy behavior — and
+// new-format payloads differ from old ones only in trailing bytes an
+// old decoder never read.
+func TestShipCodecFrameCompat(t *testing.T) {
+	seg := IndexSegment{
+		RegionID:   3,
+		JobID:      77,
+		DstLevel:   2,
+		Kind:       1,
+		PrimarySeg: 12,
+		DataLen:    65536,
+	}
+
+	// Backward: an old (pre-codec) payload decodes with Codec 0 and
+	// DeltaBase 0 and every other field intact.
+	old := oldIndexSegmentEncode(seg)
+	got, err := DecodeIndexSegment(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != seg {
+		t.Fatalf("old payload decode = %+v, want %+v", got, seg)
+	}
+	if got.Codec != 0 || got.DeltaBase != 0 {
+		t.Fatalf("old payload decoded codec fields %d/%d, want 0/0", got.Codec, got.DeltaBase)
+	}
+
+	// Forward: a new payload is the old payload plus trailing bytes an
+	// old decoder never reads.
+	coded := seg
+	coded.Codec = 1
+	coded.DeltaBase = 9
+	enc := coded.Encode(nil)
+	if !bytes.Equal(enc[:len(old)], old) {
+		t.Fatalf("new payload prefix differs from old encoding")
+	}
+	got, err = DecodeIndexSegment(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != coded {
+		t.Fatalf("new payload decode = %+v, want %+v", got, coded)
+	}
+}
+
+func TestShipCodecRepairPayloadCompat(t *testing.T) {
+	ref := SegRef{Kind: 2, Level: 1, PrimarySeg: 5}
+
+	// FetchSegment: old payload = RegionID + SegRef.
+	oldFetch := appendSegRef(appendU32(nil, 4), ref)
+	gotFetch, err := DecodeFetchSegment(oldFetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFetch.Codec != 0 || gotFetch.Ref != ref {
+		t.Fatalf("old FetchSegment decode = %+v", gotFetch)
+	}
+	newFetch := FetchSegment{RegionID: 4, Ref: ref, Codec: 1}
+	if enc := newFetch.Encode(nil); !bytes.Equal(enc[:len(oldFetch)], oldFetch) {
+		t.Fatalf("FetchSegment prefix changed")
+	}
+
+	// FetchSegmentReply: old payload = found byte + data.
+	data := []byte("segment image")
+	oldReply := appendBytes([]byte{1}, data)
+	gotReply, err := DecodeFetchSegmentReply(oldReply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotReply.Codec != 0 || !gotReply.Found || !bytes.Equal(gotReply.Data, data) {
+		t.Fatalf("old FetchSegmentReply decode = %+v", gotReply)
+	}
+	newReply := FetchSegmentReply{Found: true, Data: data, Codec: 1}
+	if enc := newReply.Encode(nil); !bytes.Equal(enc[:len(oldReply)], oldReply) {
+		t.Fatalf("FetchSegmentReply prefix changed")
+	}
+
+	// RepairSegment: old payload ends at CRC.
+	oldRepair := appendU32(appendU32(appendSegRef(appendU32(nil, 4), ref), 123), 456)
+	gotRepair, err := DecodeRepairSegment(oldRepair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRepair.Codec != 0 || gotRepair.DataLen != 123 || gotRepair.CRC != 456 {
+		t.Fatalf("old RepairSegment decode = %+v", gotRepair)
+	}
+	newRepair := RepairSegment{RegionID: 4, Ref: ref, DataLen: 123, CRC: 456, Codec: 1}
+	if enc := newRepair.Encode(nil); !bytes.Equal(enc[:len(oldRepair)], oldRepair) {
+		t.Fatalf("RepairSegment prefix changed")
+	}
+}

@@ -311,6 +311,14 @@ func DecodeCompactionStart(p []byte) (CompactionStart, error) {
 // IndexSegment is the primary → backup metadata for one shipped index
 // segment (its data travels by one-sided RDMA write into the backup's
 // staging buffer). JobID matches the owning CompactionStart.
+//
+// Codec and DeltaBase ride at the end of the payload so pre-codec
+// frames (which stop after DataLen) still decode: missing trailing
+// fields read as zero, i.e. an uncompressed full image — the same
+// rolling-upgrade convention as the header's TraceID and Epoch fields.
+// A nonzero Codec means the staged bytes are a shipcodec frame; a
+// nonzero DeltaBase names the primary-space segment the frame was
+// diffed against (delta frames only — segment IDs start at 1).
 type IndexSegment struct {
 	RegionID   uint16
 	JobID      uint64
@@ -318,6 +326,8 @@ type IndexSegment struct {
 	Kind       uint8 // btree.SegKind
 	PrimarySeg uint32
 	DataLen    uint32
+	Codec      uint8  // shipcodec.Codec; 0 = raw bytes, no frame
+	DeltaBase  uint32 // primary seg the delta was diffed against; 0 = full
 }
 
 // Encode appends the payload to dst.
@@ -326,7 +336,9 @@ func (r IndexSegment) Encode(dst []byte) []byte {
 	dst = appendU64(dst, r.JobID)
 	dst = append(dst, r.DstLevel, r.Kind)
 	dst = appendU32(dst, r.PrimarySeg)
-	return appendU32(dst, r.DataLen)
+	dst = appendU32(dst, r.DataLen)
+	dst = append(dst, r.Codec)
+	return appendU32(dst, r.DeltaBase)
 }
 
 // DecodeIndexSegment parses an IndexSegment payload.
@@ -347,8 +359,16 @@ func DecodeIndexSegment(p []byte) (IndexSegment, error) {
 	if r.PrimarySeg, rest, err = readU32(rest); err != nil {
 		return IndexSegment{}, err
 	}
-	if r.DataLen, _, err = readU32(rest); err != nil {
+	if r.DataLen, rest, err = readU32(rest); err != nil {
 		return IndexSegment{}, err
+	}
+	// Optional codec fields: absent on pre-codec frames.
+	if len(rest) >= 1 {
+		r.Codec = rest[0]
+		rest = rest[1:]
+		if len(rest) >= 4 {
+			r.DeltaBase, _, _ = readU32(rest)
+		}
 	}
 	return r, nil
 }

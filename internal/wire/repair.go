@@ -101,12 +101,14 @@ func DecodeScrubReply(p []byte) (ScrubReply, error) {
 type FetchSegment struct {
 	RegionID uint16
 	Ref      SegRef
+	Codec    uint8 // shipcodec.Codec the requester can decode; 0 = raw
 }
 
 // Encode appends the payload to dst.
 func (r FetchSegment) Encode(dst []byte) []byte {
 	dst = appendU32(dst, uint32(r.RegionID))
-	return appendSegRef(dst, r.Ref)
+	dst = appendSegRef(dst, r.Ref)
+	return append(dst, r.Codec)
 }
 
 // DecodeFetchSegment parses a FetchSegment payload.
@@ -115,11 +117,16 @@ func DecodeFetchSegment(p []byte) (FetchSegment, error) {
 	if err != nil {
 		return FetchSegment{}, err
 	}
-	ref, _, err := readSegRef(rest)
+	ref, rest, err := readSegRef(rest)
 	if err != nil {
 		return FetchSegment{}, err
 	}
-	return FetchSegment{RegionID: uint16(rid), Ref: ref}, nil
+	out := FetchSegment{RegionID: uint16(rid), Ref: ref}
+	// Optional trailing codec byte: absent on pre-codec requesters.
+	if len(rest) >= 1 {
+		out.Codec = rest[0]
+	}
+	return out, nil
 }
 
 // FetchSegmentReply carries the requested segment payload (its used
@@ -128,6 +135,7 @@ func DecodeFetchSegment(p []byte) (FetchSegment, error) {
 type FetchSegmentReply struct {
 	Found bool
 	Data  []byte
+	Codec uint8 // shipcodec.Codec of Data; 0 = raw segment bytes
 }
 
 // Encode appends the payload to dst.
@@ -137,7 +145,8 @@ func (r FetchSegmentReply) Encode(dst []byte) []byte {
 		b = 1
 	}
 	dst = append(dst, b)
-	return appendBytes(dst, r.Data)
+	dst = appendBytes(dst, r.Data)
+	return append(dst, r.Codec)
 }
 
 // DecodeFetchSegmentReply parses a FetchSegmentReply payload.
@@ -146,11 +155,16 @@ func DecodeFetchSegmentReply(p []byte) (FetchSegmentReply, error) {
 		return FetchSegmentReply{}, ErrShortBuffer
 	}
 	found := p[0] == 1
-	data, _, err := readBytes(p[1:])
+	data, rest, err := readBytes(p[1:])
 	if err != nil {
 		return FetchSegmentReply{}, err
 	}
-	return FetchSegmentReply{Found: found, Data: data}, nil
+	out := FetchSegmentReply{Found: found, Data: data}
+	// Optional trailing codec byte: absent on pre-codec backups.
+	if len(rest) >= 1 {
+		out.Codec = rest[0]
+	}
+	return out, nil
 }
 
 // RepairSegment pushes a clean segment image to a backup whose copy is
@@ -162,7 +176,8 @@ type RepairSegment struct {
 	RegionID uint16
 	Ref      SegRef
 	DataLen  uint32
-	CRC      uint32
+	CRC      uint32 // CRC-32C over the staged (possibly framed) bytes
+	Codec    uint8  // shipcodec.Codec of the staged bytes; 0 = raw
 }
 
 // Encode appends the payload to dst.
@@ -170,7 +185,8 @@ func (r RepairSegment) Encode(dst []byte) []byte {
 	dst = appendU32(dst, uint32(r.RegionID))
 	dst = appendSegRef(dst, r.Ref)
 	dst = appendU32(dst, r.DataLen)
-	return appendU32(dst, r.CRC)
+	dst = appendU32(dst, r.CRC)
+	return append(dst, r.Codec)
 }
 
 // DecodeRepairSegment parses a RepairSegment payload.
@@ -187,8 +203,12 @@ func DecodeRepairSegment(p []byte) (RepairSegment, error) {
 	if r.DataLen, rest, err = readU32(rest); err != nil {
 		return RepairSegment{}, err
 	}
-	if r.CRC, _, err = readU32(rest); err != nil {
+	if r.CRC, rest, err = readU32(rest); err != nil {
 		return RepairSegment{}, err
+	}
+	// Optional trailing codec byte: absent on pre-codec primaries.
+	if len(rest) >= 1 {
+		r.Codec = rest[0]
 	}
 	return r, nil
 }

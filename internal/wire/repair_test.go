@@ -92,16 +92,26 @@ func TestRepairSegmentRoundTrip(t *testing.T) {
 }
 
 func TestRepairPayloadsTruncated(t *testing.T) {
+	// The trailing codec byte is optional (old-format compat), so only
+	// truncations inside the required prefix must error.
 	full := RepairSegment{RegionID: 1, Ref: SegRef{Kind: 1, PrimarySeg: 2}, DataLen: 3, CRC: 4}.Encode(nil)
-	for i := 0; i < len(full); i++ {
+	const repairRequired = 4 + 6 + 4 + 4 // RegionID + SegRef + DataLen + CRC
+	for i := 0; i < repairRequired; i++ {
 		if _, err := DecodeRepairSegment(full[:i]); err == nil {
 			t.Fatalf("truncated RepairSegment at %d decoded without error", i)
 		}
 	}
+	if got, err := DecodeRepairSegment(full[:repairRequired]); err != nil || got.Codec != 0 {
+		t.Fatalf("old-format RepairSegment = %+v, %v", got, err)
+	}
 	fullFetch := FetchSegment{RegionID: 1, Ref: SegRef{Kind: 2, PrimarySeg: 9}}.Encode(nil)
-	for i := 0; i < len(fullFetch); i++ {
+	const fetchRequired = 4 + 6 // RegionID + SegRef
+	for i := 0; i < fetchRequired; i++ {
 		if _, err := DecodeFetchSegment(fullFetch[:i]); err == nil {
 			t.Fatalf("truncated FetchSegment at %d decoded without error", i)
 		}
+	}
+	if got, err := DecodeFetchSegment(fullFetch[:fetchRequired]); err != nil || got.Codec != 0 {
+		t.Fatalf("old-format FetchSegment = %+v, %v", got, err)
 	}
 }

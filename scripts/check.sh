@@ -39,8 +39,15 @@ go run ./scripts/obssmoke
 echo "== crash smoke"
 make crash-smoke
 
+# ship-smoke re-runs the ship-codec suites by name under -race so a
+# gate log shows explicitly that codec/delta round trips, pre-codec
+# wire compatibility, the delta fallback protocol, and the compressed
+# cluster's scrub-verified byte convergence were exercised.
+echo "== ship smoke"
+make ship-smoke
+
 # figures-smoke runs the paper-figure harness at a tiny scale and
-# asserts it emits BENCH_figures.json plus the three per-figure CSVs,
+# asserts it emits BENCH_figures.json plus the per-figure CSVs,
 # each run carrying the >= 20 time-series samples the harness
 # guarantees.
 echo "== figures smoke"
@@ -48,7 +55,8 @@ figdir=$(mktemp -d)
 go run ./cmd/tebis-bench -experiment figures -records 3000 -ops 1500 -l0 256 \
     -figures-json "$figdir/BENCH_figures.json" -figures-csv-dir "$figdir" >/dev/null
 for f in BENCH_figures.json BENCH_fig6_throughput.csv \
-         BENCH_fig7_amplification.csv BENCH_fig8_latency.csv; do
+         BENCH_fig7_amplification.csv BENCH_fig8_latency.csv \
+         BENCH_fig10_netamp.csv; do
     if [ ! -s "$figdir/$f" ]; then
         echo "figures smoke: missing $f" >&2
         exit 1
@@ -57,6 +65,17 @@ done
 awk '/"samples":/ { v=$2; gsub(/[^0-9]/, "", v); if (v+0 < 20) {
         print "figures smoke: a run has " v " samples (< 20)" > "/dev/stderr"; exit 1 } }' \
     "$figdir/BENCH_figures.json"
+# Fig. 10 acceptance: with the ship codec on (the default), index
+# shipping may inflate replication network by at most 1.1x over log
+# replication alone.
+netamp=$(sed -n 's/.*"net_amp_ratio": \([0-9.eE+-]*\).*/\1/p' "$figdir/BENCH_figures.json")
+if [ -z "$netamp" ]; then
+    echo "figures smoke: no net_amp_ratio in report" >&2
+    exit 1
+fi
+awk -v r="$netamp" 'BEGIN { if (r + 0 > 1.1) {
+    print "figures smoke: net-amp ratio " r " exceeds the 1.1x budget" > "/dev/stderr"; exit 1 } }'
+echo "   fig10 net-amp ratio: ${netamp}x"
 rm -rf "$figdir"
 
 # The observability overhead gate: the instrumented hot path (registry
