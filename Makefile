@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race check stress fmt vet bench figures obs-smoke crash-smoke rebalance-smoke ship-smoke clean
+.PHONY: all build test race check stress fmt vet bench figures obs-smoke crash-smoke rebalance-smoke ship-smoke tail-smoke clean
 
 all: build
 
@@ -65,6 +65,14 @@ ship-smoke:
 	$(GO) test -race \
 		-run 'TestShip|TestCrashLeavesNoGoroutines' \
 		./internal/shipcodec ./internal/wire ./internal/replica ./internal/cluster
+
+# tail-smoke runs the two-tenant flash-burst tail experiment at quick
+# scale and gates on the ISSUE acceptance bars: zero lost acks,
+# observability overhead <= 5% of offered load, adaptive-admission
+# burst p99 <= 3x the pre-burst baseline, resolvable stage exemplars,
+# and a BENCH_fig11_tail.csv covering >= 3 scenarios and both tenants.
+tail-smoke:
+	sh scripts/tailsmoke.sh
 
 # rebalance-smoke runs the dynamic-region suites under the race
 # detector: online split/merge round trips, index-shipped live

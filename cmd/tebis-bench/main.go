@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	tebis-bench [-experiment all|table2,fig6,fig7a,fig7b,fig8,table3,fig9a,fig9b,fig10a,fig10b,sec55,compaction,observability,integrity,figures]
+//	tebis-bench [-experiment all|table2,fig6,fig7a,fig7b,fig8,table3,fig9a,fig9b,fig10a,fig10b,sec55,compaction,observability,integrity,figures,tail]
 //	            [-records N] [-ops N] [-l0 N] [-quick] [-compaction-json FILE]
 //	            [-observability-json FILE] [-integrity-json FILE]
 //	            [-figures-json FILE] [-figures-csv-dir DIR]
+//	            [-tail-json FILE] [-tail-csv-dir DIR]
 //
 // The figures experiment replays YCSB Load A / Run A / Run C against a
 // replicated Send-Index cluster with the metrics sampler on and writes
@@ -51,6 +52,10 @@ func main() {
 			"output path for the figures experiment's JSON report (empty = no file)")
 		figCSV = flag.String("figures-csv-dir", bench.FiguresCSVDir,
 			"directory for the figures experiment's per-figure CSVs (empty = no files)")
+		tailJSON = flag.String("tail-json", bench.TailJSONPath,
+			"output path for the tail experiment's JSON report (empty = no file)")
+		tailCSV = flag.String("tail-csv-dir", bench.TailCSVDir,
+			"directory for the tail experiment's BENCH_fig11_tail.csv (empty = no file)")
 	)
 	flag.Parse()
 	bench.CompactionJSONPath = *cmpJSON
@@ -58,6 +63,8 @@ func main() {
 	bench.IntegrityJSONPath = *intJSON
 	bench.FiguresJSONPath = *figJSON
 	bench.FiguresCSVDir = *figCSV
+	bench.TailJSONPath = *tailJSON
+	bench.TailCSVDir = *tailCSV
 
 	if *list {
 		for _, e := range bench.AllExperiments {

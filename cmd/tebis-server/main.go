@@ -11,10 +11,26 @@
 //
 //	tebis-server [-addr :7625] [-data /tmp/tebis.img] [-segment 2097152]
 //	             [-metrics 127.0.0.1:7626] [-replica] [-fsck]
+//	             [-workers 8] [-task-threshold 64] [-queue-depth 256]
+//	             [-admission] [-trace-sample 0.0078125]
 //
 // Every sealed segment is written with a CRC32C frame trailer; -fsck
 // re-verifies an existing image read-only and exits (cmd/tebis-fsck is
 // the standalone version with a -recover mode).
+//
+// Commands execute on a bounded worker pool with the same dispatch
+// discipline as the RDMA data plane (DESIGN.md §11): -workers worker
+// goroutines (default 8, the data plane's DefaultWorkers), each with a
+// -queue-depth task queue (default 4x the threshold, the data plane's
+// WorkerQueueDepth default), and a -task-threshold wake-up threshold
+// (default 64, DefaultTaskThreshold) beyond which dispatch spills to
+// the next worker. With -admission (default on), a signal-driven
+// controller watches queue wait, adapts the wake-up threshold, and
+// sheds mutations under overload ("ERR overloaded ..."; reads are never
+// refused); -admission=false pins the fixed knob. A -trace-sample
+// fraction of commands (default 1/128) is decomposed into
+// tebis_op_stage_seconds stage latencies with exemplar trace IDs
+// resolvable on /debug/trace.
 //
 // With -metrics, an HTTP endpoint serves Prometheus text exposition on
 // /metrics, sampled time-series history on /metrics/history, expvar on
@@ -41,6 +57,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"os"
 	"strconv"
@@ -48,6 +65,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tebis/internal/admission"
+	"tebis/internal/client"
 	"tebis/internal/fsck"
 	"tebis/internal/kv"
 	"tebis/internal/lsm"
@@ -56,6 +75,7 @@ import (
 	"tebis/internal/rdma"
 	"tebis/internal/region"
 	"tebis/internal/replica"
+	"tebis/internal/server"
 	"tebis/internal/shipcodec"
 	"tebis/internal/storage"
 )
@@ -80,6 +100,140 @@ func newEngineState(db *lsm.DB, dev storage.Device, cycles *metrics.Cycles) *eng
 	return st
 }
 
+// poolTenant labels this binary's single tenant in stage series and
+// admission counters (the line protocol carries no tenant field).
+const poolTenant = "t0"
+
+// poolTask is one command handed to the worker pool.
+type poolTask struct {
+	sentAt  time.Time
+	traceID uint64
+	run     func(rt *obs.ReqTrace, traceID uint64)
+	done    chan struct{}
+}
+
+// pool executes line-protocol commands on a bounded worker pool with
+// the data plane's dispatch discipline (DESIGN.md §11): per-worker task
+// queues, a wake-up threshold that spills work to the next worker when
+// a queue runs deep, an admission door that sheds mutations under
+// overload, and per-stage latency attribution for sampled commands.
+type pool struct {
+	workers   []chan poolTask
+	threshold int
+	ctrl      *admission.Controller
+	stages    *metrics.StageSet
+	tracer    *obs.Tracer
+	// sampleEvery is the command-sampling period (0 = sampling off).
+	sampleEvery uint64
+
+	next atomic.Int64
+	seq  atomic.Uint64
+}
+
+func newPool(workers, threshold, depth int, ctrl *admission.Controller,
+	stages *metrics.StageSet, tracer *obs.Tracer, sampleRate float64) *pool {
+	p := &pool{
+		workers:   make([]chan poolTask, workers),
+		threshold: threshold,
+		ctrl:      ctrl,
+		stages:    stages,
+		tracer:    tracer,
+	}
+	if sampleRate > 0 {
+		p.sampleEvery = uint64(math.Round(1 / sampleRate))
+	}
+	for i := range p.workers {
+		q := make(chan poolTask, depth)
+		p.workers[i] = q
+		go p.work(q)
+	}
+	return p
+}
+
+// work drains one worker queue. Every task's queue wait feeds the
+// admission controller's EWMA; sampled tasks additionally record the
+// dispatch stage and its span before running.
+func (p *pool) work(q chan poolTask) {
+	for t := range q {
+		start := time.Now()
+		wait := start.Sub(t.sentAt)
+		if wait < 0 {
+			wait = 0
+		}
+		p.ctrl.Observe(wait)
+		rt := p.tracer.Request(t.traceID)
+		if t.traceID != 0 {
+			p.stages.Record(metrics.StageDispatch, poolTenant, t.traceID, wait)
+			rt.Record(obs.Span{Cat: "request", Name: "dispatch",
+				Start: t.sentAt, Dur: wait})
+		}
+		t.run(rt, t.traceID)
+		close(t.done)
+	}
+}
+
+// do runs one command through the pool and waits for it. mutation
+// routes the command through the admission door first; a false return
+// means it was shed (nothing ran) and the caller should answer
+// overloaded. Reads are never refused, so clients can always audit what
+// was acked.
+func (p *pool) do(mutation bool, fn func(rt *obs.ReqTrace, traceID uint64)) bool {
+	if mutation {
+		switch d := p.ctrl.Admit(poolTenant, 0); d.Action {
+		case admission.Shed:
+			return false
+		case admission.Delay:
+			time.Sleep(d.Delay)
+		}
+	}
+	var traceID uint64
+	if p.sampleEvery > 0 {
+		if n := p.seq.Add(1); n%p.sampleEvery == 0 {
+			traceID = n
+		}
+	}
+	t := poolTask{sentAt: time.Now(), traceID: traceID,
+		run: fn, done: make(chan struct{})}
+	p.dispatch(t)
+	<-t.done
+	return true
+}
+
+// dispatch places a task on a worker queue, spilling past workers whose
+// queues exceed the wake-up threshold — the controller's adaptive value
+// when tightened below the configured one. When every queue is past the
+// threshold it blocks on one: the bounded queue is the backpressure.
+func (p *pool) dispatch(t poolTask) {
+	threshold := p.threshold
+	if adaptive := p.ctrl.Threshold(); adaptive > 0 && adaptive < threshold {
+		threshold = adaptive
+	}
+	next := int(p.next.Add(1))
+	for tries := 0; tries < len(p.workers); tries++ {
+		q := p.workers[(next+tries)%len(p.workers)]
+		if len(q) <= threshold {
+			select {
+			case q <- t:
+				return
+			default:
+			}
+		}
+	}
+	p.workers[next%len(p.workers)] <- t
+}
+
+// recordApply attributes one sampled mutation's engine time to the
+// apply stage (rt may be nil when no tracer is wired; the stage series
+// still collect).
+func (p *pool) recordApply(rt *obs.ReqTrace, traceID uint64, start time.Time) {
+	if traceID == 0 {
+		return
+	}
+	dur := time.Since(start)
+	rt.Record(obs.Span{Cat: "request", Name: "apply", Start: start, Dur: dur})
+	p.stages.Record(metrics.StageApply, poolTenant, traceID, dur)
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", ":7625", "listen address")
@@ -91,6 +245,11 @@ func main() {
 		withReplica = flag.Bool("replica", false, "attach an in-process Send-Index backup")
 		shipRaw     = flag.Bool("ship-uncompressed", false, "ship raw index segments (disable the DESIGN.md §10 wire codec)")
 		fsckMode    = flag.Bool("fsck", false, "verify the device image read-only and exit (see cmd/tebis-fsck)")
+		workers     = flag.Int("workers", server.DefaultWorkers, "worker pool size behind the line protocol")
+		taskThresh  = flag.Int("task-threshold", server.DefaultTaskThreshold, "worker wake-up threshold: tasks queued on a worker before dispatch spills to the next")
+		queueDepth  = flag.Int("queue-depth", 0, "per-worker task-queue capacity (0 = 4x task-threshold, the data-plane default)")
+		admissionOn = flag.Bool("admission", true, "signal-driven admission control: adapt the wake-up threshold to queue wait and shed mutations under overload (false = fixed knob)")
+		traceSample = flag.Float64("trace-sample", client.DefaultTraceSampleRate, "fraction of commands sampled into stage telemetry and /debug/trace")
 	)
 	flag.Parse()
 
@@ -207,8 +366,26 @@ func main() {
 
 	st := newEngineState(db, dev, &cycles)
 
+	// The bounded worker pool and admission door the serve loop routes
+	// commands through; the stage set only exists (and costs) with the
+	// observability stack on — both are nil-safe off that path.
+	if *queueDepth <= 0 {
+		*queueDepth = 4 * *taskThresh
+	}
+	ctrl := admission.New(admission.Config{
+		MaxThreshold: *taskThresh,
+		Disabled:     !*admissionOn,
+	})
+	var stages *metrics.StageSet
+	if reg != nil {
+		stages = metrics.NewStageSet()
+	}
+	pl := newPool(*workers, *taskThresh, *queueDepth, ctrl, stages, tracer, *traceSample)
+
 	if reg != nil {
 		labels := obs.Labels{"node": "primary"}
+		reg.RegisterStages(nil, stages)
+		ctrl.Register(reg, labels)
 		reg.RegisterDevice(labels, dev)
 		reg.RegisterCycles(labels, &cycles)
 		reg.RegisterCompaction(labels, &cstats)
@@ -257,8 +434,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("tebis-server listening on %s (device %s, segment %d B, replica=%v)",
-		ln.Addr(), *data, *segSize, *withReplica)
+	log.Printf("tebis-server listening on %s (device %s, segment %d B, replica=%v, workers=%d threshold=%d depth=%d admission=%v)",
+		ln.Addr(), *data, *segSize, *withReplica, *workers, *taskThresh, *queueDepth, *admissionOn)
 
 	for {
 		conn, err := ln.Accept()
@@ -266,11 +443,11 @@ func main() {
 			log.Printf("accept: %v", err)
 			continue
 		}
-		go serve(conn, st)
+		go serve(conn, st, pl)
 	}
 }
 
-func serve(conn net.Conn, st *engineState) {
+func serve(conn net.Conn, st *engineState, p *pool) {
 	db, dev, cycles := st.db, st.dev, st.cycles
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
@@ -296,12 +473,18 @@ func serve(conn net.Conn, st *engineState) {
 				fmt.Fprintln(w, "ERR bad escaping")
 				break
 			}
-			if err := db.Put(key, val); err != nil {
-				fmt.Fprintf(w, "ERR %v\n", err)
-				break
+			if !p.do(true, func(rt *obs.ReqTrace, traceID uint64) {
+				applyStart := time.Now()
+				if err := db.PutTraced(key, val, rt); err != nil {
+					fmt.Fprintf(w, "ERR %v\n", err)
+					return
+				}
+				p.recordApply(rt, traceID, applyStart)
+				st.dataset.Add(uint64(len(key) + len(val)))
+				fmt.Fprintln(w, "OK")
+			}) {
+				fmt.Fprintln(w, "ERR overloaded: shed by admission control, back off and retry")
 			}
-			st.dataset.Add(uint64(len(key) + len(val)))
-			fmt.Fprintln(w, "OK")
 		case "GET":
 			if len(fields) != 2 {
 				fmt.Fprintln(w, "ERR usage: GET <key>")
@@ -312,15 +495,17 @@ func serve(conn net.Conn, st *engineState) {
 				fmt.Fprintln(w, "ERR bad escaping")
 				break
 			}
-			v, found, err := db.Get(key)
-			switch {
-			case err != nil:
-				fmt.Fprintf(w, "ERR %v\n", err)
-			case !found:
-				fmt.Fprintln(w, "NOTFOUND")
-			default:
-				fmt.Fprintf(w, "VALUE %q\n", v)
-			}
+			p.do(false, func(rt *obs.ReqTrace, traceID uint64) {
+				v, found, err := db.Get(key)
+				switch {
+				case err != nil:
+					fmt.Fprintf(w, "ERR %v\n", err)
+				case !found:
+					fmt.Fprintln(w, "NOTFOUND")
+				default:
+					fmt.Fprintf(w, "VALUE %q\n", v)
+				}
+			})
 		case "DEL":
 			if len(fields) != 2 {
 				fmt.Fprintln(w, "ERR usage: DEL <key>")
@@ -331,11 +516,17 @@ func serve(conn net.Conn, st *engineState) {
 				fmt.Fprintln(w, "ERR bad escaping")
 				break
 			}
-			if err := db.Delete(key); err != nil {
-				fmt.Fprintf(w, "ERR %v\n", err)
-				break
+			if !p.do(true, func(rt *obs.ReqTrace, traceID uint64) {
+				applyStart := time.Now()
+				if err := db.DeleteTraced(key, rt); err != nil {
+					fmt.Fprintf(w, "ERR %v\n", err)
+					return
+				}
+				p.recordApply(rt, traceID, applyStart)
+				fmt.Fprintln(w, "OK")
+			}) {
+				fmt.Fprintln(w, "ERR overloaded: shed by admission control, back off and retry")
 			}
-			fmt.Fprintln(w, "OK")
 		case "SCAN":
 			if len(fields) != 3 {
 				fmt.Fprintln(w, "ERR usage: SCAN <start> <n>")
@@ -351,16 +542,18 @@ func serve(conn net.Conn, st *engineState) {
 				fmt.Fprintln(w, "ERR bad count")
 				break
 			}
-			err = db.Scan(startKey, func(p kv.Pair) bool {
-				fmt.Fprintf(w, "KV %q %q\n", p.Key, p.Value)
-				n--
-				return n > 0
+			p.do(false, func(rt *obs.ReqTrace, traceID uint64) {
+				err := db.Scan(startKey, func(pr kv.Pair) bool {
+					fmt.Fprintf(w, "KV %q %q\n", pr.Key, pr.Value)
+					n--
+					return n > 0
+				})
+				if err != nil {
+					fmt.Fprintf(w, "ERR %v\n", err)
+					return
+				}
+				fmt.Fprintln(w, "END")
 			})
-			if err != nil {
-				fmt.Fprintf(w, "ERR %v\n", err)
-				break
-			}
-			fmt.Fprintln(w, "END")
 		case "STATS":
 			devStats := dev.Stats()
 			out, _ := json.Marshal(map[string]any{

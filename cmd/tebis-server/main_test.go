@@ -6,14 +6,17 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
 
+	"tebis/internal/admission"
 	"tebis/internal/lsm"
 	"tebis/internal/metrics"
 	"tebis/internal/storage"
 )
 
-// startPipeServer wires the serve loop to an in-memory connection.
-func startPipeServer(t *testing.T) (net.Conn, *lsm.DB) {
+// startPipeServerWith wires the serve loop to an in-memory connection
+// using the given worker pool.
+func startPipeServerWith(t *testing.T, pl *pool) (net.Conn, *lsm.DB) {
 	t.Helper()
 	dev, err := storage.NewMemDevice(64<<10, 0)
 	if err != nil {
@@ -25,13 +28,20 @@ func startPipeServer(t *testing.T) (net.Conn, *lsm.DB) {
 		t.Fatal(err)
 	}
 	client, server := net.Pipe()
-	go serve(server, newEngineState(db, dev, &cycles))
+	go serve(server, newEngineState(db, dev, &cycles), pl)
 	t.Cleanup(func() {
 		client.Close()
 		db.Close()
 		dev.Close()
 	})
 	return client, db
+}
+
+// startPipeServer is startPipeServerWith on a sample-everything pool
+// with no admission control.
+func startPipeServer(t *testing.T) (net.Conn, *lsm.DB) {
+	t.Helper()
+	return startPipeServerWith(t, newPool(2, 4, 16, nil, metrics.NewStageSet(), nil, 1))
 }
 
 // roundTripLines sends one line and reads n reply lines.
@@ -117,5 +127,62 @@ func TestServeErrors(t *testing.T) {
 	fmt.Fprintln(conn, "QUIT")
 	if _, err := r.ReadString('\n'); err == nil {
 		t.Fatal("connection still open after QUIT")
+	}
+}
+
+// TestServeStageAttribution: a sample-everything pool decomposes
+// commands into dispatch and apply stage records under the binary's
+// single tenant.
+func TestServeStageAttribution(t *testing.T) {
+	stages := metrics.NewStageSet()
+	pl := newPool(2, 4, 16, nil, stages, nil, 1)
+	conn, _ := startPipeServerWith(t, pl)
+	r := bufio.NewReader(conn)
+	for i := 0; i < 4; i++ {
+		line := fmt.Sprintf("PUT key%d val%d", i, i)
+		if got := roundTripLines(t, conn, r, line, 1)[0]; got != "OK" {
+			t.Fatalf("PUT -> %q", got)
+		}
+	}
+	seen := map[string]uint64{}
+	for _, snap := range stages.Snapshot() {
+		if snap.Tenant != poolTenant {
+			t.Fatalf("stage %s under tenant %q, want %q", snap.Stage, snap.Tenant, poolTenant)
+		}
+		seen[snap.Stage] = snap.Count
+	}
+	if seen[metrics.StageDispatch] != 4 || seen[metrics.StageApply] != 4 {
+		t.Fatalf("stage counts = %v, want 4 dispatch and 4 apply", seen)
+	}
+}
+
+// TestServeAdmissionShedsMutations: with the controller escalated to
+// shedding, mutations answer overloaded while reads still serve.
+func TestServeAdmissionShedsMutations(t *testing.T) {
+	ctrl := admission.New(admission.Config{
+		MaxThreshold: 1, HighWater: time.Nanosecond, Window: 1,
+	})
+	pl := newPool(2, 4, 16, ctrl, metrics.NewStageSet(), nil, 1)
+	conn, _ := startPipeServerWith(t, pl)
+	r := bufio.NewReader(conn)
+	if got := roundTripLines(t, conn, r, "PUT survivor val", 1)[0]; got != "OK" {
+		t.Fatalf("PUT -> %q", got)
+	}
+	// Drive the state machine to shed: threshold is already at its
+	// floor, so two high-wait windows escalate normal -> delay -> shed.
+	ctrl.Observe(time.Millisecond)
+	ctrl.Observe(time.Millisecond)
+	if st := ctrl.State(); st != admission.StateShed {
+		t.Fatalf("controller state = %v, want shed", st)
+	}
+	got := roundTripLines(t, conn, r, "PUT blocked val", 1)[0]
+	if !strings.Contains(got, "overloaded") {
+		t.Fatalf("shed PUT -> %q, want overloaded error", got)
+	}
+	if got := roundTripLines(t, conn, r, "GET survivor", 1)[0]; got != `VALUE "val"` {
+		t.Fatalf("GET under shed -> %q, want the acked value (reads are never refused)", got)
+	}
+	if n := ctrl.Snapshot().Shed[poolTenant]; n != 1 {
+		t.Fatalf("shed counter = %d, want 1", n)
 	}
 }

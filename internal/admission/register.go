@@ -1,0 +1,51 @@
+package admission
+
+import (
+	"fmt"
+
+	"tebis/internal/obs"
+)
+
+// Register exposes the controller as the tebis_admission_* families.
+// Per-tenant shed/delay counters are dynamic (tenants appear on first
+// admission action), so they render through FamilyFunc like the
+// per-region families.
+func (c *Controller) Register(reg *obs.Registry, labels obs.Labels) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.GaugeFunc("tebis_admission_state",
+		"Admission-control state: 0 normal, 1 delaying, 2 shedding lowest-priority load.",
+		labels, func() float64 { return float64(c.State()) })
+	reg.GaugeFunc("tebis_admission_threshold",
+		"Current adaptive worker wake-up threshold (tasks queued per worker before spilling to the next).",
+		labels, func() float64 { return float64(c.Threshold()) })
+	reg.GaugeFunc("tebis_admission_queue_wait_seconds",
+		"Smoothed sampled worker-queue wait driving admission decisions.",
+		labels, func() float64 { return c.Snapshot().WaitEWMA.Seconds() })
+	reg.CounterFunc("tebis_admission_threshold_adjustments_total",
+		"Adaptive threshold adjustments, by direction.",
+		labels.Clone(obs.Labels{"direction": "tighten"}),
+		func() float64 { return float64(c.Snapshot().Tightens) })
+	reg.CounterFunc("tebis_admission_threshold_adjustments_total", "",
+		labels.Clone(obs.Labels{"direction": "relax"}),
+		func() float64 { return float64(c.Snapshot().Relaxes) })
+	reg.FamilyFunc("tebis_admission_delayed_total",
+		"Tasks paced by admission control, by tenant.", "counter", labels,
+		func() map[string]float64 {
+			out := make(map[string]float64)
+			for tenant, n := range c.Snapshot().Delayed {
+				out[fmt.Sprintf(`tenant=%q`, tenant)] = float64(n)
+			}
+			return out
+		})
+	reg.FamilyFunc("tebis_admission_shed_total",
+		"Tasks rejected by admission control, by tenant.", "counter", labels,
+		func() map[string]float64 {
+			out := make(map[string]float64)
+			for tenant, n := range c.Snapshot().Shed {
+				out[fmt.Sprintf(`tenant=%q`, tenant)] = float64(n)
+			}
+			return out
+		})
+}

@@ -60,13 +60,20 @@ const (
 	// BENCH_figures.json plus per-figure CSV time series shaped like the
 	// paper's Fig. 6-8 (DESIGN.md §8).
 	ExpFigures Experiment = "figures"
+	// ExpTail is not a paper artifact: it drives adversarial multi-tenant
+	// traffic (uniform, zipfian, diurnal ramp, flash burst) through a
+	// replicated cluster with tracing at an elevated sample rate and
+	// emits per-stage/per-tenant tail attribution plus the fixed-knob
+	// versus adaptive-admission burst comparison — BENCH_fig11_tail.csv
+	// and BENCH_tail.json (DESIGN.md §11).
+	ExpTail Experiment = "tail"
 )
 
 // AllExperiments lists every reproducible artifact in paper order.
 var AllExperiments = []Experiment{
 	ExpTable2, ExpFig6, ExpFig7a, ExpFig7b, ExpFig8, ExpTable3,
 	ExpFig9a, ExpFig9b, ExpFig10a, ExpFig10b, ExpSec55, ExpCompaction,
-	ExpObservability, ExpIntegrity, ExpFigures,
+	ExpObservability, ExpIntegrity, ExpFigures, ExpTail,
 }
 
 // twoWaySetups are the Figure 6/7 configurations.
@@ -109,6 +116,8 @@ func RunExperiment(exp Experiment, sc Scale, w io.Writer) error {
 		return runIntegrity(sc, w)
 	case ExpFigures:
 		return runFigures(sc, w)
+	case ExpTail:
+		return runTail(sc, w)
 	}
 	return fmt.Errorf("bench: unknown experiment %q", exp)
 }

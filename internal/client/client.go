@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"tebis/internal/kv"
+	"tebis/internal/metrics"
 	"tebis/internal/obs"
 	"tebis/internal/rdma"
 	"tebis/internal/region"
@@ -51,6 +52,18 @@ type Config struct {
 	// round(1/rate)-th op), so low rates still trace steadily under
 	// load.
 	TraceSampleRate float64
+	// Tenant identifies this client's tenant in every request header,
+	// for per-tenant latency attribution and admission control
+	// (DESIGN.md §11). 0 is the default tenant.
+	Tenant uint8
+	// Priority is the admission-control class stamped on requests.
+	// Class 0 (the default) is the one the server delays or sheds
+	// first under overload; higher classes are never shed.
+	Priority uint8
+	// Stages receives client-side stage samples (the client_queue
+	// stage: time an op waits for ring/reply-slot space before hitting
+	// the wire) for sampled ops; nil disables stage recording.
+	Stages *metrics.StageSet
 }
 
 // DefaultTraceSampleRate traces ~1 in 128 operations — frequent enough
@@ -80,8 +93,12 @@ type Client struct {
 
 	// refreshMu single-flights region-map refreshes: concurrent stale
 	// ops coalesce onto one master fetch instead of a thundering herd.
-	refreshMu    sync.Mutex
-	staleRetries atomic.Uint64
+	refreshMu       sync.Mutex
+	staleRetries    atomic.Uint64
+	overloadRetries atomic.Uint64
+
+	// tenantLabel is the pre-rendered metrics label for cfg.Tenant.
+	tenantLabel string
 
 	// Request tracing (nil trace / sampleEvery 0 = off). opCtr drives
 	// the deterministic head-based sampling decision; traceBase spreads
@@ -118,6 +135,7 @@ func New(cfg Config) (*Client, error) {
 		conns: map[string]*serverConn{},
 	}
 	c.replySlot.Store(int64(cfg.ReplySlot))
+	c.tenantLabel = fmt.Sprintf("t%d", cfg.Tenant)
 	if cfg.Trace != nil {
 		rate := cfg.TraceSampleRate
 		if rate == 0 {
@@ -207,6 +225,12 @@ func (c *Client) route(key []byte) (routeInfo, error) {
 // on this client.
 func (c *Client) StaleRetries() uint64 {
 	return c.staleRetries.Load()
+}
+
+// OverloadRetries returns how many ops were backed off and retried
+// after the server shed them under admission control.
+func (c *Client) OverloadRetries() uint64 {
+	return c.overloadRetries.Load()
 }
 
 // refreshMap re-reads the region map after a wrong-region reply.
@@ -309,6 +333,13 @@ func (sc *serverConn) sendNoop(e *extent) error {
 // header so every server-side hop records spans under it.
 func (sc *serverConn) call(op wire.Op, regionID region.ID, epoch uint32, payload []byte, replySize int, traceID uint64) (wire.Header, []byte, error) {
 	total := wire.MessageSize(len(payload))
+	// The client_queue stage: everything a sampled op waits on before
+	// its bytes hit the wire — reply-slot allocation, ring space, and
+	// any wrap-filling NOOP round trips.
+	var queueStart time.Time
+	if traceID != 0 {
+		queueStart = time.Now()
+	}
 	// Allocate the reply slot before the request extent: the server
 	// consumes requests in ring order, so a request written to the ring
 	// must never wait on resources freed by later replies.
@@ -332,12 +363,25 @@ func (sc *serverConn) call(op wire.Op, regionID region.ID, epoch uint32, payload
 		ReplyOffset: uint32(replyOff),
 		ReplySize:   uint32(replySize),
 		TraceID:     traceID,
+		Tenant:      sc.c.cfg.Tenant,
+		Priority:    sc.c.cfg.Priority,
 	}
+	// Stamped after slot/ring allocation: the dispatch stage the server
+	// derives from SentAt starts where client_queue ends. Every request
+	// carries it, not just sampled ones, because SentAt is also the
+	// admission controller's queue-wait signal — a flash burst has to
+	// move the controller's EWMA within a few milliseconds, far faster
+	// than the trace sampler surfaces observations.
+	hdr.SentAt = time.Now().UnixNano()
 	msg := make([]byte, total)
 	if _, err := wire.EncodeMessage(msg, hdr, payload); err != nil {
 		sc.replyFL.free(replyOff, replySize)
 		sc.reqRing.free(e)
 		return wire.Header{}, nil, err
+	}
+	if !queueStart.IsZero() {
+		sc.c.cfg.Stages.Record(metrics.StageClientQueue, sc.c.tenantLabel,
+			traceID, time.Since(queueStart))
 	}
 	if err := sc.reqQP.Write(sc.reqRKey, e.off, msg, hdr.RequestID); err != nil {
 		sc.replyFL.free(replyOff, replySize)
@@ -438,6 +482,7 @@ func (c *Client) do(key []byte, op wire.Op, payload []byte, replySize int) (wire
 		Cat:       "request",
 		Name:      op.String(),
 		Req:       traceID,
+		Tenant:    c.tenantLabel,
 		Region:    uint16(rid),
 		HasRegion: true,
 		Bytes:     int64(len(payload)),
@@ -466,6 +511,15 @@ func (c *Client) doAttempts(key []byte, op wire.Op, payload []byte, replySize in
 				continue
 			}
 			return wire.Header{}, nil, rid, err
+		}
+		if h.Flags&wire.FlagOverload != 0 && attempt < maxAttempts {
+			// Admission control shed the request (DESIGN.md §11): nothing
+			// was applied. Back off — doubling with each rejection so a
+			// shedding server's flash crowd parks instead of hammering
+			// the door — and retry.
+			c.overloadRetries.Add(1)
+			time.Sleep(time.Duration(1<<attempt) * time.Millisecond)
+			continue
 		}
 		if h.Flags&wire.FlagWrongRegion != 0 && attempt < maxAttempts {
 			// Stale map — plain wrong-region or the epoch refinement

@@ -7,8 +7,10 @@ package cluster
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"tebis/internal/admission"
 	"tebis/internal/client"
 	"tebis/internal/lsm"
 	"tebis/internal/master"
@@ -40,6 +42,17 @@ type Config struct {
 	// Workers and SpinThreads size each server (paper: 8 and 2).
 	Workers     int
 	SpinThreads int
+	// TaskThreshold is each server's per-worker wake-up threshold
+	// (server.DefaultTaskThreshold if zero).
+	TaskThreshold int
+	// Admission enables signal-driven admission control on every server
+	// (DESIGN.md §11); nil keeps the fixed-knob dispatch threshold.
+	Admission *admission.Config
+	// Stages aggregates per-stage, per-tenant latency of sampled
+	// requests across every server and client built here into one set
+	// (created on demand) — the data the tail-attribution figures and
+	// tebis_op_stage_* families read.
+	Stages *metrics.StageSet
 	// Cost is the cycle cost model (default if zero).
 	Cost metrics.CostModel
 	// MasterCandidates is the number of master candidates (≥1).
@@ -80,6 +93,9 @@ func (c *Config) applyDefaults() {
 	if c.Cost == (metrics.CostModel{}) {
 		c.Cost = metrics.DefaultCostModel()
 	}
+	if c.Stages == nil {
+		c.Stages = metrics.NewStageSet()
+	}
 }
 
 // Node bundles one region server with its device and liveness session.
@@ -104,7 +120,7 @@ type Cluster struct {
 	masterSessions []*zklite.Session
 	leader         *master.Master
 	rmap           *region.Map
-	clientSeq      int
+	clientSeq      atomic.Int64
 	runErr         chan error
 }
 
@@ -148,19 +164,22 @@ func New(cfg Config) (*Cluster, error) {
 		cycles := &metrics.Cycles{}
 		failures := &metrics.FailureStats{}
 		srv, err := server.New(server.Config{
-			Name:        name,
-			Device:      dev,
-			Endpoint:    rdma.NewEndpoint(name),
-			Cycles:      cycles,
-			Cost:        cfg.Cost,
-			LSM:         cfg.LSM,
-			Workers:     cfg.Workers,
-			SpinThreads: cfg.SpinThreads,
-			Retry:       cfg.Retry,
-			Failures:    failures,
-			Trace:       cfg.Trace,
-			ShipCodec:   shipCodec,
-			ShipDelta:   !cfg.ShipUncompressed,
+			Name:          name,
+			Device:        dev,
+			Endpoint:      rdma.NewEndpoint(name),
+			Cycles:        cycles,
+			Cost:          cfg.Cost,
+			LSM:           cfg.LSM,
+			Workers:       cfg.Workers,
+			SpinThreads:   cfg.SpinThreads,
+			TaskThreshold: cfg.TaskThreshold,
+			Retry:         cfg.Retry,
+			Failures:      failures,
+			Trace:         cfg.Trace,
+			Stages:        cfg.Stages,
+			Admission:     cfg.Admission,
+			ShipCodec:     shipCodec,
+			ShipDelta:     !cfg.ShipUncompressed,
 		})
 		if err != nil {
 			return nil, err
@@ -219,8 +238,16 @@ func (c *Cluster) Map() (*region.Map, error) {
 	return region.Decode(data)
 }
 
-// NewClient connects a client to every live server.
+// NewClient connects a client to every live server (tenant 0 at the
+// lowest admission priority).
 func (c *Cluster) NewClient() (*client.Client, error) {
+	return c.NewTenantClient(0, 0)
+}
+
+// NewTenantClient is NewClient with an explicit tenant ID and admission
+// priority stamped on every request the client issues — the handle a
+// multi-tenant workload drives one tenant's traffic through.
+func (c *Cluster) NewTenantClient(tenant, priority uint8) (*client.Client, error) {
 	rmap, err := c.Map()
 	if err != nil {
 		return nil, err
@@ -232,16 +259,22 @@ func (c *Cluster) NewClient() (*client.Client, error) {
 		}
 		servers[name] = n.Server
 	}
-	c.clientSeq++
 	return client.New(client.Config{
-		Name:            fmt.Sprintf("client%d", c.clientSeq),
+		Name:            fmt.Sprintf("client%d", c.clientSeq.Add(1)),
 		Servers:         servers,
 		Map:             rmap,
 		Refresh:         c.Map,
 		Trace:           c.cfg.Trace,
 		TraceSampleRate: c.cfg.TraceSampleRate,
+		Tenant:          tenant,
+		Priority:        priority,
+		Stages:          c.cfg.Stages,
 	})
 }
+
+// Stages returns the cluster-wide stage-latency aggregator shared by
+// every server and client built here.
+func (c *Cluster) Stages() *metrics.StageSet { return c.cfg.Stages }
 
 // Crash kills a server: its threads stop, its replication connections
 // drop, and its liveness node disappears, triggering the master's

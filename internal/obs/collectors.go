@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"fmt"
 	"math"
+	"strconv"
 
 	"tebis/internal/metrics"
 	"tebis/internal/storage"
@@ -243,6 +245,77 @@ func (r *Registry) RegisterTracer(labels Labels, tr *Tracer) {
 	r.GaugeFunc("tebis_trace_bytes",
 		"Approximate resident bytes of the buffered trace spans.", labels,
 		func() float64 { return float64(tr.Bytes()) })
+}
+
+// stageQuantileLabels pre-renders metrics.StageQuantiles the way
+// SummaryQuantiles does, index-aligned with StageSnapshot.Percentiles.
+var stageQuantileLabels = []string{"0.5", "0.9", "0.99", "0.999"}
+
+// RegisterStages exposes a StageSet as the tail-attribution families
+// (DESIGN.md §11):
+//
+//   - tebis_op_stage_seconds{stage,tenant,quantile} — per-stage latency
+//     quantiles of the sampled request pipeline;
+//   - tebis_op_stage_samples_total{stage,tenant} — samples behind them;
+//   - tebis_op_stage_exemplar_seconds{stage,tenant,le,trace_id} — the
+//     retained worst offenders, one per coarse latency bucket; feed the
+//     trace_id to /debug/trace to see that exact request's fan-out.
+//
+// Children are dynamic (stage×tenant pairs appear with traffic), so the
+// families re-enumerate through FamilyFunc on every scrape.
+func (r *Registry) RegisterStages(labels Labels, s *metrics.StageSet) {
+	if r == nil || s == nil {
+		return
+	}
+	tenantLabel := func(t string) string {
+		if t == "" {
+			return "default"
+		}
+		return t
+	}
+	r.FamilyFunc("tebis_op_stage_seconds",
+		"Per-stage latency quantiles of sampled requests (client queue, dispatch, apply, ship, ack).",
+		"summary", labels, func() map[string]float64 {
+			out := make(map[string]float64)
+			for _, snap := range s.Snapshot() {
+				for i, p := range snap.Percentiles {
+					if i >= len(stageQuantileLabels) {
+						break
+					}
+					k := fmt.Sprintf(`stage=%q,tenant=%q,quantile=%q`,
+						snap.Stage, tenantLabel(snap.Tenant), stageQuantileLabels[i])
+					out[k] = p.Seconds()
+				}
+			}
+			return out
+		})
+	r.FamilyFunc("tebis_op_stage_samples_total",
+		"Sampled stage durations recorded per stage and tenant.",
+		"counter", labels, func() map[string]float64 {
+			out := make(map[string]float64)
+			for _, snap := range s.Snapshot() {
+				k := fmt.Sprintf(`stage=%q,tenant=%q`, snap.Stage, tenantLabel(snap.Tenant))
+				out[k] = float64(snap.Count)
+			}
+			return out
+		})
+	r.FamilyFunc("tebis_op_stage_exemplar_seconds",
+		"Recent worst-offender stage durations; trace_id resolves on /debug/trace.",
+		"gauge", labels, func() map[string]float64 {
+			out := make(map[string]float64)
+			for _, snap := range s.Snapshot() {
+				for _, ex := range snap.Exemplars {
+					le := "+Inf"
+					if ex.Le > 0 {
+						le = strconv.FormatFloat(ex.Le.Seconds(), 'g', -1, 64)
+					}
+					k := fmt.Sprintf(`stage=%q,tenant=%q,le=%q,trace_id="%d"`,
+						snap.Stage, tenantLabel(snap.Tenant), le, ex.TraceID)
+					out[k] = ex.Dur.Seconds()
+				}
+			}
+			return out
+		})
 }
 
 // RegisterOpLatency exposes one op kind's latency histogram as a

@@ -25,9 +25,15 @@ func (t *Tracer) Handler() http.Handler {
 	})
 }
 
-// Handler serves the sampler's buffered time series as JSON.
+// Handler serves the sampler's buffered time series as JSON, or as CSV
+// rows (`series,t_ms,v`) with ?format=csv.
 func (s *Sampler) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r != nil && r.URL.Query().Get("format") == "csv" {
+			w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+			_ = s.WriteCSV(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = s.WriteJSON(w)
 	})
@@ -51,7 +57,7 @@ func (p *Profiler) Handler() http.Handler {
 // muxIndex lists the mounted endpoints, served at exactly "/".
 const muxIndex = `tebis observability endpoints:
   /metrics            Prometheus text exposition
-  /metrics/history    sampled time series (JSON)
+  /metrics/history    sampled time series (JSON; ?format=csv for series,t_ms,v rows)
   /debug/trace        Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev)
   /debug/vars         expvar JSON
   /debug/profiler     captured profile log (JSON)

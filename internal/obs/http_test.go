@@ -70,6 +70,18 @@ func TestMuxEndpoints(t *testing.T) {
 		t.Fatalf("/metrics/history: ticks=%d series=%d", hist.Ticks, len(hist.Series))
 	}
 
+	code, body = get(t, mux, "/metrics/history?format=csv")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics/history?format=csv: code=%d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if lines[0] != "series,t_ms,v" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if len(lines) < 2 || !strings.Contains(body, "tebis_test_total") {
+		t.Fatalf("csv missing sampled series:\n%s", body)
+	}
+
 	code, body = get(t, mux, "/debug/pprof/")
 	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Fatalf("/debug/pprof/: code=%d", code)
@@ -114,6 +126,10 @@ func TestMuxNilComponents(t *testing.T) {
 	}
 	if err := json.Unmarshal([]byte(body), &doc); err != nil {
 		t.Fatalf("nil sampler history is not JSON: %v", err)
+	}
+	code, body = get(t, mux, "/metrics/history?format=csv")
+	if code != http.StatusOK || !strings.HasPrefix(body, "series,t_ms,v") {
+		t.Fatalf("nil sampler csv: code=%d body=%q", code, body)
 	}
 	code, body = get(t, mux, "/debug/profiler")
 	if code != http.StatusOK {

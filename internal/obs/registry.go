@@ -34,6 +34,10 @@ import (
 // Labels is one instrument's label set (e.g. {"node": "s0"}).
 type Labels map[string]string
 
+// Clone copies ls with extra pairs merged in — the exported form for
+// collectors living outside obs.
+func (ls Labels) Clone(extra Labels) Labels { return ls.clone(extra) }
+
 // clone copies ls with extra pairs merged in.
 func (ls Labels) clone(extra Labels) Labels {
 	out := make(Labels, len(ls)+len(extra))

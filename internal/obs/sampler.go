@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -230,6 +232,39 @@ func (s *Sampler) History() map[string][]Point {
 		out[name] = sr.snapshot()
 	}
 	return out
+}
+
+// WriteCSV renders the buffered history as CSV with one row per sample
+// (`series,t_ms,v`), series sorted by name and points in time order —
+// the shape scenario figures want when pulled straight from
+// /metrics/history?format=csv without the bench harness.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "t_ms", "v"}); err != nil {
+		return err
+	}
+	if s != nil {
+		hist := s.History()
+		names := make([]string, 0, len(hist))
+		for name := range hist {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			for _, p := range hist[name] {
+				err := cw.Write([]string{
+					name,
+					strconv.FormatFloat(float64(p.T)/float64(time.Millisecond), 'f', 3, 64),
+					strconv.FormatFloat(p.V, 'g', -1, 64),
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // historyJSON is the /metrics/history document: per-series parallel

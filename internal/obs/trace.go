@@ -30,6 +30,10 @@ type Span struct {
 	Req uint64
 	// Backup names the destination backup for ship/rewrite/ack spans.
 	Backup string
+	// Tenant names the request's tenant for sampled request spans
+	// ("" when the request carried no tenant or the span is not
+	// request-scoped).
+	Tenant string
 	// Region is the region the span's work addressed (server dispatch,
 	// primary apply, client op). HasRegion distinguishes region 0 from
 	// "not region-scoped" — compaction stage spans, for example.
@@ -50,7 +54,7 @@ const spanFixedBytes = 112
 // payloads. Span strings are usually shared constants, so this
 // overcounts — the budget errs toward dropping early, never OOM.
 func (s *Span) bytes() int {
-	return spanFixedBytes + len(s.Node) + len(s.Cat) + len(s.Name) + len(s.Backup)
+	return spanFixedBytes + len(s.Node) + len(s.Cat) + len(s.Name) + len(s.Backup) + len(s.Tenant)
 }
 
 // ring is the bounded span buffer shared by all node-scoped views of
@@ -237,8 +241,9 @@ func (t *Tracer) Reset() {
 // Tracer.Request. A nil *ReqTrace records nothing, so unsampled
 // requests pay only a nil check.
 type ReqTrace struct {
-	t  *Tracer
-	id uint64
+	t      *Tracer
+	id     uint64
+	tenant string
 }
 
 // Request returns a span context for trace id on t. Nil-safe: a nil
@@ -259,12 +264,34 @@ func (rt *ReqTrace) ID() uint64 {
 	return rt.id
 }
 
-// Record stamps s with the request's trace ID and records it.
+// SetTenant binds the request's tenant so downstream hops (apply,
+// ship, ack) attribute their spans without re-reading the wire header.
+// Call it once, before handing rt to other code paths. Nil-safe.
+func (rt *ReqTrace) SetTenant(tenant string) {
+	if rt == nil {
+		return
+	}
+	rt.tenant = tenant
+}
+
+// Tenant returns the bound tenant, or "" for a nil rt.
+func (rt *ReqTrace) Tenant() string {
+	if rt == nil {
+		return ""
+	}
+	return rt.tenant
+}
+
+// Record stamps s with the request's trace ID (and tenant, unless the
+// span set its own) and records it.
 func (rt *ReqTrace) Record(s Span) {
 	if rt == nil {
 		return
 	}
 	s.Req = rt.id
+	if s.Tenant == "" {
+		s.Tenant = rt.tenant
+	}
 	rt.t.Record(s)
 }
 
@@ -342,6 +369,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		}
 		if s.Backup != "" {
 			args["backup"] = s.Backup
+		}
+		if s.Tenant != "" {
+			args["tenant"] = s.Tenant
 		}
 		if s.Bytes != 0 {
 			args["bytes"] = s.Bytes

@@ -108,6 +108,9 @@ type PrimaryConfig struct {
 	// Trace records per-backup ship spans keyed by compaction job ID
 	// (optional).
 	Trace *obs.Tracer
+	// Stages aggregates the ship/ack stage latency of sampled requests
+	// per tenant (optional; DESIGN.md §11).
+	Stages *metrics.StageSet
 }
 
 // backupHandle is the primary's view of one attached backup.
@@ -418,14 +421,18 @@ func (p *Primary) writeWithRetryTraced(h *backupHandle, rkey uint32, off int, da
 			lastErr = err
 			continue
 		}
-		rt.Record(obs.Span{
-			Node:   p.cfg.ServerName,
-			Cat:    "request",
-			Name:   "ack",
-			Backup: h.backup.cfg.ServerName,
-			Start:  ackStart,
-			Dur:    time.Since(ackStart),
-		})
+		if rt != nil {
+			ackDur := time.Since(ackStart)
+			rt.Record(obs.Span{
+				Node:   p.cfg.ServerName,
+				Cat:    "request",
+				Name:   "ack",
+				Backup: h.backup.cfg.ServerName,
+				Start:  ackStart,
+				Dur:    ackDur,
+			})
+			p.cfg.Stages.Record(metrics.StageAck, rt.Tenant(), rt.ID(), ackDur)
+		}
 		return nil
 	}
 	return fmt.Errorf("replica: backup %s write unacknowledged after %d attempts: %w",
@@ -529,15 +536,19 @@ func (p *Primary) OnAppend(res vlog.AppendResult, rt *obs.ReqTrace) {
 			p.evict(h, err)
 			continue
 		}
-		rt.Record(obs.Span{
-			Node:   p.cfg.ServerName,
-			Cat:    "request",
-			Name:   "ship",
-			Backup: h.backup.cfg.ServerName,
-			Bytes:  int64(len(res.Rec)),
-			Start:  shipStart,
-			Dur:    time.Since(shipStart),
-		})
+		if rt != nil {
+			shipDur := time.Since(shipStart)
+			rt.Record(obs.Span{
+				Node:   p.cfg.ServerName,
+				Cat:    "request",
+				Name:   "ship",
+				Backup: h.backup.cfg.ServerName,
+				Bytes:  int64(len(res.Rec)),
+				Start:  shipStart,
+				Dur:    shipDur,
+			})
+			p.cfg.Stages.Record(metrics.StageShip, rt.Tenant(), rt.ID(), shipDur)
+		}
 		p.charge(metrics.CompLogReplication, p.cfg.Cost.RDMAWrite(len(res.Rec)))
 	}
 }

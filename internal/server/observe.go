@@ -28,6 +28,12 @@ func (s *Server) Observe(reg *obs.Registry) {
 	for _, op := range opKinds {
 		reg.RegisterOpLatency(labels, op, s.opLat[op])
 	}
+	// Like the span ring, the stage set may be shared cluster-wide
+	// (cluster.Config.Stages), so it registers unlabeled: stage and
+	// tenant labels carry the attribution and co-registered servers
+	// dedupe onto one family set.
+	reg.RegisterStages(nil, s.cfg.Stages)
+	s.ctrl.Register(reg, labels)
 	// The span ring is shared by every node view, so its occupancy and
 	// drop counters register unlabeled: all servers dedupe onto one
 	// ring-global series.

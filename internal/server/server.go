@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tebis/internal/admission"
 	"tebis/internal/lsm"
 	"tebis/internal/metrics"
 	"tebis/internal/obs"
@@ -84,6 +85,17 @@ type Config struct {
 	// Trace records compaction pipeline spans for every hosted region,
 	// stamped with this server's name; may be nil.
 	Trace *obs.Tracer
+	// Stages aggregates per-stage, per-tenant latency of sampled
+	// requests (created on demand when nil); Observe exposes it as the
+	// tebis_op_stage_* families (DESIGN.md §11).
+	Stages *metrics.StageSet
+	// Admission enables signal-driven admission control over the worker
+	// pool (DESIGN.md §11): the controller watches the sampled
+	// worker-queue wait, adapts the wake-up threshold below
+	// TaskThreshold, and under sustained overload delays then sheds
+	// priority-0 load. Nil keeps the fixed-knob behavior unchanged; a
+	// zero MaxThreshold inherits TaskThreshold.
+	Admission *admission.Config
 }
 
 func (c *Config) applyDefaults() {
@@ -113,6 +125,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Ship == nil {
 		c.Ship = &metrics.ShipStats{}
+	}
+	if c.Stages == nil {
+		c.Stages = metrics.NewStageSet()
 	}
 	if c.LSM.CompactionStats == nil {
 		// Share one sink across all hosted regions so Observe exposes a
@@ -154,6 +169,9 @@ type hostedRegion struct {
 type Server struct {
 	cfg   Config
 	trace *obs.Tracer // node-stamped view of cfg.Trace
+	// ctrl closes the queue-wait feedback loop when cfg.Admission is
+	// set; nil means fixed-knob dispatch (nil-safe everywhere).
+	ctrl *admission.Controller
 
 	// Per-op service latency (Figure 8) and the user bytes ingested —
 	// the denominator of the amplification gauges.
@@ -210,6 +228,13 @@ func New(cfg Config) (*Server, error) {
 	for _, op := range opKinds {
 		s.opLat[op] = metrics.NewHistogram()
 	}
+	if cfg.Admission != nil {
+		ac := *cfg.Admission
+		if ac.MaxThreshold == 0 {
+			ac.MaxThreshold = cfg.TaskThreshold
+		}
+		s.ctrl = admission.New(ac)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := newWorker(s, i)
 		s.workers = append(s.workers, w)
@@ -237,6 +262,13 @@ func (s *Server) Cycles() *metrics.Cycles { return s.cfg.Cycles }
 
 // Failures returns the node's failure metrics.
 func (s *Server) Failures() *metrics.FailureStats { return s.cfg.Failures }
+
+// Stages returns the per-stage, per-tenant latency aggregator.
+func (s *Server) Stages() *metrics.StageSet { return s.cfg.Stages }
+
+// Admission returns the admission controller, or nil when the server
+// runs with the fixed-knob dispatch threshold.
+func (s *Server) Admission() *admission.Controller { return s.ctrl }
 
 func (s *Server) charge(c metrics.Component, n uint64) {
 	if s.cfg.Cycles != nil {
@@ -281,6 +313,7 @@ func (s *Server) OpenPrimary(r region.Region, mode replica.Mode) (*replica.Prima
 		Retry:        s.cfg.Retry,
 		Failures:     s.cfg.Failures,
 		Trace:        s.trace,
+		Stages:       s.cfg.Stages,
 	})
 	opt := s.lsmOptions()
 	if mode != replica.NoReplication {
@@ -361,6 +394,7 @@ func (s *Server) PromoteToPrimary(id region.ID) (*replica.Primary, error) {
 		Retry:        s.cfg.Retry,
 		Failures:     s.cfg.Failures,
 		Trace:        s.trace,
+		Stages:       s.cfg.Stages,
 	})
 	p.SetDB(db)
 	db.SetListener(p)

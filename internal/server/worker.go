@@ -43,10 +43,33 @@ func (w *worker) process(t task) {
 	// span covers detection-to-worker-pickup: the queue wait a loaded
 	// server adds before any engine work starts.
 	rt := w.s.trace.Request(t.hdr.TraceID)
-	if rt != nil && !t.recvAt.IsZero() {
-		rt.Record(obs.Span{Cat: "request", Name: "dispatch",
-			Region: t.hdr.RegionID, HasRegion: true,
-			Start: t.recvAt, Dur: start.Sub(t.recvAt)})
+	// The dispatch stage is everything between the client handing the
+	// request to the wire and a worker starting on it: ring + wire
+	// transfer, spinning-thread detection, and worker-queue wait. SentAt
+	// (stamped by same-process clients) bounds the whole window;
+	// detection time alone (recvAt) is the fallback for old encoders —
+	// the attribution harness showed detection latency, not worker-queue
+	// wait, is where dispatch tails hide. Every request feeds the
+	// admission controller's queue-wait EWMA (a burst must register in
+	// milliseconds); only sampled ones pay for span and stage records.
+	waitStart := t.recvAt
+	if t.hdr.SentAt != 0 {
+		waitStart = time.Unix(0, t.hdr.SentAt)
+	}
+	if !waitStart.IsZero() {
+		wait := start.Sub(waitStart)
+		if wait < 0 {
+			wait = 0
+		}
+		w.s.ctrl.Observe(wait)
+		if rt != nil {
+			tenant := tenantLabel(t.hdr.Tenant)
+			rt.SetTenant(tenant)
+			rt.Record(obs.Span{Cat: "request", Name: "dispatch",
+				Region: t.hdr.RegionID, HasRegion: true,
+				Start: waitStart, Dur: wait})
+			w.s.cfg.Stages.Record(metrics.StageDispatch, tenant, t.hdr.TraceID, wait)
+		}
 	}
 	switch t.hdr.Opcode {
 	case wire.OpNoop:
@@ -128,9 +151,11 @@ func (w *worker) doPut(t task, del bool, rt *obs.ReqTrace) (wire.Op, uint8, []by
 		err = db.PutTraced(req.Key, req.Value, rt)
 	}
 	if rt != nil {
+		applyDur := time.Since(applyStart)
 		rt.Record(obs.Span{Cat: "request", Name: "apply", Bytes: int64(len(req.Key) + len(req.Value)),
 			Region: t.hdr.RegionID, HasRegion: true,
-			Start: applyStart, Dur: time.Since(applyStart)})
+			Start: applyStart, Dur: applyDur})
+		w.s.cfg.Stages.Record(metrics.StageApply, rt.Tenant(), t.hdr.TraceID, applyDur)
 	}
 	if err != nil {
 		return okOp, wire.FlagError, []byte(err.Error())

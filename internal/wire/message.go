@@ -110,6 +110,10 @@ const (
 	// together with FlagWrongRegion so old clients fall back to the same
 	// refresh path.
 	FlagWrongEpoch = 1 << 3
+	// FlagOverload marks a reply shed by admission control (DESIGN.md
+	// §11): the server refused the request under overload, nothing was
+	// applied, and the client should back off before retrying.
+	FlagOverload = 1 << 4
 )
 
 // Header is the decoded fixed-size message header.
@@ -143,6 +147,26 @@ type Header struct {
 	// TraceID it lives in previously reserved-as-zero bytes; epoch 0
 	// means "unchecked" (old encoders), preserving compatibility.
 	Epoch uint32
+	// Tenant identifies the requesting tenant for per-tenant latency
+	// attribution and admission control (DESIGN.md §11). One
+	// previously reserved-as-zero byte: old encoders produce tenant 0
+	// (the default tenant), old decoders ignore it — compatible by
+	// construction like TraceID and Epoch.
+	Tenant uint8
+	// SentAt is the client's send wall-clock in Unix nanoseconds,
+	// stamped on sampled requests only (SentAt 0 = unstamped). The
+	// worker subtracts it from its pickup time to attribute the whole
+	// pre-service wait — ring, wire, spinning-thread detection, and
+	// worker queue — to the dispatch stage, and to feed the admission
+	// controller's queue-wait signal (DESIGN.md §11). Meaningful only
+	// within one process (shared clock); zero by construction for old
+	// encoders.
+	SentAt int64
+	// Priority is the request's admission-control class. 0 (the old
+	// encoders' implicit value) is the lowest class — the one admission
+	// control delays or sheds first under overload; higher classes are
+	// never shed.
+	Priority uint8
 }
 
 // Errors reported by the codec.
@@ -190,6 +214,9 @@ func EncodeHeader(buf []byte, h Header) error {
 	binary.LittleEndian.PutUint32(buf[20:24], h.ReplySize)
 	binary.LittleEndian.PutUint64(buf[24:32], h.TraceID)
 	binary.LittleEndian.PutUint32(buf[32:36], h.Epoch)
+	buf[36] = h.Tenant
+	buf[37] = h.Priority
+	binary.LittleEndian.PutUint64(buf[40:48], uint64(h.SentAt))
 	binary.LittleEndian.PutUint32(buf[HeaderSize-4:HeaderSize], Magic)
 	return nil
 }
@@ -213,6 +240,9 @@ func DecodeHeader(buf []byte) (Header, error) {
 		ReplySize:   binary.LittleEndian.Uint32(buf[20:24]),
 		TraceID:     binary.LittleEndian.Uint64(buf[24:32]),
 		Epoch:       binary.LittleEndian.Uint32(buf[32:36]),
+		Tenant:      buf[36],
+		Priority:    buf[37],
+		SentAt:      int64(binary.LittleEndian.Uint64(buf[40:48])),
 	}
 	if h.Opcode == OpInvalid {
 		return Header{}, ErrBadHeader

@@ -424,3 +424,63 @@ func TestHeaderEpochRoundTrip(t *testing.T) {
 		t.Fatalf("zero epoch decoded as %d", got2.Epoch)
 	}
 }
+
+// TestTenantPriorityFrameCompat pins the wire-compatibility argument
+// for the tenant and priority header bytes: they live at [36] and [37],
+// bytes the old format left zero, so old frames decode as tenant 0 /
+// priority 0 (the default tenant in the lowest admission class) and new
+// frames differ from old ones only in bytes an old decoder never read.
+func TestTenantPriorityFrameCompat(t *testing.T) {
+	h := Header{
+		PayloadSize: 300,
+		Opcode:      OpPut,
+		RegionID:    4,
+		RequestID:   0xcafe,
+		TraceID:     0x42,
+		Epoch:       9,
+	}
+
+	// Backward: an old frame (tenant/priority bytes zero) decodes with
+	// the defaults and every other field intact.
+	old := make([]byte, HeaderSize)
+	if err := EncodeHeader(old, h); err != nil {
+		t.Fatal(err)
+	}
+	old[36], old[37] = 0, 0 // what a pre-tenant encoder wrote
+	got, err := DecodeHeader(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tenant != 0 || got.Priority != 0 {
+		t.Fatalf("old frame decoded tenant/priority %d/%d, want 0/0", got.Tenant, got.Priority)
+	}
+	if got != h {
+		t.Fatalf("old frame decode = %+v, want %+v", got, h)
+	}
+
+	// Forward: a tenant-stamped frame differs from the old encoding only
+	// at bytes 36 and 37, which an old decoder never reads.
+	stamped := h
+	stamped.Tenant = 3
+	stamped.Priority = 1
+	neu := make([]byte, HeaderSize)
+	if err := EncodeHeader(neu, stamped); err != nil {
+		t.Fatal(err)
+	}
+	for i := range neu {
+		if i == 36 || i == 37 {
+			continue
+		}
+		if neu[i] != old[i] {
+			t.Fatalf("stamped frame differs from old frame at byte %d (%#x vs %#x)",
+				i, neu[i], old[i])
+		}
+	}
+	got, err = DecodeHeader(neu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != stamped {
+		t.Fatalf("stamped decode = %+v, want %+v", got, stamped)
+	}
+}

@@ -37,7 +37,17 @@ func zeta(n uint64, theta float64) float64 {
 
 // NewZipfian builds a generator over n items with the default skew.
 func NewZipfian(n uint64) *Zipfian {
-	theta := ZipfianConstant
+	return NewZipfianTheta(n, ZipfianConstant)
+}
+
+// NewZipfianTheta builds a generator over n items with an explicit skew
+// exponent — the adversarial-traffic harness dials hot-key
+// concentration with it (theta <= 0 selects ZipfianConstant; valid
+// range is (0, 1)).
+func NewZipfianTheta(n uint64, theta float64) *Zipfian {
+	if theta <= 0 || theta >= 1 {
+		theta = ZipfianConstant
+	}
 	z := &Zipfian{
 		items: n,
 		theta: theta,
@@ -73,6 +83,12 @@ type ScrambledZipfian struct {
 // NewScrambledZipfian builds a scrambled generator over n items.
 func NewScrambledZipfian(n uint64) *ScrambledZipfian {
 	return &ScrambledZipfian{z: NewZipfian(n), items: n}
+}
+
+// NewScrambledZipfianTheta is NewScrambledZipfian with an explicit skew
+// exponent (see NewZipfianTheta).
+func NewScrambledZipfianTheta(n uint64, theta float64) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfianTheta(n, theta), items: n}
 }
 
 // Next draws one item number in 0..n-1.

@@ -96,6 +96,13 @@ awk -v o="$overhead" 'BEGIN { if (o + 0 > 5) {
 echo "   offered-load overhead: ${overhead}%"
 rm -rf "$obsdir"
 
+# tail-smoke runs the two-tenant flash-burst tail experiment and gates
+# on zero lost acks, <= 5% observability overhead, the adaptive
+# admission controller holding the victim's burst p99 within 3x its
+# pre-burst baseline, and resolvable stage exemplars (DESIGN.md §11).
+echo "== tail smoke"
+make tail-smoke
+
 # rebalance-smoke re-runs the dynamic-region suites by name under -race
 # so a gate log shows explicitly that online split/merge, index-shipped
 # live migration, failover mid-reconfiguration, and the skewed-load

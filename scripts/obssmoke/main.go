@@ -5,12 +5,13 @@
 //
 //   - /metrics serves Prometheus text exposition with every required
 //     family (compaction stages, failure state, op latency quantiles,
-//     I/O and network amplification);
+//     I/O and network amplification, per-stage tail attribution, and
+//     the admission-control state machine);
 //   - /debug/trace exports Chrome trace-event JSON containing the full
 //     paper pipeline: merge, build, ship, and rewrite spans;
 //   - /debug/vars serves valid expvar JSON;
 //   - /metrics/history serves sampled time-series JSON with non-zero
-//     ticks;
+//     ticks, and `series,t_ms,v` rows with ?format=csv;
 //   - /debug/pprof/ serves the profile index and unknown paths 404.
 //
 // It exits 0 on success and 1 with a diagnostic on any failure.
@@ -44,6 +45,15 @@ var requiredFamilies = []string{
 	"tebis_net_tx_bytes_total",
 	"tebis_trace_dropped_spans_total",
 	"tebis_trace_spans",
+	// Tail attribution (DESIGN.md §11): stage quantiles with exemplars,
+	// fed by the serve loop's command sampling, plus the signal-driven
+	// admission controller's state machine.
+	"tebis_op_stage_seconds",
+	"tebis_op_stage_samples_total",
+	"tebis_admission_state",
+	"tebis_admission_threshold",
+	"tebis_admission_queue_wait_seconds",
+	"tebis_admission_threshold_adjustments_total",
 }
 
 var requiredSpans = []string{"merge", "build", "ship", "rewrite"}
@@ -222,6 +232,12 @@ func metricsComplete(body string) error {
 			return fmt.Errorf("family %s missing", fam)
 		}
 	}
+	// The serve loop samples commands into the stage set, so after 1500
+	// puts at the default 1/128 rate the dispatch series must have
+	// children, not just a family header.
+	if !strings.Contains(body, `tebis_op_stage_seconds{stage="dispatch"`) {
+		return fmt.Errorf("tebis_op_stage_seconds has no dispatch children")
+	}
 	// At least one compaction must have completed end to end.
 	for _, line := range strings.Split(body, "\n") {
 		if strings.HasPrefix(line, "tebis_compaction_jobs_total") &&
@@ -283,13 +299,34 @@ func checkHistory(addr string) error {
 			if doc.Ticks > 0 && len(doc.Series) > 0 {
 				fmt.Printf("obs-smoke: /metrics/history buffered %d series over %d ticks\n",
 					len(doc.Series), doc.Ticks)
-				return nil
+				return checkHistoryCSV(addr)
 			}
 			lastErr = fmt.Errorf("history empty: ticks=%d series=%d", doc.Ticks, len(doc.Series))
 		}
 		time.Sleep(250 * time.Millisecond)
 	}
 	return fmt.Errorf("/metrics/history never filled: %w", lastErr)
+}
+
+// checkHistoryCSV asserts the ?format=csv export serves the same
+// buffer as `series,t_ms,v` rows.
+func checkHistoryCSV(addr string) error {
+	body, err := get(addr, "/metrics/history?format=csv")
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) < 2 || lines[0] != "series,t_ms,v" {
+		return fmt.Errorf("/metrics/history?format=csv: want a series,t_ms,v header plus rows, got %d lines (first %q)",
+			len(lines), lines[0])
+	}
+	for _, line := range lines[1:min(len(lines), 3)] {
+		if len(strings.SplitN(line, ",", 3)) != 3 {
+			return fmt.Errorf("/metrics/history?format=csv: malformed row %q", line)
+		}
+	}
+	fmt.Printf("obs-smoke: /metrics/history?format=csv exports %d rows\n", len(lines)-1)
+	return nil
 }
 
 // checkMuxPaths asserts the pprof index is mounted and unknown paths
