@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race check stress fmt vet bench figures obs-smoke crash-smoke rebalance-smoke ship-smoke tail-smoke clean
+.PHONY: all build test race check stress fmt vet bench figures obs-smoke crash-smoke rebalance-smoke ship-smoke tail-smoke gc-smoke clean
 
 all: build
 
@@ -73,6 +73,16 @@ ship-smoke:
 # and a BENCH_fig11_tail.csv covering >= 3 scenarios and both tenants.
 tail-smoke:
 	sh scripts/tailsmoke.sh
+
+# gc-smoke runs the online value-log GC suites under the race detector:
+# victim selection and the space ledger, crash/torn-seal injection at
+# every GC phase, concurrent-writer relocation, recycled-segment read
+# guards, Trim/Replay boundary properties, replica release propagation,
+# and the Promote-after-GC ErrTrimmed fallback.
+gc-smoke:
+	$(GO) test -race \
+		-run 'TestGCOnce|TestGCLog|TestVlogSpace|TestTrimReplay|TestGetFreedOffset|TestReleaseTail|TestSyncPromoteAfterGC|TestSpace' \
+		./internal/lsm ./internal/vlog ./internal/replica ./internal/fsck
 
 # rebalance-smoke runs the dynamic-region suites under the race
 # detector: online split/merge round trips, index-shipped live

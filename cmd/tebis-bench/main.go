@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	tebis-bench [-experiment all|table2,fig6,fig7a,fig7b,fig8,table3,fig9a,fig9b,fig10a,fig10b,sec55,compaction,observability,integrity,figures,tail]
+//	tebis-bench [-experiment all|table2,fig6,fig7a,fig7b,fig8,table3,fig9a,fig9b,fig10a,fig10b,sec55,compaction,observability,integrity,figures,tail,gc]
 //	            [-records N] [-ops N] [-l0 N] [-quick] [-compaction-json FILE]
 //	            [-observability-json FILE] [-integrity-json FILE]
 //	            [-figures-json FILE] [-figures-csv-dir DIR]
 //	            [-tail-json FILE] [-tail-csv-dir DIR]
+//	            [-gc-json FILE] [-gc-csv-dir DIR]
 //
 // The figures experiment replays YCSB Load A / Run A / Run C against a
 // replicated Send-Index cluster with the metrics sampler on and writes
@@ -56,6 +57,10 @@ func main() {
 			"output path for the tail experiment's JSON report (empty = no file)")
 		tailCSV = flag.String("tail-csv-dir", bench.TailCSVDir,
 			"directory for the tail experiment's BENCH_fig11_tail.csv (empty = no file)")
+		gcJSON = flag.String("gc-json", bench.GCJSONPath,
+			"output path for the gc experiment's JSON report (empty = no file)")
+		gcCSV = flag.String("gc-csv-dir", bench.GCCSVDir,
+			"directory for the gc experiment's BENCH_fig12_space.csv (empty = no file)")
 	)
 	flag.Parse()
 	bench.CompactionJSONPath = *cmpJSON
@@ -65,6 +70,8 @@ func main() {
 	bench.FiguresCSVDir = *figCSV
 	bench.TailJSONPath = *tailJSON
 	bench.TailCSVDir = *tailCSV
+	bench.GCJSONPath = *gcJSON
+	bench.GCCSVDir = *gcCSV
 
 	if *list {
 		for _, e := range bench.AllExperiments {

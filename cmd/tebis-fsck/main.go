@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tebis-fsck [-segment 2097152] [-recover] [-q] /path/to/tebis.img
+//	tebis-fsck [-segment 2097152] [-recover] [-space] [-q] /path/to/tebis.img
 //
 // The default pass is read-only: every framed segment is re-verified
 // against its stored CRC32C trailer and failures are listed; the image
@@ -30,12 +30,28 @@ func main() {
 	var (
 		segSize = flag.Int64("segment", 2<<20, "segment size the image was written with")
 		recover = flag.Bool("recover", false, "run crash recovery (truncates torn tail; mutates the image)")
+		space   = flag.Bool("space", false, "print a read-only value-log space report (per-segment live/dead bytes) and exit")
 		quiet   = flag.Bool("q", false, "suppress per-segment progress")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tebis-fsck [-segment N] [-recover] [-q] <image>")
+		fmt.Fprintln(os.Stderr, "usage: tebis-fsck [-segment N] [-recover] [-space] [-q] <image>")
 		os.Exit(2)
+	}
+
+	if *space {
+		rep, err := fsck.Space(fsck.Options{Path: flag.Arg(0), SegmentSize: *segSize})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tebis-fsck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, s := range rep.Segments {
+			fmt.Printf("segment %d (seq %d): %d B used, %d B live, %d B dead (%.0f%%)\n",
+				s.Seg, s.Seq, s.Total, s.Live, s.Dead, 100*s.DeadRatio())
+		}
+		fmt.Printf("log head %#x tail %#x: %d live keys, %d B live, %d B dead across %d segments\n",
+			uint64(rep.Head), uint64(rep.Tail), rep.Keys, rep.Live, rep.Dead, len(rep.Segments))
+		return
 	}
 
 	var logw io.Writer = os.Stdout

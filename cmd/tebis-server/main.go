@@ -250,6 +250,10 @@ func main() {
 		queueDepth  = flag.Int("queue-depth", 0, "per-worker task-queue capacity (0 = 4x task-threshold, the data-plane default)")
 		admissionOn = flag.Bool("admission", true, "signal-driven admission control: adapt the wake-up threshold to queue wait and shed mutations under overload (false = fixed knob)")
 		traceSample = flag.Float64("trace-sample", client.DefaultTraceSampleRate, "fraction of commands sampled into stage telemetry and /debug/trace")
+		gcOn        = flag.Bool("gc", false, "online value-log garbage collection: relocate live records out of mostly-dead segments and free them (DESIGN.md §12)")
+		gcRatio     = flag.Float64("gc-dead-ratio", 0, "dead-byte fraction past which a sealed segment becomes a GC victim (0 = engine default 0.5)")
+		gcMaxSegs   = flag.Int("gc-max-segments", 0, "victim segments per GC pass (0 = engine default 4)")
+		gcInterval  = flag.Duration("gc-interval", server.DefaultGCInterval, "pause between background GC passes")
 	)
 	flag.Parse()
 
@@ -382,6 +386,27 @@ func main() {
 	}
 	pl := newPool(*workers, *taskThresh, *queueDepth, ctrl, stages, tracer, *traceSample)
 
+	// Online value-log GC (DESIGN.md §12): a background worker relocates
+	// live records out of mostly-dead segments and frees them, paced by
+	// the admission controller so foreground load always wins.
+	gcStats := &metrics.GCStats{}
+	if *gcOn {
+		go func() {
+			t := time.NewTicker(*gcInterval)
+			defer t.Stop()
+			for range t.C {
+				if _, err := db.GCOnce(lsm.GCPolicy{
+					MinDeadRatio: *gcRatio,
+					MaxSegments:  *gcMaxSegs,
+					Pacer:        ctrl,
+					Stats:        gcStats,
+				}); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
 	if reg != nil {
 		labels := obs.Labels{"node": "primary"}
 		reg.RegisterStages(nil, stages)
@@ -391,6 +416,8 @@ func main() {
 		reg.RegisterCompaction(labels, &cstats)
 		reg.RegisterFailure(labels, &failures)
 		reg.RegisterShip(labels, shipStats)
+		reg.RegisterVlogSpace(labels, db.Log().SpaceReport)
+		reg.RegisterGC(labels, gcStats)
 		for op, h := range st.opLat {
 			reg.RegisterOpLatency(labels, op, h)
 		}

@@ -278,3 +278,18 @@ func (c *Controller) Snapshot() Snapshot {
 func (c *Controller) Enabled() bool {
 	return c != nil && !c.cfg.Disabled
 }
+
+// GCAllowed reports whether background value-log GC may run right now
+// (DESIGN.md §12). GC is the lowest-priority work in the system, so any
+// sign of load pressure pauses it: an escalated state (delay/shed) or a
+// tightened wake-up threshold both mean foreground latency already
+// suffers and GC must yield. Nil or disabled controllers never pace.
+func (c *Controller) GCAllowed() bool {
+	if c == nil || c.cfg.Disabled {
+		return true
+	}
+	if State(c.state.Load()) != StateNormal {
+		return false
+	}
+	return int(c.threshold.Load()) >= c.cfg.MaxThreshold
+}

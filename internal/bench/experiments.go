@@ -67,13 +67,18 @@ const (
 	// versus adaptive-admission burst comparison — BENCH_fig11_tail.csv
 	// and BENCH_tail.json (DESIGN.md §11).
 	ExpTail Experiment = "tail"
+	// ExpGC is not a paper artifact: it drives a 10x overwrite workload
+	// with online value-log GC off vs on (DESIGN.md §12), measuring
+	// steady-state space amplification and GC's offered-load cost, and
+	// emits BENCH_gc.json plus BENCH_fig12_space.csv.
+	ExpGC Experiment = "gc"
 )
 
 // AllExperiments lists every reproducible artifact in paper order.
 var AllExperiments = []Experiment{
 	ExpTable2, ExpFig6, ExpFig7a, ExpFig7b, ExpFig8, ExpTable3,
 	ExpFig9a, ExpFig9b, ExpFig10a, ExpFig10b, ExpSec55, ExpCompaction,
-	ExpObservability, ExpIntegrity, ExpFigures, ExpTail,
+	ExpObservability, ExpIntegrity, ExpFigures, ExpTail, ExpGC,
 }
 
 // twoWaySetups are the Figure 6/7 configurations.
@@ -118,6 +123,8 @@ func RunExperiment(exp Experiment, sc Scale, w io.Writer) error {
 		return runFigures(sc, w)
 	case ExpTail:
 		return runTail(sc, w)
+	case ExpGC:
+		return runGC(sc, w)
 	}
 	return fmt.Errorf("bench: unknown experiment %q", exp)
 }

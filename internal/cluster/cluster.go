@@ -75,6 +75,10 @@ type Config struct {
 	// convergence is unaffected (DESIGN.md §10). Benchmarks set this to
 	// measure the uncompressed baseline.
 	ShipUncompressed bool
+	// GC configures online value-log garbage collection on every
+	// server's hosted primaries (DESIGN.md §12); the zero value keeps
+	// GC off. Each server gets its own stats sink.
+	GC server.GCConfig
 }
 
 func (c *Config) applyDefaults() {
@@ -180,6 +184,7 @@ func New(cfg Config) (*Cluster, error) {
 			Admission:     cfg.Admission,
 			ShipCodec:     shipCodec,
 			ShipDelta:     !cfg.ShipUncompressed,
+			GC:            cfg.GC,
 		})
 		if err != nil {
 			return nil, err

@@ -152,7 +152,10 @@ func (db *DB) mergeStream(src, dst cursor, emit func(key []byte, off storage.Off
 			}
 		default:
 			// Same key: the newer (src) version wins; the dst version
-			// is discarded (this discard is the LSM's space reclaim).
+			// is discarded (this discard is the LSM's space reclaim —
+			// the superseded record's bytes go to the dead ledger that
+			// drives GC victim selection).
+			db.recordDead(dst.off())
 			if err := add(src.key(), src.off(), src.tomb()); err != nil {
 				return err
 			}

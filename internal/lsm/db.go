@@ -62,6 +62,9 @@ type DB struct {
 
 	listener atomic.Value // holds listenerBox
 
+	// gcMu serializes cost-based GC passes (GCOnce); independent of mu.
+	gcMu sync.Mutex
+
 	mu        sync.RWMutex
 	cond      *sync.Cond // signaled when compaction/scheduler state changes
 	l0        *memtable.Table
@@ -184,6 +187,23 @@ func (db *DB) Watermark() storage.Offset {
 	return db.watermark
 }
 
+// recordDead charges the record at off to the value log's dead-space
+// ledger — called wherever the LSM drops an index entry (an L0 in-place
+// overwrite, a same-key discard in a compaction merge, a tombstone
+// eliminated at the last level). The ledger is advisory (it only steers
+// GC victim selection), so lookup errors — e.g. the record's segment was
+// already reclaimed — are ignored rather than failing the write path.
+func (db *DB) recordDead(off storage.Offset) {
+	if off == storage.NilOffset {
+		return
+	}
+	n, err := db.log.RecordLen(off)
+	if err != nil {
+		return
+	}
+	db.log.AddDead(off, n)
+}
+
 // charge adds cycles if a recorder is configured.
 func (db *DB) charge(c metrics.Component, n uint64) {
 	if db.cycles != nil {
@@ -251,7 +271,9 @@ func (db *DB) mutate(key, value []byte, tombstone bool, rt *obs.ReqTrace) error 
 		l.OnAppend(res, rt)
 	}
 
-	db.l0.Insert(key, res.Off, tombstone)
+	if prev, over := db.l0.InsertPrev(key, res.Off, tombstone); over && prev.Off != res.Off {
+		db.recordDead(prev.Off)
+	}
 
 	if db.l0.Len() >= db.opt.L0MaxKeys {
 		if err := db.freezeLocked(); err != nil {
@@ -277,7 +299,9 @@ func (db *DB) PutIndexed(key []byte, off storage.Offset, tombstone bool, recLen 
 		return err
 	}
 	db.charge(metrics.CompInsertL0, db.cost.L0Insert(recLen))
-	db.l0.Insert(key, off, tombstone)
+	if prev, over := db.l0.InsertPrev(key, off, tombstone); over && prev.Off != off {
+		db.recordDead(prev.Off)
+	}
 	if db.l0.Len() >= db.opt.L0MaxKeys {
 		if err := db.freezeLocked(); err != nil {
 			return err
@@ -456,7 +480,12 @@ func (db *DB) ReplayLog(from storage.Offset) (int, error) {
 	err := db.log.Replay(from, func(off storage.Offset, pair kv.Pair, tomb bool) bool {
 		db.mu.Lock()
 		db.charge(metrics.CompInsertL0, db.cost.L0Insert(pair.Size()+8))
-		db.l0.Insert(pair.Key, off, tomb)
+		// The overwrite hook re-learns in-log dead bytes during crash
+		// recovery: every superseded record the replay walks over is
+		// charged back to the space ledger.
+		if prev, over := db.l0.InsertPrev(pair.Key, off, tomb); over && prev.Off != off {
+			db.recordDead(prev.Off)
+		}
 		db.mu.Unlock()
 		n++
 		return true

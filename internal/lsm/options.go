@@ -105,6 +105,26 @@ type Listener interface {
 	OnTrim(keep storage.Offset)
 }
 
+// SealListener is an optional Listener extension: OnSeal fires, under
+// the engine lock, after GC force-sealed a partial log tail — the
+// commit point of a relocation pass. The replication layer reacts like
+// a natural seal (OnAppend with Sealed set): it commands every backup
+// to persist its mirrored log buffer so the relocated records are
+// durable on all replicas before any victim segment is released.
+type SealListener interface {
+	OnSeal(sealed *vlog.Sealed)
+}
+
+// ReleaseListener is an optional Listener extension: OnRelease fires
+// after GC freed victim segments anywhere in the log (the cost-based
+// counterpart of OnTrim's prefix reclaim). segs are primary-space
+// segment IDs; backups translate them through their log maps and free
+// the local copies, keeping the replicas byte-convergent. Backups skip
+// unknown segments, so delivery is idempotent under crash-retry.
+type ReleaseListener interface {
+	OnRelease(segs []storage.SegmentID)
+}
+
 // Options configures a DB.
 type Options struct {
 	// Device is the storage device; required.

@@ -319,6 +319,9 @@ func (db *DB) pipeline(ref CompactionJob, src, dst cursor) (btree.Built, error) 
 		}
 		for e := range entries {
 			if e.tomb && dropTombstones {
+				// The tombstone reached the last level: its log record
+				// will never be consulted again, so its bytes are dead.
+				db.recordDead(e.off)
 				continue
 			}
 			if err := b.Add(e.key, e.off, e.tomb); err != nil {

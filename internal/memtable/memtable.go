@@ -88,14 +88,25 @@ func (t *Table) findGE(key []byte, prev []*node) *node {
 // Insert adds or overwrites key with the given value-log offset.
 // It reports whether the key was new.
 func (t *Table) Insert(key []byte, off storage.Offset, tombstone bool) bool {
+	_, overwrote := t.InsertPrev(key, off, tombstone)
+	return !overwrote
+}
+
+// InsertPrev adds or overwrites key with the given value-log offset and,
+// on overwrite, returns the replaced entry — the hook the engine uses to
+// charge the superseded record's bytes to the value log's dead-space
+// ledger (an L0 in-place overwrite never reaches a compaction merge, so
+// this is the only point its reclaim can be learned).
+func (t *Table) InsertPrev(key []byte, off storage.Offset, tombstone bool) (prevEntry Entry, overwrote bool) {
 	prev := make([]*node, maxHeight)
 	for i := range prev {
 		prev[i] = t.head
 	}
 	if n := t.findGE(key, prev); n != nil && kv.Compare(n.entry.Key, key) == 0 {
+		prevEntry = n.entry
 		n.entry.Off = off
 		n.entry.Tombstone = tombstone
-		return false
+		return prevEntry, true
 	}
 	h := t.randomHeight()
 	if h > t.height {
@@ -115,7 +126,7 @@ func (t *Table) Insert(key []byte, off storage.Offset, tombstone bool) bool {
 	}
 	t.count++
 	t.bytes += int64(len(key)) + 16
-	return true
+	return Entry{}, false
 }
 
 // Get returns the entry for key, if present.

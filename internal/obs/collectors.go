@@ -7,6 +7,7 @@ import (
 
 	"tebis/internal/metrics"
 	"tebis/internal/storage"
+	"tebis/internal/vlog"
 )
 
 // Collectors wrap the measurement structs in internal/metrics (and the
@@ -227,6 +228,74 @@ func (r *Registry) RegisterShip(labels Labels, s *metrics.ShipStats) {
 			}
 			return float64(sn.RawBytes) / float64(sn.WireBytes)
 		})
+}
+
+// RegisterVlogSpace exposes the value log's space ledger (DESIGN.md
+// §12): live versus dead bytes across sealed segments and the tail, the
+// cumulative bytes reclaimed by trims and GC releases, and a per-segment
+// dead-ratio family — the input to the GC victim picker. Registered even
+// when GC is disabled, so operators can see reclaimable space before
+// turning GC on. Segment children come and go as the log seals and
+// frees, so the dead-ratio family re-enumerates on every scrape.
+func (r *Registry) RegisterVlogSpace(labels Labels, snap func() vlog.SpaceReport) {
+	if r == nil || snap == nil {
+		return
+	}
+	r.GaugeFunc("tebis_vlog_live_bytes",
+		"Live (referenced) record bytes across the value log.", labels,
+		func() float64 { return float64(snap().Live) })
+	r.GaugeFunc("tebis_vlog_dead_bytes",
+		"Dead (overwritten or deleted) record bytes still occupying the value log.", labels,
+		func() float64 { return float64(snap().Dead) })
+	r.CounterFunc("tebis_vlog_trimmed_bytes_total",
+		"Value-log bytes reclaimed by prefix trims and GC releases.", labels,
+		func() float64 { return float64(snap().Trimmed) })
+	r.FamilyFunc("tebis_vlog_segment_dead_ratio",
+		"Dead-byte fraction per sealed value-log segment (the GC victim cost signal).",
+		"gauge", labels, func() map[string]float64 {
+			rep := snap()
+			out := make(map[string]float64, len(rep.Segments))
+			for _, s := range rep.Segments {
+				out[fmt.Sprintf(`segment="%d"`, s.Seg)] = s.DeadRatio()
+			}
+			return out
+		})
+}
+
+// RegisterGC exposes the online value-log GC counters (DESIGN.md §12):
+// passes run and paused, segments and bytes reclaimed, and the
+// relocation breakdown (records moved, dead records dropped, tombstones
+// dragged to preserve replay semantics).
+func (r *Registry) RegisterGC(labels Labels, s *metrics.GCStats) {
+	if r == nil || s == nil {
+		return
+	}
+	snap := func() metrics.GCSnapshot { return s.Snapshot() }
+	r.CounterFunc("tebis_vlog_gc_passes_total",
+		"Completed online GC passes.", labels,
+		func() float64 { return float64(snap().Passes) })
+	r.CounterFunc("tebis_vlog_gc_paused_total",
+		"GC passes paused by the admission controller before or during relocation.", labels,
+		func() float64 { return float64(snap().Paused) })
+	r.CounterFunc("tebis_vlog_gc_segments_freed_total",
+		"Victim segments freed after relocation, compaction, and replica release.", labels,
+		func() float64 { return float64(snap().SegmentsFreed) })
+	r.CounterFunc("tebis_vlog_gc_reclaimed_bytes_total",
+		"Bytes reclaimed by freeing victim segments.", labels,
+		func() float64 { return float64(snap().BytesReclaimed) })
+	r.CounterFunc("tebis_vlog_gc_records_total",
+		"Records processed during GC relocation, by disposition.",
+		labels.clone(Labels{"disposition": "moved"}),
+		func() float64 { return float64(snap().RecordsMoved) })
+	r.CounterFunc("tebis_vlog_gc_records_total", "",
+		labels.clone(Labels{"disposition": "dropped"}),
+		func() float64 { return float64(snap().RecordsDropped) })
+	r.CounterFunc("tebis_vlog_gc_records_total", "",
+		labels.clone(Labels{"disposition": "dragged"}),
+		func() float64 { return float64(snap().TombstonesDragged) })
+	r.CounterFunc("tebis_vlog_gc_moved_bytes_total",
+		"Live record bytes re-appended to the log tail by GC relocation.", labels,
+		func() float64 { return float64(snap().BytesMoved) })
 }
 
 // RegisterTracer exposes the span ring's occupancy and eviction

@@ -12,6 +12,7 @@ import (
 
 	"tebis/internal/metrics"
 	"tebis/internal/storage"
+	"tebis/internal/vlog"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
@@ -175,6 +176,28 @@ func TestExpositionGolden(t *testing.T) {
 		func() float64 { return float64(dev.Stats().BytesRead + dev.Stats().BytesWritten) },
 		func() float64 { return 2048 },
 		func() float64 { return 1024 })
+
+	// The space ledger and GC collectors must render even when GC never
+	// ran (the gauges come straight from the ledger snapshot).
+	r.RegisterVlogSpace(node, func() vlog.SpaceReport {
+		return vlog.SpaceReport{
+			Segments: []vlog.SegmentSpace{
+				{Seg: 2, Total: 4000, Dead: 3000},
+				{Seg: 5, Total: 4000, Dead: 1000},
+			},
+			TailUsed: 500,
+			TailDead: 100,
+			Live:     4400,
+			Dead:     4100,
+			Trimmed:  8192,
+		}
+	})
+	gs := &metrics.GCStats{}
+	gs.RecordPass()
+	gs.RecordPaused()
+	gs.AddRelocation(7, 120, 2, 700)
+	gs.AddReclaim(3, 12288)
+	r.RegisterGC(node, gs)
 
 	var out bytes.Buffer
 	if err := r.WritePrometheus(&out); err != nil {

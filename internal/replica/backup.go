@@ -419,6 +419,12 @@ func (b *Backup) handle(h wire.Header, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		return b.handleRepairSegment(h, req)
+	case wire.OpGCRelease:
+		req, err := wire.DecodeGCRelease(payload)
+		if err != nil {
+			return nil, err
+		}
+		return b.handleGCRelease(h, req)
 	default:
 		return nil, fmt.Errorf("replica: backup got unexpected op %v", h.Opcode)
 	}
@@ -723,6 +729,35 @@ func (b *Backup) handleTrimLog(h wire.Header, req wire.TrimLog) ([]byte, error) 
 		}
 	}
 	return ackMessage(h, wire.OpTrimLogAck), nil
+}
+
+// handleGCRelease performs the backup side of a cost-based GC reclaim:
+// translate each victim through the log map, free the local copy, and
+// retire the primary-space name so a recycled segment ID resolves to a
+// fresh local segment (DESIGN.md §12). Unknown segments are skipped —
+// redelivery after a primary retry or a backup resync is harmless.
+//
+// A Build-Index backup only retires the name: its own LSM may still
+// hold entries pointing into the local copy until its own compactions
+// drop them, so the segment stays allocated (a bounded leak its own
+// reclaim lifecycle absorbs) rather than risking dangling reads.
+func (b *Backup) handleGCRelease(h wire.Header, req wire.GCRelease) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ps := range req.Segs {
+		primary := storage.SegmentID(ps)
+		local, ok := b.logMap.Lookup(primary)
+		if !ok {
+			continue
+		}
+		if b.db == nil {
+			if _, err := b.log.Release([]storage.SegmentID{local}); err != nil {
+				return nil, err
+			}
+		}
+		b.logMap.Delete(primary)
+	}
+	return ackMessage(h, wire.OpGCReleaseAck), nil
 }
 
 // LevelStates returns the installed levels ordered L1..Ln, sized to

@@ -1,0 +1,184 @@
+package replica
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tebis/internal/lsm"
+	"tebis/internal/storage"
+)
+
+func gcVal(round int) string {
+	return fmt.Sprintf("round-%02d-", round) + strings.Repeat("x", 48)
+}
+
+// gcKeeper marks keys written only in round 0: the live records a
+// cost-based GC pass must relocate out of otherwise-dead victims.
+func gcKeeper(i int) bool { return i%10 == 0 }
+
+// gcOverwriteWorkload drives rounds of overwrites with a full
+// compaction after each round, so merge discards record the superseded
+// records' dead bytes in the primary's space ledger. Keeper keys stay
+// at their round-0 value, pinning a few live records in the oldest
+// (mostly dead) segments.
+func (r *rig) gcOverwriteWorkload(keys, rounds int) {
+	r.t.Helper()
+	for round := 0; round < rounds; round++ {
+		v := []byte(gcVal(round))
+		for i := 0; i < keys; i++ {
+			if round > 0 && gcKeeper(i) {
+				continue
+			}
+			if err := r.db.Put([]byte(fmt.Sprintf("key%04d", i)), v); err != nil {
+				r.t.Fatal(err)
+			}
+		}
+		if err := r.db.CompactAll(); err != nil {
+			r.t.Fatal(err)
+		}
+	}
+	r.checkHealthy()
+}
+
+func gcWant(i, rounds int) string {
+	if gcKeeper(i) {
+		return gcVal(0)
+	}
+	return gcVal(rounds - 1)
+}
+
+// testGCOnceReleasePropagation covers the replica side of a cost-based
+// GC pass: relocations arrive as ordinary replicated appends, the seal
+// flushes them, and the release retires the victims' primary-space
+// names on every backup — after which a promotion must still serve
+// every key, keepers included.
+func testGCOnceReleasePropagation(t *testing.T, mode Mode) {
+	r := newRig(t, mode, 1)
+	const keys, rounds = 250, 8
+	r.gcOverwriteWorkload(keys, rounds)
+
+	b := r.backups[0]
+	backupLiveBefore := r.devB[0].Stats().SegmentsLive
+
+	res, err := r.db.GCOnce(lsm.GCPolicy{MinDeadRatio: 0.5, MaxSegments: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SegmentsFreed < 2 {
+		t.Fatalf("GC freed %d segments: %+v", res.SegmentsFreed, res)
+	}
+	if res.RecordsMoved == 0 {
+		t.Fatalf("GC relocated nothing: %+v", res)
+	}
+	if err := r.db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if mode == BuildIndex {
+		if err := b.DB().WaitIdle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.checkHealthy()
+
+	// The victims' primary-space names are retired on the backup: a
+	// recycled segment ID must resolve to a fresh local segment.
+	for _, v := range res.Victims {
+		if _, ok := b.LogMap().Lookup(v); ok {
+			t.Fatalf("backup still maps released primary segment %d", v)
+		}
+	}
+	// Send-Index backups free their local copies outright; relocation
+	// adds far less than the mostly-dead victims release.
+	if mode == SendIndex {
+		if got := r.devB[0].Stats().SegmentsLive; got >= backupLiveBefore {
+			t.Fatalf("backup live segments = %d, want < %d after release of %d victims",
+				got, backupLiveBefore, res.SegmentsFreed)
+		}
+	}
+
+	r.primary.Detach(b)
+	db2, err := b.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key%04d", i)
+		v, found, err := db2.Get([]byte(k))
+		if err != nil || !found || string(v) != gcWant(i, rounds) {
+			t.Fatalf("promoted Get(%s) after GC = %q, %v, %v; want %q", k, v, found, err, gcWant(i, rounds))
+		}
+	}
+}
+
+func TestGCOnceReleasePropagationSendIndex(t *testing.T) { testGCOnceReleasePropagation(t, SendIndex) }
+func TestGCOnceReleasePropagationBuildIndex(t *testing.T) {
+	testGCOnceReleasePropagation(t, BuildIndex)
+}
+
+// TestSyncPromoteAfterGCTrimFallback is the regression for Promote's
+// ErrTrimmed fallback: a Sync'd backup whose compaction watermark still
+// points into a segment GC has already reclaimed (the compaction-done
+// carrying the newer watermark can race the GC release) must fall back
+// to a full-log replay and serve every value — relocated keepers
+// included — instead of failing the promotion.
+func TestSyncPromoteAfterGCTrimFallback(t *testing.T) {
+	r := newRig(t, SendIndex, 0)
+	const keys, rounds = 250, 8
+	r.gcOverwriteWorkload(keys, rounds)
+
+	res, err := r.db.GCOnce(lsm.GCPolicy{MinDeadRatio: 0.5, MaxSegments: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SegmentsFreed == 0 || res.RecordsMoved == 0 {
+		t.Fatalf("GC pass did not relocate and free: %+v", res)
+	}
+	// A couple of post-GC writes keep the unflushed-tail path honest.
+	for i := 0; i < 3; i++ {
+		if err := r.db.Put([]byte(fmt.Sprintf("tail%d", i)), []byte(fmt.Sprintf("tv%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	nb := r.addEmptyBackup(SendIndex)
+	if _, err := r.primary.Sync(nb); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage the race GC makes possible: the backup's recorded watermark
+	// lags behind the release and points into a reclaimed victim whose
+	// local copy is long gone. Lookup then succeeds but the replay from
+	// the rebased watermark hits ErrTrimmed — the fallback under test.
+	victim := res.Victims[0]
+	const staleLocal = storage.SegmentID(9999)
+	nb.mu.Lock()
+	nb.logMap.Put(victim, staleLocal, true)
+	nb.watermarkPrimary = nb.geo.Pack(victim, 0)
+	nb.mu.Unlock()
+	if _, ok := nb.LogMap().Lookup(victim); !ok {
+		t.Fatal("precondition: watermark segment must resolve through the log map")
+	}
+
+	r.primary.Detach(nb)
+	db2, err := nb.Promote()
+	if err != nil {
+		t.Fatalf("Promote with trimmed watermark: %v", err)
+	}
+	defer db2.Close()
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key%04d", i)
+		v, found, err := db2.Get([]byte(k))
+		if err != nil || !found || string(v) != gcWant(i, rounds) {
+			t.Fatalf("promoted Get(%s) = %q, %v, %v; want %q", k, v, found, err, gcWant(i, rounds))
+		}
+	}
+	for i := 0; i < 3; i++ {
+		k := fmt.Sprintf("tail%d", i)
+		v, found, err := db2.Get([]byte(k))
+		if err != nil || !found || string(v) != fmt.Sprintf("tv%d", i) {
+			t.Fatalf("promoted Get(%s) = %q, %v, %v", k, v, found, err)
+		}
+	}
+}

@@ -782,6 +782,55 @@ func (p *Primary) OnTrim(keep storage.Offset) {
 	}
 }
 
+// OnSeal reacts to a GC relocation commit point: the engine force-
+// sealed a partial tail holding relocated records, and every backup
+// must persist its mirrored log buffer before any victim segment can
+// be released (DESIGN.md §12). It is the same flush-tail handshake a
+// natural seal performs in OnAppend, invoked under the engine lock so
+// backups observe it in log order.
+func (p *Primary) OnSeal(sealed *vlog.Sealed) {
+	if p.cfg.Mode == NoReplication || sealed == nil {
+		return
+	}
+	payload := wire.FlushTail{
+		RegionID:   uint16(p.cfg.RegionID),
+		PrimarySeg: uint32(sealed.Seg),
+	}.Encode(nil)
+	for _, h := range p.handles() {
+		p.charge(metrics.CompLogReplication, p.cfg.Cost.RDMAWrite(wire.MessageSize(len(payload))))
+		if err := p.rpc(h, wire.OpFlushTail, payload); err != nil {
+			p.evict(h, err)
+		}
+	}
+}
+
+// OnRelease propagates a cost-based GC reclaim: backups free their
+// local copies of the victim segments and drop the log-map names, the
+// mid-log counterpart of OnTrim's prefix trim (DESIGN.md §12). The
+// primary has already relocated, sealed, and compacted, so no shipped
+// index entry references the victims anymore; a backup that misses the
+// message (crash, eviction) merely leaks the segments until its next
+// full resync.
+func (p *Primary) OnRelease(segs []storage.SegmentID) {
+	if p.cfg.Mode == NoReplication || len(segs) == 0 {
+		return
+	}
+	ids := make([]uint32, len(segs))
+	for i, s := range segs {
+		ids[i] = uint32(s)
+	}
+	payload := wire.GCRelease{
+		RegionID: uint16(p.cfg.RegionID),
+		Segs:     ids,
+	}.Encode(nil)
+	for _, h := range p.handles() {
+		p.charge(metrics.CompLogReplication, p.cfg.Cost.RDMAWrite(wire.MessageSize(len(payload))))
+		if err := p.rpc(h, wire.OpGCRelease, payload); err != nil {
+			p.evict(h, err)
+		}
+	}
+}
+
 // OnCompactionDone hands backups the new root so they can install the
 // shipped level (§3.3, "the primary sends the offset of the root node").
 func (p *Primary) OnCompactionDone(res lsm.CompactionResult) {

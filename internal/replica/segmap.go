@@ -82,6 +82,16 @@ func (s *SegMap) Put(primary, local storage.SegmentID, flushed bool) {
 	s.mu.Unlock()
 }
 
+// Delete retires the mapping for primary (after GC released the local
+// copy). Freeing the local segment, when appropriate, is the caller's
+// job; Delete only forgets the name so a recycled primary segment ID
+// resolves to a fresh local segment.
+func (s *SegMap) Delete(primary storage.SegmentID) {
+	s.mu.Lock()
+	delete(s.m, primary)
+	s.mu.Unlock()
+}
+
 // Lookup returns the local segment for primary without allocating.
 func (s *SegMap) Lookup(primary storage.SegmentID) (storage.SegmentID, bool) {
 	s.mu.Lock()

@@ -5,6 +5,7 @@ import (
 
 	"tebis/internal/lsm"
 	"tebis/internal/obs"
+	"tebis/internal/vlog"
 )
 
 // Observe registers this server's metric families with reg, labeled by
@@ -68,6 +69,22 @@ func (s *Server) Observe(reg *obs.Registry) {
 			}
 			return total
 		})
+	// Value-log space accounting and GC counters (DESIGN.md §12).
+	// Registered even with GC disabled so reclaimable space is visible
+	// before it is turned on. Hosted engines share one device, so
+	// segment IDs are node-unique and the per-segment children merge.
+	reg.RegisterVlogSpace(labels, func() vlog.SpaceReport {
+		var rep vlog.SpaceReport
+		for _, db := range s.hostedDBs() {
+			r := db.Log().SpaceReport()
+			rep.Live += r.Live
+			rep.Dead += r.Dead
+			rep.Trimmed += r.Trimmed
+			rep.Segments = append(rep.Segments, r.Segments...)
+		}
+		return rep
+	})
+	reg.RegisterGC(labels, s.cfg.GC.Stats)
 	// Per-region families are dynamic: children appear when the master
 	// splits a region or migrates one here, so the whole family is
 	// re-enumerated from the hosted-region table at scrape time.

@@ -96,6 +96,10 @@ type Config struct {
 	// priority-0 load. Nil keeps the fixed-knob behavior unchanged; a
 	// zero MaxThreshold inherits TaskThreshold.
 	Admission *admission.Config
+	// GC configures online value-log garbage collection on hosted
+	// primaries (DESIGN.md §12); the zero value keeps GC off but still
+	// exposes the space ledger on /metrics.
+	GC GCConfig
 }
 
 func (c *Config) applyDefaults() {
@@ -128,6 +132,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Stages == nil {
 		c.Stages = metrics.NewStageSet()
+	}
+	if c.GC.Stats == nil {
+		c.GC.Stats = &metrics.GCStats{}
 	}
 	if c.LSM.CompactionStats == nil {
 		// Share one sink across all hosted regions so Observe exposes a
@@ -244,6 +251,10 @@ func New(cfg Config) (*Server, error) {
 	for i := 0; i < cfg.SpinThreads; i++ {
 		s.wg.Add(1)
 		go s.spin(i)
+	}
+	if cfg.GC.Enabled {
+		s.wg.Add(1)
+		go s.gcLoop()
 	}
 	return s, nil
 }

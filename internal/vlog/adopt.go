@@ -28,6 +28,7 @@ func (l *Log) AdoptSegment(data []byte) (storage.SegmentID, error) {
 	}
 	l.mu.Lock()
 	l.segs = append(l.segs, seg)
+	l.space[seg] = &segSpace{total: uint64(ScanUsed(data[:l.cap]))}
 	l.mu.Unlock()
 	return seg, nil
 }
@@ -43,6 +44,7 @@ func (l *Log) AdoptSegmentAs(seg storage.SegmentID, data []byte) error {
 	}
 	l.mu.Lock()
 	l.segs = append(l.segs, seg)
+	l.space[seg] = &segSpace{total: uint64(ScanUsed(data[:l.cap]))}
 	l.mu.Unlock()
 	return nil
 }
@@ -69,5 +71,6 @@ func (l *Log) AdoptTail(tailSeg storage.SegmentID, data []byte) error {
 	}
 	copy(l.tailBuf, data)
 	l.tailLen = int64(len(data))
+	l.tailDead = 0
 	return nil
 }

@@ -125,9 +125,23 @@ func Open(dev storage.Device) (*Log, *RecoveryReport, error) {
 		}
 	}
 
-	l := &Log{dev: dev, geo: dev.Geometry(), cap: storage.UsableCapacity(dev)}
+	l := &Log{
+		dev:   dev,
+		geo:   dev.Geometry(),
+		cap:   storage.UsableCapacity(dev),
+		space: make(map[storage.SegmentID]*segSpace),
+	}
+	buf := make([]byte, l.geo.SegmentSize())
 	for _, ls := range logSegs {
 		l.segs = append(l.segs, ls.id)
+		// Rebuild the space ledger's totals: scan the recovered segment
+		// for its used payload length. Dead counts restart at zero and
+		// are re-learned by the engine's recovery replay (every in-log
+		// overwrite chain is rediscovered when the index is rebuilt).
+		if err := dev.ReadAt(l.geo.Pack(ls.id, 0), buf); err != nil {
+			return nil, nil, fmt.Errorf("vlog: recover segment %d: %w", ls.id, err)
+		}
+		l.space[ls.id] = &segSpace{total: uint64(ScanUsed(buf[:l.cap]))}
 	}
 	rep.LogSegments = len(l.segs)
 	if err := l.rollTail(); err != nil {

@@ -1,0 +1,183 @@
+package vlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"tebis/internal/storage"
+)
+
+// ErrReclaimed reports a read of an offset whose segment GC has already
+// released. The segment may have been re-allocated for new data, so
+// serving the device bytes would silently return recycled garbage; the
+// log refuses with a located error instead.
+var ErrReclaimed = errors.New("vlog: record offset points into a reclaimed segment")
+
+// segSpace is the per-segment space ledger: how many payload bytes the
+// segment holds and how many of them are known dead (superseded or
+// tombstoned, learned when the LSM drops the pointing index entry).
+type segSpace struct {
+	total uint64
+	dead  uint64
+}
+
+// SegmentSpace is one sealed segment's space accounting, as reported by
+// SpaceReport.
+type SegmentSpace struct {
+	Seg   storage.SegmentID
+	Total uint64
+	Dead  uint64
+}
+
+// DeadRatio returns the fraction of the segment's bytes known dead.
+func (s SegmentSpace) DeadRatio() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Dead) / float64(s.Total)
+}
+
+// SpaceReport is a snapshot of the log's space ledger: per-segment
+// live/dead bytes for every sealed live segment (oldest first), the
+// tail's fill, and the cumulative bytes reclaimed so far. GC victim
+// selection and the tebis_vlog_* gauges both read it.
+type SpaceReport struct {
+	// Segments lists the sealed live segments in append order.
+	Segments []SegmentSpace
+	// TailSeg/TailUsed/TailDead describe the in-memory tail.
+	TailSeg  storage.SegmentID
+	TailUsed uint64
+	TailDead uint64
+	// Live and Dead aggregate over sealed segments plus the tail.
+	Live uint64
+	Dead uint64
+	// Trimmed is the cumulative payload bytes reclaimed by Trim and
+	// Release over the log's lifetime.
+	Trimmed uint64
+}
+
+// SpaceReport snapshots the space ledger.
+func (l *Log) SpaceReport() SpaceReport {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rep := SpaceReport{
+		TailSeg:  l.tailSeg,
+		TailUsed: uint64(l.tailLen),
+		TailDead: l.tailDead,
+		Trimmed:  l.trimmed,
+	}
+	for _, seg := range l.segs[l.head:] {
+		sp := l.space[seg]
+		if sp == nil {
+			sp = &segSpace{}
+		}
+		rep.Segments = append(rep.Segments, SegmentSpace{Seg: seg, Total: sp.total, Dead: sp.dead})
+		rep.Live += sp.total - sp.dead
+		rep.Dead += sp.dead
+	}
+	rep.Live += uint64(l.tailLen) - l.tailDead
+	rep.Dead += l.tailDead
+	return rep
+}
+
+// AddDead marks n payload bytes at off as dead: the record there is no
+// longer the live version of its key. The LSM calls this when an index
+// entry is dropped — an L0 in-place overwrite, a same-key discard during
+// a compaction merge, or a tombstone eliminated at the last level. Dead
+// bytes on already-reclaimed segments are ignored (the space is gone).
+func (l *Log) AddDead(off storage.Offset, n int) {
+	if n <= 0 {
+		return
+	}
+	seg := l.geo.Segment(off)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seg == l.tailSeg {
+		l.tailDead += uint64(n)
+		if l.tailDead > uint64(l.tailLen) {
+			l.tailDead = uint64(l.tailLen)
+		}
+		return
+	}
+	if sp, ok := l.space[seg]; ok {
+		sp.dead += uint64(n)
+		if sp.dead > sp.total {
+			sp.dead = sp.total
+		}
+	}
+}
+
+// RecordLen returns the encoded on-log length of the record at off
+// (header + key + value). The LSM uses it to size dead-byte charges
+// without decoding the full record.
+func (l *Log) RecordLen(off storage.Offset) (int, error) {
+	var hdr [recHdrSize]byte
+	if err := l.readAt(off, hdr[:]); err != nil {
+		return 0, err
+	}
+	keyLen := binary.LittleEndian.Uint32(hdr[0:4])
+	if keyLen == 0 {
+		return 0, fmt.Errorf("%w: zero key length at %#x", ErrBadOffset, off)
+	}
+	valLen := binary.LittleEndian.Uint32(hdr[4:8])
+	vl := int64(valLen)
+	if valLen == tombstoneLen {
+		vl = 0
+	}
+	n := recHdrSize + int64(keyLen) + vl
+	if l.geo.Within(off)+n > l.geo.SegmentSize() {
+		return 0, fmt.Errorf("%w: %d byte record at %#x", ErrCorruptRecord, n, off)
+	}
+	return int(n), nil
+}
+
+// Release frees the given sealed segments wherever they sit in the log —
+// the GC reclaim primitive. Unlike Trim it is not restricted to the log
+// head: a cost-based victim may be any sealed segment whose live records
+// have been relocated to the tail. Segments not currently live (already
+// trimmed, released, or unknown) are skipped, making Release idempotent
+// under crash-retry. The tail is never released.
+//
+// The caller (DB.GCOnce) must guarantee no index entry still points into
+// the victims before calling; afterwards, reads of released offsets
+// return ErrReclaimed.
+func (l *Log) Release(victims []storage.SegmentID) (freed int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, seg := range victims {
+		if seg == l.tailSeg {
+			return freed, fmt.Errorf("vlog: release of live tail segment %d", seg)
+		}
+		idx := -1
+		for i := l.head; i < len(l.segs); i++ {
+			if l.segs[i] == seg {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		if err := l.dev.Free(seg); err != nil {
+			return freed, err
+		}
+		l.segs = append(l.segs[:idx], l.segs[idx+1:]...)
+		if sp, ok := l.space[seg]; ok {
+			l.trimmed += sp.total
+			delete(l.space, seg)
+		}
+		freed++
+	}
+	return freed, nil
+}
+
+// liveSegmentLocked reports whether off's segment is still readable:
+// the in-memory tail or a sealed live segment. Caller holds l.mu.
+func (l *Log) liveSegmentLocked(seg storage.SegmentID) bool {
+	if seg == l.tailSeg {
+		return true
+	}
+	_, ok := l.space[seg]
+	return ok
+}

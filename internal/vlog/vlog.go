@@ -74,13 +74,25 @@ type Log struct {
 	tailLen int64
 	head    int    // index into segs of the first live segment (GC)
 	bytes   uint64 // total user bytes appended
+
+	// Space ledger (space.go): per sealed live segment, how many payload
+	// bytes it holds and how many are known dead. tailDead accumulates
+	// dead bytes of the unsealed tail; trimmed counts bytes reclaimed.
+	space    map[storage.SegmentID]*segSpace
+	tailDead uint64
+	trimmed  uint64
 }
 
 // New creates an empty value log on dev. The first tail segment is
 // allocated eagerly so every record has a valid device offset at append
 // time (Send-Index may ship leaves pointing at the unflushed tail).
 func New(dev storage.Device) (*Log, error) {
-	l := &Log{dev: dev, geo: dev.Geometry(), cap: storage.UsableCapacity(dev)}
+	l := &Log{
+		dev:   dev,
+		geo:   dev.Geometry(),
+		cap:   storage.UsableCapacity(dev),
+		space: make(map[storage.SegmentID]*segSpace),
+	}
 	if err := l.rollTail(); err != nil {
 		return nil, err
 	}
@@ -163,6 +175,8 @@ func (l *Log) sealLocked() (*Sealed, error) {
 		Data: append([]byte(nil), l.tailBuf...),
 	}
 	l.segs = append(l.segs, l.tailSeg)
+	l.space[l.tailSeg] = &segSpace{total: uint64(l.tailLen), dead: l.tailDead}
+	l.tailDead = 0
 	if err := l.rollTail(); err != nil {
 		return nil, err
 	}
@@ -184,8 +198,9 @@ func (l *Log) Seal() (*Sealed, error) {
 // offset points into the unflushed tail segment (the mmap-cache analogue
 // for the hot tail).
 func (l *Log) readAt(off storage.Offset, p []byte) error {
+	seg := l.geo.Segment(off)
 	l.mu.Lock()
-	if l.geo.Segment(off) == l.tailSeg {
+	if seg == l.tailSeg {
 		within := l.geo.Within(off)
 		if within+int64(len(p)) > l.tailLen {
 			l.mu.Unlock()
@@ -194,6 +209,13 @@ func (l *Log) readAt(off storage.Offset, p []byte) error {
 		copy(p, l.tailBuf[within:])
 		l.mu.Unlock()
 		return nil
+	}
+	// Membership check before touching the device: a trimmed or
+	// GC-released segment may have been re-allocated for unrelated data,
+	// so a raw device read could succeed and return recycled bytes.
+	if !l.liveSegmentLocked(seg) {
+		l.mu.Unlock()
+		return fmt.Errorf("%w: segment %d at offset %#x", ErrReclaimed, seg, off)
 	}
 	l.mu.Unlock()
 	return l.dev.ReadAt(off, p)
@@ -320,8 +342,13 @@ func (l *Log) Trim(keep storage.Offset) (freed int, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for l.head < len(l.segs) && l.segs[l.head] != keepSeg {
-		if err := l.dev.Free(l.segs[l.head]); err != nil {
+		seg := l.segs[l.head]
+		if err := l.dev.Free(seg); err != nil {
 			return freed, err
+		}
+		if sp, ok := l.space[seg]; ok {
+			l.trimmed += sp.total
+			delete(l.space, seg)
 		}
 		l.head++
 		freed++

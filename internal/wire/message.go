@@ -75,6 +75,14 @@ const (
 	OpFetchSegmentReply
 	OpRepairSegment
 	OpRepairSegmentAck
+
+	// Value-log GC plane (DESIGN.md §12). After a cost-based GC pass
+	// relocated a victim segment's live records and compacted every
+	// stale index pointer away, the primary tells backups to free their
+	// local copies of the victims (OpGCRelease) — the mid-log
+	// counterpart of OpTrimLog's prefix trim.
+	OpGCRelease
+	OpGCReleaseAck
 )
 
 // String implements fmt.Stringer.
@@ -88,6 +96,7 @@ func (o Op) String() string {
 		"sync-tail", "sync-tail-ack",
 		"scrub", "scrub-reply", "fetch-segment", "fetch-segment-reply",
 		"repair-segment", "repair-segment-ack",
+		"gc-release", "gc-release-ack",
 	}
 	if int(o) < len(names) {
 		return names[o]

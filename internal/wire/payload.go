@@ -400,6 +400,48 @@ func DecodeTrimLog(p []byte) (TrimLog, error) {
 	return TrimLog{RegionID: uint16(rid), Keep: keep}, nil
 }
 
+// GCRelease is the primary → backup command to free mid-log victim
+// segments a cost-based GC pass reclaimed (DESIGN.md §12). Segs are
+// primary-space segment IDs; the backup translates each through its log
+// map, frees the local copy, and drops the mapping. Segments the backup
+// does not know are skipped, so redelivery after a crash is harmless.
+type GCRelease struct {
+	RegionID uint16
+	Segs     []uint32 // primary-space victim segments
+}
+
+// Encode appends the payload to dst.
+func (r GCRelease) Encode(dst []byte) []byte {
+	dst = appendU32(dst, uint32(r.RegionID))
+	dst = appendU32(dst, uint32(len(r.Segs)))
+	for _, s := range r.Segs {
+		dst = appendU32(dst, s)
+	}
+	return dst
+}
+
+// DecodeGCRelease parses a GCRelease payload.
+func DecodeGCRelease(p []byte) (GCRelease, error) {
+	rid, rest, err := readU32(p)
+	if err != nil {
+		return GCRelease{}, err
+	}
+	n, rest, err := readU32(rest)
+	if err != nil {
+		return GCRelease{}, err
+	}
+	r := GCRelease{RegionID: uint16(rid)}
+	for i := uint32(0); i < n; i++ {
+		var s uint32
+		s, rest, err = readU32(rest)
+		if err != nil {
+			return GCRelease{}, err
+		}
+		r.Segs = append(r.Segs, s)
+	}
+	return r, nil
+}
+
 // CompactionDone is the primary → backup end-of-compaction message: the
 // backup translates Root through the JobID's index map, installs the
 // new level, and discards replaced levels (§3.3).

@@ -103,6 +103,39 @@ rm -rf "$obsdir"
 echo "== tail smoke"
 make tail-smoke
 
+# gc-smoke re-runs the online value-log GC suites by name under -race
+# so a gate log shows explicitly that crash injection at every GC phase,
+# recycled-segment read guards, replica release propagation, and the
+# Promote-after-GC fallback were exercised.
+echo "== gc smoke"
+make gc-smoke
+
+# The overwrite-endurance gate (DESIGN.md §12): under a 10x overwrite
+# workload, online GC must hold steady-state log occupancy within 2x the
+# live data while costing at most 10% of offered-load throughput versus
+# GC off.
+echo "== gc endurance gate"
+gcdir=$(mktemp -d)
+go run ./cmd/tebis-bench -experiment gc -quick \
+    -gc-json "$gcdir/BENCH_gc.json" -gc-csv-dir "$gcdir" >/dev/null
+if [ ! -s "$gcdir/BENCH_fig12_space.csv" ]; then
+    echo "gc gate: missing BENCH_fig12_space.csv" >&2
+    exit 1
+fi
+amp=$(sed -n 's/.*"space_amp": \([0-9.eE+-]*\).*/\1/p' "$gcdir/BENCH_gc.json")
+gcoverhead=$(sed -n 's/.*"overhead_offered_load_percent": \([0-9.eE+-]*\).*/\1/p' \
+    "$gcdir/BENCH_gc.json")
+if [ -z "$amp" ] || [ -z "$gcoverhead" ]; then
+    echo "gc gate: report missing space_amp or overhead_offered_load_percent" >&2
+    exit 1
+fi
+awk -v a="$amp" 'BEGIN { if (a + 0 > 2) {
+    print "gc gate: space amplification " a "x exceeds the 2x budget" > "/dev/stderr"; exit 1 } }'
+awk -v o="$gcoverhead" 'BEGIN { if (o + 0 > 10) {
+    print "gc gate: offered-load cost " o "% exceeds the 10% budget" > "/dev/stderr"; exit 1 } }'
+echo "   space amplification: ${amp}x, offered-load cost: ${gcoverhead}%"
+rm -rf "$gcdir"
+
 # rebalance-smoke re-runs the dynamic-region suites by name under -race
 # so a gate log shows explicitly that online split/merge, index-shipped
 # live migration, failover mid-reconfiguration, and the skewed-load
@@ -111,7 +144,7 @@ echo "== rebalance smoke"
 make rebalance-smoke
 
 echo "== failover suite (focused re-run)"
-go test -race -run 'TestBackupFailure|TestBackupCrash|TestRPCRetry|TestSyncPromote|TestPromoteSmallLogBuffer|TestBackupEvictionReplacementAndFailover|TestReplayFromTrimmedSegment|TestRingProperty|TestRingWrap|TestFreeListProperty' \
+go test -race -run 'TestBackupFailure|TestBackupCrash|TestRPCRetry|TestSyncPromote|TestPromoteSmallLogBuffer|TestBackupEvictionReplacementAndFailover|TestReplayFromTrimmedSegment|TestRingProperty|TestRingWrap|TestFreeListProperty|TestGCOnceReleasePropagation' \
     ./internal/replica ./internal/cluster ./internal/vlog ./internal/client
 
 echo "OK"
