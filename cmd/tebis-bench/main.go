@@ -3,12 +3,13 @@
 //
 // Usage:
 //
-//	tebis-bench [-experiment all|table2,fig6,fig7a,fig7b,fig8,table3,fig9a,fig9b,fig10a,fig10b,sec55,compaction,observability,integrity,figures,tail,gc]
+//	tebis-bench [-experiment all|table2,fig6,fig7a,fig7b,fig8,table3,fig9a,fig9b,fig10a,fig10b,sec55,compaction,observability,integrity,figures,tail,gc,lag]
 //	            [-records N] [-ops N] [-l0 N] [-quick] [-compaction-json FILE]
 //	            [-observability-json FILE] [-integrity-json FILE]
 //	            [-figures-json FILE] [-figures-csv-dir DIR]
 //	            [-tail-json FILE] [-tail-csv-dir DIR]
 //	            [-gc-json FILE] [-gc-csv-dir DIR]
+//	            [-lag-json FILE] [-lag-csv-dir DIR]
 //
 // The figures experiment replays YCSB Load A / Run A / Run C against a
 // replicated Send-Index cluster with the metrics sampler on and writes
@@ -61,6 +62,10 @@ func main() {
 			"output path for the gc experiment's JSON report (empty = no file)")
 		gcCSV = flag.String("gc-csv-dir", bench.GCCSVDir,
 			"directory for the gc experiment's BENCH_fig12_space.csv (empty = no file)")
+		lagJSON = flag.String("lag-json", bench.LagJSONPath,
+			"output path for the lag experiment's JSON report (empty = no file)")
+		lagCSV = flag.String("lag-csv-dir", bench.LagCSVDir,
+			"directory for the lag experiment's BENCH_fig13_lag.csv (empty = no file)")
 	)
 	flag.Parse()
 	bench.CompactionJSONPath = *cmpJSON
@@ -72,6 +77,8 @@ func main() {
 	bench.TailCSVDir = *tailCSV
 	bench.GCJSONPath = *gcJSON
 	bench.GCCSVDir = *gcCSV
+	bench.LagJSONPath = *lagJSON
+	bench.LagCSVDir = *lagCSV
 
 	if *list {
 		for _, e := range bench.AllExperiments {

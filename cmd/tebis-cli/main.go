@@ -4,9 +4,16 @@
 // Usage:
 //
 //	tebis-cli [-addr localhost:7625] [command...]
+//	tebis-cli -top -nodes host:port,host:port [-interval 1s] [-once]
 //
 // With arguments, a single command is sent (e.g. `tebis-cli GET mykey`);
 // without, an interactive loop reads commands from stdin.
+//
+// With -top, the client becomes tebis-top: a refreshing cluster health
+// view that scrapes every node's /metrics, /debug/events, and /readyz
+// and renders per-backup replication lag, staleness, backlog, admission
+// state, GC progress, and the most recent journal events. -once renders
+// a single frame and exits (for scripts).
 package main
 
 import (
@@ -17,11 +24,29 @@ import (
 	"net"
 	"os"
 	"strings"
+	"time"
 )
 
 func main() {
 	addr := flag.String("addr", "localhost:7625", "tebis-server address")
+	top := flag.Bool("top", false, "watch mode: render a refreshing cluster health table")
+	nodes := flag.String("nodes", "", "comma-separated observability addresses for -top (host:port,...)")
+	interval := flag.Duration("interval", time.Second, "refresh interval for -top")
+	once := flag.Bool("once", false, "with -top, render one frame and exit")
 	flag.Parse()
+
+	if *top {
+		var list []string
+		for _, n := range strings.Split(*nodes, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				list = append(list, n)
+			}
+		}
+		if err := runTop(os.Stdout, list, *interval, *once); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	conn, err := net.Dial("tcp", *addr)
 	if err != nil {

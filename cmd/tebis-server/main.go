@@ -54,9 +54,9 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"math"
 	"net"
 	"os"
@@ -254,24 +254,37 @@ func main() {
 		gcRatio     = flag.Float64("gc-dead-ratio", 0, "dead-byte fraction past which a sealed segment becomes a GC victim (0 = engine default 0.5)")
 		gcMaxSegs   = flag.Int("gc-max-segments", 0, "victim segments per GC pass (0 = engine default 4)")
 		gcInterval  = flag.Duration("gc-interval", server.DefaultGCInterval, "pause between background GC passes")
+		logLevel    = flag.String("log-level", obs.LevelInfo, "minimum log level (debug, info, warn, error)")
 	)
 	flag.Parse()
+
+	// One leveled structured stream for everything the binary says:
+	// direct log calls and, via the event journal's sink, every
+	// control-plane transition — one grep surface, key=value fields.
+	logger := obs.NewLogger(os.Stderr, *logLevel)
+	fatal := func(msg string, kv ...any) {
+		logger.Error(msg, kv...)
+		os.Exit(1)
+	}
+	ev := obs.NewEventLog(0)
+	ev.SetSink(logger)
 
 	if *fsckMode {
 		res, err := fsck.Run(fsck.Options{Path: *data, SegmentSize: *segSize, Log: os.Stdout})
 		if err != nil {
-			log.Fatalf("fsck: %v", err)
+			fatal("fsck failed", "path", *data, "err", err)
 		}
 		if !res.Clean() {
-			log.Fatalf("fsck: %s: %d of %d segments corrupt", *data, len(res.Findings), res.Scanned)
+			fatal("fsck found corruption", "path", *data,
+				"corrupt", len(res.Findings), "scanned", res.Scanned)
 		}
-		log.Printf("fsck: %s: clean (%d segments)", *data, res.Scanned)
+		logger.Info("fsck clean", "path", *data, "scanned", res.Scanned)
 		return
 	}
 
 	fdev, err := storage.NewFileDevice(*data, *segSize, 0)
 	if err != nil {
-		log.Fatalf("open device: %v", err)
+		fatal("open device failed", "path", *data, "err", err)
 	}
 	defer fdev.Close()
 	// Write through the integrity layer so every sealed segment carries
@@ -308,12 +321,13 @@ func main() {
 		devB    *storage.MemDevice
 	)
 	shipStats := &metrics.ShipStats{}
+	lag := metrics.NewLagSet()
 	if *withReplica {
 		epP = rdma.NewEndpoint("primary")
 		epB = rdma.NewEndpoint("backup0")
 		devB, err = storage.NewMemDevice(*segSize, 0)
 		if err != nil {
-			log.Fatalf("open backup device: %v", err)
+			fatal("open backup device failed", "err", err)
 		}
 		defer devB.Close()
 		shipCodec := shipcodec.Flate
@@ -333,13 +347,15 @@ func main() {
 			ShipDelta:    !*shipRaw,
 			ShipPageSize: lsm.DefaultNodeSize,
 			Ship:         shipStats,
+			Lag:          lag,
+			Events:       ev,
 		})
 		opt.Listener = primary
 	}
 
 	db, err := lsm.New(opt)
 	if err != nil {
-		log.Fatalf("open engine: %v", err)
+		fatal("open engine failed", "err", err)
 	}
 	defer db.Close()
 
@@ -357,7 +373,7 @@ func main() {
 			Trace:      tracer.Node("backup0"),
 		})
 		if err != nil {
-			log.Fatalf("open backup: %v", err)
+			fatal("open backup failed", "err", err)
 		}
 		replica.Attach(primary, backup)
 		primary.SetDB(db)
@@ -407,9 +423,22 @@ func main() {
 		}()
 	}
 
+	// Readiness: the node reports not-ready while replication to the
+	// attached backup is degraded — the same semantics server.Ready gives
+	// the in-process cluster nodes.
+	health := obs.NewHealth()
+	health.AddCheck("replication", func() error {
+		if primary != nil && primary.Degraded() {
+			return errors.New("replication degraded: backup evicted or unresponsive")
+		}
+		return nil
+	})
+
 	if reg != nil {
 		labels := obs.Labels{"node": "primary"}
 		reg.RegisterStages(nil, stages)
+		reg.RegisterLag(labels, lag)
+		reg.RegisterEvents(nil, ev)
 		ctrl.Register(reg, labels)
 		reg.RegisterDevice(labels, dev)
 		reg.RegisterCycles(labels, &cycles)
@@ -441,7 +470,7 @@ func main() {
 		// pathology) or when the history sampler itself stops ticking.
 		prof, err := obs.NewProfiler(*profileDir)
 		if err != nil {
-			log.Fatalf("profiler: %v", err)
+			fatal("profiler init failed", "err", err)
 		}
 		samp := obs.NewSampler(reg, 0, 0)
 		samp.Start()
@@ -450,24 +479,34 @@ func main() {
 				func() time.Duration { return cstats.Snapshot().WriterStallTime }),
 			obs.ScrapeStallCondition(samp, 5*obs.DefaultSampleInterval))
 
-		got, err := obs.Serve(*metricsAddr, reg, tracer, prof, samp)
+		got, err := obs.Serve(*metricsAddr, reg, tracer, prof, samp, ev, health)
 		if err != nil {
-			log.Fatalf("metrics listen: %v", err)
+			fatal("metrics listen failed", "addr", *metricsAddr, "err", err)
 		}
-		log.Printf("tebis-server metrics on http://%s/metrics (trace on /debug/trace, history on /metrics/history, pprof on /debug/pprof/)", got)
+		logger.Info("metrics endpoint up",
+			"url", "http://"+got+"/metrics",
+			"trace", "/debug/trace", "events", "/debug/events",
+			"health", "/healthz", "ready", "/readyz",
+			"history", "/metrics/history", "pprof", "/debug/pprof/")
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("listen: %v", err)
+		fatal("listen failed", "addr", *addr, "err", err)
 	}
-	log.Printf("tebis-server listening on %s (device %s, segment %d B, replica=%v, workers=%d threshold=%d depth=%d admission=%v)",
-		ln.Addr(), *data, *segSize, *withReplica, *workers, *taskThresh, *queueDepth, *admissionOn)
+	logger.Info("listening",
+		"addr", ln.Addr().String(), "device", *data, "segment_bytes", *segSize,
+		"replica", *withReplica, "workers", *workers, "threshold", *taskThresh,
+		"depth", *queueDepth, "admission", *admissionOn)
+	ev.Record(obs.Event{Type: obs.EvServerStarted, Node: "primary",
+		Msg: "line-protocol front end accepting connections",
+		Fields: map[string]string{
+			"addr": ln.Addr().String(), "replica": fmt.Sprint(*withReplica)}})
 
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			log.Printf("accept: %v", err)
+			logger.Warn("accept failed", "err", err)
 			continue
 		}
 		go serve(conn, st, pl)

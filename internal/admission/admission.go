@@ -23,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tebis/internal/obs"
 )
 
 // Action is an admission decision for one task.
@@ -86,6 +88,11 @@ type Config struct {
 	// Disabled pins the threshold at MaxThreshold and admits
 	// everything — the fixed-knob baseline the bench compares against.
 	Disabled bool
+	// Events, when non-nil, journals every walk of the escalation
+	// ladder (normal ⇄ delay ⇄ shed) with the wait EWMA that drove it.
+	Events *obs.EventLog
+	// Node labels journal entries with the owning server's name.
+	Node string
 }
 
 // Decision is Admit/Delay/Shed plus the pacing duration for Delay.
@@ -209,10 +216,12 @@ func (c *Controller) Observe(wait time.Duration) {
 			c.tightens++
 		} else if st < StateShed {
 			c.state.Store(int64(st + 1))
+			c.recordTransition(st, st+1)
 		}
 	case c.ewma < c.cfg.LowWater:
 		if st > StateNormal {
 			c.state.Store(int64(st - 1))
+			c.recordTransition(st, st-1)
 		} else if th < c.cfg.MaxThreshold {
 			th *= 2
 			if th > c.cfg.MaxThreshold {
@@ -222,6 +231,26 @@ func (c *Controller) Observe(wait time.Duration) {
 			c.relaxes++
 		}
 	}
+}
+
+// recordTransition journals one walk of the escalation ladder. Called
+// with c.mu held; the event ring takes its own lock and never calls
+// back into the controller.
+func (c *Controller) recordTransition(from, to State) {
+	level := obs.LevelInfo
+	msg := "admission pressure easing, de-escalated"
+	if to > from {
+		level = obs.LevelWarn
+		msg = "queue wait high with threshold at floor, escalated"
+	}
+	c.cfg.Events.Record(obs.Event{
+		Type: obs.EvAdmissionState, Node: c.cfg.Node, Level: level, Msg: msg,
+		Fields: map[string]string{
+			"from":      from.String(),
+			"to":        to.String(),
+			"wait_ewma": c.ewma.String(),
+		},
+	})
 }
 
 // Admit decides one task's fate. Only the lowest priority class (0) is

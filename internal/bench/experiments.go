@@ -72,13 +72,19 @@ const (
 	// steady-state space amplification and GC's offered-load cost, and
 	// emits BENCH_gc.json plus BENCH_fig12_space.csv.
 	ExpGC Experiment = "gc"
+	// ExpLag is not a paper artifact: it injects a 50ms-delayed backup
+	// via RDMA fault hooks and verifies the replication-plane health
+	// surface (DESIGN.md §13) — lag/staleness rise then drain to ~0
+	// with zero lost acks and a ~free tracker — emitting BENCH_lag.json
+	// plus BENCH_fig13_lag.csv.
+	ExpLag Experiment = "lag"
 )
 
 // AllExperiments lists every reproducible artifact in paper order.
 var AllExperiments = []Experiment{
 	ExpTable2, ExpFig6, ExpFig7a, ExpFig7b, ExpFig8, ExpTable3,
 	ExpFig9a, ExpFig9b, ExpFig10a, ExpFig10b, ExpSec55, ExpCompaction,
-	ExpObservability, ExpIntegrity, ExpFigures, ExpTail, ExpGC,
+	ExpObservability, ExpIntegrity, ExpFigures, ExpTail, ExpGC, ExpLag,
 }
 
 // twoWaySetups are the Figure 6/7 configurations.
@@ -125,6 +131,8 @@ func RunExperiment(exp Experiment, sc Scale, w io.Writer) error {
 		return runTail(sc, w)
 	case ExpGC:
 		return runGC(sc, w)
+	case ExpLag:
+		return runLag(sc, w)
 	}
 	return fmt.Errorf("bench: unknown experiment %q", exp)
 }

@@ -79,6 +79,13 @@ type Config struct {
 	// server's hosted primaries (DESIGN.md §12); the zero value keeps
 	// GC off. Each server gets its own stats sink.
 	GC server.GCConfig
+	// Events is the cluster-wide structured event journal shared by
+	// every server and master candidate (created on demand): one ring
+	// ordering control-plane transitions across the whole deployment.
+	Events *obs.EventLog
+	// DisableLag turns the per-backup lag trackers off on every server
+	// (bench-only ablation; see server.Config.DisableLag).
+	DisableLag bool
 }
 
 func (c *Config) applyDefaults() {
@@ -99,6 +106,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Stages == nil {
 		c.Stages = metrics.NewStageSet()
+	}
+	if c.Events == nil {
+		c.Events = obs.NewEventLog(0)
 	}
 }
 
@@ -185,6 +195,8 @@ func New(cfg Config) (*Cluster, error) {
 			ShipCodec:     shipCodec,
 			ShipDelta:     !cfg.ShipUncompressed,
 			GC:            cfg.GC,
+			Events:        cfg.Events,
+			DisableLag:    cfg.DisableLag,
 		})
 		if err != nil {
 			return nil, err
@@ -203,6 +215,7 @@ func New(cfg Config) (*Cluster, error) {
 			Name:    fmt.Sprintf("master%d", i),
 			Session: sess,
 			Mode:    cfg.Mode,
+			Events:  cfg.Events,
 		})
 		if err != nil {
 			return nil, err
@@ -280,6 +293,15 @@ func (c *Cluster) NewTenantClient(tenant, priority uint8) (*client.Client, error
 // Stages returns the cluster-wide stage-latency aggregator shared by
 // every server and client built here.
 func (c *Cluster) Stages() *metrics.StageSet { return c.cfg.Stages }
+
+// Events returns the cluster-wide structured event journal shared by
+// every server and master candidate.
+func (c *Cluster) Events() *obs.EventLog { return c.cfg.Events }
+
+// ClusterHealth returns the acting master's aggregate health report.
+func (c *Cluster) ClusterHealth() master.ClusterHealthReport {
+	return c.leader.ClusterHealth()
+}
 
 // Crash kills a server: its threads stop, its replication connections
 // drop, and its liveness node disappears, triggering the master's

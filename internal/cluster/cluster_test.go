@@ -8,6 +8,7 @@ import (
 
 	"tebis/internal/lsm"
 	"tebis/internal/metrics"
+	"tebis/internal/obs"
 	"tebis/internal/rdma"
 	"tebis/internal/replica"
 )
@@ -437,6 +438,13 @@ func TestBackupEvictionReplacementAndFailover(t *testing.T) {
 	reg := rmap.Regions[0]
 	primaryName, backupName := reg.Primary, reg.Backups[0]
 
+	// The primary's readiness probe, as /readyz would consult it.
+	health := obs.NewHealth()
+	c.Nodes[primaryName].Server.RegisterHealth(health)
+	if !health.Ready() {
+		t.Fatalf("primary not ready before any fault: %v", health.Failing())
+	}
+
 	cl, err := c.NewClient()
 	if err != nil {
 		t.Fatal(err)
@@ -478,6 +486,14 @@ func TestBackupEvictionReplacementAndFailover(t *testing.T) {
 	if v, found, err := cl.Get([]byte(key(7))); err != nil || !found || string(v) != val(7) {
 		t.Fatalf("degraded Get = %q, %v, %v", v, found, err)
 	}
+	// ...but readiness must flip unhealthy for the degraded window, so
+	// a load balancer consulting /readyz stops routing new sessions.
+	if health.Ready() {
+		t.Fatal("primary still ready while degraded")
+	}
+	if why := health.Failing()[primaryName]; why == "" {
+		t.Fatalf("readiness failure carries no reason: %v", health.Failing())
+	}
 
 	// The dead node is still coordination-service-live (its session
 	// never expired), so the master repairs on the primary's report
@@ -502,6 +518,10 @@ func TestBackupEvictionReplacementAndFailover(t *testing.T) {
 	if got := c.Nodes[primaryName].Failures.Snapshot(); got.Degraded || got.ResyncBytes == 0 {
 		t.Fatalf("post-repair metrics = %+v", got)
 	}
+	// Replication factor restored: readiness recovers with it.
+	if !health.Ready() {
+		t.Fatalf("primary not ready after repair: %v", health.Failing())
+	}
 
 	// More acknowledged writes on the repaired group.
 	for i := n; i < n+300; i++ {
@@ -522,6 +542,39 @@ func TestBackupEvictionReplacementAndFailover(t *testing.T) {
 		}
 		if !found || string(v) != val(i) {
 			t.Fatalf("Get(%s) = %q, %v after failover; want %q", key(i), v, found, val(i))
+		}
+	}
+
+	// The shared journal must have resolved the whole transition
+	// sequence, in order: the eviction, then the replacement's state
+	// transfer (sync start/done before the master publishes the refilled
+	// slot), and finally the crash failover's promotion.
+	firstSeq := func(typ string) uint64 {
+		for _, e := range c.Events().Events() {
+			if e.Type == typ {
+				return e.Seq
+			}
+		}
+		t.Fatalf("journal has no %s event", typ)
+		return 0
+	}
+	evicted := firstSeq(obs.EvBackupEvicted)
+	syncStart := firstSeq(obs.EvSyncStarted)
+	syncDone := firstSeq(obs.EvSyncDone)
+	replaced := firstSeq(obs.EvBackupReplaced)
+	promoted := firstSeq(obs.EvPromoted)
+	failed := firstSeq(obs.EvPrimaryFailed)
+	if !(evicted < syncStart && syncStart < syncDone && syncDone < replaced) {
+		t.Fatalf("repair events out of order: evicted=%d sync_started=%d sync_done=%d replaced=%d",
+			evicted, syncStart, syncDone, replaced)
+	}
+	if promoted < replaced || failed < replaced {
+		t.Fatalf("failover events precede repair: promoted=%d failover=%d replaced=%d",
+			promoted, failed, replaced)
+	}
+	for _, e := range c.Events().OfType(obs.EvBackupEvicted) {
+		if e.Field("backup") != backupName {
+			t.Fatalf("eviction journaled for %q, want %q", e.Field("backup"), backupName)
 		}
 	}
 }

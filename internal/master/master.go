@@ -11,6 +11,8 @@ import (
 	"sort"
 	"sync"
 
+	"tebis/internal/metrics"
+	"tebis/internal/obs"
 	"tebis/internal/region"
 	"tebis/internal/replica"
 	"tebis/internal/storage"
@@ -50,6 +52,12 @@ type Host interface {
 	AliasChildren(owner region.ID) []region.ID
 	RegionLoads() map[region.ID]region.Load
 	SplitKey(id region.ID) ([]byte, error)
+
+	// Health surface: Ready mirrors the node's /readyz check (nil when
+	// the node would serve), Lag exposes the per-backup replication-lag
+	// streams of the primaries the node hosts.
+	Ready() error
+	Lag() *metrics.LagSet
 }
 
 // Errors reported by the master.
@@ -61,10 +69,11 @@ var (
 
 // Master orchestrates one Tebis cluster.
 type Master struct {
-	name string
-	sess *zklite.Session
-	elec *zklite.Election
-	mode replica.Mode
+	name   string
+	sess   *zklite.Session
+	elec   *zklite.Election
+	mode   replica.Mode
+	events *obs.EventLog
 
 	// ReconfigHook, when non-nil, runs at each durable phase point of a
 	// reconfiguration (see beginPhase/hookPoint). Returning an error
@@ -99,6 +108,10 @@ type Config struct {
 	Session *zklite.Session
 	// Mode is the cluster-wide replication mode.
 	Mode replica.Mode
+	// Events, when non-nil, journals the master's control-plane
+	// transitions (failovers, backup replacement, reconfiguration
+	// phases). Typically the cluster-shared journal.
+	Events *obs.EventLog
 }
 
 // New enrolls a master candidate in the election. Call Bootstrap (on
@@ -113,6 +126,7 @@ func New(cfg Config) (*Master, error) {
 		sess:      cfg.Session,
 		elec:      elec,
 		mode:      cfg.Mode,
+		events:    cfg.Events,
 		hosts:     map[string]Host{},
 		live:      map[string]bool{},
 		lastLoads: map[region.ID]uint64{},
@@ -578,6 +592,15 @@ func (m *Master) failPrimary(r region.Region) error {
 	}); err != nil {
 		return err
 	}
+	m.events.Record(obs.Event{
+		Type: obs.EvPrimaryFailed, Node: m.name, Level: obs.LevelWarn,
+		Msg: "primary failed, backup promoted",
+		Fields: map[string]string{
+			"region":   fmt.Sprint(r.ID),
+			"failed":   r.Primary,
+			"promoted": promoteTo,
+		},
+	})
 
 	// The failed server also vacated a replica slot: refill it.
 	return m.refillBackup(updated, r.Primary)
@@ -685,6 +708,15 @@ func (m *Master) refillBackup(r region.Region, avoid string) error {
 		}
 		updated, _ := m.rmap.ByID(r.ID)
 		m.mu.Unlock()
+		m.events.Record(obs.Event{
+			Type: obs.EvBackupReplaced, Node: m.name,
+			Msg: "replica slot refilled, state transfer complete",
+			Fields: map[string]string{
+				"region":   fmt.Sprint(r.ID),
+				"backup":   cand,
+				"replaced": avoid,
+			},
+		})
 		r = updated
 	}
 	return nil

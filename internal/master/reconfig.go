@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tebis/internal/obs"
 	"tebis/internal/region"
 	"tebis/internal/replica"
 )
@@ -122,6 +123,15 @@ func (m *Master) beginPhase(it *Intent, phase string) error {
 	if err := m.saveIntent(*it); err != nil {
 		return err
 	}
+	m.events.Record(obs.Event{
+		Type: obs.EvReconfigPhase, Node: m.name,
+		Msg: "reconfiguration advanced to a new durable phase",
+		Fields: map[string]string{
+			"op":     it.Op,
+			"phase":  phase,
+			"region": fmt.Sprint(it.Region),
+		},
+	})
 	return m.hookPoint(it.Op, phase)
 }
 

@@ -1,0 +1,242 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// lagKey identifies one (region, backup) replication stream.
+type lagKey struct {
+	region uint64
+	backup string
+}
+
+// lagRec is the per-stream progress state: how much the primary has
+// shipped versus how much the backup has acknowledged, the segment-ship
+// pipeline depth, the last acknowledgement time, and the ack round-trip
+// histogram.
+type lagRec struct {
+	shippedOps   uint64
+	shippedBytes uint64
+	ackedOps     uint64
+	ackedBytes   uint64
+	backlog      int64
+	lastShip     time.Time
+	lastAck      time.Time
+	rtt          *Histogram
+}
+
+// LagSet tracks per-backup replication lag on a primary: acked-vs-
+// shipped sequence lag in ops and bytes, ship-pipeline backlog depth,
+// last-ack age (staleness), and per-backup ack-RTT histograms. All
+// methods are nil-safe, like StageSet, so lag wiring costs unwired
+// paths only a nil check. Streams appear on first RecordShip and
+// disappear on Evict, so gauges for a dead backup stop rendering.
+type LagSet struct {
+	mu   sync.Mutex
+	recs map[lagKey]*lagRec
+}
+
+// NewLagSet returns an empty lag aggregator.
+func NewLagSet() *LagSet {
+	return &LagSet{recs: make(map[lagKey]*lagRec)}
+}
+
+func (s *LagSet) rec(k lagKey) *lagRec {
+	r := s.recs[k]
+	if r == nil {
+		r = &lagRec{rtt: NewHistogram()}
+		s.recs[k] = r
+	}
+	return r
+}
+
+// RecordShip accounts one replicated unit (a value-log record) handed
+// to the wire for one backup. Until the matching RecordAck arrives the
+// unit counts as lag.
+func (s *LagSet) RecordShip(region uint64, backup string, bytes int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	r := s.rec(lagKey{region, backup})
+	r.shippedOps++
+	r.shippedBytes += uint64(bytes)
+	r.lastShip = time.Now()
+	s.mu.Unlock()
+}
+
+// RecordAck accounts one acknowledged unit and its round trip.
+func (s *LagSet) RecordAck(region uint64, backup string, bytes int, rtt time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	r := s.rec(lagKey{region, backup})
+	r.ackedOps++
+	r.ackedBytes += uint64(bytes)
+	r.lastAck = time.Now()
+	hist := r.rtt
+	s.mu.Unlock()
+	hist.Record(rtt)
+}
+
+// BacklogAdd marks one index-segment ship entering the pipeline for a
+// backup.
+func (s *LagSet) BacklogAdd(region uint64, backup string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rec(lagKey{region, backup}).backlog++
+	s.mu.Unlock()
+}
+
+// BacklogDone marks one index-segment ship leaving the pipeline
+// (acknowledged or abandoned with its backup).
+func (s *LagSet) BacklogDone(region uint64, backup string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if r := s.recs[lagKey{region, backup}]; r != nil && r.backlog > 0 {
+		r.backlog--
+	}
+	s.mu.Unlock()
+}
+
+// Evict drops a backup's stream: an evicted replica's lag is no longer
+// a property of the group, and its gauges must stop rendering rather
+// than freeze at the pre-eviction value.
+func (s *LagSet) Evict(region uint64, backup string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	delete(s.recs, lagKey{region, backup})
+	s.mu.Unlock()
+}
+
+// staleness computes the last-ack age of one stream under s.mu: zero
+// while the backup is caught up (every shipped unit acked), otherwise
+// the time since its last ack — or since the first un-acked ship when
+// the backup has never acked at all.
+func (r *lagRec) staleness(now time.Time) time.Duration {
+	if r.ackedOps >= r.shippedOps {
+		return 0
+	}
+	since := r.lastAck
+	if since.IsZero() {
+		since = r.lastShip
+	}
+	if since.IsZero() {
+		return 0
+	}
+	return now.Sub(since)
+}
+
+// LagSnapshot is one (region, backup) stream at snapshot time.
+type LagSnapshot struct {
+	Region   uint64
+	Backup   string
+	LagOps   uint64
+	LagBytes uint64
+	Backlog  int64
+	// Staleness is the last-ack age: zero while caught up.
+	Staleness time.Duration
+	AckCount  uint64
+	// AckPercentiles aligns index-for-index with StageQuantiles.
+	AckPercentiles []time.Duration
+}
+
+// Snapshot returns every stream, ordered by region then backup for
+// deterministic exposition.
+func (s *LagSet) Snapshot() []LagSnapshot {
+	if s == nil {
+		return nil
+	}
+	now := time.Now()
+	s.mu.Lock()
+	out := make([]LagSnapshot, 0, len(s.recs))
+	hists := make([]*Histogram, 0, len(s.recs))
+	for k, r := range s.recs {
+		snap := LagSnapshot{
+			Region:    k.region,
+			Backup:    k.backup,
+			Backlog:   r.backlog,
+			Staleness: r.staleness(now),
+		}
+		if r.shippedOps > r.ackedOps {
+			snap.LagOps = r.shippedOps - r.ackedOps
+		}
+		if r.shippedBytes > r.ackedBytes {
+			snap.LagBytes = r.shippedBytes - r.ackedBytes
+		}
+		out = append(out, snap)
+		hists = append(hists, r.rtt)
+	}
+	s.mu.Unlock()
+	for i, h := range hists {
+		out[i].AckCount = h.Count()
+		ps := make([]time.Duration, len(StageQuantiles))
+		for j, q := range StageQuantiles {
+			ps[j] = h.Percentile(q)
+		}
+		out[i].AckPercentiles = ps
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Region != out[b].Region {
+			return out[a].Region < out[b].Region
+		}
+		return out[a].Backup < out[b].Backup
+	})
+	return out
+}
+
+// Lag answers a single stream's current lag — the bench harness' fast
+// path for gate checks. Zeroes when the stream is unknown.
+func (s *LagSet) Lag(region uint64, backup string) (ops, bytes uint64) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.recs[lagKey{region, backup}]
+	if r == nil {
+		return 0, 0
+	}
+	if r.shippedOps > r.ackedOps {
+		ops = r.shippedOps - r.ackedOps
+	}
+	if r.shippedBytes > r.ackedBytes {
+		bytes = r.shippedBytes - r.ackedBytes
+	}
+	return ops, bytes
+}
+
+// Staleness answers a single stream's last-ack age; zero when caught
+// up or unknown.
+func (s *LagSet) Staleness(region uint64, backup string) time.Duration {
+	if s == nil {
+		return 0
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.recs[lagKey{region, backup}]
+	if r == nil {
+		return 0
+	}
+	return r.staleness(now)
+}
+
+// Reset clears all streams.
+func (s *LagSet) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.recs = make(map[lagKey]*lagRec)
+	s.mu.Unlock()
+}

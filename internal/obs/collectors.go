@@ -387,6 +387,108 @@ func (r *Registry) RegisterStages(labels Labels, s *metrics.StageSet) {
 		})
 }
 
+// RegisterLag exposes a LagSet as the replication-plane lag families:
+//
+//   - tebis_replica_lag_ops{region,backup} — value-log records shipped
+//     but not yet acknowledged by the backup;
+//   - tebis_replica_lag_bytes{region,backup} — the same lag in bytes;
+//   - tebis_replica_backlog{region,backup} — index-segment ships in
+//     flight in the pipeline;
+//   - tebis_replica_staleness_seconds{region,backup} — last-ack age,
+//     zero while the backup is caught up;
+//   - tebis_replica_ack_seconds{region,backup,quantile} — ack round-
+//     trip quantiles, plus _count with the acks behind them.
+//
+// Children are dynamic (streams appear on first ship and vanish on
+// eviction), so the families re-enumerate through FamilyFunc on every
+// scrape.
+func (r *Registry) RegisterLag(labels Labels, s *metrics.LagSet) {
+	if r == nil || s == nil {
+		return
+	}
+	streamKey := func(snap metrics.LagSnapshot) string {
+		return fmt.Sprintf(`backup=%q,region="%d"`, snap.Backup, snap.Region)
+	}
+	r.FamilyFunc("tebis_replica_lag_ops",
+		"Value-log records shipped to a backup but not yet acknowledged.",
+		"gauge", labels, func() map[string]float64 {
+			out := make(map[string]float64)
+			for _, snap := range s.Snapshot() {
+				out[streamKey(snap)] = float64(snap.LagOps)
+			}
+			return out
+		})
+	r.FamilyFunc("tebis_replica_lag_bytes",
+		"Bytes shipped to a backup but not yet acknowledged.",
+		"gauge", labels, func() map[string]float64 {
+			out := make(map[string]float64)
+			for _, snap := range s.Snapshot() {
+				out[streamKey(snap)] = float64(snap.LagBytes)
+			}
+			return out
+		})
+	r.FamilyFunc("tebis_replica_backlog",
+		"Index-segment ships in flight per backup.",
+		"gauge", labels, func() map[string]float64 {
+			out := make(map[string]float64)
+			for _, snap := range s.Snapshot() {
+				out[streamKey(snap)] = float64(snap.Backlog)
+			}
+			return out
+		})
+	r.FamilyFunc("tebis_replica_staleness_seconds",
+		"Age of a backup's last acknowledgement; zero while caught up.",
+		"gauge", labels, func() map[string]float64 {
+			out := make(map[string]float64)
+			for _, snap := range s.Snapshot() {
+				out[streamKey(snap)] = snap.Staleness.Seconds()
+			}
+			return out
+		})
+	r.FamilyFunc("tebis_replica_ack_seconds",
+		"Per-backup acknowledgement round-trip quantiles.",
+		"summary", labels, func() map[string]float64 {
+			out := make(map[string]float64)
+			for _, snap := range s.Snapshot() {
+				for i, p := range snap.AckPercentiles {
+					if i >= len(stageQuantileLabels) {
+						break
+					}
+					out[fmt.Sprintf(`backup=%q,quantile=%q,region="%d"`,
+						snap.Backup, stageQuantileLabels[i], snap.Region)] = p.Seconds()
+				}
+			}
+			return out
+		})
+	r.FamilyFunc("tebis_replica_ack_seconds_count",
+		"Acknowledgements behind the per-backup round-trip quantiles.",
+		"counter", labels, func() map[string]float64 {
+			out := make(map[string]float64)
+			for _, snap := range s.Snapshot() {
+				out[streamKey(snap)] = float64(snap.AckCount)
+			}
+			return out
+		})
+}
+
+// RegisterEvents exposes an event journal's cumulative per-type
+// counters as tebis_events_total{type}; the events themselves serve on
+// /debug/events.
+func (r *Registry) RegisterEvents(labels Labels, ev *EventLog) {
+	if r == nil || ev == nil {
+		return
+	}
+	r.FamilyFunc("tebis_events_total",
+		"Control-plane events recorded in the journal, by type.",
+		"counter", labels, func() map[string]float64 {
+			out := make(map[string]float64)
+			for t, n := range ev.Counts() {
+				out[fmt.Sprintf(`type=%q`, t)] = float64(n)
+			}
+			return out
+		})
+}
+
 // RegisterOpLatency exposes one op kind's latency histogram as a
 // summary family plus an ops counter — the Figure 8 tail-latency view.
 func (r *Registry) RegisterOpLatency(labels Labels, op string, h *metrics.Histogram) {

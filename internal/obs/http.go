@@ -58,6 +58,9 @@ func (p *Profiler) Handler() http.Handler {
 const muxIndex = `tebis observability endpoints:
   /metrics            Prometheus text exposition
   /metrics/history    sampled time series (JSON; ?format=csv for series,t_ms,v rows)
+  /healthz            liveness (200 while the process serves)
+  /readyz             readiness (503 while degraded, frozen, or device-faulted)
+  /debug/events       control-plane event journal (JSON; ?type=X filters)
   /debug/trace        Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev)
   /debug/vars         expvar JSON
   /debug/profiler     captured profile log (JSON)
@@ -65,17 +68,22 @@ const muxIndex = `tebis observability endpoints:
 `
 
 // NewMux mounts the observability endpoints: /metrics (Prometheus
-// text), /metrics/history (sampled time series), /debug/vars (expvar
-// JSON), /debug/trace (Chrome trace-event JSON), /debug/profiler
-// (capture log), and /debug/pprof/* (net/http/pprof, registered
-// explicitly rather than relying on its DefaultServeMux side effects).
-// Every argument may be nil; the endpoints then serve empty documents.
+// text), /metrics/history (sampled time series), /healthz and /readyz
+// (liveness/readiness), /debug/vars (expvar JSON), /debug/trace
+// (Chrome trace-event JSON), /debug/events (the control-plane event
+// journal), /debug/profiler (capture log), and /debug/pprof/*
+// (net/http/pprof, registered explicitly rather than relying on its
+// DefaultServeMux side effects). Every argument may be nil; the
+// endpoints then serve empty documents (a nil health is always ready).
 // "/" serves a plain-text index, and any other unknown path gets an
 // explicit 404 instead of silently falling through to the index.
-func NewMux(reg *Registry, tr *Tracer, prof *Profiler, samp *Sampler) *http.ServeMux {
+func NewMux(reg *Registry, tr *Tracer, prof *Profiler, samp *Sampler, ev *EventLog, health *Health) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/metrics/history", samp.Handler())
+	mux.Handle("/healthz", health.LiveHandler())
+	mux.Handle("/readyz", health.ReadyHandler())
+	mux.Handle("/debug/events", ev.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/debug/trace", tr.Handler())
 	mux.Handle("/debug/profiler", prof.Handler())
@@ -100,12 +108,12 @@ func NewMux(reg *Registry, tr *Tracer, prof *Profiler, samp *Sampler) *http.Serv
 // listen address so callers can use port 0. The server runs until the
 // process exits; tebis-server's lifetime is the process lifetime, so no
 // shutdown plumbing is needed.
-func Serve(addr string, reg *Registry, tr *Tracer, prof *Profiler, samp *Sampler) (string, error) {
+func Serve(addr string, reg *Registry, tr *Tracer, prof *Profiler, samp *Sampler, ev *EventLog, health *Health) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: NewMux(reg, tr, prof, samp)}
+	srv := &http.Server{Handler: NewMux(reg, tr, prof, samp, ev, health)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), nil
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -25,12 +26,51 @@ func TestMuxEndpoints(t *testing.T) {
 	tr.Record(Span{Name: "merge", JobID: 1, Start: time.Now(), Dur: time.Millisecond})
 	samp := NewSampler(reg, time.Hour, 4)
 	samp.Tick()
-	mux := NewMux(reg, tr, nil, samp)
+	ev := NewEventLog(8)
+	ev.Record(Event{Type: EvBackupEvicted, Node: "s0", Fields: map[string]string{"backup": "s1"}})
+	health := NewHealth()
+	ready := true
+	health.AddCheck("degraded", func() error {
+		if !ready {
+			return fmt.Errorf("replication degraded")
+		}
+		return nil
+	})
+	mux := NewMux(reg, tr, nil, samp, ev, health)
 
 	code, body := get(t, mux, "/metrics")
 	if code != http.StatusOK || !strings.Contains(body, "tebis_test_total 9") {
 		t.Fatalf("/metrics: code=%d body=%q", code, body)
 	}
+
+	code, body = get(t, mux, "/debug/events")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/events: code=%d", code)
+	}
+	var journal struct {
+		Events []Event           `json:"events"`
+		Counts map[string]uint64 `json:"counts"`
+	}
+	if err := json.Unmarshal([]byte(body), &journal); err != nil {
+		t.Fatalf("/debug/events is not JSON: %v", err)
+	}
+	if len(journal.Events) != 1 || journal.Events[0].Type != EvBackupEvicted ||
+		journal.Events[0].Field("backup") != "s1" || journal.Counts[EvBackupEvicted] != 1 {
+		t.Fatalf("/debug/events = %+v", journal)
+	}
+
+	if code, _ = get(t, mux, "/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz: code=%d", code)
+	}
+	if code, _ = get(t, mux, "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz while ready: code=%d", code)
+	}
+	ready = false
+	code, body = get(t, mux, "/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "degraded") {
+		t.Fatalf("/readyz while degraded: code=%d body=%q", code, body)
+	}
+	ready = true
 
 	code, body = get(t, mux, "/debug/vars")
 	if code != http.StatusOK {
@@ -94,7 +134,7 @@ func TestMuxEndpoints(t *testing.T) {
 // Unknown paths must 404 instead of silently serving something, and
 // "/" itself serves an index of the mounted endpoints.
 func TestMuxUnknownPath404(t *testing.T) {
-	mux := NewMux(NewRegistry(), NewTracer(8), nil, nil)
+	mux := NewMux(NewRegistry(), NewTracer(8), nil, nil, nil, nil)
 	if code, _ := get(t, mux, "/nope"); code != http.StatusNotFound {
 		t.Fatalf("/nope: code=%d, want 404", code)
 	}
@@ -108,7 +148,7 @@ func TestMuxUnknownPath404(t *testing.T) {
 }
 
 func TestMuxNilComponents(t *testing.T) {
-	mux := NewMux(nil, nil, nil, nil)
+	mux := NewMux(nil, nil, nil, nil, nil, nil)
 	if code, _ := get(t, mux, "/metrics"); code != http.StatusOK {
 		t.Fatalf("/metrics with nil registry: code=%d", code)
 	}
@@ -138,12 +178,26 @@ func TestMuxNilComponents(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &doc); err != nil {
 		t.Fatalf("nil profiler log is not JSON: %v", err)
 	}
+	code, body = get(t, mux, "/debug/events")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/events with nil journal: code=%d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("nil journal events is not JSON: %v", err)
+	}
+	if code, _ = get(t, mux, "/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz with nil health: code=%d", code)
+	}
+	// A nil health has no checks, so readiness defaults to ready.
+	if code, _ = get(t, mux, "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz with nil health: code=%d", code)
+	}
 }
 
 func TestServe(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("tebis_served_total", "h", nil).Inc()
-	addr, err := Serve("127.0.0.1:0", reg, nil, nil, nil)
+	addr, err := Serve("127.0.0.1:0", reg, nil, nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,8 @@ func TestRegistryNilSafe(t *testing.T) {
 	r.RegisterEndpoint(nil, nil)
 	r.RegisterAmplification(nil, nil, nil, nil)
 	r.RegisterOpLatency(nil, "GET", nil)
+	r.RegisterLag(nil, nil)
+	r.RegisterEvents(nil, nil)
 	if got := r.Families(); got != nil {
 		t.Fatalf("nil registry listed families %v", got)
 	}
@@ -198,6 +200,25 @@ func TestExpositionGolden(t *testing.T) {
 	gs.AddRelocation(7, 120, 2, 700)
 	gs.AddReclaim(3, 12288)
 	r.RegisterGC(node, gs)
+
+	// Replication lag: a fully caught-up stream (shipped == acked) keeps
+	// the staleness gauge deterministically zero; the backlog and ack
+	// quantiles still exercise their families.
+	lag := metrics.NewLagSet()
+	for i := 0; i < 3; i++ {
+		lag.RecordShip(7, "s1", 256)
+		lag.RecordAck(7, "s1", 256, time.Duration(i+1)*time.Millisecond)
+	}
+	lag.BacklogAdd(7, "s1")
+	lag.BacklogAdd(7, "s1")
+	lag.BacklogDone(7, "s1")
+	r.RegisterLag(node, lag)
+
+	ev := NewEventLog(8)
+	ev.Record(Event{Type: EvBackupEvicted, Node: "s0"})
+	ev.Record(Event{Type: EvSyncDone, Node: "s0"})
+	ev.Record(Event{Type: EvSyncDone, Node: "s0"})
+	r.RegisterEvents(node, ev)
 
 	var out bytes.Buffer
 	if err := r.WritePrometheus(&out); err != nil {

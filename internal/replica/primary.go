@@ -111,6 +111,12 @@ type PrimaryConfig struct {
 	// Stages aggregates the ship/ack stage latency of sampled requests
 	// per tenant (optional; DESIGN.md §11).
 	Stages *metrics.StageSet
+	// Lag tracks per-backup acked-vs-shipped lag, staleness, and ack
+	// round trips (optional; DESIGN.md §13).
+	Lag *metrics.LagSet
+	// Events journals control-plane transitions — evictions, syncs —
+	// this primary makes (optional; DESIGN.md §13).
+	Events *obs.EventLog
 }
 
 // backupHandle is the primary's view of one attached backup.
@@ -465,6 +471,16 @@ func (p *Primary) evict(h *backupHandle, cause error) {
 	}
 	p.cfg.Failures.RecordEviction()
 	p.cfg.Failures.EnterDegraded()
+	p.cfg.Lag.Evict(uint64(p.cfg.RegionID), h.backup.cfg.ServerName)
+	p.cfg.Events.Record(obs.Event{
+		Type: obs.EvBackupEvicted, Level: obs.LevelWarn, Node: p.cfg.ServerName,
+		Msg: "backup declared dead, replication degraded",
+		Fields: map[string]string{
+			"region": fmt.Sprint(p.cfg.RegionID),
+			"backup": h.backup.cfg.ServerName,
+			"cause":  fmt.Sprint(cause),
+		},
+	})
 	h.closeQPs()
 }
 
@@ -531,11 +547,14 @@ func (p *Primary) OnAppend(res vlog.AppendResult, rt *obs.ReqTrace) {
 				continue
 			}
 		}
+		backupName := h.backup.cfg.ServerName
 		shipStart := time.Now()
+		p.cfg.Lag.RecordShip(uint64(p.cfg.RegionID), backupName, len(res.Rec))
 		if err := p.writeWithRetryTraced(h, h.backup.LogBufferRKey(), int(res.TailPos), res.Rec, wrLogAppend, rt); err != nil {
 			p.evict(h, err)
 			continue
 		}
+		p.cfg.Lag.RecordAck(uint64(p.cfg.RegionID), backupName, len(res.Rec), time.Since(shipStart))
 		if rt != nil {
 			shipDur := time.Since(shipStart)
 			rt.Record(obs.Span{
@@ -713,6 +732,7 @@ func (p *Primary) shipSegment(job lsm.CompactionJob, seg btree.EmittedSegment) {
 	for _, h := range p.handles() {
 		h.mu.Lock()
 		shipStart := time.Now()
+		p.cfg.Lag.BacklogAdd(uint64(p.cfg.RegionID), h.backup.cfg.ServerName)
 		frame := full
 		isDelta := delta.data != nil
 		if isDelta {
@@ -728,6 +748,7 @@ func (p *Primary) shipSegment(job lsm.CompactionJob, seg btree.EmittedSegment) {
 			frame = full
 			err = p.shipFrameLocked(h, job, seg, frame, wrIndexShip)
 		}
+		p.cfg.Lag.BacklogDone(uint64(p.cfg.RegionID), h.backup.cfg.ServerName)
 		if err != nil {
 			h.mu.Unlock()
 			p.evict(h, err)

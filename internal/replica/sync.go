@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tebis/internal/metrics"
+	"tebis/internal/obs"
 	"tebis/internal/shipcodec"
 	"tebis/internal/storage"
 	"tebis/internal/wire"
@@ -46,6 +47,14 @@ func (p *Primary) Sync(b *Backup) (int64, error) {
 	if db == nil {
 		return 0, fmt.Errorf("replica: Sync without engine")
 	}
+	p.cfg.Events.Record(obs.Event{
+		Type: obs.EvSyncStarted, Node: p.cfg.ServerName,
+		Msg: "full-state transfer to attached backup",
+		Fields: map[string]string{
+			"region": fmt.Sprint(p.cfg.RegionID),
+			"backup": b.cfg.ServerName,
+		},
+	})
 	log := db.Log()
 	geo := db.Log().Geometry()
 
@@ -142,6 +151,15 @@ func (p *Primary) Sync(b *Backup) (int64, error) {
 	// The replica slot is whole again: close the degraded window this
 	// transfer repairs, if one was open.
 	p.repaired()
+	p.cfg.Events.Record(obs.Event{
+		Type: obs.EvSyncDone, Node: p.cfg.ServerName,
+		Msg: "full-state transfer complete",
+		Fields: map[string]string{
+			"region":  fmt.Sprint(p.cfg.RegionID),
+			"backup":  b.cfg.ServerName,
+			"shipped": fmt.Sprint(shipped),
+		},
+	})
 	return shipped, nil
 }
 

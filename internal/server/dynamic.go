@@ -8,6 +8,7 @@ import (
 	"tebis/internal/kv"
 	"tebis/internal/lsm"
 	"tebis/internal/metrics"
+	"tebis/internal/obs"
 	"tebis/internal/region"
 	"tebis/internal/wire"
 )
@@ -175,6 +176,11 @@ func (s *Server) Freeze(id region.ID) error {
 		}
 		time.Sleep(20 * time.Microsecond)
 	}
+	s.cfg.Events.Record(obs.Event{
+		Type: obs.EvFreeze, Node: s.cfg.Name,
+		Msg:    "region frozen for reconfiguration, in-flight ops drained",
+		Fields: map[string]string{"region": fmt.Sprint(id)},
+	})
 	return nil
 }
 
@@ -196,6 +202,11 @@ func (s *Server) Unfreeze(r region.Region, l region.Lease) error {
 		close(hr.freezeCh)
 		hr.freezeCh = nil
 	}
+	s.cfg.Events.Record(obs.Event{
+		Type: obs.EvUnfreeze, Node: s.cfg.Name,
+		Msg:    "freeze window ended, region serving at new epoch",
+		Fields: map[string]string{"region": fmt.Sprint(r.ID), "epoch": fmt.Sprint(r.Epoch)},
+	})
 	return nil
 }
 

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"fmt"
 	"time"
 
 	"tebis/internal/lsm"
 	"tebis/internal/metrics"
+	"tebis/internal/obs"
 )
 
 // DefaultGCInterval is the pause between background GC passes when
@@ -63,7 +65,27 @@ func (s *Server) GCNow() (lsm.GCResult, error) {
 		total.BytesReclaimed += res.BytesReclaimed
 		total.Paused = total.Paused || res.Paused
 	}
+	s.recordGCPass(total)
 	return total, nil
+}
+
+// recordGCPass journals a GC pass that had effect. Idle ticks (nothing
+// eligible) stay out of the event ring — the background worker fires
+// every 500ms and would otherwise drown real transitions.
+func (s *Server) recordGCPass(res lsm.GCResult) {
+	if res.SegmentsFreed == 0 && res.RecordsMoved == 0 && res.RecordsDropped == 0 {
+		return
+	}
+	s.cfg.Events.Record(obs.Event{
+		Type: obs.EvGCPass, Node: s.cfg.Name,
+		Msg: "value-log GC pass reclaimed space",
+		Fields: map[string]string{
+			"segments_freed":  fmt.Sprint(res.SegmentsFreed),
+			"records_moved":   fmt.Sprint(res.RecordsMoved),
+			"records_dropped": fmt.Sprint(res.RecordsDropped),
+			"bytes_reclaimed": fmt.Sprint(res.BytesReclaimed),
+		},
+	})
 }
 
 // gcLoop is the background GC worker: one pass over the hosted
@@ -84,9 +106,11 @@ func (s *Server) gcLoop() {
 			return
 		case <-t.C:
 			for _, db := range s.primaryDBs() {
-				if _, err := db.GCOnce(s.gcPolicy()); err != nil {
+				res, err := db.GCOnce(s.gcPolicy())
+				if err != nil {
 					break
 				}
+				s.recordGCPass(res)
 			}
 		}
 	}

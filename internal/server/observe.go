@@ -29,6 +29,11 @@ func (s *Server) Observe(reg *obs.Registry) {
 	for _, op := range opKinds {
 		reg.RegisterOpLatency(labels, op, s.opLat[op])
 	}
+	reg.RegisterLag(labels, s.cfg.Lag)
+	// The event journal may be shared cluster-wide (cluster.Config.Events),
+	// so like the stage set it registers unlabeled: Event.Node carries the
+	// attribution and co-registered servers dedupe onto one counter family.
+	reg.RegisterEvents(nil, s.cfg.Events)
 	// Like the span ring, the stage set may be shared cluster-wide
 	// (cluster.Config.Stages), so it registers unlabeled: stage and
 	// tenant labels carry the attribution and co-registered servers

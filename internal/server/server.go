@@ -7,6 +7,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -89,6 +90,19 @@ type Config struct {
 	// requests (created on demand when nil); Observe exposes it as the
 	// tebis_op_stage_* families (DESIGN.md §11).
 	Stages *metrics.StageSet
+	// Lag tracks per-backup replication lag, staleness, and ack round
+	// trips on hosted primaries (created on demand when nil); Observe
+	// exposes it as the tebis_replica_* families (DESIGN.md §13).
+	Lag *metrics.LagSet
+	// DisableLag leaves the lag tracker off entirely (every record site
+	// tolerates a nil LagSet). Bench-only ablation knob: the lag
+	// experiment uses it to price the tracker's hot-path tax.
+	DisableLag bool
+	// Events journals every control-plane transition this node makes —
+	// evictions, syncs, promotions, freezes, GC passes, scrub outcomes
+	// (created on demand when nil). May be shared cluster-wide so one
+	// journal holds the whole cluster's transition history.
+	Events *obs.EventLog
 	// Admission enables signal-driven admission control over the worker
 	// pool (DESIGN.md §11): the controller watches the sampled
 	// worker-queue wait, adapts the wake-up threshold below
@@ -132,6 +146,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Stages == nil {
 		c.Stages = metrics.NewStageSet()
+	}
+	if c.Lag == nil && !c.DisableLag {
+		c.Lag = metrics.NewLagSet()
+	}
+	if c.Events == nil {
+		c.Events = obs.NewEventLog(0)
 	}
 	if c.GC.Stats == nil {
 		c.GC.Stats = &metrics.GCStats{}
@@ -240,6 +260,12 @@ func New(cfg Config) (*Server, error) {
 		if ac.MaxThreshold == 0 {
 			ac.MaxThreshold = cfg.TaskThreshold
 		}
+		if ac.Events == nil {
+			ac.Events = cfg.Events
+		}
+		if ac.Node == "" {
+			ac.Node = cfg.Name
+		}
 		s.ctrl = admission.New(ac)
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -280,6 +306,57 @@ func (s *Server) Stages() *metrics.StageSet { return s.cfg.Stages }
 // Admission returns the admission controller, or nil when the server
 // runs with the fixed-knob dispatch threshold.
 func (s *Server) Admission() *admission.Controller { return s.ctrl }
+
+// Lag returns the per-backup replication-lag aggregator.
+func (s *Server) Lag() *metrics.LagSet { return s.cfg.Lag }
+
+// Events returns this node's control-plane event journal.
+func (s *Server) Events() *obs.EventLog { return s.cfg.Events }
+
+// Ready reports whether this node is safe to serve and fail over to:
+// nil while healthy, an error naming the first failing condition —
+// closed, a degraded replication group (an evicted backup not yet
+// replaced), a region frozen mid-reconfiguration, or a device fault
+// (a scrub found corruption no copy could repair).
+func (s *Server) Ready() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	var degraded, frozen []region.ID
+	for id, hr := range s.regions {
+		if hr.primary != nil && hr.primary.Degraded() {
+			degraded = append(degraded, id)
+		}
+		if hr.frozen {
+			frozen = append(frozen, id)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(degraded, func(i, j int) bool { return degraded[i] < degraded[j] })
+	sort.Slice(frozen, func(i, j int) bool { return frozen[i] < frozen[j] })
+	if len(degraded) > 0 {
+		return fmt.Errorf("server: replication degraded on regions %v", degraded)
+	}
+	if len(frozen) > 0 {
+		return fmt.Errorf("server: regions %v frozen for reconfiguration", frozen)
+	}
+	if n := s.cfg.Scrub.Snapshot().Unrepairable; n > 0 {
+		return fmt.Errorf("server: device faulted: %d unrepairable segments", n)
+	}
+	return nil
+}
+
+// RegisterHealth wires this node's readiness conditions into an
+// obs.Health so /readyz flips unhealthy while the node is degraded,
+// frozen, or device-faulted.
+func (s *Server) RegisterHealth(h *obs.Health) {
+	if h == nil {
+		return
+	}
+	h.AddCheck(s.cfg.Name, s.Ready)
+}
 
 func (s *Server) charge(c metrics.Component, n uint64) {
 	if s.cfg.Cycles != nil {
@@ -325,6 +402,8 @@ func (s *Server) OpenPrimary(r region.Region, mode replica.Mode) (*replica.Prima
 		Failures:     s.cfg.Failures,
 		Trace:        s.trace,
 		Stages:       s.cfg.Stages,
+		Lag:          s.cfg.Lag,
+		Events:       s.cfg.Events,
 	})
 	opt := s.lsmOptions()
 	if mode != replica.NoReplication {
@@ -406,6 +485,8 @@ func (s *Server) PromoteToPrimary(id region.ID) (*replica.Primary, error) {
 		Failures:     s.cfg.Failures,
 		Trace:        s.trace,
 		Stages:       s.cfg.Stages,
+		Lag:          s.cfg.Lag,
+		Events:       s.cfg.Events,
 	})
 	p.SetDB(db)
 	db.SetListener(p)
@@ -417,6 +498,11 @@ func (s *Server) PromoteToPrimary(id region.ID) (*replica.Primary, error) {
 	hr.backup = nil
 	hr.lease = region.Lease{Region: id, Epoch: hr.info.Epoch, Holder: s.cfg.Name}
 	s.mu.Unlock()
+	s.cfg.Events.Record(obs.Event{
+		Type: obs.EvPromoted, Node: s.cfg.Name,
+		Msg:    "backup promoted to primary",
+		Fields: map[string]string{"region": fmt.Sprint(id)},
+	})
 	return p, nil
 }
 
@@ -457,6 +543,11 @@ func (s *Server) DemoteToBackup(id region.ID, mode replica.Mode, oldToNew map[st
 	hr.db = nil
 	hr.lease = region.Lease{}
 	s.mu.Unlock()
+	s.cfg.Events.Record(obs.Event{
+		Type: obs.EvDemoted, Node: s.cfg.Name,
+		Msg:    "primary demoted to backup",
+		Fields: map[string]string{"region": fmt.Sprint(id)},
+	})
 	return b, nil
 }
 
@@ -552,6 +643,11 @@ func (s *Server) ScrubAndRepair() (replica.RepairReport, error) {
 	for _, p := range prims {
 		rep, err := p.ScrubAndRepair(s.cfg.Scrub)
 		if err != nil {
+			s.cfg.Events.Record(obs.Event{
+				Type: obs.EvScrub, Level: obs.LevelError, Node: s.cfg.Name,
+				Msg:    "scrub pass aborted",
+				Fields: map[string]string{"error": err.Error()},
+			})
 			return total, err
 		}
 		total.LocalScanned += rep.LocalScanned
@@ -562,6 +658,21 @@ func (s *Server) ScrubAndRepair() (replica.RepairReport, error) {
 		total.BackupRepaired += rep.BackupRepaired
 		total.Unrepairable += rep.Unrepairable
 	}
+	level := obs.LevelInfo
+	if total.Unrepairable > 0 {
+		level = obs.LevelError
+	}
+	s.cfg.Events.Record(obs.Event{
+		Type: obs.EvScrub, Level: level, Node: s.cfg.Name,
+		Msg: "scrub-and-repair pass complete",
+		Fields: map[string]string{
+			"local_findings":  fmt.Sprint(len(total.LocalFindings)),
+			"local_repaired":  fmt.Sprint(total.LocalRepaired),
+			"backup_findings": fmt.Sprint(total.BackupFindings),
+			"backup_repaired": fmt.Sprint(total.BackupRepaired),
+			"unrepairable":    fmt.Sprint(total.Unrepairable),
+		},
+	})
 	return total, nil
 }
 

@@ -136,6 +136,13 @@ awk -v o="$gcoverhead" 'BEGIN { if (o + 0 > 10) {
 echo "   space amplification: ${amp}x, offered-load cost: ${gcoverhead}%"
 rm -rf "$gcdir"
 
+# lag-smoke runs the replication-plane health experiment (DESIGN.md §13)
+# and gates on zero lost acks / wrong reads / evictions under an
+# injected 50ms-delayed backup, the lag and staleness gauges rising then
+# draining back to ~0, and <= 5% lag-tracker overhead at offered load.
+echo "== lag smoke"
+make lag-smoke
+
 # rebalance-smoke re-runs the dynamic-region suites by name under -race
 # so a gate log shows explicitly that online split/merge, index-shipped
 # live migration, failover mid-reconfiguration, and the skewed-load

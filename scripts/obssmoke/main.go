@@ -54,13 +54,25 @@ var requiredFamilies = []string{
 	"tebis_admission_threshold",
 	"tebis_admission_queue_wait_seconds",
 	"tebis_admission_threshold_adjustments_total",
+	// Replication-plane health (DESIGN.md §13): per-backup lag/staleness
+	// from the primary's lag tracker and the structured event journal's
+	// per-type counters.
+	"tebis_replica_lag_ops",
+	"tebis_replica_lag_bytes",
+	"tebis_replica_backlog",
+	"tebis_replica_staleness_seconds",
+	"tebis_replica_ack_seconds",
+	"tebis_events_total",
 }
 
 var requiredSpans = []string{"merge", "build", "ship", "rewrite"}
 
+// The server's startup lines are structured key=value records
+// (msg=... url=... / msg=listening addr=...); pull the two listen
+// addresses out of their fields.
 var (
-	metricsLine = regexp.MustCompile(`metrics on http://([^/]+)/metrics`)
-	listenLine  = regexp.MustCompile(`listening on ([^ ]+) \(device`)
+	metricsLine = regexp.MustCompile(`msg="metrics endpoint up" url=http://([^/ ]+)/metrics`)
+	listenLine  = regexp.MustCompile(`msg=listening addr=([^ ]+) device=`)
 )
 
 func main() {
@@ -127,6 +139,12 @@ func run() error {
 		return err
 	}
 	if err := checkHistory(metricsAddr); err != nil {
+		return err
+	}
+	if err := checkEvents(metricsAddr); err != nil {
+		return err
+	}
+	if err := checkHealth(metricsAddr); err != nil {
 		return err
 	}
 	return checkMuxPaths(metricsAddr)
@@ -238,6 +256,11 @@ func metricsComplete(body string) error {
 	if !strings.Contains(body, `tebis_op_stage_seconds{stage="dispatch"`) {
 		return fmt.Errorf("tebis_op_stage_seconds has no dispatch children")
 	}
+	// With the in-process backup attached, every replicated append feeds
+	// the lag tracker, so the per-backup children must exist.
+	if !strings.Contains(body, "tebis_replica_lag_ops{") {
+		return fmt.Errorf("tebis_replica_lag_ops has no per-backup children")
+	}
 	// At least one compaction must have completed end to end.
 	for _, line := range strings.Split(body, "\n") {
 		if strings.HasPrefix(line, "tebis_compaction_jobs_total") &&
@@ -326,6 +349,47 @@ func checkHistoryCSV(addr string) error {
 		}
 	}
 	fmt.Printf("obs-smoke: /metrics/history?format=csv exports %d rows\n", len(lines)-1)
+	return nil
+}
+
+// checkEvents asserts /debug/events serves the structured journal as
+// JSON and that the boot transition was recorded.
+func checkEvents(addr string) error {
+	body, err := get(addr, "/debug/events")
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Events []struct {
+			Seq  uint64 `json:"seq"`
+			Type string `json:"type"`
+		} `json:"events"`
+		Counts map[string]uint64 `json:"counts"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("/debug/events is not valid JSON: %w", err)
+	}
+	if len(doc.Events) == 0 {
+		return fmt.Errorf("/debug/events is empty after startup")
+	}
+	if doc.Counts["server_started"] == 0 {
+		return fmt.Errorf("/debug/events did not record server_started (counts %v)", doc.Counts)
+	}
+	fmt.Printf("obs-smoke: /debug/events journaled %d events (%d types)\n",
+		len(doc.Events), len(doc.Counts))
+	return nil
+}
+
+// checkHealth asserts /healthz reports live and /readyz reports ready —
+// the in-process backup is attached and healthy, so readiness must hold.
+func checkHealth(addr string) error {
+	if _, err := get(addr, "/healthz"); err != nil {
+		return err
+	}
+	if _, err := get(addr, "/readyz"); err != nil {
+		return fmt.Errorf("healthy server not ready: %w", err)
+	}
+	fmt.Println("obs-smoke: /healthz live, /readyz ready")
 	return nil
 }
 
